@@ -1,0 +1,32 @@
+#include "bench_common.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace netfail::bench {
+
+const analysis::PipelineResult& cenic_pipeline() {
+  static const analysis::PipelineResult result = [] {
+    std::fprintf(stderr,
+                 "[netfail] simulating 13 months of CENIC and running the "
+                 "analysis pipeline...\n");
+    analysis::PipelineResult r = analysis::run_pipeline();
+    std::fprintf(stderr, "[netfail] pipeline ready (%zu sim events)\n",
+                 r.sim.events_processed);
+    return r;
+  }();
+  return result;
+}
+
+int table_bench_main(int argc, char** argv, const std::string& table_text) {
+  std::printf("%s\n", table_text.c_str());
+  std::fflush(stdout);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace netfail::bench

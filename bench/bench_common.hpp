@@ -1,0 +1,20 @@
+// Shared infrastructure for the table-reproduction benchmarks: runs the
+// calibrated 13-month CENIC scenario once per process and caches the
+// pipeline result; every bench prints its table from this run and then
+// times its analysis stage with google-benchmark.
+#pragma once
+
+#include <string>
+
+#include "src/analysis/pipeline.hpp"
+#include "src/analysis/tables.hpp"
+
+namespace netfail::bench {
+
+/// The full CENIC-scale pipeline, computed once per process.
+const analysis::PipelineResult& cenic_pipeline();
+
+/// Print the reproduction banner + table, then hand off to google-benchmark.
+int table_bench_main(int argc, char** argv, const std::string& table_text);
+
+}  // namespace netfail::bench

@@ -1,0 +1,30 @@
+// Reproduces Figure 1: cumulative distributions for CPE links — failure
+// duration (1a), annualized link downtime (1b), time between failures (1c) —
+// syslog-inferred vs IS-IS listener-reported.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "src/stats/ecdf.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_BuildCdfs(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  const auto d = analysis::compute_table5(r);
+  for (auto _ : state) {
+    stats::Ecdf dur(d.syslog.cpe.duration_s);
+    benchmark::DoNotOptimize(dur);
+  }
+}
+BENCHMARK(BM_BuildCdfs);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  return netfail::bench::table_bench_main(
+      argc, argv,
+      netfail::analysis::render_figure1(netfail::analysis::compute_table5(r)));
+}

@@ -1,0 +1,30 @@
+// Reproduces the goodness-of-fit analysis of sect. 4.2: two-sample KS tests
+// between the syslog-inferred and IS-IS-reported distributions. The paper
+// finds failures-per-link and link downtime consistent but failure duration
+// distinct.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_KsTest(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  const auto d = analysis::compute_table5(r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_two_sample(d.syslog.cpe.duration_s,
+                                                  d.isis.cpe.duration_s));
+  }
+}
+BENCHMARK(BM_KsTest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  const auto d = netfail::analysis::compute_table5(r);
+  return netfail::bench::table_bench_main(
+      argc, argv, netfail::analysis::render_ks(netfail::analysis::compute_ks(d)));
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks of the substrate hot paths: LSP encode/decode, syslog
+// render/parse, interval-set arithmetic, Fletcher checksum, KS test.
+#include <benchmark/benchmark.h>
+
+#include "src/common/interval_set.hpp"
+#include "src/common/rng.hpp"
+#include "src/isis/checksum.hpp"
+#include "src/isis/pdu.hpp"
+#include "src/stats/ks_test.hpp"
+#include "src/syslog/message.hpp"
+
+namespace {
+
+using namespace netfail;
+
+isis::Lsp make_lsp(int adjacencies, int prefixes) {
+  isis::Lsp lsp;
+  lsp.source = OsiSystemId::from_index(1);
+  lsp.sequence = 42;
+  lsp.hostname = "lax-core-1";
+  for (int i = 0; i < adjacencies; ++i) {
+    lsp.is_reach.push_back(
+        isis::IsReachEntry{OsiSystemId::from_index(10 + static_cast<std::uint32_t>(i)), 0, 10});
+  }
+  for (int i = 0; i < prefixes; ++i) {
+    lsp.ip_reach.push_back(isis::IpReachEntry{
+        10, Ipv4Prefix{Ipv4Address{137, 164, 0, static_cast<std::uint8_t>(2 * i)}, 31}});
+  }
+  return lsp;
+}
+
+void BM_LspEncode(benchmark::State& state) {
+  const isis::Lsp lsp = make_lsp(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = lsp.encode();
+    bytes += encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_LspEncode)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LspDecode(benchmark::State& state) {
+  const auto bytes = make_lsp(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(0)))
+                         .encode();
+  for (auto _ : state) {
+    auto decoded = isis::Lsp::decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_LspDecode)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FletcherChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fletcher_checksum(data, 12));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FletcherChecksum)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SyslogRender(benchmark::State& state) {
+  syslog::Message m;
+  m.timestamp = TimePoint::from_civil(2011, 3, 14, 1, 59, 26);
+  m.reporter = "edu042-gw-1";
+  m.dialect = RouterOs::kIos;
+  m.type = syslog::MessageType::kIsisAdjChange;
+  m.dir = LinkDirection::kDown;
+  m.interface = "GigabitEthernet0/1";
+  m.neighbor = "lax-core-1";
+  m.reason = "interface state down";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.render(1234));
+  }
+}
+BENCHMARK(BM_SyslogRender);
+
+void BM_SyslogParse(benchmark::State& state) {
+  syslog::Message m;
+  m.timestamp = TimePoint::from_civil(2011, 3, 14, 1, 59, 26);
+  m.reporter = "edu042-gw-1";
+  m.type = syslog::MessageType::kIsisAdjChange;
+  m.dir = LinkDirection::kDown;
+  m.interface = "GigabitEthernet0/1";
+  m.neighbor = "lax-core-1";
+  m.reason = "interface state down";
+  const std::string line = m.render(1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(syslog::parse_message(line));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(line.size()));
+}
+BENCHMARK(BM_SyslogParse);
+
+void BM_IntervalSetAdd(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<TimeRange> ranges;
+  for (int i = 0; i < state.range(0); ++i) {
+    const TimePoint b = TimePoint::from_unix_millis(rng.uniform_int(0, 1'000'000'000));
+    ranges.push_back(TimeRange{b, b + Duration::seconds(rng.uniform_int(1, 3600))});
+  }
+  for (auto _ : state) {
+    IntervalSet set;
+    for (const TimeRange& r : ranges) set.add(r);
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IntervalSetAdd)->Arg(100)->Arg(1000);
+
+void BM_KsTwoSample(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<double> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.lognormal(3.0, 1.5));
+    b.push_back(rng.lognormal(3.1, 1.4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ks_two_sample(a, b));
+  }
+}
+BENCHMARK(BM_KsTwoSample)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

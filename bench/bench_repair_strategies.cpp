@@ -1,0 +1,76 @@
+// Ablation of sect. 4.3's repair strategies for ambiguous state changes:
+// drop the episode (prior work), assume down, assume up, or hold the
+// previous state. The paper finds hold-state brings syslog downtime closest
+// to IS-IS; this bench reproduces that ranking.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "src/common/strfmt.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_ReconstructHoldState(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  analysis::ReconstructOptions opts;
+  opts.period = r.options_period;
+  opts.policy = analysis::AmbiguityPolicy::kHoldState;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::reconstruct_from_syslog(r.syslog.transitions, opts));
+  }
+}
+BENCHMARK(BM_ReconstructHoldState)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netfail;
+  using analysis::AmbiguityPolicy;
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+
+  const Duration isis_downtime =
+      analysis::total_downtime(r.isis_recon.failures);
+
+  TextTable t(
+      "Repair strategies for ambiguous syslog state changes (sect. 4.3)\n"
+      "IS-IS reference downtime: " +
+      strformat("%.0f h", isis_downtime.hours_f()));
+  t.set_header({"Policy", "Failures", "Downtime (h)", "Gap to IS-IS (h)"});
+
+  double best_gap = -1;
+  std::string best_policy;
+  for (const AmbiguityPolicy policy :
+       {AmbiguityPolicy::kDrop, AmbiguityPolicy::kAssumeDown,
+        AmbiguityPolicy::kAssumeUp, AmbiguityPolicy::kHoldState}) {
+    analysis::ReconstructOptions opts;
+    opts.period = r.options_period;
+    opts.policy = policy;
+    analysis::Reconstruction recon =
+        analysis::reconstruct_from_syslog(r.syslog.transitions, opts);
+    // Apply the same sanitization as the main pipeline so the comparison is
+    // apples-to-apples.
+    (void)analysis::remove_listener_gap_failures(
+        recon.failures, r.sim.truth.listener_gaps());
+    (void)analysis::verify_long_failures(recon.failures, r.census,
+                                         r.sim.tickets);
+    const Duration downtime = analysis::total_downtime(recon.failures);
+    const double gap = std::abs(downtime.hours_f() - isis_downtime.hours_f());
+    if (best_gap < 0 || gap < best_gap) {
+      best_gap = gap;
+      best_policy = analysis::ambiguity_policy_name(policy);
+    }
+    t.add_row({analysis::ambiguity_policy_name(policy),
+               std::to_string(recon.failures.size()),
+               strformat("%.0f", downtime.hours_f()), strformat("%.0f", gap)});
+  }
+  std::string text = t.render();
+  text += strformat(
+      "\nClosest to IS-IS: %s (paper: assuming the link remains in the "
+      "previous state is best)\n",
+      best_policy.c_str());
+  return bench::table_bench_main(argc, argv, text);
+}

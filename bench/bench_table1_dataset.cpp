@@ -1,0 +1,43 @@
+// Reproduces Table 1: summary of the dataset (router/link census, config
+// files, syslog message and IS-IS update volumes).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_ComputeTable1(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_table1(r));
+  }
+}
+BENCHMARK(BM_ComputeTable1);
+
+void BM_MineConfigArchive(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  const ConfigArchive archive = generate_archive(
+      r.sim.topology, r.options_period, ArchiveParams{});
+  for (auto _ : state) {
+    MiningStats stats;
+    benchmark::DoNotOptimize(
+        mine_archive(archive, r.options_period, MinerParams{}, &stats));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(archive.size()));
+}
+BENCHMARK(BM_MineConfigArchive)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  std::string text = netfail::analysis::render_table1(
+      netfail::analysis::compute_table1(r));
+  text +=
+      "\n(paper: 60 Core + 175 CPE routers, 11,623 config files, 84 Core + "
+      "215 CPE links,\n 47,371 syslog messages, 11,095,550 IS-IS updates)\n";
+  return netfail::bench::table_bench_main(argc, argv, text);
+}

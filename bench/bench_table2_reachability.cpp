@@ -1,0 +1,27 @@
+// Reproduces Table 2: percentage of syslog state changes (IS-IS adjacency
+// vs physical media) matched by IS-reachability vs IP-reachability LSP
+// transitions — the analysis behind the paper's choice of IS reachability.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_MatchReachability(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_table2(r));
+  }
+}
+BENCHMARK(BM_MatchReachability)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  return netfail::bench::table_bench_main(
+      argc, argv,
+      netfail::analysis::render_table2(netfail::analysis::compute_table2(r)));
+}

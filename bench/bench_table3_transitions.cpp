@@ -1,0 +1,27 @@
+// Reproduces Table 3: IS-IS listener transitions matched by syslog messages
+// from none, one, or both routers — plus the flapping attribution of the
+// unmatched remainder (sect. 4.1).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_MatchTransitions(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_table3(r));
+  }
+}
+BENCHMARK(BM_MatchTransitions)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  return netfail::bench::table_bench_main(
+      argc, argv,
+      netfail::analysis::render_table3(netfail::analysis::compute_table3(r)));
+}

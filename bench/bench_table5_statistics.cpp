@@ -1,0 +1,27 @@
+// Reproduces Table 5: per-link statistics (annualized failures, failure
+// duration, time between failures, annualized downtime) for Core and CPE
+// links, syslog vs IS-IS.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_LinkStatistics(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_table5(r));
+  }
+}
+BENCHMARK(BM_LinkStatistics)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  return netfail::bench::table_bench_main(
+      argc, argv,
+      netfail::analysis::render_table5(netfail::analysis::compute_table5(r)));
+}

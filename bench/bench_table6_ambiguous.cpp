@@ -1,0 +1,34 @@
+// Reproduces Table 6: ambiguous (double DOWN / double UP) syslog state
+// changes classified by cause with IS-IS as the oracle (sect. 4.3).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "src/common/strfmt.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_ClassifyAmbiguous(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_table6(r));
+  }
+}
+BENCHMARK(BM_ClassifyAmbiguous)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  const auto t = netfail::analysis::compute_table6(r);
+  std::string text = netfail::analysis::render_table6(t);
+  const double period_s =
+      (r.options_period.end - r.options_period.begin).seconds_f();
+  text += netfail::strformat(
+      "Ambiguous link-time: %.2f%% of the measurement period across links "
+      "(paper: 7.8%% aggregate)\n",
+      100.0 * t.ambiguous_time.seconds_f() /
+          (period_s * static_cast<double>(r.census.size())));
+  return netfail::bench::table_bench_main(argc, argv, text);
+}

@@ -1,0 +1,44 @@
+// Reproduces Table 7: customer-isolating failure events as seen by IS-IS,
+// syslog, and their intersection (sect. 4.4).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "src/analysis/isolation_diff.hpp"
+#include "src/common/strfmt.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void BM_Isolation(benchmark::State& state) {
+  const analysis::PipelineResult& r = bench::cenic_pipeline();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_table7(r));
+  }
+}
+BENCHMARK(BM_Isolation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& r = netfail::bench::cenic_pipeline();
+  const netfail::analysis::Table7Data t7 = netfail::analysis::compute_table7(r);
+  std::string text = netfail::analysis::render_table7(t7);
+
+  // Sect. 4.4's anatomy of the disagreements.
+  const netfail::analysis::IsolationDiff syslog_diff =
+      netfail::analysis::diff_isolation(t7.syslog, t7.isis);
+  const netfail::analysis::IsolationDiff isis_diff =
+      netfail::analysis::diff_isolation(t7.isis, t7.syslog);
+  text += netfail::strformat(
+      "\nSyslog-only events: %zu with no IS-IS counterpart, %zu near-misses "
+      "(paper: 12 / 46);\negregious matches (counterpart covers <10%%): %zu "
+      "(paper: 2)\n",
+      syslog_diff.no_counterpart, syslog_diff.partial_overlap,
+      syslog_diff.egregious);
+  text += netfail::strformat(
+      "IS-IS-only events: %zu totalling %.1f days (paper: 399 events, 6.5 "
+      "days)\n",
+      isis_diff.unmatched_total, isis_diff.unmatched_downtime.days_f());
+  return netfail::bench::table_bench_main(argc, argv, text);
+}

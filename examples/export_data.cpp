@@ -1,0 +1,87 @@
+// Export the study's data products as CSV for external plotting / analysis
+// (gnuplot, pandas, R). Writes one file per Figure-1 series plus the
+// failure-level join of the two sources.
+//
+//   $ ./export_data [output_dir]      # default: ./netfail_export
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/analysis/pipeline.hpp"
+#include "src/analysis/tables.hpp"
+#include "src/common/strfmt.hpp"
+
+namespace {
+
+using namespace netfail;
+
+void write_series(const std::filesystem::path& path,
+                  const std::vector<double>& syslog,
+                  const std::vector<double>& isis, const char* unit) {
+  std::ofstream out(path);
+  out << "source,value_" << unit << "\n";
+  for (double v : syslog) out << "syslog," << v << "\n";
+  for (double v : isis) out << "isis," << v << "\n";
+  std::printf("wrote %s (%zu + %zu samples)\n", path.c_str(), syslog.size(),
+              isis.size());
+}
+
+void write_failures(const std::filesystem::path& path,
+                    const analysis::PipelineResult& r,
+                    const analysis::Table4Data& t4) {
+  std::ofstream out(path);
+  out << "source,link,start_unix_ms,end_unix_ms,duration_s,in_flap,matched\n";
+  std::vector<bool> isis_matched(r.isis_recon.failures.size(), false);
+  std::vector<bool> syslog_matched(r.syslog_recon.failures.size(), false);
+  for (const auto& [i, s] : t4.match.pairs) {
+    isis_matched[i] = true;
+    syslog_matched[s] = true;
+  }
+  auto emit = [&](const std::vector<analysis::Failure>& failures,
+                  const std::vector<bool>& matched, const char* source) {
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      const analysis::Failure& f = failures[i];
+      out << source << ',' << r.census.link(f.link).name << ','
+          << f.span.begin.unix_millis() << ',' << f.span.end.unix_millis()
+          << ',' << f.duration().seconds_f() << ','
+          << (f.in_flap_episode ? 1 : 0) << ',' << (matched[i] ? 1 : 0)
+          << '\n';
+    }
+  };
+  emit(r.isis_recon.failures, isis_matched, "isis");
+  emit(r.syslog_recon.failures, syslog_matched, "syslog");
+  std::printf("wrote %s (%zu failures)\n", path.c_str(),
+              r.isis_recon.failures.size() + r.syslog_recon.failures.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc > 1 ? argv[1] : "netfail_export";
+  std::filesystem::create_directories(dir);
+
+  std::fprintf(stderr, "running the CENIC pipeline...\n");
+  const analysis::PipelineResult r = analysis::run_pipeline();
+  const analysis::Table5Data t5 = analysis::compute_table5(r);
+  const analysis::Table4Data t4 = analysis::compute_table4(r);
+
+  // Figure 1 series (CPE) + the Core equivalents.
+  write_series(dir / "cpe_failure_duration.csv", t5.syslog.cpe.duration_s,
+               t5.isis.cpe.duration_s, "seconds");
+  write_series(dir / "cpe_annual_downtime.csv",
+               t5.syslog.cpe.downtime_hours_per_year,
+               t5.isis.cpe.downtime_hours_per_year, "hours_per_year");
+  write_series(dir / "cpe_time_between_failures.csv", t5.syslog.cpe.tbf_hours,
+               t5.isis.cpe.tbf_hours, "hours");
+  write_series(dir / "core_failure_duration.csv", t5.syslog.core.duration_s,
+               t5.isis.core.duration_s, "seconds");
+
+  // The failure-level join.
+  write_failures(dir / "failures.csv", r, t4);
+
+  std::printf("\nAll files in %s. Example gnuplot:\n"
+              "  plot '< grep ^syslog %s/cpe_failure_duration.csv' ...\n",
+              dir.c_str(), dir.c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Isolation report: which customer sites were cut off from the backbone,
+// for how long, and how differently the two data sources see it
+// (the paper's sect. 4.4 analysis as an operator-facing report).
+//
+//   $ ./isolation_report            # full 13-month CENIC scenario
+//   $ ./isolation_report --small    # quick scaled-down run
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "src/analysis/pipeline.hpp"
+#include "src/analysis/tables.hpp"
+#include "src/common/strfmt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netfail;
+
+  analysis::PipelineOptions options;
+  if (argc > 1 && std::strcmp(argv[1], "--small") == 0) {
+    options.scenario = sim::test_scenario();
+  }
+  std::fprintf(stderr, "running pipeline...\n");
+  const analysis::PipelineResult r = analysis::run_pipeline(options);
+  const analysis::Table7Data t7 = analysis::compute_table7(r);
+
+  std::printf("%s\n", analysis::render_table7(t7).c_str());
+
+  // Worst-hit customers by IS-IS-reported isolation time.
+  struct Row {
+    std::string customer;
+    Duration isis_time;
+    Duration syslog_time;
+    std::size_t events;
+  };
+  std::vector<Row> rows;
+  for (const auto& [customer, set] : t7.isis.by_customer) {
+    Row row{customer, set.total(), {}, set.size()};
+    const auto it = t7.syslog.by_customer.find(customer);
+    if (it != t7.syslog.by_customer.end()) row.syslog_time = it->second.total();
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.isis_time > b.isis_time;
+  });
+
+  TextTable t("Worst-hit customer sites (by IS-IS isolation time)");
+  t.set_header({"Customer", "Events", "IS-IS isolation", "Syslog isolation",
+                "Syslog error"});
+  t.set_align(4, TextTable::Align::kLeft);
+  for (std::size_t i = 0; i < rows.size() && i < 12; ++i) {
+    const Row& row = rows[i];
+    const double err =
+        row.isis_time.seconds_f() > 0
+            ? 100.0 * (row.syslog_time.seconds_f() - row.isis_time.seconds_f()) /
+                  row.isis_time.seconds_f()
+            : 0.0;
+    t.add_row({row.customer, std::to_string(row.events),
+               row.isis_time.to_string(), row.syslog_time.to_string(),
+               strformat("%+.0f%%", err)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // The paper's warning, quantified: isolation errors amplify.
+  std::printf(
+      "Isolation is an aggregate of multiple link states, so reconstruction\n"
+      "error amplifies: syslog sees %.1f of %.1f isolation-days (%.0f%%).\n",
+      t7.syslog.total_isolation.days_f(), t7.isis.total_isolation.days_f(),
+      t7.isis.total_isolation.seconds_f() > 0
+          ? 100.0 * t7.syslog.total_isolation.seconds_f() /
+                t7.isis.total_isolation.seconds_f()
+          : 0.0);
+  return 0;
+}

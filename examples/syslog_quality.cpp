@@ -1,0 +1,82 @@
+// Syslog feed quality audit: everything an operator can learn about their
+// syslog pipeline when a ground-truth IGP listener is available for a
+// calibration period — message loss, nonsensical state changes and their
+// causes, the best repair policy, and which long "failures" are artifacts
+// (sect. 4.2/4.3 as a tool).
+//
+//   $ ./syslog_quality            # full 13-month CENIC scenario
+//   $ ./syslog_quality --small    # quick scaled-down run
+#include <cstdio>
+#include <cstring>
+
+#include "src/analysis/pipeline.hpp"
+#include "src/analysis/tables.hpp"
+#include "src/common/strfmt.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netfail;
+
+  analysis::PipelineOptions options;
+  if (argc > 1 && std::strcmp(argv[1], "--small") == 0) {
+    options.scenario = sim::test_scenario();
+  }
+  std::fprintf(stderr, "running pipeline...\n");
+  const analysis::PipelineResult r = analysis::run_pipeline(options);
+
+  std::printf("Syslog feed quality audit\n");
+  std::printf("=========================\n\n");
+
+  // 1. Transport-level: what fraction of messages survived?
+  std::printf("1. Transport\n");
+  std::printf("   messages emitted by routers: %zu, received: %zu "
+              "(loss %.1f%%)\n",
+              r.sim.syslog_sent, r.sim.collector.size(),
+              r.sim.syslog_sent
+                  ? 100.0 * static_cast<double>(r.sim.syslog_lost) /
+                        static_cast<double>(r.sim.syslog_sent)
+                  : 0.0);
+  std::printf("   parse failures: %zu, unresolvable interfaces: %zu\n\n",
+              r.syslog.stats.parse_failures, r.syslog.stats.unresolved_links);
+
+  // 2. State-machine level: nonsensical sequences and their causes.
+  const analysis::AmbiguityClassification amb = analysis::compute_table6(r);
+  std::printf("2. Nonsensical state changes\n%s\n",
+              analysis::render_table6(amb).c_str());
+
+  // 3. Which repair policy to use.
+  const Duration isis_downtime = analysis::total_downtime(r.isis_recon.failures);
+  std::printf("3. Repair policy comparison (reference IS-IS downtime %.0f h)\n",
+              isis_downtime.hours_f());
+  for (const auto policy :
+       {analysis::AmbiguityPolicy::kDrop, analysis::AmbiguityPolicy::kAssumeDown,
+        analysis::AmbiguityPolicy::kAssumeUp,
+        analysis::AmbiguityPolicy::kHoldState}) {
+    analysis::ReconstructOptions opts;
+    opts.period = r.options_period;
+    opts.policy = policy;
+    analysis::Reconstruction recon =
+        analysis::reconstruct_from_syslog(r.syslog.transitions, opts);
+    (void)analysis::remove_listener_gap_failures(recon.failures,
+                                                 r.sim.truth.listener_gaps());
+    (void)analysis::verify_long_failures(recon.failures, r.census,
+                                         r.sim.tickets);
+    std::printf("   %-12s -> %.0f h downtime\n",
+                analysis::ambiguity_policy_name(policy),
+                analysis::total_downtime(recon.failures).hours_f());
+  }
+
+  // 4. Long-failure verification against tickets.
+  std::printf("\n4. Long (>24 h) failure verification\n");
+  std::printf("   checked %zu, ticket-confirmed %zu, removed %zu "
+              "(%.0f spurious hours; paper removed ~6,000 h)\n",
+              r.syslog_long_report.long_failures_checked,
+              r.syslog_long_report.long_failures_confirmed,
+              r.syslog_long_report.long_failures_removed,
+              r.syslog_long_report.spurious_hours_removed.hours_f());
+  std::printf(
+      "\nBottom line: %zu syslog failures vs %zu IS-IS failures after "
+      "cleaning.\nUse syslog for aggregate statistics; verify long outages "
+      "against tickets;\nhold previous state on repeated messages.\n",
+      r.syslog_recon.failures.size(), r.isis_recon.failures.size());
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "src/analysis/ambiguous.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace netfail::analysis {
+
+AmbiguityClassification classify_ambiguous(
+    const std::vector<AmbiguousSegment>& segments,
+    const std::vector<Failure>& isis_failures,
+    const std::vector<isis::IsisTransition>& is_reach,
+    const MatchOptions& options) {
+  AmbiguityClassification out;
+
+  // Per-link sorted IS-IS transition times by direction.
+  std::map<LinkId, std::vector<TimePoint>> downs, ups;
+  for (const isis::IsisTransition& tr : is_reach) {
+    if (!tr.link.valid() || tr.multilink) continue;
+    (tr.dir == LinkDirection::kDown ? downs : ups)[tr.link].push_back(tr.time);
+  }
+  for (auto& [l, v] : downs) std::sort(v.begin(), v.end());
+  for (auto& [l, v] : ups) std::sort(v.begin(), v.end());
+
+  std::map<LinkId, IntervalSet> isis_down = downtime_by_link(isis_failures);
+  // Failure spans per link for the same-failure statistic.
+  std::map<LinkId, std::vector<TimeRange>> spans;
+  for (const Failure& f : isis_failures) spans[f.link].push_back(f.span);
+
+  auto any_within = [&](const std::map<LinkId, std::vector<TimePoint>>& idx,
+                        LinkId link, TimePoint t, Duration w) {
+    const auto it = idx.find(link);
+    if (it == idx.end()) return false;
+    const auto lo =
+        std::lower_bound(it->second.begin(), it->second.end(), t - w);
+    return lo != it->second.end() && *lo <= t + w;
+  };
+  auto any_between = [&](const std::map<LinkId, std::vector<TimePoint>>& idx,
+                         LinkId link, TimePoint a, TimePoint b) {
+    const auto it = idx.find(link);
+    if (it == idx.end()) return false;
+    const auto lo = std::upper_bound(it->second.begin(), it->second.end(), a);
+    return lo != it->second.end() && *lo < b;
+  };
+
+  for (const AmbiguousSegment& seg : segments) {
+    const bool is_down = seg.repeated_dir == LinkDirection::kDown;
+    out.ambiguous_time += seg.second_message - seg.first_message;
+
+    // Lost message (paper: "both syslog state change messages correspond to
+    // the correct state change as seen by IS-IS"): both messages match
+    // genuine IS-IS transitions of their direction, with the opposite
+    // transition — the one syslog lost — in between.
+    const auto& same_dir_idx = is_down ? downs : ups;
+    const auto& opposite_idx = is_down ? ups : downs;
+    const bool first_is_genuine = any_within(same_dir_idx, seg.link,
+                                             seg.first_message, options.window);
+    const bool repeated_is_genuine = any_within(same_dir_idx, seg.link,
+                                                seg.second_message,
+                                                options.window);
+    const bool opposite_in_between = any_between(
+        opposite_idx, seg.link, seg.first_message - options.window,
+        seg.second_message + options.window);
+    if (first_is_genuine && repeated_is_genuine && opposite_in_between) {
+      (is_down ? out.lost_down : out.lost_up)++;
+      continue;
+    }
+
+    // Spurious: IS-IS says the link was already in the repeated state at the
+    // time of the repeated message. Failure boundaries carry detection and
+    // flooding jitter, so the containment test gets the matching window as
+    // tolerance.
+    const auto dt = isis_down.find(seg.link);
+    const bool link_down_at_second =
+        dt != isis_down.end() &&
+        (dt->second.contains(seg.second_message) ||
+         dt->second.overlaps(TimeRange{seg.second_message - options.window,
+                                       seg.second_message + options.window}));
+    if (is_down && link_down_at_second) {
+      ++out.spurious_down;
+      // Same failure: one IS-IS failure span covers both messages.
+      const auto sp = spans.find(seg.link);
+      if (sp != spans.end()) {
+        for (const TimeRange& r : sp->second) {
+          const TimeRange padded{r.begin - options.window,
+                                 r.end + options.window};
+          if (padded.contains(seg.second_message) &&
+              padded.contains(seg.first_message)) {
+            ++out.spurious_down_same_failure;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    if (!is_down && !link_down_at_second) {
+      ++out.spurious_up;
+      continue;
+    }
+
+    (is_down ? out.unknown_down : out.unknown_up)++;
+  }
+  return out;
+}
+
+}  // namespace netfail::analysis

@@ -1,0 +1,31 @@
+#include "src/analysis/failure.hpp"
+
+#include <algorithm>
+
+namespace netfail::analysis {
+
+std::map<LinkId, IntervalSet> downtime_by_link(const std::vector<Failure>& fs) {
+  std::map<LinkId, IntervalSet> out;
+  for (const Failure& f : fs) out[f.link].add(f.span);
+  return out;
+}
+
+Duration total_downtime(const std::vector<Failure>& fs) {
+  Duration total;
+  for (const auto& [link, set] : downtime_by_link(fs)) total += set.total();
+  return total;
+}
+
+std::map<LinkId, std::vector<Failure>> failures_by_link(
+    std::vector<Failure> fs) {
+  std::map<LinkId, std::vector<Failure>> out;
+  for (Failure& f : fs) out[f.link].push_back(std::move(f));
+  for (auto& [link, v] : out) {
+    std::sort(v.begin(), v.end(), [](const Failure& a, const Failure& b) {
+      return a.span.begin < b.span.begin;
+    });
+  }
+  return out;
+}
+
+}  // namespace netfail::analysis

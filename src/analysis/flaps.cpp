@@ -1,0 +1,51 @@
+#include "src/analysis/flaps.hpp"
+
+#include <algorithm>
+
+namespace netfail::analysis {
+
+FlapAnalysis detect_flaps(std::vector<Failure>& failures,
+                          const FlapOptions& options) {
+  FlapAnalysis out;
+  out.total_failures = failures.size();
+
+  // Group indices per link, chronological.
+  std::map<LinkId, std::vector<std::size_t>> by_link;
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    by_link[failures[i].link].push_back(i);
+  }
+  for (auto& [link, idx] : by_link) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return failures[a].span.begin < failures[b].span.begin;
+    });
+
+    std::size_t run_start = 0;
+    auto close_run = [&](std::size_t run_end) {  // [run_start, run_end)
+      const std::size_t n = run_end - run_start;
+      if (n >= options.min_failures) {
+        FlapEpisode ep;
+        ep.link = link;
+        ep.failure_count = n;
+        ep.span = TimeRange{failures[idx[run_start]].span.begin,
+                            failures[idx[run_end - 1]].span.end};
+        out.episodes.push_back(ep);
+        out.flap_ranges[link].add(ep.span);
+        out.failures_in_episodes += n;
+        for (std::size_t k = run_start; k < run_end; ++k) {
+          failures[idx[k]].in_flap_episode = true;
+        }
+      }
+      run_start = run_end;
+    };
+
+    for (std::size_t k = 1; k < idx.size(); ++k) {
+      const Duration gap =
+          failures[idx[k]].span.begin - failures[idx[k - 1]].span.end;
+      if (gap > options.max_gap) close_run(k);
+    }
+    close_run(idx.size());
+  }
+  return out;
+}
+
+}  // namespace netfail::analysis

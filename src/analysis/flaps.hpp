@@ -1,0 +1,37 @@
+// Flapping-episode detection (paper sect. 4.1): two or more consecutive
+// failures on the same link separated by less than ten minutes form an
+// episode. Syslog is known-unreliable inside episodes, so several analyses
+// need to know which failures (and which time ranges) are "flappy".
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/analysis/failure.hpp"
+
+namespace netfail::analysis {
+
+struct FlapOptions {
+  Duration max_gap = Duration::minutes(10);
+  std::size_t min_failures = 2;
+};
+
+struct FlapEpisode {
+  LinkId link;
+  TimeRange span;  // first failure start .. last failure end
+  std::size_t failure_count = 0;
+};
+
+struct FlapAnalysis {
+  std::vector<FlapEpisode> episodes;
+  /// Per-link union of episode spans (for "did X happen during flapping").
+  std::map<LinkId, IntervalSet> flap_ranges;
+  std::size_t failures_in_episodes = 0;
+  std::size_t total_failures = 0;
+};
+
+/// Detects episodes and sets `in_flap_episode` on the input failures.
+FlapAnalysis detect_flaps(std::vector<Failure>& failures,
+                          const FlapOptions& options = {});
+
+}  // namespace netfail::analysis

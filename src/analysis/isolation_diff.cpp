@@ -1,0 +1,42 @@
+#include "src/analysis/isolation_diff.hpp"
+
+namespace netfail::analysis {
+
+IsolationDiff diff_isolation(const IsolationResult& a, const IsolationResult& b,
+                             Duration slack) {
+  IsolationDiff out;
+  for (const IsolationEvent& ev : a.events) {
+    const auto it = b.by_customer.find(ev.customer);
+    const bool overlaps =
+        it != b.by_customer.end() && it->second.overlaps(ev.span);
+    if (overlaps) continue;  // matched (at least loosely); not a diff case
+    ++out.unmatched_total;
+    out.unmatched_downtime += ev.span.duration();
+
+    // Widened window: does anything for this customer come close?
+    const TimeRange widened{ev.span.begin - slack, ev.span.end + slack};
+    const bool near =
+        it != b.by_customer.end() && it->second.overlaps(widened);
+    if (near) {
+      ++out.partial_overlap;
+      out.partial_downtime += ev.span.duration();
+    } else {
+      ++out.no_counterpart;
+    }
+  }
+
+  // Egregious cases live among the *matched* events: the counterpart covers
+  // almost none of the event.
+  for (const IsolationEvent& ev : a.events) {
+    const auto it = b.by_customer.find(ev.customer);
+    if (it == b.by_customer.end() || !it->second.overlaps(ev.span)) continue;
+    const Duration covered = it->second.measure_within(ev.span);
+    if (ev.span.duration() > Duration::minutes(10) &&
+        covered.seconds_f() < 0.1 * ev.span.duration().seconds_f()) {
+      ++out.egregious;
+    }
+  }
+  return out;
+}
+
+}  // namespace netfail::analysis

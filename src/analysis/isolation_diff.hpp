@@ -1,0 +1,38 @@
+// Anatomy of isolation disagreements (paper sect. 4.4, closing paragraphs):
+// classify why one source's isolating events are missing from the other.
+//
+// The paper's taxonomy for the 58 syslog-only and 399 IS-IS-only events:
+//   - no counterpart failure at all during the event, vs
+//   - a partial intersection that failed the event match;
+// and, for IS-IS-only events, how many a single lost syslog message
+// explains.
+#pragma once
+
+#include "src/analysis/isolation.hpp"
+
+namespace netfail::analysis {
+
+struct IsolationDiff {
+  std::size_t unmatched_total = 0;
+  /// Events with no isolation at all for that customer in the other source
+  /// anywhere near the event (paper: 12 of the 58 syslog-only events).
+  std::size_t no_counterpart = 0;
+  /// Events that intersect some isolation of the same customer in the other
+  /// source but do not match (paper: 46 of 58).
+  std::size_t partial_overlap = 0;
+  Duration unmatched_downtime;
+  Duration partial_downtime;
+
+  /// Gross mismatches: events whose counterpart covers less than 10% of
+  /// their span (the paper's "egregious" cases — a 17 h isolation that was
+  /// really under a minute).
+  std::size_t egregious = 0;
+};
+
+/// Classify the events of `a` that have no overlapping event in `b`.
+/// `slack` widens the intersection test to absorb boundary jitter.
+IsolationDiff diff_isolation(const IsolationResult& a,
+                             const IsolationResult& b,
+                             Duration slack = Duration::seconds(10));
+
+}  // namespace netfail::analysis

@@ -1,0 +1,92 @@
+// Matching: the paper's 10-second joins between the two data sources
+// (sect. 3.4).
+//
+// Two granularities:
+//   - transition matching (Tables 2 and 3): an IS-IS transition and a syslog
+//     message match when they are on the same link, in the same direction,
+//     within the window;
+//   - failure matching (Table 4): two failures match when both their start
+//     times and their end times agree within the window.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/analysis/failure.hpp"
+#include "src/common/interval_set.hpp"
+#include "src/isis/extract.hpp"
+#include "src/syslog/extract.hpp"
+
+namespace netfail::analysis {
+
+struct MatchOptions {
+  Duration window = Duration::seconds(10);
+};
+
+// ---- Table 3: IS-IS transitions vs per-router syslog messages ---------------
+
+struct TransitionMatchCounts {
+  std::size_t down_none = 0, down_one = 0, down_both = 0;
+  std::size_t up_none = 0, up_one = 0, up_both = 0;
+  /// Of the unmatched (None) transitions, how many fall inside a flapping
+  /// episode (sect. 4.1 reports 67% / 61%).
+  std::size_t down_none_in_flap = 0, up_none_in_flap = 0;
+
+  std::size_t down_total() const { return down_none + down_one + down_both; }
+  std::size_t up_total() const { return up_none + up_one + up_both; }
+};
+
+/// `isis` must contain link-resolved IS-reach transitions; `syslog` is the
+/// full extraction (only adjacency-class messages participate). `flaps`
+/// gives per-link flapping-episode intervals for the attribution counters.
+TransitionMatchCounts match_transitions(
+    const std::vector<isis::IsisTransition>& isis,
+    const std::vector<syslog::SyslogTransition>& syslog,
+    const std::map<LinkId, IntervalSet>& flaps, const MatchOptions& options);
+
+// ---- Table 2: syslog messages vs IS/IP reachability --------------------------
+
+struct ReachabilityMatchTable {
+  /// Fraction of syslog messages of each (class, direction) with a matching
+  /// transition in each LSP field; rows of the paper's Table 2.
+  double isis_down_vs_is = 0, isis_down_vs_ip = 0;
+  double isis_up_vs_is = 0, isis_up_vs_ip = 0;
+  double media_down_vs_is = 0, media_down_vs_ip = 0;
+  double media_up_vs_is = 0, media_up_vs_ip = 0;
+  std::size_t isis_down_messages = 0, isis_up_messages = 0;
+  std::size_t media_down_messages = 0, media_up_messages = 0;
+};
+
+/// `is_reach` / `ip_reach` are the two transition streams of the extraction.
+ReachabilityMatchTable match_reachability(
+    const std::vector<syslog::SyslogTransition>& syslog,
+    const std::vector<isis::IsisTransition>& is_reach,
+    const std::vector<isis::IsisTransition>& ip_reach,
+    const MatchOptions& options);
+
+// ---- Table 4: failure-level matching ----------------------------------------
+
+struct FailureMatchResult {
+  std::size_t isis_count = 0;
+  std::size_t syslog_count = 0;
+  std::size_t matched = 0;
+  Duration isis_downtime;
+  Duration syslog_downtime;
+  Duration overlap_downtime;  // intersection of the two downtime sets
+
+  /// Indices into the input vectors.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> syslog_only;  // candidate false positives
+  std::vector<std::size_t> isis_only;
+  /// Of syslog_only, those that at least intersect some IS-IS failure.
+  std::size_t syslog_partial = 0;
+  /// Downtime of syslog-only failures that do not intersect IS-IS downtime
+  /// at all (pure false-positive downtime, sect. 4.3).
+  Duration syslog_false_downtime;
+};
+
+FailureMatchResult match_failures(const std::vector<Failure>& isis,
+                                  const std::vector<Failure>& syslog,
+                                  const MatchOptions& options);
+
+}  // namespace netfail::analysis

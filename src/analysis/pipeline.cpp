@@ -1,0 +1,49 @@
+#include "src/analysis/pipeline.hpp"
+
+namespace netfail::analysis {
+
+PipelineResult run_pipeline(const PipelineOptions& options) {
+  PipelineResult out;
+  out.options_period = options.scenario.period;
+
+  // 1. Simulate the network for the study period.
+  out.sim = sim::run_simulation(options.scenario);
+
+  // 2. Mine the configuration archive into the link census (the common
+  //    naming layer; paper sect. 3.4).
+  const ConfigArchive archive =
+      generate_archive(out.sim.topology, options.scenario.period,
+                       options.archive);
+  out.archive_files = archive.size();
+  out.census = mine_archive(archive, options.scenario.period, options.miner,
+                            &out.mining);
+
+  // 3. Extract transitions from both raw streams.
+  out.isis = isis::extract_transitions(out.sim.listener.records(), out.census);
+  out.syslog = syslog::extract_transitions(out.sim.collector, out.census);
+
+  // 4. Reconstruct failures.
+  ReconstructOptions recon = options.reconstruct;
+  recon.period = options.scenario.period;
+  out.isis_recon = reconstruct_from_isis(out.isis.is_reach, recon);
+  out.syslog_recon = reconstruct_from_syslog(out.syslog.transitions, recon);
+
+  // 5. Sanitize: listener-gap periods are trusted in neither source; long
+  //    syslog failures must be corroborated by a trouble ticket.
+  const IntervalSet& gaps = out.sim.truth.listener_gaps();
+  out.isis_gap_report =
+      remove_listener_gap_failures(out.isis_recon.failures, gaps);
+  out.syslog_gap_report =
+      remove_listener_gap_failures(out.syslog_recon.failures, gaps);
+  out.syslog_long_report =
+      verify_long_failures(out.syslog_recon.failures, out.census,
+                           out.sim.tickets, options.sanitize);
+
+  // 6. Flap detection (marks failures in place).
+  out.isis_flaps = detect_flaps(out.isis_recon.failures, options.flaps);
+  out.syslog_flaps = detect_flaps(out.syslog_recon.failures, options.flaps);
+
+  return out;
+}
+
+}  // namespace netfail::analysis

@@ -1,0 +1,57 @@
+// End-to-end pipeline: scenario -> simulation -> config mining -> extraction
+// -> reconstruction -> sanitization -> flap detection.
+//
+// This is the programmatic equivalent of the paper's whole methodology; the
+// benchmark binaries and examples call run_pipeline() and then compute their
+// table from the result.
+#pragma once
+
+#include "src/analysis/flaps.hpp"
+#include "src/analysis/match.hpp"
+#include "src/analysis/reconstruct.hpp"
+#include "src/analysis/sanitize.hpp"
+#include "src/config/archive.hpp"
+#include "src/config/miner.hpp"
+#include "src/isis/extract.hpp"
+#include "src/sim/network_sim.hpp"
+#include "src/syslog/extract.hpp"
+
+namespace netfail::analysis {
+
+struct PipelineOptions {
+  sim::ScenarioParams scenario = sim::cenic_scenario();
+  ArchiveParams archive;
+  MinerParams miner;
+  ReconstructOptions reconstruct;  // period is filled from the scenario
+  MatchOptions match;
+  SanitizeOptions sanitize;
+  FlapOptions flaps;
+};
+
+struct PipelineResult {
+  sim::SimulationResult sim;
+  LinkCensus census;
+  MiningStats mining;
+  std::size_t archive_files = 0;
+
+  isis::IsisExtraction isis;
+  syslog::SyslogExtraction syslog;
+
+  /// Sanitized reconstructions (listener-gap failures removed from both;
+  /// long syslog failures ticket-verified).
+  Reconstruction isis_recon;
+  Reconstruction syslog_recon;
+  SanitizationReport isis_gap_report;
+  SanitizationReport syslog_gap_report;
+  SanitizationReport syslog_long_report;
+
+  FlapAnalysis isis_flaps;
+  FlapAnalysis syslog_flaps;
+
+  TimeRange period() const { return options_period; }
+  TimeRange options_period;
+};
+
+PipelineResult run_pipeline(const PipelineOptions& options = {});
+
+}  // namespace netfail::analysis

@@ -1,0 +1,355 @@
+#include "src/analysis/tables.hpp"
+
+#include "src/common/strfmt.hpp"
+#include "src/stats/ecdf.hpp"
+
+namespace netfail::analysis {
+namespace {
+
+std::string pct(std::size_t num, std::size_t den) {
+  if (den == 0) return "n/a";
+  return strformat("%.0f%%", 100.0 * static_cast<double>(num) /
+                                 static_cast<double>(den));
+}
+
+}  // namespace
+
+// ---- Table 1 -------------------------------------------------------------------
+
+Table1Data compute_table1(const PipelineResult& r) {
+  Table1Data d;
+  d.core_routers = r.sim.topology.router_count(RouterClass::kCore);
+  d.cpe_routers = r.sim.topology.router_count(RouterClass::kCpe);
+  d.config_files = r.archive_files;
+  d.core_links = r.census.count(RouterClass::kCore);
+  d.cpe_links = r.census.count(RouterClass::kCpe);
+  d.syslog_messages = r.sim.collector.size();
+  d.isis_updates = r.sim.listener.total_updates();
+  d.period = r.options_period;
+  return d;
+}
+
+std::string render_table1(const Table1Data& d) {
+  TextTable t("Table 1: Summary of data used in the study");
+  t.set_header({"Parameter", "Value"});
+  t.set_align(1, TextTable::Align::kLeft);
+  const CivilTime b = to_civil(d.period.begin);
+  const CivilTime e = to_civil(d.period.end);
+  t.add_row({"Period", strformat("%s %d, %d - %s %d, %d", month_abbrev(b.month),
+                                 b.day, b.year, month_abbrev(e.month), e.day,
+                                 e.year)});
+  t.add_row({"Routers", strformat("%zu Core and %zu CPE", d.core_routers,
+                                  d.cpe_routers)});
+  t.add_row({"Router Config Files", with_commas(static_cast<std::int64_t>(
+                                        d.config_files))});
+  t.add_row({"IS-IS links",
+             strformat("%zu Core and %zu CPE", d.core_links, d.cpe_links)});
+  t.add_row({"Syslog messages",
+             with_commas(static_cast<std::int64_t>(d.syslog_messages))});
+  t.add_row({"IS-IS updates",
+             with_commas(static_cast<std::int64_t>(d.isis_updates))});
+  return t.render();
+}
+
+// ---- Table 2 -------------------------------------------------------------------
+
+ReachabilityMatchTable compute_table2(const PipelineResult& r) {
+  return match_reachability(r.syslog.transitions, r.isis.is_reach,
+                            r.isis.ip_reach, MatchOptions{});
+}
+
+std::string render_table2(const ReachabilityMatchTable& t) {
+  TextTable tt(
+      "Table 2: State transitions matching syslog messages by IS or IP\n"
+      "reachability of IS-IS LSP messages");
+  tt.set_header({"Syslog Type", "IS reachability", "IP reachability", "(paper)"});
+  tt.set_align(3, TextTable::Align::kLeft);
+  tt.add_row({"IS-IS Down", strformat("%.0f%%", t.isis_down_vs_is),
+              strformat("%.0f%%", t.isis_down_vs_ip), "82% / 25%"});
+  tt.add_row({"IS-IS Up", strformat("%.0f%%", t.isis_up_vs_is),
+              strformat("%.0f%%", t.isis_up_vs_ip), "85% / 23%"});
+  tt.add_row({"physical media Down", strformat("%.0f%%", t.media_down_vs_is),
+              strformat("%.0f%%", t.media_down_vs_ip), "31% / 52%"});
+  tt.add_row({"physical media Up", strformat("%.0f%%", t.media_up_vs_is),
+              strformat("%.0f%%", t.media_up_vs_ip), "34% / 53%"});
+  return tt.render();
+}
+
+// ---- Table 3 -------------------------------------------------------------------
+
+TransitionMatchCounts compute_table3(const PipelineResult& r) {
+  return match_transitions(r.isis.is_reach, r.syslog.transitions,
+                           r.isis_flaps.flap_ranges, MatchOptions{});
+}
+
+std::string render_table3(const TransitionMatchCounts& t) {
+  TextTable tt(
+      "Table 3: IS-IS state transitions by type and number of matching\n"
+      "router syslog messages");
+  tt.set_header({"IS-IS transition", "None", "One", "Both"});
+  tt.add_row({"DOWN",
+              strformat("%zu (%s)", t.down_none, pct(t.down_none, t.down_total()).c_str()),
+              strformat("%zu (%s)", t.down_one, pct(t.down_one, t.down_total()).c_str()),
+              strformat("%zu (%s)", t.down_both, pct(t.down_both, t.down_total()).c_str())});
+  tt.add_row({"UP",
+              strformat("%zu (%s)", t.up_none, pct(t.up_none, t.up_total()).c_str()),
+              strformat("%zu (%s)", t.up_one, pct(t.up_one, t.up_total()).c_str()),
+              strformat("%zu (%s)", t.up_both, pct(t.up_both, t.up_total()).c_str())});
+  tt.add_rule();
+  tt.add_row({"(paper) DOWN", "2,022 (18%)", "4,512 (39%)", "4,962 (43%)"});
+  tt.add_row({"(paper) UP", "1,696 (15%)", "5,432 (48%)", "4,168 (37%)"});
+  std::string out = tt.render();
+  out += strformat(
+      "\nUnmatched transitions occurring during flapping: DOWN %s, UP %s "
+      "(paper: 67%% / 61%%)\n",
+      pct(t.down_none_in_flap, t.down_none).c_str(),
+      pct(t.up_none_in_flap, t.up_none).c_str());
+  return out;
+}
+
+// ---- Table 4 -------------------------------------------------------------------
+
+Table4Data compute_table4(const PipelineResult& r) {
+  Table4Data d;
+  d.match = match_failures(r.isis_recon.failures, r.syslog_recon.failures,
+                           MatchOptions{});
+  return d;
+}
+
+std::string render_table4(const Table4Data& d) {
+  TextTable tt(
+      "Table 4: Number and hours of downtime as reported by IS-IS and syslog\n"
+      "after basic data cleaning");
+  tt.set_header({"", "IS-IS", "Syslog", "Overlap"});
+  tt.add_row({"Failure Count", with_commas(static_cast<std::int64_t>(d.match.isis_count)),
+              with_commas(static_cast<std::int64_t>(d.match.syslog_count)),
+              with_commas(static_cast<std::int64_t>(d.match.matched))});
+  tt.add_row({"Downtime (Hours)",
+              strformat("%.0f", d.match.isis_downtime.hours_f()),
+              strformat("%.0f", d.match.syslog_downtime.hours_f()),
+              strformat("%.0f", d.match.overlap_downtime.hours_f())});
+  tt.add_rule();
+  tt.add_row({"(paper) Failure Count", "11,213", "11,738", "9,298"});
+  tt.add_row({"(paper) Downtime (Hours)", "3,648", "2,714", "2,331"});
+  return tt.render();
+}
+
+// ---- Table 5 -------------------------------------------------------------------
+
+Table5Data compute_table5(const PipelineResult& r) {
+  Table5Data d;
+  d.syslog = compute_link_statistics(r.syslog_recon.failures, r.census,
+                                     r.options_period);
+  d.isis = compute_link_statistics(r.isis_recon.failures, r.census,
+                                   r.options_period);
+  return d;
+}
+
+std::string render_table5(const Table5Data& d) {
+  TextTable tt(
+      "Table 5: Statistics for syslog-inferred and IS-IS listener-reported\n"
+      "failures (paper values in parentheses)");
+  tt.set_header({"Statistic", "Core Syslog", "Core IS-IS", "CPE Syslog",
+                 "CPE IS-IS"});
+  auto row = [&tt](const char* name, double sc, double ic, double sp, double ip,
+                   const char* paper) {
+    tt.add_row({name, strformat("%.1f", sc), strformat("%.1f", ic),
+                strformat("%.1f", sp), strformat("%.1f", ip)});
+    tt.add_row({strformat("  (paper: %s)", paper), "", "", "", ""});
+  };
+  const MetricSummaries& sc = d.syslog.core_summary;
+  const MetricSummaries& ic = d.isis.core_summary;
+  const MetricSummaries& sp = d.syslog.cpe_summary;
+  const MetricSummaries& ip = d.isis.cpe_summary;
+
+  tt.add_row({"Annualized failures per link", "", "", "", ""});
+  row("  Median", sc.failures_per_year.median, ic.failures_per_year.median,
+      sp.failures_per_year.median, ip.failures_per_year.median,
+      "5.7 / 6.6 / 11.3 / 12.3");
+  row("  Average", sc.failures_per_year.mean, ic.failures_per_year.mean,
+      sp.failures_per_year.mean, ip.failures_per_year.mean,
+      "14.2 / 16.1 / 49.1 / 45.5");
+  row("  95%", sc.failures_per_year.p95, ic.failures_per_year.p95,
+      sp.failures_per_year.p95, ip.failures_per_year.p95,
+      "46.2 / 46.2 / 249 / 253");
+  tt.add_row({"Failure duration (seconds)", "", "", "", ""});
+  row("  Median", sc.duration_s.median, ic.duration_s.median,
+      sp.duration_s.median, ip.duration_s.median, "52 / 42 / 10 / 12");
+  row("  Average", sc.duration_s.mean, ic.duration_s.mean, sp.duration_s.mean,
+      ip.duration_s.mean, "1078 / 1527 / 814 / 1140");
+  row("  95%", sc.duration_s.p95, ic.duration_s.p95, sp.duration_s.p95,
+      ip.duration_s.p95, "6318 / 6683 / 665 / 825");
+  tt.add_row({"Time between failures (hours)", "", "", "", ""});
+  row("  Median", sc.tbf_hours.median, ic.tbf_hours.median,
+      sp.tbf_hours.median, ip.tbf_hours.median, "0.2 / 0.2 / 0.01 / 0.03");
+  row("  Average", sc.tbf_hours.mean, ic.tbf_hours.mean, sp.tbf_hours.mean,
+      ip.tbf_hours.mean, "343 / 347 / 116 / 136");
+  row("  95%", sc.tbf_hours.p95, ic.tbf_hours.p95, sp.tbf_hours.p95,
+      ip.tbf_hours.p95, "2014 / 2147 / 673 / 845");
+  tt.add_row({"Annualized link downtime (hours)", "", "", "", ""});
+  row("  Median", sc.downtime_hours_per_year.median,
+      ic.downtime_hours_per_year.median, sp.downtime_hours_per_year.median,
+      ip.downtime_hours_per_year.median, "0.6 / 0.8 / 1.9 / 2.4");
+  row("  Average", sc.downtime_hours_per_year.mean,
+      ic.downtime_hours_per_year.mean, sp.downtime_hours_per_year.mean,
+      ip.downtime_hours_per_year.mean, "4 / 7 / 11 / 14");
+  row("  95%", sc.downtime_hours_per_year.p95, ic.downtime_hours_per_year.p95,
+      sp.downtime_hours_per_year.p95, ip.downtime_hours_per_year.p95,
+      "24 / 26 / 49 / 51");
+  return tt.render();
+}
+
+// ---- KS agreement ----------------------------------------------------------------
+
+KsData compute_ks(const Table5Data& d) {
+  KsData k;
+  k.core_failures = stats::ks_two_sample(d.syslog.core.failures_per_year,
+                                         d.isis.core.failures_per_year);
+  k.core_duration =
+      stats::ks_two_sample(d.syslog.core.duration_s, d.isis.core.duration_s);
+  k.core_downtime = stats::ks_two_sample(d.syslog.core.downtime_hours_per_year,
+                                         d.isis.core.downtime_hours_per_year);
+  k.cpe_failures = stats::ks_two_sample(d.syslog.cpe.failures_per_year,
+                                        d.isis.cpe.failures_per_year);
+  k.cpe_duration =
+      stats::ks_two_sample(d.syslog.cpe.duration_s, d.isis.cpe.duration_s);
+  k.cpe_downtime = stats::ks_two_sample(d.syslog.cpe.downtime_hours_per_year,
+                                        d.isis.cpe.downtime_hours_per_year);
+  return k;
+}
+
+std::string render_ks(const KsData& k) {
+  TextTable tt(
+      "Kolmogorov-Smirnov agreement, syslog vs IS-IS (sect. 4.2: consistent\n"
+      "for failures per link and link downtime, not failure duration)");
+  tt.set_header({"Metric", "D (core)", "p (core)", "D (CPE)", "p (CPE)",
+                 "verdict (CPE)"});
+  tt.set_align(5, TextTable::Align::kLeft);
+  auto row = [&tt](const char* name, const stats::KsResult& core,
+                   const stats::KsResult& cpe) {
+    tt.add_row({name, strformat("%.3f", core.statistic),
+                strformat("%.3g", core.p_value),
+                strformat("%.3f", cpe.statistic), strformat("%.3g", cpe.p_value),
+                cpe.consistent() ? "consistent" : "distinct"});
+  };
+  row("Failures per link", k.core_failures, k.cpe_failures);
+  row("Failure duration", k.core_duration, k.cpe_duration);
+  row("Link downtime", k.core_downtime, k.cpe_downtime);
+  return tt.render();
+}
+
+// ---- Table 6 -------------------------------------------------------------------
+
+AmbiguityClassification compute_table6(const PipelineResult& r) {
+  return classify_ambiguous(r.syslog_recon.ambiguous, r.isis_recon.failures,
+                            r.isis.is_reach, MatchOptions{});
+}
+
+std::string render_table6(const AmbiguityClassification& t) {
+  TextTable tt(
+      "Table 6: Ambiguous state changes by cause and direction\n"
+      "(paper: lost 194/174, spurious 240/28, unknown 27/0)");
+  tt.set_header({"Cause", "Down", "Up"});
+  tt.add_row({"Lost Message", std::to_string(t.lost_down),
+              std::to_string(t.lost_up)});
+  tt.add_row({"Spurious Retransmission", std::to_string(t.spurious_down),
+              std::to_string(t.spurious_up)});
+  tt.add_row({"Unknown", std::to_string(t.unknown_down),
+              std::to_string(t.unknown_up)});
+  tt.add_rule();
+  tt.add_row({"Total", std::to_string(t.total_down()),
+              std::to_string(t.total_up())});
+  std::string out = tt.render();
+  out += strformat(
+      "\nSpurious downs re-reporting the same failure: %s (paper: 99%%)\n",
+      pct(t.spurious_down_same_failure,
+          t.spurious_down == 0 ? 1 : t.spurious_down)
+          .c_str());
+  return out;
+}
+
+// ---- Table 7 -------------------------------------------------------------------
+
+Table7Data compute_table7(const PipelineResult& r) {
+  Table7Data d;
+  const PairDowntime isis_pairs = pair_downtime_from_isis(
+      r.census, r.isis_recon.failures, r.isis.is_reach, r.options_period);
+  // Isolation is a link-*state* question, so the syslog side uses the
+  // paper's recommended hold-state policy (sect. 4.3) rather than the
+  // ambiguity-excluding accounting baseline: a spurious mid-failure "Down"
+  // must not cut an outage in half when deciding whether a customer was
+  // cut off.
+  ReconstructOptions recon;
+  recon.period = r.options_period;
+  recon.policy = AmbiguityPolicy::kHoldState;
+  Reconstruction state_recon =
+      reconstruct_from_syslog(r.syslog.transitions, recon);
+  (void)remove_listener_gap_failures(state_recon.failures,
+                                     r.sim.truth.listener_gaps());
+  SanitizeOptions sanitize;
+  (void)verify_long_failures(state_recon.failures, r.census, r.sim.tickets,
+                             sanitize);
+  const PairDowntime syslog_pairs =
+      pair_downtime_from_failures(r.census, state_recon.failures);
+  d.isis = compute_isolation(r.census, isis_pairs, r.options_period);
+  d.syslog = compute_isolation(r.census, syslog_pairs, r.options_period);
+  d.intersection = intersect_isolation(d.isis, d.syslog);
+  d.syslog_only_events = unmatched_events(d.syslog, d.isis);
+  d.isis_only_events = unmatched_events(d.isis, d.syslog);
+  d.intersection_events = d.syslog.events.size() - d.syslog_only_events;
+  return d;
+}
+
+std::string render_table7(const Table7Data& d) {
+  TextTable tt(
+      "Table 7: Failures isolating at least one customer, as reconstructed\n"
+      "from syslog and IS-IS");
+  tt.set_header({"Data Source", "Isolating Events", "Sites Impacted",
+                 "Downtime (days)"});
+  auto row = [&tt](const char* name, std::size_t events,
+                   const IsolationResult& r2) {
+    tt.add_row({name, with_commas(static_cast<std::int64_t>(events)),
+                std::to_string(r2.sites_impacted),
+                strformat("%.1f", r2.total_isolation.days_f())});
+  };
+  row("IS-IS", d.isis.events.size(), d.isis);
+  row("Syslog", d.syslog.events.size(), d.syslog);
+  row("Intersection", d.intersection_events, d.intersection);
+  tt.add_rule();
+  tt.add_row({"(paper) IS-IS", "1,401", "74", "26.3"});
+  tt.add_row({"(paper) Syslog", "1,060", "67", "22.3"});
+  tt.add_row({"(paper) Intersection", "1,002", "66", "19.8"});
+  std::string out = tt.render();
+  out += strformat(
+      "\nSyslog events unseen by IS-IS: %zu (paper: 58); IS-IS events missed "
+      "by syslog: %zu (paper: 399)\n",
+      d.syslog_only_events, d.isis_only_events);
+  return out;
+}
+
+// ---- Figure 1 -------------------------------------------------------------------
+
+std::string render_figure1(const Table5Data& d) {
+  std::string out;
+  const stats::Ecdf sys_dur(d.syslog.cpe.duration_s);
+  const stats::Ecdf isis_dur(d.isis.cpe.duration_s);
+  out += "Figure 1a: CPE failure duration CDF (seconds)\n";
+  out += stats::Ecdf::ascii_plot(
+      {{"Syslog", &sys_dur}, {"IS-IS", &isis_dur}}, 1.0, 1e5, 72, 18,
+      "failure duration, s");
+  out += "\nFigure 1b: CPE annualized link downtime CDF (hours/yr)\n";
+  const stats::Ecdf sys_down(d.syslog.cpe.downtime_hours_per_year);
+  const stats::Ecdf isis_down(d.isis.cpe.downtime_hours_per_year);
+  out += stats::Ecdf::ascii_plot(
+      {{"Syslog", &sys_down}, {"IS-IS", &isis_down}}, 0.01, 1e3, 72, 18,
+      "downtime, h/yr");
+  out += "\nFigure 1c: CPE time between failures CDF (hours)\n";
+  const stats::Ecdf sys_tbf(d.syslog.cpe.tbf_hours);
+  const stats::Ecdf isis_tbf(d.isis.cpe.tbf_hours);
+  out += stats::Ecdf::ascii_plot(
+      {{"Syslog", &sys_tbf}, {"IS-IS", &isis_tbf}}, 0.001, 1e4, 72, 18,
+      "time between failures, h");
+  return out;
+}
+
+}  // namespace netfail::analysis

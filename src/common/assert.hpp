@@ -1,0 +1,18 @@
+// Lightweight assertion macro for programming errors (contract violations).
+//
+// Unlike <cassert>, NETFAIL_ASSERT is active in all build types: the
+// simulator and analysis pipeline are deterministic, so a violated invariant
+// is always a bug worth crashing on, never a data-dependent condition.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NETFAIL_ASSERT(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "netfail assertion failed: %s\n  at %s:%d: %s\n", \
+                   #cond, __FILE__, __LINE__, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,13 @@
+// Shared vocabulary for link-state events across data sources.
+#pragma once
+
+namespace netfail {
+
+/// Direction of a link state transition.
+enum class LinkDirection { kDown, kUp };
+
+inline const char* link_direction_name(LinkDirection d) {
+  return d == LinkDirection::kDown ? "DOWN" : "UP";
+}
+
+}  // namespace netfail

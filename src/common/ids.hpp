@@ -1,0 +1,69 @@
+// Strong identifier types.
+//
+// Routers, interfaces and links are referenced by small dense indices
+// everywhere in the library. Wrapping them in distinct types prevents the
+// classic "passed a router id where a link id was expected" bug at compile
+// time while keeping the zero-overhead of a plain integer.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace netfail {
+
+/// CRTP-free strong-typedef over a 32-bit index. `Tag` makes instantiations
+/// distinct types.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid = 0xffffffffu;
+
+  constexpr Id() = default;
+  explicit constexpr Id(underlying_type v) : v_(v) {}
+
+  static constexpr Id invalid() { return Id{}; }
+  constexpr bool valid() const { return v_ != kInvalid; }
+  constexpr underlying_type value() const { return v_; }
+  /// Convenience for indexing into vectors.
+  constexpr std::size_t index() const { return v_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  std::string to_string() const {
+    return valid() ? std::to_string(v_) : std::string("<invalid>");
+  }
+
+ private:
+  underlying_type v_ = kInvalid;
+};
+
+struct RouterTag {};
+struct InterfaceTag {};
+struct LinkTag {};
+struct AdjacencyGroupTag {};
+struct CustomerTag {};
+struct TicketTag {};
+
+using RouterId = Id<RouterTag>;
+using InterfaceId = Id<InterfaceTag>;
+using LinkId = Id<LinkTag>;
+/// Identifies a set of parallel physical links between one router pair
+/// (a multi-link adjacency).
+using AdjacencyGroupId = Id<AdjacencyGroupTag>;
+using CustomerId = Id<CustomerTag>;
+using TicketId = Id<TicketTag>;
+
+}  // namespace netfail
+
+namespace std {
+template <typename Tag>
+struct hash<netfail::Id<Tag>> {
+  size_t operator()(const netfail::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

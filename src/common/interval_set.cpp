@@ -1,0 +1,156 @@
+#include "src/common/interval_set.hpp"
+
+#include <algorithm>
+
+namespace netfail {
+
+IntervalSet::IntervalSet(std::vector<TimeRange> ranges)
+    : ranges_(std::move(ranges)) {
+  normalize();
+}
+
+void IntervalSet::normalize() {
+  std::erase_if(ranges_, [](const TimeRange& r) { return r.empty(); });
+  std::sort(ranges_.begin(), ranges_.end(),
+            [](const TimeRange& a, const TimeRange& b) { return a.begin < b.begin; });
+  std::vector<TimeRange> merged;
+  merged.reserve(ranges_.size());
+  for (const TimeRange& r : ranges_) {
+    if (!merged.empty() && r.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, r.end);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges_ = std::move(merged);
+}
+
+void IntervalSet::add(TimeRange r) {
+  if (r.empty()) return;
+  // Find insertion point and merge neighbours in place: O(n) worst case but
+  // O(log n + k) for the common append-at-end pattern.
+  auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), r,
+      [](const TimeRange& a, const TimeRange& b) { return a.begin < b.begin; });
+  // Merge with predecessor if touching.
+  if (it != ranges_.begin() && std::prev(it)->end >= r.begin) {
+    --it;
+    it->end = std::max(it->end, r.end);
+  } else {
+    it = ranges_.insert(it, r);
+  }
+  // Absorb successors swallowed by *it.
+  auto next = std::next(it);
+  while (next != ranges_.end() && next->begin <= it->end) {
+    it->end = std::max(it->end, next->end);
+    next = ranges_.erase(next);
+  }
+}
+
+void IntervalSet::subtract(TimeRange r) {
+  if (r.empty() || ranges_.empty()) return;
+  std::vector<TimeRange> out;
+  out.reserve(ranges_.size() + 1);
+  for (const TimeRange& x : ranges_) {
+    if (x.end <= r.begin || x.begin >= r.end) {
+      out.push_back(x);
+      continue;
+    }
+    if (x.begin < r.begin) out.push_back(TimeRange{x.begin, r.begin});
+    if (x.end > r.end) out.push_back(TimeRange{r.end, x.end});
+  }
+  ranges_ = std::move(out);
+}
+
+bool IntervalSet::contains(TimePoint t) const {
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), t,
+      [](TimePoint v, const TimeRange& x) { return v < x.begin; });
+  if (it == ranges_.begin()) return false;
+  return std::prev(it)->contains(t);
+}
+
+bool IntervalSet::overlaps(TimeRange r) const {
+  if (r.empty()) return false;
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), r.begin,
+      [](TimePoint v, const TimeRange& x) { return v < x.begin; });
+  if (it != ranges_.end() && it->begin < r.end) return true;
+  if (it == ranges_.begin()) return false;
+  return std::prev(it)->end > r.begin;
+}
+
+bool IntervalSet::covers(TimeRange r) const {
+  if (r.empty()) return true;
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), r.begin,
+      [](TimePoint v, const TimeRange& x) { return v < x.begin; });
+  if (it == ranges_.begin()) return false;
+  const TimeRange& host = *std::prev(it);
+  return host.begin <= r.begin && r.end <= host.end;
+}
+
+Duration IntervalSet::total() const {
+  Duration sum;
+  for (const TimeRange& r : ranges_) sum += r.duration();
+  return sum;
+}
+
+Duration IntervalSet::measure_within(TimeRange r) const {
+  Duration sum;
+  for (const TimeRange& x : ranges_) {
+    const TimePoint lo = std::max(x.begin, r.begin);
+    const TimePoint hi = std::min(x.end, r.end);
+    if (lo < hi) sum += hi - lo;
+  }
+  return sum;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  std::vector<TimeRange> out;
+  std::size_t i = 0, j = 0;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const TimeRange& a = ranges_[i];
+    const TimeRange& b = other.ranges_[j];
+    const TimePoint lo = std::max(a.begin, b.begin);
+    const TimePoint hi = std::min(a.end, b.end);
+    if (lo < hi) out.push_back(TimeRange{lo, hi});
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet{std::move(out)};
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  std::vector<TimeRange> all = ranges_;
+  all.insert(all.end(), other.ranges_.begin(), other.ranges_.end());
+  return IntervalSet{std::move(all)};
+}
+
+IntervalSet IntervalSet::difference(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  for (const TimeRange& r : other.ranges_) out.subtract(r);
+  return out;
+}
+
+IntervalSet IntervalSet::complement_within(TimeRange window) const {
+  IntervalSet out;
+  out.add(window);
+  for (const TimeRange& r : ranges_) out.subtract(r);
+  return out;
+}
+
+std::string IntervalSet::to_string() const {
+  std::string s = "{";
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    if (i) s += ", ";
+    s += ranges_[i].to_string();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace netfail

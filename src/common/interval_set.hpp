@@ -1,0 +1,65 @@
+// IntervalSet: a set of points in time represented as sorted, disjoint,
+// half-open intervals.
+//
+// Downtime accounting is interval arithmetic: "hours of downtime seen by
+// both sources" is the measure of an intersection, "downtime missed by
+// syslog" is a difference, "remove periods when the listener was offline"
+// is a subtraction. Centralizing that arithmetic here keeps the analysis
+// code free of off-by-one boundary bugs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.hpp"
+
+namespace netfail {
+
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(std::vector<TimeRange> ranges);
+
+  /// Add [begin, end), merging with any overlapping or adjacent intervals.
+  void add(TimeRange r);
+  void add(TimePoint begin, TimePoint end) { add(TimeRange{begin, end}); }
+
+  /// Remove [begin, end) from the set, splitting intervals as needed.
+  void subtract(TimeRange r);
+
+  bool contains(TimePoint t) const;
+
+  /// True if [r.begin, r.end) intersects the set at all.
+  bool overlaps(TimeRange r) const;
+
+  /// True if [r.begin, r.end) lies entirely inside the set.
+  bool covers(TimeRange r) const;
+
+  /// Total measure of the set.
+  Duration total() const;
+
+  /// Measure of the intersection with [r.begin, r.end).
+  Duration measure_within(TimeRange r) const;
+
+  bool empty() const { return ranges_.empty(); }
+  std::size_t size() const { return ranges_.size(); }
+  const std::vector<TimeRange>& ranges() const { return ranges_; }
+
+  IntervalSet intersect(const IntervalSet& other) const;
+  IntervalSet unite(const IntervalSet& other) const;
+  IntervalSet difference(const IntervalSet& other) const;
+  /// Complement relative to the window [window.begin, window.end).
+  IntervalSet complement_within(TimeRange window) const;
+
+  bool operator==(const IntervalSet&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  void normalize();
+
+  // Invariant: sorted by begin, pairwise disjoint, non-empty, non-adjacent.
+  std::vector<TimeRange> ranges_;
+};
+
+}  // namespace netfail

@@ -1,0 +1,145 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+
+namespace netfail {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // A state of all zeros would be a fixed point; splitmix64 cannot produce
+  // four zero outputs in a row, but keep the guard for clarity.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  NETFAIL_ASSERT(lo <= hi, "uniform_int: lo > hi");
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % range);
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r > limit);
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  NETFAIL_ASSERT(lo <= hi, "uniform_real: lo > hi");
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  NETFAIL_ASSERT(mean > 0, "exponential: mean must be positive");
+  double u = next_double();
+  if (u <= 0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::weibull(double shape, double scale) {
+  NETFAIL_ASSERT(shape > 0 && scale > 0, "weibull: parameters must be positive");
+  double u = next_double();
+  if (u <= 0) u = 0x1.0p-53;
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; we deliberately discard the second variate so the stream
+  // position is a pure function of call count.
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0) u1 = 0x1.0p-53;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::uint32_t Rng::poisson(double mean) {
+  NETFAIL_ASSERT(mean >= 0, "poisson: mean must be non-negative");
+  if (mean == 0) return 0;
+  if (mean < 64) {
+    const double limit = std::exp(-mean);
+    double prod = next_double();
+    std::uint32_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= next_double();
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double x = normal(mean, std::sqrt(mean));
+  return x < 0 ? 0 : static_cast<std::uint32_t>(x + 0.5);
+}
+
+std::uint32_t Rng::geometric(double p) {
+  NETFAIL_ASSERT(p > 0 && p <= 1, "geometric: p must be in (0, 1]");
+  if (p >= 1) return 0;
+  double u = next_double();
+  if (u <= 0) u = 0x1.0p-53;
+  return static_cast<std::uint32_t>(std::log(u) / std::log(1.0 - p));
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  NETFAIL_ASSERT(!weights.empty(), "weighted_index: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    NETFAIL_ASSERT(w >= 0, "weighted_index: negative weight");
+    total += w;
+  }
+  NETFAIL_ASSERT(total > 0, "weighted_index: all weights zero");
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge
+}
+
+Rng Rng::fork() {
+  return Rng{next_u64()};
+}
+
+}  // namespace netfail

@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// Everything stochastic in the simulator flows from one seeded Rng so that
+// a scenario is exactly reproducible across runs and platforms. We implement
+// xoshiro256** plus our own samplers instead of <random> engines +
+// distributions because libstdc++/libc++ distributions are allowed to (and
+// do) produce different streams for the same seed, which would make the
+// benchmark tables machine-dependent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/assert.hpp"
+#include "src/common/time.hpp"
+
+namespace netfail {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (= 1/rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Weibull with shape k and scale lambda. k < 1 gives the heavy tail
+  /// characteristic of failure-duration distributions.
+  double weibull(double shape, double scale);
+
+  /// Log-normal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint32_t poisson(double mean);
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::uint32_t geometric(double p);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random Duration uniform in [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi) {
+    return Duration::millis(uniform_int(lo.total_millis(), hi.total_millis()));
+  }
+
+  /// Derive an independent child generator; used to give each link / router
+  /// its own stream so adding one link does not perturb all others.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace netfail

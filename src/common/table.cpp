@@ -1,0 +1,88 @@
+#include "src/common/table.hpp"
+
+#include <algorithm>
+
+namespace netfail {
+namespace {
+const char* const kRuleSentinel = "\x01--rule--";
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  if (aligns_.size() < header_.size()) {
+    aligns_.resize(header_.size(), Align::kRight);
+    if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+  }
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (aligns_.size() <= column) aligns_.resize(column + 1, Align::kRight);
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() {
+  rows_.push_back({kRuleSentinel});
+}
+
+std::string TextTable::render() const {
+  // Column widths.
+  std::vector<std::size_t> width;
+  auto grow = [&width](const std::vector<std::string>& row) {
+    if (row.size() == 1 && row[0] == kRuleSentinel) return;
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  std::string out;
+  auto rule = [&out, total] { out.append(total, '-').push_back('\n'); };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string{};
+      const Align a = i < aligns_.size() ? aligns_[i] : Align::kRight;
+      const std::size_t pad = width[i] - cell.size();
+      if (a == Align::kLeft) {
+        out += cell;
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cell;
+      }
+      if (i + 1 < width.size()) out += "  ";
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+
+  if (!title_.empty()) {
+    out += title_;
+    out.push_back('\n');
+    rule();
+  }
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.size() == 1 && r[0] == kRuleSentinel) {
+      rule();
+    } else {
+      emit(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace netfail

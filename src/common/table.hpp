@@ -1,0 +1,35 @@
+// TextTable: fixed-width ASCII table renderer.
+//
+// Every benchmark binary reproduces one of the paper's tables; this renderer
+// gives them a uniform, diff-able output format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netfail {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row; columns default to right alignment except col 0.
+  void set_header(std::vector<std::string> header);
+  void set_align(std::size_t column, Align align);
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  // A row with the sentinel {"--rule--"} renders as a horizontal rule.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netfail

@@ -1,0 +1,32 @@
+#include "src/config/archive.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/config/render.hpp"
+
+namespace netfail {
+
+ConfigArchive generate_archive(const Topology& topo, TimeRange period,
+                               const ArchiveParams& params) {
+  NETFAIL_ASSERT(!period.empty(), "empty archive period");
+  NETFAIL_ASSERT(params.mean_revision_interval > Duration::seconds(0),
+                 "revision interval must be positive");
+  Rng rng(params.seed);
+  ConfigArchive archive;
+  for (const Router& r : topo.routers()) {
+    // First snapshot lands shortly after the period opens; subsequent ones
+    // follow an exponential inter-snapshot process (operators commit config
+    // changes at irregular times).
+    TimePoint t =
+        period.begin + Duration::from_seconds_f(rng.exponential(
+                           params.mean_revision_interval.seconds_f() / 4));
+    if (t >= period.end) t = period.begin;  // guarantee one snapshot per router
+    while (t < period.end) {
+      archive.add(ConfigFile{r.hostname, t, render_config(topo, r.id, t)});
+      t += Duration::from_seconds_f(
+          rng.exponential(params.mean_revision_interval.seconds_f()));
+    }
+  }
+  return archive;
+}
+
+}  // namespace netfail

@@ -1,0 +1,155 @@
+#include "src/config/miner.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/strfmt.hpp"
+
+namespace netfail {
+namespace {
+
+/// Mask "255.255.255.254" -> 31; returns -1 for non-contiguous masks.
+int prefix_length_of_mask(Ipv4Address mask) {
+  const std::uint32_t m = mask.value();
+  if (m == 0) return 0;
+  const int len = 32 - __builtin_ctz(m);
+  // Verify contiguity: the mask must be exactly `len` leading ones.
+  if (m != (~std::uint32_t{0} << (32 - len))) return -1;
+  return len;
+}
+
+}  // namespace
+
+Result<MinedConfig> parse_config(std::string_view text) {
+  MinedConfig out;
+  std::string current_interface;  // empty when outside an interface stanza
+
+  for (const std::string& raw : split(text, '\n')) {
+    const std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '!') {
+      // Comment or stanza separator. IOS-XR nests "interface" under
+      // "router isis" too, so a bare "!" conservatively ends the stanza.
+      if (line == "!") current_interface.clear();
+      continue;
+    }
+    const std::vector<std::string> tok = split_whitespace(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "hostname" && tok.size() >= 2) {
+      out.hostname = tok[1];
+      continue;
+    }
+    if (tok[0] == "interface" && tok.size() >= 2 && raw[0] != ' ') {
+      // Top-level interface stanza (the indented "interface" lines inside
+      // "router isis" on IOS-XR carry no addresses and are skipped by the
+      // raw[0] check).
+      current_interface = tok[1];
+      continue;
+    }
+    if (tok[0] == "net" && tok.size() >= 2) {
+      // "net 49.0001.xxxx.xxxx.xxxx.00": system id is the middle 12 digits.
+      const std::vector<std::string> parts = split(tok[1], '.');
+      if (parts.size() >= 5) {
+        const std::string sysid =
+            parts[parts.size() - 4] + "." + parts[parts.size() - 3] + "." +
+            parts[parts.size() - 2];
+        if (Result<OsiSystemId> r = OsiSystemId::parse(sysid)) {
+          out.system_id = *r;
+          out.has_system_id = true;
+        }
+      }
+      continue;
+    }
+    const bool is_addr_line =
+        tok.size() >= 3 && (tok[0] == "ip" || tok[0] == "ipv4") &&
+        tok[1] == "address";
+    if (is_addr_line && !current_interface.empty() && tok.size() >= 4) {
+      const Result<Ipv4Address> addr = Ipv4Address::parse(tok[2]);
+      const Result<Ipv4Address> mask = Ipv4Address::parse(tok[3]);
+      if (!addr || !mask) continue;  // tolerate malformed lines
+      const int len = prefix_length_of_mask(*mask);
+      if (len == 31) {
+        out.interfaces.push_back(
+            MinedConfig::MinedInterface{current_interface, *addr, len});
+      }
+      continue;
+    }
+  }
+
+  if (out.hostname.empty()) {
+    return make_error(ErrorCode::kParseError, "config has no hostname line");
+  }
+  return out;
+}
+
+LinkCensus mine_archive(const ConfigArchive& archive, TimeRange period,
+                        const MinerParams& params, MiningStats* stats) {
+  MiningStats local;
+  MiningStats& st = stats ? *stats : local;
+
+  // Accumulate endpoints keyed by /31 subnet. std::map keeps the census
+  // ordering deterministic regardless of archive order.
+  struct Endpoint {
+    std::string host;
+    std::string iface;
+    Ipv4Address address;
+    TimePoint first_seen;
+    TimePoint last_seen;
+  };
+  std::map<Ipv4Prefix, std::vector<Endpoint>> by_subnet;
+  std::map<std::string, OsiSystemId> system_ids;  // hostname -> system id
+
+  for (const ConfigFile& file : archive.files()) {
+    Result<MinedConfig> mined = parse_config(file.text);
+    if (!mined) {
+      ++st.files_failed;
+      continue;
+    }
+    ++st.files_parsed;
+    if (mined->has_system_id) system_ids[mined->hostname] = mined->system_id;
+    for (const auto& intf : mined->interfaces) {
+      const Ipv4Prefix subnet = Ipv4Prefix::slash31_of(intf.address);
+      std::vector<Endpoint>& eps = by_subnet[subnet];
+      auto it = std::find_if(eps.begin(), eps.end(), [&](const Endpoint& e) {
+        return e.host == mined->hostname && e.iface == intf.name;
+      });
+      if (it == eps.end()) {
+        eps.push_back(Endpoint{mined->hostname, intf.name, intf.address,
+                               file.captured_at, file.captured_at});
+        ++st.endpoints;
+      } else {
+        it->first_seen = std::min(it->first_seen, file.captured_at);
+        it->last_seen = std::max(it->last_seen, file.captured_at);
+      }
+    }
+  }
+
+  LinkCensus census;
+  for (const auto& [subnet, eps] : by_subnet) {
+    // A healthy /31 has exactly two endpoints on two different hosts.
+    if (eps.size() != 2 || eps[0].host == eps[1].host) {
+      ++st.unpaired_subnets;
+      continue;
+    }
+    const TimePoint first =
+        std::min(eps[0].first_seen, eps[1].first_seen) - params.lifetime_slack;
+    const TimePoint last =
+        std::max(eps[0].last_seen, eps[1].last_seen) + params.lifetime_slack;
+    const TimeRange lifetime{std::max(first, period.begin),
+                             std::min(last, period.end)};
+    const bool cpe =
+        eps[0].host.find(params.cpe_host_token) != std::string::npos ||
+        eps[1].host.find(params.cpe_host_token) != std::string::npos;
+    census.add_link(CensusEndpoint{eps[0].host, eps[0].iface, eps[0].address},
+                    CensusEndpoint{eps[1].host, eps[1].iface, eps[1].address},
+                    subnet, lifetime,
+                    cpe ? RouterClass::kCpe : RouterClass::kCore);
+  }
+  for (const auto& [host, sysid] : system_ids) {
+    census.set_hostname(sysid, host);
+  }
+  census.finalize();
+  return census;
+}
+
+}  // namespace netfail

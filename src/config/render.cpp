@@ -1,0 +1,99 @@
+#include "src/config/render.hpp"
+
+#include "src/common/strfmt.hpp"
+
+namespace netfail {
+namespace {
+
+/// "Link to <peer-host> <peer-interface>" — operators describe the far end.
+std::string link_description(const Topology& topo, const Link& l, RouterId self) {
+  const bool self_is_a = l.router_a == self;
+  const Router& peer = topo.router(self_is_a ? l.router_b : l.router_a);
+  const Interface& peer_if = topo.interface(self_is_a ? l.if_b : l.if_a);
+  return "Link to " + peer.hostname + " " + peer_if.name;
+}
+
+std::string render_ios(const Topology& topo, const Router& r, TimePoint as_of) {
+  std::string out;
+  out += "!\n";
+  out += "! Last configuration change at " + as_of.to_string() + " UTC\n";
+  out += "!\n";
+  out += "version 12.2\n";
+  out += "service timestamps log datetime msec\n";
+  out += "hostname " + r.hostname + "\n";
+  out += "!\n";
+  out += "interface Loopback0\n";
+  out += " ip address " + r.loopback.to_string() + " 255.255.255.255\n";
+  out += "!\n";
+  for (InterfaceId iid : r.interfaces) {
+    const Interface& intf = topo.interface(iid);
+    const Link& l = topo.link(intf.link);
+    out += "interface " + intf.name + "\n";
+    out += " description " + link_description(topo, l, r.id) + "\n";
+    out += " ip address " + intf.address.to_string() + " " +
+           l.subnet.netmask_string() + "\n";
+    out += " ip router isis cenic\n";
+    out += strformat(" isis metric %u\n", l.metric);
+    out += "!\n";
+  }
+  out += "router isis cenic\n";
+  out += " net " + r.system_id.to_net_string() + "\n";
+  out += " is-type level-2-only\n";
+  out += " metric-style wide\n";
+  out += " log-adjacency-changes\n";
+  out += "!\n";
+  out += "logging trap informational\n";
+  out += "logging 137.164.200.10\n";
+  out += "end\n";
+  return out;
+}
+
+std::string render_iosxr(const Topology& topo, const Router& r, TimePoint as_of) {
+  std::string out;
+  out += "!! IOS XR Configuration\n";
+  out += "!! Last configuration change at " + as_of.to_string() + " UTC\n";
+  out += "hostname " + r.hostname + "\n";
+  out += "logging trap informational\n";
+  out += "logging 137.164.200.10 vrf default\n";
+  out += "interface Loopback0\n";
+  out += " ipv4 address " + r.loopback.to_string() + " 255.255.255.255\n";
+  out += "!\n";
+  for (InterfaceId iid : r.interfaces) {
+    const Interface& intf = topo.interface(iid);
+    const Link& l = topo.link(intf.link);
+    out += "interface " + intf.name + "\n";
+    out += " description " + link_description(topo, l, r.id) + "\n";
+    out += " ipv4 address " + intf.address.to_string() + " " +
+           l.subnet.netmask_string() + "\n";
+    out += "!\n";
+  }
+  out += "router isis cenic\n";
+  out += " net " + r.system_id.to_net_string() + "\n";
+  out += " is-type level-2-only\n";
+  out += " log adjacency changes\n";
+  out += " address-family ipv4 unicast\n";
+  out += "  metric-style wide\n";
+  out += " !\n";
+  for (InterfaceId iid : r.interfaces) {
+    const Interface& intf = topo.interface(iid);
+    const Link& l = topo.link(intf.link);
+    out += " interface " + intf.name + "\n";
+    out += "  address-family ipv4 unicast\n";
+    out += strformat("   metric %u\n", l.metric);
+    out += "  !\n";
+    out += " !\n";
+  }
+  out += "!\n";
+  out += "end\n";
+  return out;
+}
+
+}  // namespace
+
+std::string render_config(const Topology& topo, RouterId router, TimePoint as_of) {
+  const Router& r = topo.router(router);
+  return r.os == RouterOs::kIosXr ? render_iosxr(topo, r, as_of)
+                                  : render_ios(topo, r, as_of);
+}
+
+}  // namespace netfail

@@ -1,0 +1,20 @@
+// Router configuration rendering.
+//
+// The paper's matching methodology mines an archive of router config files
+// to learn the network's links (sect. 3.4). We render realistic IOS and
+// IOS-XR configuration text for every router so the miner has something
+// faithful to parse: the pipeline goes topology -> text -> census, and the
+// analysis only ever sees the census, exactly as in the paper.
+#pragma once
+
+#include <string>
+
+#include "src/common/time.hpp"
+#include "src/topology/topology.hpp"
+
+namespace netfail {
+
+/// Render the full configuration of `router` as of `as_of`.
+std::string render_config(const Topology& topo, RouterId router, TimePoint as_of);
+
+}  // namespace netfail

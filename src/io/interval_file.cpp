@@ -1,0 +1,56 @@
+#include "src/io/interval_file.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/common/strfmt.hpp"
+
+namespace netfail::io {
+
+void write_interval_file(const IntervalSet& set, std::ostream& out) {
+  for (const TimeRange& r : set.ranges()) {
+    out << r.begin.unix_millis() << '\t' << r.end.unix_millis() << '\n';
+  }
+}
+
+Status write_interval_file(const IntervalSet& set, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  write_interval_file(set, out);
+  return out.good() ? Status::ok_status()
+                    : Status(make_error(ErrorCode::kInternal,
+                                        "write failed for " + path));
+}
+
+Result<IntervalSet> read_interval_file(std::istream& in) {
+  IntervalSet set;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::vector<std::string> cols = split(line, '\t');
+    std::uint64_t begin_ms = 0, end_ms = 0;
+    if (cols.size() < 2 || !parse_uint(cols[0], begin_ms) ||
+        !parse_uint(cols[1], end_ms)) {
+      return make_error(ErrorCode::kParseError,
+                        strformat("bad interval at line %zu", lineno));
+    }
+    set.add(TimeRange{
+        TimePoint::from_unix_millis(static_cast<std::int64_t>(begin_ms)),
+        TimePoint::from_unix_millis(static_cast<std::int64_t>(end_ms))});
+  }
+  return set;
+}
+
+Result<IntervalSet> read_interval_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  return read_interval_file(in);
+}
+
+}  // namespace netfail::io

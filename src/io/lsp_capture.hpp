@@ -1,0 +1,39 @@
+// LSP capture files: persisting and reloading a listener's record stream.
+//
+// Format ("NFC1"): a 16-byte header, then one frame per record —
+//   u64 arrival time (ms since Unix epoch, big endian)
+//   u32 payload length
+//   payload (raw IS-IS PDU bytes)
+// Analogous to the MRT-style dumps PyRT wrote at CENIC; simple enough to
+// parse from any language, self-describing enough to detect truncation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.hpp"
+#include "src/isis/listener.hpp"
+
+namespace netfail::io {
+
+inline constexpr char kLspCaptureMagic[4] = {'N', 'F', 'C', '1'};
+
+void write_lsp_capture(const std::vector<isis::LspRecord>& records,
+                       std::ostream& out);
+Status write_lsp_capture(const std::vector<isis::LspRecord>& records,
+                         const std::string& path);
+
+struct LspCaptureStats {
+  std::size_t frames = 0;
+  bool truncated_tail = false;  // file ended mid-frame; prefix was kept
+};
+
+/// Read a capture; returns records in file order. A truncated final frame
+/// is dropped (and flagged), matching how one recovers a capture cut short
+/// by a listener crash.
+Result<std::vector<isis::LspRecord>> read_lsp_capture(
+    std::istream& in, LspCaptureStats* stats = nullptr);
+Result<std::vector<isis::LspRecord>> read_lsp_capture(
+    const std::string& path, LspCaptureStats* stats = nullptr);
+
+}  // namespace netfail::io

@@ -1,0 +1,69 @@
+#include "src/io/syslog_file.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/syslog/message.hpp"
+
+namespace netfail::io {
+
+void write_syslog_file(const syslog::Collector& collector, std::ostream& out) {
+  for (const syslog::ReceivedLine& line : collector.lines()) {
+    out << line.line << '\n';
+  }
+}
+
+Status write_syslog_file(const syslog::Collector& collector,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  write_syslog_file(collector, out);
+  return out.good() ? Status::ok_status()
+                    : Status(make_error(ErrorCode::kInternal,
+                                        "write failed for " + path));
+}
+
+Result<syslog::Collector> read_syslog_file(std::istream& in,
+                                           TimePoint capture_start,
+                                           SyslogReadStats* stats) {
+  SyslogReadStats local;
+  SyslogReadStats& st = stats ? *stats : local;
+  syslog::Collector collector;
+  TimePoint cursor = capture_start;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) {
+      ++st.blank;
+      continue;
+    }
+    ++st.lines;
+    // Arrival-time reconstruction: use the message's own timestamp resolved
+    // against the moving cursor; unparsable lines inherit the cursor.
+    TimePoint arrival = cursor;
+    if (const Result<syslog::Message> m = syslog::parse_message(line)) {
+      arrival = syslog::resolve_year(m->timestamp, cursor);
+    } else {
+      ++st.unparsable;
+    }
+    if (arrival < cursor) arrival = cursor;  // keep the collector monotonic
+    collector.receive(arrival, line);
+    cursor = arrival;
+  }
+  return collector;
+}
+
+Result<syslog::Collector> read_syslog_file(const std::string& path,
+                                           TimePoint capture_start,
+                                           SyslogReadStats* stats) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  return read_syslog_file(in, capture_start, stats);
+}
+
+}  // namespace netfail::io

@@ -1,0 +1,41 @@
+// Reading and writing collector-style syslog files.
+//
+// Real deployments keep what CENIC kept: flat text files of raw RFC 3164
+// lines, one per message, ordered by arrival. These helpers round-trip a
+// Collector through that format so the analysis pipeline can run over real
+// captures. Because RFC 3164 lines carry no year and no arrival timestamp,
+// the reader takes a capture-start hint and reconstructs monotonic arrival
+// times from the message timestamps (the standard operational workaround).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/result.hpp"
+#include "src/common/time.hpp"
+#include "src/syslog/collector.hpp"
+
+namespace netfail::io {
+
+/// Write one line per received message (the raw text, newline-terminated).
+void write_syslog_file(const syslog::Collector& collector, std::ostream& out);
+Status write_syslog_file(const syslog::Collector& collector,
+                         const std::string& path);
+
+struct SyslogReadStats {
+  std::size_t lines = 0;
+  std::size_t blank = 0;
+  std::size_t unparsable = 0;  // no usable timestamp; line is kept anyway
+};
+
+/// Load a flat syslog file into a Collector. `capture_start` anchors year
+/// resolution; arrival times are reconstructed as the (year-resolved)
+/// message timestamps, nudged forward where needed to stay monotonic.
+Result<syslog::Collector> read_syslog_file(std::istream& in,
+                                           TimePoint capture_start,
+                                           SyslogReadStats* stats = nullptr);
+Result<syslog::Collector> read_syslog_file(const std::string& path,
+                                           TimePoint capture_start,
+                                           SyslogReadStats* stats = nullptr);
+
+}  // namespace netfail::io

@@ -1,0 +1,62 @@
+#include "src/io/ticket_file.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/common/strfmt.hpp"
+
+namespace netfail::io {
+
+void write_ticket_file(const TicketStore& tickets, std::ostream& out) {
+  for (const TroubleTicket& t : tickets.tickets()) {
+    out << t.link_name << '\t' << t.outage.begin.unix_millis() << '\t'
+        << t.outage.end.unix_millis() << '\t' << t.summary << '\n';
+  }
+}
+
+Status write_ticket_file(const TicketStore& tickets, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  write_ticket_file(tickets, out);
+  return out.good() ? Status::ok_status()
+                    : Status(make_error(ErrorCode::kInternal,
+                                        "write failed for " + path));
+}
+
+Result<TicketStore> read_ticket_file(std::istream& in, TicketReadStats* stats) {
+  TicketReadStats local;
+  TicketReadStats& st = stats ? *stats : local;
+  TicketStore store;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cols = split(line, '\t');
+    std::uint64_t begin_ms = 0, end_ms = 0;
+    if (cols.size() < 4 || !parse_uint(cols[1], begin_ms) ||
+        !parse_uint(cols[2], end_ms) || end_ms <= begin_ms) {
+      ++st.malformed;
+      continue;
+    }
+    store.file(cols[0],
+               TimeRange{TimePoint::from_unix_millis(
+                             static_cast<std::int64_t>(begin_ms)),
+                         TimePoint::from_unix_millis(
+                             static_cast<std::int64_t>(end_ms))},
+               cols[3]);
+    ++st.rows;
+  }
+  return store;
+}
+
+Result<TicketStore> read_ticket_file(const std::string& path,
+                                     TicketReadStats* stats) {
+  std::ifstream in(path);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  return read_ticket_file(in, stats);
+}
+
+}  // namespace netfail::io

@@ -1,0 +1,107 @@
+#include "src/isis/adjacency.hpp"
+
+namespace netfail::isis {
+
+const char* adjacency_change_reason_text(AdjacencyChangeReason r) {
+  switch (r) {
+    case AdjacencyChangeReason::kNew: return "New adjacency";
+    case AdjacencyChangeReason::kHoldTimeExpired: return "hold time expired";
+    case AdjacencyChangeReason::kInterfaceDown: return "interface state down";
+    case AdjacencyChangeReason::kNeighborRestarted: return "neighbor restarted";
+  }
+  return "?";
+}
+
+AdjacencyFsm::AdjacencyFsm(OsiSystemId self, Params params)
+    : self_(self), params_(params) {}
+
+void AdjacencyFsm::set_state(TimePoint t, AdjacencyState s,
+                             AdjacencyChangeReason reason) {
+  if (s == state_) return;
+  // Only transitions in and out of kUp are operationally visible (these are
+  // what routers log and advertise); Initializing is internal but still
+  // recorded for the tests.
+  state_ = s;
+  changes_.push_back(AdjacencyChange{t, s, reason});
+}
+
+void AdjacencyFsm::media_up(TimePoint t) {
+  (void)t;
+  media_is_up_ = true;
+}
+
+void AdjacencyFsm::media_down(TimePoint t) {
+  media_is_up_ = false;
+  neighbor_.reset();
+  hold_deadline_.reset();
+  set_state(t, AdjacencyState::kDown, AdjacencyChangeReason::kInterfaceDown);
+}
+
+void AdjacencyFsm::receive_hello(TimePoint t, const PointToPointHello& hello) {
+  advance_to(t);
+  if (!media_is_up_) return;  // hello cannot arrive over dead media
+
+  // A different neighbor on the circuit means the old adjacency is gone.
+  if (neighbor_ && *neighbor_ != hello.source) {
+    set_state(t, AdjacencyState::kDown, AdjacencyChangeReason::kNeighborRestarted);
+    neighbor_.reset();
+  }
+  neighbor_ = hello.source;
+  hold_deadline_ = t + Duration::seconds(hello.holding_time);
+
+  // RFC 5303 three-way logic: what the neighbor reports seeing decides our
+  // state. If it lists us, the path is bidirectional.
+  const bool they_see_us = hello.has_neighbor && hello.neighbor == self_;
+  if (they_see_us) {
+    set_state(t, AdjacencyState::kUp, AdjacencyChangeReason::kNew);
+  } else {
+    if (state_ == AdjacencyState::kUp) {
+      // Neighbor restarted its side of the handshake.
+      set_state(t, AdjacencyState::kDown,
+                AdjacencyChangeReason::kNeighborRestarted);
+    }
+    set_state(t, AdjacencyState::kInitializing, AdjacencyChangeReason::kNew);
+  }
+}
+
+void AdjacencyFsm::advance_to(TimePoint t) {
+  if (hold_deadline_ && t >= *hold_deadline_) {
+    const TimePoint expiry = *hold_deadline_;
+    hold_deadline_.reset();
+    neighbor_.reset();
+    set_state(expiry, AdjacencyState::kDown,
+              AdjacencyChangeReason::kHoldTimeExpired);
+  }
+}
+
+PointToPointHello AdjacencyFsm::make_hello(TimePoint t) const {
+  (void)t;
+  PointToPointHello h;
+  h.source = self_;
+  h.holding_time =
+      static_cast<std::uint16_t>(holding_time().total_seconds());
+  switch (state_) {
+    case AdjacencyState::kDown:
+      h.three_way_state = ThreeWayState::kDown;
+      break;
+    case AdjacencyState::kInitializing:
+      h.three_way_state = ThreeWayState::kInitializing;
+      break;
+    case AdjacencyState::kUp:
+      h.three_way_state = ThreeWayState::kUp;
+      break;
+  }
+  if (neighbor_) {
+    h.has_neighbor = true;
+    h.neighbor = *neighbor_;
+  }
+  return h;
+}
+
+std::vector<AdjacencyChange> AdjacencyFsm::take_changes() {
+  std::vector<AdjacencyChange> out;
+  out.swap(changes_);
+  return out;
+}
+
+}  // namespace netfail::isis

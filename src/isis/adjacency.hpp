@@ -1,0 +1,94 @@
+// Point-to-point adjacency state machine (ISO 10589 + RFC 5303 three-way
+// handshake).
+//
+// One AdjacencyFsm instance models one router's view of one point-to-point
+// circuit. The simulator's fast path derives adjacency timings analytically
+// (driving per-hello events for 13 months would be billions of events), but
+// this FSM is the semantic reference: integration tests replay hello
+// sequences through two coupled FSMs and check the analytic shortcut agrees.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/isis/pdu.hpp"
+
+namespace netfail::isis {
+
+enum class AdjacencyState { kDown, kInitializing, kUp };
+
+inline const char* adjacency_state_name(AdjacencyState s) {
+  switch (s) {
+    case AdjacencyState::kDown: return "Down";
+    case AdjacencyState::kInitializing: return "Initializing";
+    case AdjacencyState::kUp: return "Up";
+  }
+  return "?";
+}
+
+/// Why the FSM changed state; mirrors the reason strings Cisco routers put
+/// into their %CLNS-5-ADJCHANGE messages.
+enum class AdjacencyChangeReason {
+  kNew,            // three-way handshake completed
+  kHoldTimeExpired,
+  kInterfaceDown,
+  kNeighborRestarted,
+};
+
+const char* adjacency_change_reason_text(AdjacencyChangeReason r);
+
+struct AdjacencyChange {
+  TimePoint time;
+  AdjacencyState state;
+  AdjacencyChangeReason reason;
+};
+
+class AdjacencyFsm {
+ public:
+  struct Params {
+    Duration hello_interval = Duration::seconds(10);
+    /// holdingTime advertised in hellos: hello_interval * multiplier.
+    int hold_multiplier = 3;
+  };
+
+  explicit AdjacencyFsm(OsiSystemId self) : AdjacencyFsm(self, Params{}) {}
+  AdjacencyFsm(OsiSystemId self, Params params);
+
+  // -- inputs -----------------------------------------------------------------
+  /// Physical carrier came up; hellos start flowing.
+  void media_up(TimePoint t);
+  /// Physical carrier lost; adjacency (if any) drops immediately.
+  void media_down(TimePoint t);
+  /// A hello arrived from the far end.
+  void receive_hello(TimePoint t, const PointToPointHello& hello);
+  /// Advance the clock (fires the hold timer if it has expired).
+  void advance_to(TimePoint t);
+
+  // -- outputs ----------------------------------------------------------------
+  AdjacencyState state() const { return state_; }
+  /// The hello this side would transmit at time t.
+  PointToPointHello make_hello(TimePoint t) const;
+  /// Time at which the hold timer will fire unless a hello arrives.
+  std::optional<TimePoint> hold_deadline() const { return hold_deadline_; }
+  /// Drain accumulated state-change events.
+  std::vector<AdjacencyChange> take_changes();
+
+  Duration holding_time() const {
+    return params_.hello_interval * params_.hold_multiplier;
+  }
+
+ private:
+  void set_state(TimePoint t, AdjacencyState s, AdjacencyChangeReason reason);
+
+  OsiSystemId self_;
+  Params params_;
+  AdjacencyState state_ = AdjacencyState::kDown;
+  bool media_is_up_ = false;
+  std::optional<OsiSystemId> neighbor_;
+  std::optional<TimePoint> hold_deadline_;
+  std::vector<AdjacencyChange> changes_;
+};
+
+}  // namespace netfail::isis

@@ -1,0 +1,59 @@
+#include "src/isis/bytes.hpp"
+
+namespace netfail {
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (Status s = need(1); !s) return s.error();
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (Status s = need(2); !s) return s.error();
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u24() {
+  if (Status s = need(3); !s) return s.error();
+  const std::uint32_t v = (std::uint32_t{data_[pos_]} << 16) |
+                          (std::uint32_t{data_[pos_ + 1]} << 8) |
+                          data_[pos_ + 2];
+  pos_ += 3;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (Status s = need(4); !s) return s.error();
+  const std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                          (std::uint32_t{data_[pos_ + 1]} << 16) |
+                          (std::uint32_t{data_[pos_ + 2]} << 8) |
+                          data_[pos_ + 3];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::vector<std::uint8_t>> ByteReader::bytes(std::size_t n) {
+  if (Status s = need(n); !s) return s.error();
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Result<std::string> ByteReader::string(std::size_t n) {
+  if (Status s = need(n); !s) return s.error();
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+Result<ByteReader> ByteReader::sub(std::size_t n) {
+  if (Status s = need(n); !s) return s.error();
+  ByteReader r(data_.subspan(pos_, n));
+  pos_ += n;
+  return r;
+}
+
+}  // namespace netfail

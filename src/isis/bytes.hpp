@@ -1,0 +1,88 @@
+// Big-endian byte buffer reader/writer for protocol encoding.
+//
+// IS-IS PDUs (ISO 10589) are network-byte-order TLV soup; these two small
+// classes keep the codec code free of manual shifting and bounds bugs. The
+// reader is non-owning (works on a span of received bytes) and returns
+// Result so truncated packets surface as errors, not UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/result.hpp"
+
+namespace netfail {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u24(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> v) {
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+  void string(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Overwrite a previously written 16-bit field (lengths, checksums).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    NETFAIL_ASSERT(offset + 2 <= buf_.size(), "patch out of range");
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ >= data_.size(); }
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u24();
+  Result<std::uint32_t> u32();
+  /// Read exactly n bytes.
+  Result<std::vector<std::uint8_t>> bytes(std::size_t n);
+  Result<std::string> string(std::size_t n);
+  /// Sub-reader over the next n bytes (for TLV bodies); advances this reader.
+  Result<ByteReader> sub(std::size_t n);
+
+ private:
+  Status need(std::size_t n) {
+    if (remaining() < n) {
+      return make_error(ErrorCode::kTruncated,
+                        "need " + std::to_string(n) + " bytes, have " +
+                            std::to_string(remaining()));
+    }
+    return Status::ok_status();
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace netfail

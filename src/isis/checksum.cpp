@@ -1,0 +1,59 @@
+#include "src/isis/checksum.hpp"
+
+namespace netfail {
+namespace {
+
+/// Fletcher accumulators over `data`, treating the two checksum bytes at
+/// `checksum_offset` as zero. Returns (c0, c1) each in [0, 254].
+void accumulate(std::span<const std::uint8_t> data, std::size_t checksum_offset,
+                bool zero_checksum_field, std::uint32_t& c0, std::uint32_t& c1) {
+  c0 = 0;
+  c1 = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::uint8_t b = data[i];
+    if (zero_checksum_field && (i == checksum_offset || i == checksum_offset + 1)) {
+      b = 0;
+    }
+    c0 = (c0 + b) % 255;
+    c1 = (c1 + c0) % 255;
+  }
+}
+
+std::uint32_t pos_mod_255(std::int64_t v) {
+  std::int64_t m = v % 255;
+  if (m < 0) m += 255;
+  return static_cast<std::uint32_t>(m);
+}
+
+}  // namespace
+
+std::uint16_t fletcher_checksum(std::span<const std::uint8_t> data,
+                                std::size_t checksum_offset) {
+  std::uint32_t c0 = 0, c1 = 0;
+  accumulate(data, checksum_offset, /*zero_checksum_field=*/true, c0, c1);
+
+  const std::int64_t len = static_cast<std::int64_t>(data.size());
+  const std::int64_t p = static_cast<std::int64_t>(checksum_offset) + 1;  // 1-based
+  // Solve for the two checksum octets x, y such that both accumulators are
+  // zero mod 255 after insertion (derivation in ISO 8473 / RFC 1008).
+  std::uint32_t x = pos_mod_255((len - p) * c0 - c1);
+  std::uint32_t y = pos_mod_255(c1 - (len - p + 1) * c0);
+  // 0x0000 is reserved for "checksum not computed"; 0 and 255 are congruent
+  // mod 255, so substituting 255 preserves validity.
+  if (x == 0) x = 255;
+  if (y == 0) y = 255;
+  return static_cast<std::uint16_t>((x << 8) | y);
+}
+
+bool fletcher_verify(std::span<const std::uint8_t> data,
+                     std::size_t checksum_offset) {
+  if (checksum_offset + 2 > data.size()) return false;
+  const std::uint16_t stored = static_cast<std::uint16_t>(
+      (std::uint16_t{data[checksum_offset]} << 8) | data[checksum_offset + 1]);
+  if (stored == 0) return false;  // "not computed" is a failure for LSPs we emit
+  std::uint32_t c0 = 0, c1 = 0;
+  accumulate(data, checksum_offset, /*zero_checksum_field=*/false, c0, c1);
+  return c0 == 0 && c1 == 0;
+}
+
+}  // namespace netfail

@@ -1,0 +1,25 @@
+// Fletcher checksum as used by IS-IS LSPs (ISO 10589 sect. 7.3.11, the
+// ISO 8473 checksum algorithm).
+//
+// The LSP checksum covers the PDU from the LSP ID field to the end; the
+// checksum field itself is computed so the whole covered region sums to
+// zero. The listener verifies it on every received LSP and discards corrupt
+// packets, as the real PyRT-based listener did.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace netfail {
+
+/// Compute the 16-bit Fletcher checksum to store at `checksum_offset`
+/// (relative to `data.begin()`); the checksum bytes inside `data` are
+/// treated as zero during computation.
+std::uint16_t fletcher_checksum(std::span<const std::uint8_t> data,
+                                std::size_t checksum_offset);
+
+/// True when `data`, containing a checksum at `checksum_offset`, verifies.
+bool fletcher_verify(std::span<const std::uint8_t> data,
+                     std::size_t checksum_offset);
+
+}  // namespace netfail

@@ -1,0 +1,71 @@
+// LSP stream -> link state transitions.
+//
+// Implements the paper's listener-side methodology (sect. 3.2/3.4): for each
+// received LSP, diff the advertised IS reachability and IP reachability
+// against the sender's previous advertisement, and resolve changes to links
+// via the config-mined census. IS reachability is tracked per directed host
+// pair, and a link-level transition fires when the *bidirectional* adjacency
+// count changes — mirroring how the withdrawal by either end takes the
+// adjacency out of service. Multi-link adjacencies cannot be resolved to a
+// member link and are flagged instead (the paper omits them, sect. 3.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/events.hpp"
+#include "src/common/ids.hpp"
+#include "src/config/census.hpp"
+#include "src/isis/listener.hpp"
+
+namespace netfail::isis {
+
+/// Which LSP field a transition was inferred from (paper Table 2 compares
+/// the two).
+enum class ReachabilityField { kIsReach, kIpReach };
+
+inline const char* reachability_field_name(ReachabilityField f) {
+  return f == ReachabilityField::kIsReach ? "IS reachability" : "IP reachability";
+}
+
+struct IsisTransition {
+  TimePoint time;
+  LinkDirection dir = LinkDirection::kDown;
+  ReachabilityField field = ReachabilityField::kIsReach;
+  /// Resolved census link; invalid when the change hit a multi-link
+  /// adjacency (IS reach cannot tell members apart) or an unknown pair.
+  LinkId link;
+  bool multilink = false;
+  /// Host pair, for diagnostics and multi-link accounting.
+  std::string host_a;
+  std::string host_b;
+  /// IS-reach only: the bidirectional adjacency count after this change.
+  /// Lets consumers reconstruct the *logical* adjacency state of multi-link
+  /// pairs (0 = the whole adjacency is down) even though the member link is
+  /// unidentifiable.
+  int pair_count_after = -1;
+};
+
+struct ExtractionStats {
+  std::size_t lsps_processed = 0;
+  std::size_t checksum_failures = 0;
+  std::size_t parse_failures = 0;
+  std::size_t stale_lsps = 0;            // non-increasing sequence numbers
+  std::size_t purges = 0;                // zero-lifetime LSPs (withdraw all)
+  std::size_t unknown_host_pairs = 0;    // adjacency to a host not in census
+  std::size_t unknown_prefixes = 0;      // /31 not in census
+  std::size_t multilink_transitions = 0; // IS-reach changes on multi-link pairs
+};
+
+struct IsisExtraction {
+  std::vector<IsisTransition> is_reach;
+  std::vector<IsisTransition> ip_reach;
+  ExtractionStats stats;
+};
+
+/// Process a listener's record stream. Records must be time-ordered (the
+/// listener guarantees this).
+IsisExtraction extract_transitions(const std::vector<LspRecord>& records,
+                                   const LinkCensus& census);
+
+}  // namespace netfail::isis

@@ -1,0 +1,94 @@
+#include "src/isis/lsdb.hpp"
+
+#include <algorithm>
+
+#include "src/isis/checksum.hpp"
+
+namespace netfail::isis {
+namespace {
+
+LspId id_of(const Lsp& lsp) {
+  return LspId{lsp.source, lsp.pseudonode, lsp.fragment};
+}
+
+/// The LSP checksum as it appears on the wire (recomputed from content).
+std::uint16_t wire_checksum(const Lsp& lsp) {
+  const std::vector<std::uint8_t> bytes = lsp.encode();
+  // Offsets mirror pdu.cpp: checksum at 24, covered region starts at 12.
+  return static_cast<std::uint16_t>((bytes[24] << 8) | bytes[25]);
+}
+
+}  // namespace
+
+InstallResult LinkStateDatabase::install(Lsp lsp, TimePoint now) {
+  const LspId id = id_of(lsp);
+  const auto it = entries_.find(id);
+  if (it != entries_.end() && lsp.sequence <= it->second.lsp.sequence) {
+    return InstallResult::kStale;
+  }
+  if (lsp.remaining_lifetime == 0) {
+    // A purge: the source (or an aging IS) removed this LSP.
+    entries_.erase(id);
+    return InstallResult::kPurged;
+  }
+  const TimePoint expires = now + Duration::seconds(lsp.remaining_lifetime);
+  entries_.insert_or_assign(id, Entry{std::move(lsp), now, expires});
+  return InstallResult::kInstalled;
+}
+
+void LinkStateDatabase::advance_to(TimePoint now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires_at <= now) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const Lsp* LinkStateDatabase::lookup(const LspId& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.lsp;
+}
+
+std::optional<std::uint32_t> LinkStateDatabase::sequence_of(
+    const LspId& id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.lsp.sequence;
+}
+
+std::vector<const Lsp*> LinkStateDatabase::snapshot() const {
+  std::vector<const Lsp*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(&entry.lsp);
+  return out;
+}
+
+Csnp LinkStateDatabase::build_csnp(const OsiSystemId& self,
+                                   TimePoint now) const {
+  Csnp csnp;
+  csnp.source = self;
+  for (const auto& [id, entry] : entries_) {
+    LspEntry e;
+    e.id = id;
+    e.sequence = entry.lsp.sequence;
+    const Duration left = entry.expires_at - now;
+    e.remaining_lifetime = static_cast<std::uint16_t>(
+        std::clamp<std::int64_t>(left.total_seconds(), 0, 0xffff));
+    e.checksum = wire_checksum(entry.lsp);
+    csnp.entries.push_back(e);
+  }
+  return csnp;
+}
+
+std::vector<LspEntry> LinkStateDatabase::missing_from(const Csnp& csnp) const {
+  std::vector<LspEntry> out;
+  for (const LspEntry& e : csnp.entries) {
+    const auto have = sequence_of(e.id);
+    if (!have || *have < e.sequence) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace netfail::isis

@@ -1,0 +1,60 @@
+// Link-state database (ISO 10589 sect. 7.3): the authoritative store of the
+// freshest LSP from every source, with lifetime aging and purge handling.
+//
+// The extractor in extract.cpp keeps only the per-source reachability
+// deltas it needs; this class is the full database a real IS would keep —
+// usable to answer "what did the network look like at time T", to build
+// CSNP summaries, and to feed the SPF computation in spf.hpp.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/isis/pdu.hpp"
+#include "src/isis/snp.hpp"
+
+namespace netfail::isis {
+
+enum class InstallResult {
+  kInstalled,       // newer than anything held; now authoritative
+  kStale,           // older than (or equal to) the held copy; ignored
+  kPurged,          // zero-lifetime LSP: the source withdrew it
+};
+
+class LinkStateDatabase {
+ public:
+  /// Install a received LSP. `now` drives lifetime bookkeeping.
+  InstallResult install(Lsp lsp, TimePoint now);
+
+  /// Expire entries whose remaining lifetime has run out.
+  void advance_to(TimePoint now);
+
+  /// The freshest live LSP from `id`, if any.
+  const Lsp* lookup(const LspId& id) const;
+  std::optional<std::uint32_t> sequence_of(const LspId& id) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// All live LSPs in LSP-ID order.
+  std::vector<const Lsp*> snapshot() const;
+
+  /// Build the CSNP summary of the whole database (entries in ID order).
+  Csnp build_csnp(const OsiSystemId& self, TimePoint now) const;
+
+  /// Entries we are missing or hold stale copies of, judging by a received
+  /// CSNP — the set a real IS would request via PSNP.
+  std::vector<LspEntry> missing_from(const Csnp& csnp) const;
+
+ private:
+  struct Entry {
+    Lsp lsp;
+    TimePoint installed_at;
+    TimePoint expires_at;
+  };
+
+  std::map<LspId, Entry> entries_;
+};
+
+}  // namespace netfail::isis

@@ -1,0 +1,60 @@
+#include "src/isis/lsp_builder.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace netfail::isis {
+
+LspOriginator::LspOriginator(OsiSystemId self, std::string hostname)
+    : self_(self), hostname_(std::move(hostname)) {}
+
+void LspOriginator::adjacency_up(OsiSystemId neighbor, std::uint32_t metric) {
+  ++adjacencies_[{neighbor, metric}];
+}
+
+void LspOriginator::adjacency_down(OsiSystemId neighbor, std::uint32_t metric) {
+  auto it = adjacencies_.find({neighbor, metric});
+  NETFAIL_ASSERT(it != adjacencies_.end() && it->second > 0,
+                 "adjacency_down without matching adjacency_up");
+  if (--it->second == 0) adjacencies_.erase(it);
+}
+
+void LspOriginator::prefix_up(Ipv4Prefix prefix, std::uint32_t metric) {
+  prefixes_[prefix] = metric;
+}
+
+void LspOriginator::prefix_down(Ipv4Prefix prefix) {
+  prefixes_.erase(prefix);
+}
+
+Lsp LspOriginator::build() {
+  Lsp lsp;
+  lsp.source = self_;
+  lsp.sequence = ++sequence_;
+  lsp.hostname = hostname_;
+  for (const auto& [key, count] : adjacencies_) {
+    for (int i = 0; i < count; ++i) {
+      lsp.is_reach.push_back(IsReachEntry{key.first, 0, key.second});
+    }
+  }
+  for (const auto& [prefix, metric] : prefixes_) {
+    lsp.ip_reach.push_back(IpReachEntry{metric, prefix});
+  }
+  return lsp;
+}
+
+std::optional<TimePoint> LspThrottle::on_change(TimePoint t) {
+  if (pending_ && *pending_ >= t) return std::nullopt;  // already covered
+  TimePoint candidate = t;
+  if (last_generated_ && *last_generated_ + min_interval_ > candidate) {
+    candidate = *last_generated_ + min_interval_;
+  }
+  pending_ = candidate;
+  return candidate;
+}
+
+void LspThrottle::on_generated(TimePoint t) {
+  last_generated_ = t;
+  pending_.reset();
+}
+
+}  // namespace netfail::isis

@@ -1,0 +1,75 @@
+// Per-router LSP origination: current advertisement content plus the
+// ISO 10589 generation throttle.
+//
+// The throttle is load-bearing for the paper's findings: a router batches
+// LSP generation (minimumLSPGenerationInterval), so link state that bounces
+// faster than the throttle window never appears in any LSP — one of the
+// reasons syslog and IS-IS genuinely disagree during flapping episodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/isis/pdu.hpp"
+
+namespace netfail::isis {
+
+/// Tracks what one router currently advertises and builds the LSP bytes.
+class LspOriginator {
+ public:
+  LspOriginator(OsiSystemId self, std::string hostname);
+
+  /// Add/remove one adjacency toward `neighbor`. Parallel adjacencies to the
+  /// same neighbor stack: each up adjacency contributes one TLV-22 entry,
+  /// which is exactly why the listener cannot tell members apart.
+  void adjacency_up(OsiSystemId neighbor, std::uint32_t metric);
+  void adjacency_down(OsiSystemId neighbor, std::uint32_t metric);
+
+  /// Add/remove a directly connected prefix (the link /31s + loopback).
+  void prefix_up(Ipv4Prefix prefix, std::uint32_t metric);
+  void prefix_down(Ipv4Prefix prefix);
+
+  /// Build the current LSP; bumps the sequence number.
+  Lsp build();
+  /// Current sequence number (next build() will use sequence()+1).
+  std::uint32_t sequence() const { return sequence_; }
+
+  const OsiSystemId& system_id() const { return self_; }
+
+ private:
+  OsiSystemId self_;
+  std::string hostname_;
+  std::uint32_t sequence_ = 0;
+  // (neighbor, metric) -> count of up parallel adjacencies.
+  std::map<std::pair<OsiSystemId, std::uint32_t>, int> adjacencies_;
+  std::map<Ipv4Prefix, std::uint32_t> prefixes_;  // prefix -> metric
+};
+
+/// ISO 10589 minimumLSPGenerationInterval: at most one LSP per interval; a
+/// change arriving inside the quiet period is deferred (and batched with any
+/// later changes) until the interval expires.
+class LspThrottle {
+ public:
+  explicit LspThrottle(Duration min_interval) : min_interval_(min_interval) {}
+
+  /// A content change happened at `t`. Returns the time at which an LSP
+  /// generation should be scheduled, or nullopt when an already-pending
+  /// generation will cover this change.
+  std::optional<TimePoint> on_change(TimePoint t);
+
+  /// The scheduled generation fired at `t`.
+  void on_generated(TimePoint t);
+
+  std::optional<TimePoint> pending() const { return pending_; }
+
+ private:
+  Duration min_interval_;
+  std::optional<TimePoint> last_generated_;
+  std::optional<TimePoint> pending_;
+};
+
+}  // namespace netfail::isis

@@ -1,0 +1,360 @@
+#include "src/isis/pdu.hpp"
+
+#include <algorithm>
+
+#include "src/common/strfmt.hpp"
+#include "src/isis/bytes.hpp"
+#include "src/isis/checksum.hpp"
+
+namespace netfail::isis {
+namespace {
+
+constexpr std::uint8_t kProtocolDiscriminator = 0x83;
+constexpr std::uint8_t kVersionProtocolIdExt = 1;
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kLspHeaderLength = 27;
+constexpr std::uint8_t kP2PHelloHeaderLength = 20;
+// Offsets within the full LSP PDU.
+constexpr std::size_t kLspPduLengthOffset = 8;
+constexpr std::size_t kLspChecksumCoverStart = 12;  // from LSP ID onward
+constexpr std::size_t kLspChecksumOffset = 24;
+
+void write_common_header(ByteWriter& w, std::uint8_t pdu_type,
+                         std::uint8_t header_length) {
+  w.u8(kProtocolDiscriminator);
+  w.u8(header_length);
+  w.u8(kVersionProtocolIdExt);
+  w.u8(0);  // ID length: 0 means the standard 6 bytes
+  w.u8(pdu_type);
+  w.u8(kVersion);
+  w.u8(0);  // reserved
+  w.u8(0);  // maximum area addresses: 0 means 3
+};
+
+/// Parse + validate the 8-byte common header; returns the PDU type.
+Result<std::uint8_t> read_common_header(ByteReader& r) {
+  Result<std::uint8_t> disc = r.u8();
+  if (!disc) return disc.error();
+  if (*disc != kProtocolDiscriminator) {
+    return make_error(ErrorCode::kParseError,
+                      strformat("bad protocol discriminator 0x%02x", *disc));
+  }
+  Result<std::uint8_t> header_len = r.u8();
+  if (!header_len) return header_len.error();
+  Result<std::uint8_t> version_ext = r.u8();
+  if (!version_ext) return version_ext.error();
+  Result<std::uint8_t> id_len = r.u8();
+  if (!id_len) return id_len.error();
+  if (*id_len != 0 && *id_len != 6) {
+    return make_error(ErrorCode::kParseError, "unsupported ID length");
+  }
+  Result<std::uint8_t> type = r.u8();
+  if (!type) return type.error();
+  for (int i = 0; i < 3; ++i) {
+    if (Result<std::uint8_t> b = r.u8(); !b) return b.error();
+  }
+  return static_cast<std::uint8_t>(*type & 0x1f);
+}
+
+Result<OsiSystemId> read_system_id(ByteReader& r) {
+  Result<std::vector<std::uint8_t>> raw = r.bytes(6);
+  if (!raw) return raw.error();
+  std::array<std::uint8_t, 6> arr{};
+  std::copy(raw->begin(), raw->end(), arr.begin());
+  return OsiSystemId{arr};
+}
+
+}  // namespace
+
+std::string Lsp::lsp_id_string() const {
+  return source.to_string() + strformat(".%02x-%02x", pseudonode, fragment);
+}
+
+std::vector<std::uint8_t> Lsp::encode() const {
+  ByteWriter w;
+  write_common_header(w, kPduTypeLspL2, kLspHeaderLength);
+  w.u16(0);  // PDU length, patched below
+  w.u16(remaining_lifetime);
+  w.bytes(source.bytes());
+  w.u8(pseudonode);
+  w.u8(fragment);
+  w.u32(sequence);
+  w.u16(0);  // checksum, patched below
+  w.u8(0x03);  // IS type: level-2
+
+  // TLV 137: dynamic hostname.
+  if (!hostname.empty()) {
+    NETFAIL_ASSERT(hostname.size() <= 255, "hostname too long for TLV");
+    w.u8(kTlvDynamicHostname);
+    w.u8(static_cast<std::uint8_t>(hostname.size()));
+    w.string(hostname);
+  }
+
+  // TLV 22: extended IS reachability, 11 bytes per entry, max 23 per TLV.
+  constexpr std::size_t kIsEntrySize = 11;
+  constexpr std::size_t kIsEntriesPerTlv = 255 / kIsEntrySize;
+  for (std::size_t base = 0; base < is_reach.size(); base += kIsEntriesPerTlv) {
+    const std::size_t n = std::min(kIsEntriesPerTlv, is_reach.size() - base);
+    w.u8(kTlvExtendedIsReach);
+    w.u8(static_cast<std::uint8_t>(n * kIsEntrySize));
+    for (std::size_t i = base; i < base + n; ++i) {
+      const IsReachEntry& e = is_reach[i];
+      w.bytes(e.neighbor.bytes());
+      w.u8(e.pseudonode);
+      w.u24(e.metric & 0xffffff);
+      w.u8(0);  // no sub-TLVs
+    }
+  }
+
+  // TLV 135: extended IP reachability; entry size depends on prefix length.
+  {
+    std::size_t i = 0;
+    while (i < ip_reach.size()) {
+      // Fill one TLV greedily.
+      std::size_t bytes_used = 0;
+      std::size_t j = i;
+      while (j < ip_reach.size()) {
+        const std::size_t entry_size =
+            4 + 1 +
+            static_cast<std::size_t>((ip_reach[j].prefix.length() + 7) / 8);
+        if (bytes_used + entry_size > 255) break;
+        bytes_used += entry_size;
+        ++j;
+      }
+      NETFAIL_ASSERT(j > i, "IP reach entry does not fit any TLV");
+      w.u8(kTlvExtendedIpReach);
+      w.u8(static_cast<std::uint8_t>(bytes_used));
+      for (; i < j; ++i) {
+        const IpReachEntry& e = ip_reach[i];
+        w.u32(e.metric);
+        // Control byte: up/down bit 7 = 0, sub-TLV bit 6 = 0, length in low 6.
+        w.u8(static_cast<std::uint8_t>(e.prefix.length()));
+        const std::uint32_t net = e.prefix.network().value();
+        const int nbytes = (e.prefix.length() + 7) / 8;
+        for (int b = 0; b < nbytes; ++b) {
+          w.u8(static_cast<std::uint8_t>(net >> (24 - 8 * b)));
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> out = w.take();
+  // Patch PDU length.
+  const std::uint16_t len = static_cast<std::uint16_t>(out.size());
+  out[kLspPduLengthOffset] = static_cast<std::uint8_t>(len >> 8);
+  out[kLspPduLengthOffset + 1] = static_cast<std::uint8_t>(len);
+  // Patch checksum: covers LSP ID (offset 12) through end; the checksum
+  // field sits at offset 24, i.e. offset 12 within the covered span.
+  const std::span<const std::uint8_t> covered{out.data() + kLspChecksumCoverStart,
+                                              out.size() - kLspChecksumCoverStart};
+  const std::uint16_t ck =
+      fletcher_checksum(covered, kLspChecksumOffset - kLspChecksumCoverStart);
+  out[kLspChecksumOffset] = static_cast<std::uint8_t>(ck >> 8);
+  out[kLspChecksumOffset + 1] = static_cast<std::uint8_t>(ck);
+  return out;
+}
+
+Result<Lsp> Lsp::decode(std::span<const std::uint8_t> data) {
+  // Checksum first: a corrupted LSP must never reach the analysis.
+  if (data.size() < kLspChecksumOffset + 2) {
+    return make_error(ErrorCode::kTruncated, "LSP shorter than fixed header");
+  }
+  if (!fletcher_verify(data.subspan(kLspChecksumCoverStart),
+                       kLspChecksumOffset - kLspChecksumCoverStart)) {
+    return make_error(ErrorCode::kChecksumMismatch, "LSP checksum invalid");
+  }
+
+  ByteReader r(data);
+  Result<std::uint8_t> type = read_common_header(r);
+  if (!type) return type.error();
+  if (*type != kPduTypeLspL2) {
+    return make_error(ErrorCode::kParseError,
+                      strformat("not an L2 LSP: pdu type %u", *type));
+  }
+
+  Lsp lsp;
+  Result<std::uint16_t> pdu_len = r.u16();
+  if (!pdu_len) return pdu_len.error();
+  if (*pdu_len != data.size()) {
+    return make_error(ErrorCode::kParseError, "PDU length field mismatch");
+  }
+  Result<std::uint16_t> lifetime = r.u16();
+  if (!lifetime) return lifetime.error();
+  lsp.remaining_lifetime = *lifetime;
+  Result<OsiSystemId> src = read_system_id(r);
+  if (!src) return src.error();
+  lsp.source = *src;
+  Result<std::uint8_t> pn = r.u8();
+  if (!pn) return pn.error();
+  lsp.pseudonode = *pn;
+  Result<std::uint8_t> frag = r.u8();
+  if (!frag) return frag.error();
+  lsp.fragment = *frag;
+  Result<std::uint32_t> seq = r.u32();
+  if (!seq) return seq.error();
+  lsp.sequence = *seq;
+  if (Result<std::uint16_t> ck = r.u16(); !ck) return ck.error();  // checksum
+  if (Result<std::uint8_t> flags = r.u8(); !flags) return flags.error();
+
+  // TLVs.
+  while (!r.done()) {
+    Result<std::uint8_t> tlv_type = r.u8();
+    if (!tlv_type) return tlv_type.error();
+    Result<std::uint8_t> tlv_len = r.u8();
+    if (!tlv_len) return tlv_len.error();
+    Result<ByteReader> body = r.sub(*tlv_len);
+    if (!body) return body.error();
+
+    switch (*tlv_type) {
+      case kTlvDynamicHostname: {
+        Result<std::string> name = body->string(body->remaining());
+        if (!name) return name.error();
+        lsp.hostname = *name;
+        break;
+      }
+      case kTlvExtendedIsReach: {
+        while (!body->done()) {
+          IsReachEntry e;
+          Result<OsiSystemId> nbr = read_system_id(*body);
+          if (!nbr) return nbr.error();
+          e.neighbor = *nbr;
+          Result<std::uint8_t> pnode = body->u8();
+          if (!pnode) return pnode.error();
+          e.pseudonode = *pnode;
+          Result<std::uint32_t> metric = body->u24();
+          if (!metric) return metric.error();
+          e.metric = *metric;
+          Result<std::uint8_t> sub_len = body->u8();
+          if (!sub_len) return sub_len.error();
+          if (Result<std::vector<std::uint8_t>> sub = body->bytes(*sub_len); !sub) {
+            return sub.error();
+          }
+          lsp.is_reach.push_back(e);
+        }
+        break;
+      }
+      case kTlvExtendedIpReach: {
+        while (!body->done()) {
+          IpReachEntry e;
+          Result<std::uint32_t> metric = body->u32();
+          if (!metric) return metric.error();
+          e.metric = *metric;
+          Result<std::uint8_t> control = body->u8();
+          if (!control) return control.error();
+          const int plen = *control & 0x3f;
+          if (plen > 32) {
+            return make_error(ErrorCode::kParseError, "bad prefix length");
+          }
+          const int nbytes = (plen + 7) / 8;
+          std::uint32_t net = 0;
+          for (int b = 0; b < nbytes; ++b) {
+            Result<std::uint8_t> octet = body->u8();
+            if (!octet) return octet.error();
+            net |= std::uint32_t{*octet} << (24 - 8 * b);
+          }
+          e.prefix = Ipv4Prefix{Ipv4Address{net}, plen};
+          if (*control & 0x40) {  // sub-TLVs present
+            Result<std::uint8_t> sub_len = body->u8();
+            if (!sub_len) return sub_len.error();
+            if (Result<std::vector<std::uint8_t>> sub = body->bytes(*sub_len);
+                !sub) {
+              return sub.error();
+            }
+          }
+          lsp.ip_reach.push_back(e);
+        }
+        break;
+      }
+      default:
+        break;  // unknown TLVs are skipped, as the standard requires
+    }
+  }
+  return lsp;
+}
+
+std::vector<std::uint8_t> PointToPointHello::encode() const {
+  ByteWriter w;
+  write_common_header(w, kPduTypeP2PHello, kP2PHelloHeaderLength);
+  w.u8(0x02);  // circuit type: level 2 only
+  w.bytes(source.bytes());
+  w.u16(holding_time);
+  const std::size_t len_offset = w.size();
+  w.u16(0);  // PDU length, patched below
+  w.u8(circuit_id);
+
+  // TLV 240: point-to-point three-way adjacency (RFC 5303).
+  w.u8(kTlvThreeWayAdjacency);
+  w.u8(static_cast<std::uint8_t>(has_neighbor ? 15 : 5));
+  w.u8(static_cast<std::uint8_t>(three_way_state));
+  w.u32(circuit_id);  // extended local circuit ID
+  if (has_neighbor) {
+    w.bytes(neighbor.bytes());
+    w.u32(0);  // neighbor extended circuit ID
+  }
+
+  std::vector<std::uint8_t> out = w.take();
+  out[len_offset] = static_cast<std::uint8_t>(out.size() >> 8);
+  out[len_offset + 1] = static_cast<std::uint8_t>(out.size());
+  return out;
+}
+
+Result<PointToPointHello> PointToPointHello::decode(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Result<std::uint8_t> type = read_common_header(r);
+  if (!type) return type.error();
+  if (*type != kPduTypeP2PHello) {
+    return make_error(ErrorCode::kParseError, "not a point-to-point hello");
+  }
+
+  PointToPointHello hello;
+  if (Result<std::uint8_t> circuit_type = r.u8(); !circuit_type) {
+    return circuit_type.error();
+  }
+  Result<OsiSystemId> src = read_system_id(r);
+  if (!src) return src.error();
+  hello.source = *src;
+  Result<std::uint16_t> hold = r.u16();
+  if (!hold) return hold.error();
+  hello.holding_time = *hold;
+  Result<std::uint16_t> pdu_len = r.u16();
+  if (!pdu_len) return pdu_len.error();
+  if (*pdu_len != data.size()) {
+    return make_error(ErrorCode::kParseError, "PDU length field mismatch");
+  }
+  Result<std::uint8_t> circuit = r.u8();
+  if (!circuit) return circuit.error();
+  hello.circuit_id = *circuit;
+
+  while (!r.done()) {
+    Result<std::uint8_t> tlv_type = r.u8();
+    if (!tlv_type) return tlv_type.error();
+    Result<std::uint8_t> tlv_len = r.u8();
+    if (!tlv_len) return tlv_len.error();
+    Result<ByteReader> body = r.sub(*tlv_len);
+    if (!body) return body.error();
+    if (*tlv_type != kTlvThreeWayAdjacency) continue;
+
+    Result<std::uint8_t> state = body->u8();
+    if (!state) return state.error();
+    if (*state > 2) {
+      return make_error(ErrorCode::kParseError, "bad three-way state");
+    }
+    hello.three_way_state = static_cast<ThreeWayState>(*state);
+    if (Result<std::uint32_t> ext = body->u32(); !ext) return ext.error();
+    if (body->remaining() >= 6) {
+      Result<OsiSystemId> nbr = read_system_id(*body);
+      if (!nbr) return nbr.error();
+      hello.neighbor = *nbr;
+      hello.has_neighbor = true;
+    }
+  }
+  return hello;
+}
+
+Result<std::uint8_t> pdu_type(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  return read_common_header(r);
+}
+
+}  // namespace netfail::isis

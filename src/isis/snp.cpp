@@ -1,0 +1,222 @@
+#include "src/isis/snp.hpp"
+
+#include <algorithm>
+
+#include "src/common/strfmt.hpp"
+#include "src/isis/bytes.hpp"
+#include "src/isis/pdu.hpp"
+
+namespace netfail::isis {
+namespace {
+
+constexpr std::uint8_t kProtocolDiscriminator = 0x83;
+constexpr std::uint8_t kCsnpHeaderLength = 33;
+constexpr std::uint8_t kPsnpHeaderLength = 17;
+constexpr std::size_t kLspEntrySize = 16;
+
+void write_common_header(ByteWriter& w, std::uint8_t pdu_type,
+                         std::uint8_t header_length) {
+  w.u8(kProtocolDiscriminator);
+  w.u8(header_length);
+  w.u8(1);  // version/protocol id extension
+  w.u8(0);  // id length
+  w.u8(pdu_type);
+  w.u8(1);  // version
+  w.u8(0);  // reserved
+  w.u8(0);  // maximum area addresses
+}
+
+void write_lsp_id(ByteWriter& w, const LspId& id) {
+  w.bytes(id.system.bytes());
+  w.u8(id.pseudonode);
+  w.u8(id.fragment);
+}
+
+Result<LspId> read_lsp_id(ByteReader& r) {
+  Result<std::vector<std::uint8_t>> raw = r.bytes(6);
+  if (!raw) return raw.error();
+  std::array<std::uint8_t, 6> arr{};
+  std::copy(raw->begin(), raw->end(), arr.begin());
+  LspId id;
+  id.system = OsiSystemId{arr};
+  Result<std::uint8_t> pn = r.u8();
+  if (!pn) return pn.error();
+  id.pseudonode = *pn;
+  Result<std::uint8_t> frag = r.u8();
+  if (!frag) return frag.error();
+  id.fragment = *frag;
+  return id;
+}
+
+void write_entries_tlvs(ByteWriter& w, const std::vector<LspEntry>& entries) {
+  constexpr std::size_t kPerTlv = 255 / kLspEntrySize;  // 15
+  for (std::size_t base = 0; base < entries.size(); base += kPerTlv) {
+    const std::size_t n = std::min(kPerTlv, entries.size() - base);
+    w.u8(kTlvLspEntries);
+    w.u8(static_cast<std::uint8_t>(n * kLspEntrySize));
+    for (std::size_t i = base; i < base + n; ++i) {
+      const LspEntry& e = entries[i];
+      w.u16(e.remaining_lifetime);
+      write_lsp_id(w, e.id);
+      w.u32(e.sequence);
+      w.u16(e.checksum);
+    }
+  }
+}
+
+Status read_entries_tlv(ByteReader& body, std::vector<LspEntry>& out) {
+  while (!body.done()) {
+    LspEntry e;
+    Result<std::uint16_t> lifetime = body.u16();
+    if (!lifetime) return lifetime.error();
+    e.remaining_lifetime = *lifetime;
+    Result<LspId> id = read_lsp_id(body);
+    if (!id) return id.error();
+    e.id = *id;
+    Result<std::uint32_t> seq = body.u32();
+    if (!seq) return seq.error();
+    e.sequence = *seq;
+    Result<std::uint16_t> ck = body.u16();
+    if (!ck) return ck.error();
+    e.checksum = *ck;
+    out.push_back(e);
+  }
+  return Status::ok_status();
+}
+
+/// Shared parse for both SNP types after the type check.
+Result<std::uint8_t> read_header_and_type(ByteReader& r) {
+  Result<std::uint8_t> disc = r.u8();
+  if (!disc) return disc.error();
+  if (*disc != kProtocolDiscriminator) {
+    return make_error(ErrorCode::kParseError, "bad protocol discriminator");
+  }
+  for (int i = 0; i < 3; ++i) {
+    if (Result<std::uint8_t> b = r.u8(); !b) return b.error();
+  }
+  Result<std::uint8_t> type = r.u8();
+  if (!type) return type.error();
+  for (int i = 0; i < 3; ++i) {
+    if (Result<std::uint8_t> b = r.u8(); !b) return b.error();
+  }
+  return static_cast<std::uint8_t>(*type & 0x1f);
+}
+
+Result<OsiSystemId> read_source(ByteReader& r) {
+  // Source ID in SNPs is system id + circuit (7 bytes).
+  Result<std::vector<std::uint8_t>> raw = r.bytes(7);
+  if (!raw) return raw.error();
+  std::array<std::uint8_t, 6> arr{};
+  std::copy(raw->begin(), raw->begin() + 6, arr.begin());
+  return OsiSystemId{arr};
+}
+
+}  // namespace
+
+std::string LspId::to_string() const {
+  return system.to_string() + strformat(".%02x-%02x", pseudonode, fragment);
+}
+
+Csnp::Csnp() {
+  end.system = OsiSystemId{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  end.pseudonode = 0xff;
+  end.fragment = 0xff;
+}
+
+std::vector<std::uint8_t> Csnp::encode() const {
+  ByteWriter w;
+  write_common_header(w, kPduTypeCsnpL2, kCsnpHeaderLength);
+  const std::size_t len_offset = w.size();
+  w.u16(0);  // PDU length, patched
+  w.bytes(source.bytes());
+  w.u8(0);  // circuit id
+  write_lsp_id(w, start);
+  write_lsp_id(w, end);
+  write_entries_tlvs(w, entries);
+  std::vector<std::uint8_t> out = w.take();
+  out[len_offset] = static_cast<std::uint8_t>(out.size() >> 8);
+  out[len_offset + 1] = static_cast<std::uint8_t>(out.size());
+  return out;
+}
+
+Result<Csnp> Csnp::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Result<std::uint8_t> type = read_header_and_type(r);
+  if (!type) return type.error();
+  if (*type != kPduTypeCsnpL2) {
+    return make_error(ErrorCode::kParseError, "not an L2 CSNP");
+  }
+  Csnp csnp;
+  Result<std::uint16_t> len = r.u16();
+  if (!len) return len.error();
+  if (*len != data.size()) {
+    return make_error(ErrorCode::kParseError, "PDU length field mismatch");
+  }
+  Result<OsiSystemId> src = read_source(r);
+  if (!src) return src.error();
+  csnp.source = *src;
+  Result<LspId> start = read_lsp_id(r);
+  if (!start) return start.error();
+  csnp.start = *start;
+  Result<LspId> end = read_lsp_id(r);
+  if (!end) return end.error();
+  csnp.end = *end;
+
+  csnp.entries.clear();
+  while (!r.done()) {
+    Result<std::uint8_t> tlv_type = r.u8();
+    if (!tlv_type) return tlv_type.error();
+    Result<std::uint8_t> tlv_len = r.u8();
+    if (!tlv_len) return tlv_len.error();
+    Result<ByteReader> body = r.sub(*tlv_len);
+    if (!body) return body.error();
+    if (*tlv_type != kTlvLspEntries) continue;
+    if (Status s = read_entries_tlv(*body, csnp.entries); !s) return s.error();
+  }
+  return csnp;
+}
+
+std::vector<std::uint8_t> Psnp::encode() const {
+  ByteWriter w;
+  write_common_header(w, kPduTypePsnpL2, kPsnpHeaderLength);
+  const std::size_t len_offset = w.size();
+  w.u16(0);
+  w.bytes(source.bytes());
+  w.u8(0);  // circuit id
+  write_entries_tlvs(w, entries);
+  std::vector<std::uint8_t> out = w.take();
+  out[len_offset] = static_cast<std::uint8_t>(out.size() >> 8);
+  out[len_offset + 1] = static_cast<std::uint8_t>(out.size());
+  return out;
+}
+
+Result<Psnp> Psnp::decode(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  Result<std::uint8_t> type = read_header_and_type(r);
+  if (!type) return type.error();
+  if (*type != kPduTypePsnpL2) {
+    return make_error(ErrorCode::kParseError, "not an L2 PSNP");
+  }
+  Psnp psnp;
+  Result<std::uint16_t> len = r.u16();
+  if (!len) return len.error();
+  if (*len != data.size()) {
+    return make_error(ErrorCode::kParseError, "PDU length field mismatch");
+  }
+  Result<OsiSystemId> src = read_source(r);
+  if (!src) return src.error();
+  psnp.source = *src;
+  while (!r.done()) {
+    Result<std::uint8_t> tlv_type = r.u8();
+    if (!tlv_type) return tlv_type.error();
+    Result<std::uint8_t> tlv_len = r.u8();
+    if (!tlv_len) return tlv_len.error();
+    Result<ByteReader> body = r.sub(*tlv_len);
+    if (!body) return body.error();
+    if (*tlv_type != kTlvLspEntries) continue;
+    if (Status s = read_entries_tlv(*body, psnp.entries); !s) return s.error();
+  }
+  return psnp;
+}
+
+}  // namespace netfail::isis

@@ -1,0 +1,72 @@
+// Sequence-number PDUs: CSNP and PSNP (ISO 10589 sect. 9.9-9.10).
+//
+// SNPs are how IS-IS keeps link-state databases synchronized: a CSNP
+// describes the sender's whole database as (LSP ID, sequence, lifetime,
+// checksum) summaries; a PSNP acknowledges or requests specific LSPs. The
+// passive listener in the paper relies on its neighbor's periodic CSNPs to
+// detect LSPs it never received; we implement both PDUs so the substrate's
+// database-synchronization story is complete and testable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/topology/osi.hpp"
+
+namespace netfail::isis {
+
+inline constexpr std::uint8_t kPduTypeCsnpL2 = 25;
+inline constexpr std::uint8_t kPduTypePsnpL2 = 27;
+inline constexpr std::uint8_t kTlvLspEntries = 9;
+
+/// An 8-byte LSP identifier: system id + pseudonode + fragment.
+struct LspId {
+  OsiSystemId system;
+  std::uint8_t pseudonode = 0;
+  std::uint8_t fragment = 0;
+
+  auto operator<=>(const LspId&) const = default;
+  std::string to_string() const;
+};
+
+/// One summary in TLV 9.
+struct LspEntry {
+  std::uint16_t remaining_lifetime = 0;
+  LspId id;
+  std::uint32_t sequence = 0;
+  std::uint16_t checksum = 0;
+
+  auto operator<=>(const LspEntry&) const = default;
+};
+
+/// Complete sequence-number PDU: summarizes the database slice between
+/// `start` and `end` (inclusive).
+struct Csnp {
+  OsiSystemId source;
+  LspId start;  // default: all-zero
+  LspId end;    // default-constructed Csnp sets this to all-ones
+  std::vector<LspEntry> entries;
+
+  Csnp();
+
+  std::vector<std::uint8_t> encode() const;
+  static Result<Csnp> decode(std::span<const std::uint8_t> data);
+
+  bool operator==(const Csnp&) const = default;
+};
+
+/// Partial sequence-number PDU: acknowledges / requests specific LSPs.
+struct Psnp {
+  OsiSystemId source;
+  std::vector<LspEntry> entries;
+
+  std::vector<std::uint8_t> encode() const;
+  static Result<Psnp> decode(std::span<const std::uint8_t> data);
+
+  bool operator==(const Psnp&) const = default;
+};
+
+}  // namespace netfail::isis

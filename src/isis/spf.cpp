@@ -1,0 +1,101 @@
+#include "src/isis/spf.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace netfail::isis {
+namespace {
+
+/// Directed neighbor entry with the advertised metric.
+struct Arc {
+  OsiSystemId to;
+  std::uint32_t metric;
+};
+
+}  // namespace
+
+SpfResult shortest_paths(const LinkStateDatabase& db, const OsiSystemId& root) {
+  // Gather each system's advertisements. Fragments of one source merge.
+  std::map<OsiSystemId, std::vector<Arc>> arcs;
+  std::map<OsiSystemId, std::vector<IpReachEntry>> prefixes_of;
+  for (const Lsp* lsp : db.snapshot()) {
+    std::vector<Arc>& out = arcs[lsp->source];
+    for (const IsReachEntry& e : lsp->is_reach) {
+      out.push_back(Arc{e.neighbor, e.metric});
+    }
+    auto& prefixes = prefixes_of[lsp->source];
+    prefixes.insert(prefixes.end(), lsp->ip_reach.begin(), lsp->ip_reach.end());
+  }
+
+  // Two-way check: keep arc u->v only if v also advertises u. Parallel
+  // adjacencies collapse to the cheapest.
+  auto advertises = [&arcs](const OsiSystemId& from, const OsiSystemId& to) {
+    const auto it = arcs.find(from);
+    if (it == arcs.end()) return false;
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [&to](const Arc& a) { return a.to == to; });
+  };
+
+  SpfResult result;
+  if (!arcs.contains(root) && !prefixes_of.contains(root)) return result;
+
+  using QueueEntry = std::pair<std::uint32_t, OsiSystemId>;  // (distance, node)
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> heap;
+  std::map<OsiSystemId, std::uint32_t> best;
+  std::map<OsiSystemId, std::optional<OsiSystemId>> hop;
+  heap.emplace(0, root);
+  best[root] = 0;
+  hop[root] = std::nullopt;
+
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    const auto settled = result.nodes.find(node);
+    if (settled != result.nodes.end()) continue;
+    result.nodes.emplace(node, SpfNode{node, dist, hop[node]});
+
+    const auto it = arcs.find(node);
+    if (it == arcs.end()) continue;
+    for (const Arc& arc : it->second) {
+      if (!advertises(arc.to, node)) continue;  // two-way check
+      const std::uint32_t next = dist + arc.metric;
+      const auto known = best.find(arc.to);
+      if (known != best.end() && known->second <= next) continue;
+      best[arc.to] = next;
+      // First hop: inherit from the parent, or the neighbor itself when the
+      // parent is the root.
+      hop[arc.to] = (node == root) ? std::optional<OsiSystemId>(arc.to)
+                                   : hop[node];
+      heap.emplace(next, arc.to);
+    }
+  }
+
+  // Prefix reachability: best node distance + advertised prefix metric.
+  for (const auto& [system, prefixes] : prefixes_of) {
+    const auto node = result.nodes.find(system);
+    if (node == result.nodes.end()) continue;
+    for (const IpReachEntry& e : prefixes) {
+      const std::uint32_t total = node->second.distance + e.metric;
+      const auto it = result.prefixes.find(e.prefix);
+      if (it == result.prefixes.end() || total < it->second) {
+        result.prefixes[e.prefix] = total;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<OsiSystemId> unreachable_systems(const LinkStateDatabase& db,
+                                             const OsiSystemId& root) {
+  const SpfResult spf = shortest_paths(db, root);
+  std::set<OsiSystemId> all;
+  for (const Lsp* lsp : db.snapshot()) all.insert(lsp->source);
+  std::vector<OsiSystemId> out;
+  for (const OsiSystemId& system : all) {
+    if (!spf.reaches(system)) out.push_back(system);
+  }
+  return out;
+}
+
+}  // namespace netfail::isis

@@ -1,0 +1,50 @@
+// Shortest-path-first computation over a link-state database snapshot
+// (ISO 10589 Annex C / classic Dijkstra).
+//
+// Routing is why the paper can call IS-IS "ground truth": if the protocol
+// declares a link down, traffic genuinely stops using it. This module makes
+// that operational meaning computable — which nodes and prefixes a router
+// can reach, and at what metric — directly from the same LSPs the listener
+// records. An adjacency counts only when *both* ends advertise it (the
+// protocol's two-way check), matching the extractor's semantics.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/isis/lsdb.hpp"
+
+namespace netfail::isis {
+
+struct SpfNode {
+  OsiSystemId system;
+  std::uint32_t distance = 0;
+  /// First hop from the root toward this node (invalid for the root itself).
+  std::optional<OsiSystemId> first_hop;
+};
+
+struct SpfResult {
+  /// Reached nodes, keyed by system id.
+  std::map<OsiSystemId, SpfNode> nodes;
+  /// Best metric toward every reachable IP prefix.
+  std::map<Ipv4Prefix, std::uint32_t> prefixes;
+
+  bool reaches(const OsiSystemId& system) const {
+    return nodes.contains(system);
+  }
+  bool reaches(const Ipv4Prefix& prefix) const {
+    return prefixes.contains(prefix);
+  }
+};
+
+/// Run SPF from `root` over the database. Nodes connected only by
+/// one-directional advertisements are unreachable (two-way check).
+SpfResult shortest_paths(const LinkStateDatabase& db, const OsiSystemId& root);
+
+/// Convenience: systems unreachable from `root` (present in the database but
+/// not reached) — the protocol-level notion of a partition.
+std::vector<OsiSystemId> unreachable_systems(const LinkStateDatabase& db,
+                                             const OsiSystemId& root);
+
+}  // namespace netfail::isis

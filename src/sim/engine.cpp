@@ -1,0 +1,31 @@
+#include "src/sim/engine.hpp"
+
+#include <utility>
+
+#include "src/common/assert.hpp"
+
+namespace netfail::sim {
+
+void EventQueue::push(TimePoint t, Handler handler) {
+  NETFAIL_ASSERT(handler != nullptr, "null event handler");
+  heap_.push(Event{t, next_seq_++, std::move(handler)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately — but keep it simple and copy the
+  // closure (events are small).
+  Event e = heap_.top();
+  heap_.pop();
+  e.handler(e.time);
+  return true;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+}  // namespace netfail::sim

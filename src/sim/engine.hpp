@@ -1,0 +1,50 @@
+// A minimal discrete-event engine.
+//
+// Events are closures keyed by (time, sequence); sequence numbers make
+// same-instant ordering deterministic. Handlers may push further events
+// (e.g. a state change schedules a throttled LSP generation, which
+// schedules a flooded delivery).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.hpp"
+
+namespace netfail::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void(TimePoint)>;
+
+  void push(TimePoint t, Handler handler);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  TimePoint next_time() const { return heap_.top().time; }
+
+  /// Pop and execute the earliest event. Returns false when empty.
+  bool step();
+
+  /// Run until the queue drains. Returns number of events processed.
+  std::size_t run();
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    Handler handler;
+
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace netfail::sim

@@ -1,0 +1,38 @@
+#include "src/sim/ground_truth.hpp"
+
+#include <algorithm>
+
+namespace netfail::sim {
+
+std::map<std::string, IntervalSet> GroundTruth::adjacency_downtime_by_link()
+    const {
+  std::map<std::string, IntervalSet> out;
+  for (const TrueFailure& f : failures_) {
+    if (!f.adjacency_down.empty()) {
+      out[f.link_name].add(f.adjacency_down);
+    }
+  }
+  return out;
+}
+
+Duration GroundTruth::total_adjacency_downtime() const {
+  Duration total;
+  for (const auto& [name, set] : adjacency_downtime_by_link()) {
+    total += set.total();
+  }
+  return total;
+}
+
+std::size_t GroundTruth::count(FailureClass cls) const {
+  return static_cast<std::size_t>(
+      std::count_if(failures_.begin(), failures_.end(),
+                    [cls](const TrueFailure& f) { return f.cls == cls; }));
+}
+
+std::size_t GroundTruth::flap_failure_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(failures_.begin(), failures_.end(),
+                    [](const TrueFailure& f) { return f.in_flap_episode; }));
+}
+
+}  // namespace netfail::sim

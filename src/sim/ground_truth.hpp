@@ -1,0 +1,80 @@
+// Ground truth: what actually happened to every link.
+//
+// The analysis pipeline never reads this — it only sees the two imperfect
+// observation streams. Ground truth exists so tests can verify that the
+// IS-IS reconstruction tracks reality (the paper's premise) and so the
+// dataset-summary benchmark can report true downtime for context.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/common/interval_set.hpp"
+#include "src/common/time.hpp"
+
+namespace netfail::sim {
+
+enum class FailureClass {
+  kMediaFailure,     // fiber/optics/device: media and adjacency both drop
+  kProtocolFailure,  // adjacency drops, media stays up
+  kMediaBlip,        // media bounce inside the hold time: adjacency survives
+  kPseudoFailure,    // syslog-only adjacency reset / aborted handshake
+};
+
+inline const char* failure_class_name(FailureClass c) {
+  switch (c) {
+    case FailureClass::kMediaFailure: return "media";
+    case FailureClass::kProtocolFailure: return "protocol";
+    case FailureClass::kMediaBlip: return "blip";
+    case FailureClass::kPseudoFailure: return "pseudo";
+  }
+  return "?";
+}
+
+struct TrueFailure {
+  LinkId link;  // topology link id
+  std::string link_name;
+  FailureClass cls = FailureClass::kProtocolFailure;
+  TimeRange media_down;      // empty unless media was involved
+  TimeRange adjacency_down;  // empty for blips and pseudo-failures
+  bool in_flap_episode = false;
+  bool ticketed = false;
+  /// Maintenance silence: the routers were being depowered / reconfigured,
+  /// so no syslog escapes for this failure at all (the LSP flood is
+  /// unaffected — neighbors keep advertising the withdrawal). A chunk of
+  /// the paper's downtime is IS-IS-only for exactly this kind of reason.
+  bool syslog_silent = false;
+};
+
+class GroundTruth {
+ public:
+  void add_failure(TrueFailure f) { failures_.push_back(std::move(f)); }
+
+  const std::vector<TrueFailure>& failures() const { return failures_; }
+
+  /// True adjacency downtime per link (media + protocol failures).
+  std::map<std::string, IntervalSet> adjacency_downtime_by_link() const;
+  Duration total_adjacency_downtime() const;
+
+  std::size_t count(FailureClass cls) const;
+  std::size_t flap_failure_count() const;
+
+  void set_listener_gaps(IntervalSet gaps) { listener_gaps_ = std::move(gaps); }
+  const IntervalSet& listener_gaps() const { return listener_gaps_; }
+
+  void add_syslog_blackout(std::string router, TimeRange window) {
+    syslog_blackouts_[std::move(router)].add(window);
+  }
+  const std::map<std::string, IntervalSet>& syslog_blackouts() const {
+    return syslog_blackouts_;
+  }
+
+ private:
+  std::vector<TrueFailure> failures_;
+  IntervalSet listener_gaps_;
+  std::map<std::string, IntervalSet> syslog_blackouts_;
+};
+
+}  // namespace netfail::sim

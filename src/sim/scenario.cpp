@@ -1,0 +1,24 @@
+#include "src/sim/scenario.hpp"
+
+namespace netfail::sim {
+
+ScenarioParams cenic_scenario() {
+  return ScenarioParams{};  // defaults are the calibrated CENIC scenario
+}
+
+ScenarioParams test_scenario(std::uint64_t seed) {
+  ScenarioParams p;
+  p.seed = seed;
+  p.period = TimeRange{TimePoint::from_civil(2010, 10, 20),
+                       TimePoint::from_civil(2010, 12, 1)};
+  p.topology = TopologyParams{}.scaled_down(6);
+  p.topology.seed = seed * 1299709 + 11;
+  // Busier links so short tests still see a useful number of events.
+  p.core_rate_median = 40;
+  p.cpe_rate_median = 60;
+  p.blackout_router_count = 2;
+  p.listener_gap_count = 1;
+  return p;
+}
+
+}  // namespace netfail::sim

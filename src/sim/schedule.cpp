@@ -1,0 +1,289 @@
+#include "src/sim/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/assert.hpp"
+
+namespace netfail::sim {
+namespace {
+
+constexpr double kSecondsPerYear = 365.25 * 86400.0;
+
+/// Per-link failure arrival rate, lognormal across links.
+double sample_annual_rate(double median, double sigma, Rng& rng) {
+  return rng.lognormal(std::log(median), sigma);
+}
+
+}  // namespace
+
+double sample_duration_s(const DurationMixture& mix, Rng& rng) {
+  const bool tail = rng.bernoulli(mix.tail_prob);
+  const double median = tail ? mix.tail_median_s : mix.body_median_s;
+  const double sigma = tail ? mix.tail_sigma : mix.body_sigma;
+  return std::max(mix.min_s, rng.lognormal(std::log(median), sigma));
+}
+
+std::vector<TrueFailure> generate_schedule(const ScenarioParams& params,
+                                           const Topology& topo, Rng& rng) {
+  std::vector<TrueFailure> out;
+  const TimeRange period = params.period;
+  // Per-link occupancy across all generators (a link must recover before it
+  // can fail again).
+  std::map<LinkId, IntervalSet> busy_map;
+
+  // Links that are the only uplink of some customer (see
+  // sole_uplink_rate_factor).
+  std::set<LinkId> sole_uplinks;
+  for (const Customer& customer : topo.customers()) {
+    std::vector<LinkId> uplinks;
+    for (const RouterId router : customer.routers) {
+      for (const auto& [peer, link] : topo.adjacency(router)) {
+        if (topo.router(peer).cls == RouterClass::kCore) uplinks.push_back(link);
+      }
+    }
+    if (uplinks.size() == 1) sole_uplinks.insert(uplinks.front());
+  }
+
+  for (const Link& link : topo.links()) {
+    Rng link_rng = rng.fork();
+    const bool core = link.cls == RouterClass::kCore;
+    const std::string name = topo.link_name(link.id);
+    const DurationMixture& mix = core ? params.core_duration : params.cpe_duration;
+
+    const bool sole = sole_uplinks.contains(link.id);
+    const double rate = sample_annual_rate(
+                            core ? params.core_rate_median : params.cpe_rate_median,
+                            core ? params.core_rate_sigma : params.cpe_rate_sigma,
+                            link_rng) *
+                        (sole ? params.sole_uplink_rate_factor : 1.0);
+    const double mean_gap_s = kSecondsPerYear / rate;
+    // Per-link flappiness: scales episode sizes, carrying the heavy upper
+    // tail of failures-per-link.
+    const double flappiness =
+        link_rng.lognormal(0.0, params.flap_size_sigma) *
+        (sole ? params.sole_uplink_flap_factor : 1.0);
+
+    IntervalSet& busy = busy_map[link.id];
+
+    // One adjacency-dropping failure starting at `t`; returns the time at
+    // which the link is fully recovered.
+    auto emit_failure = [&](TimePoint t, double duration_s, bool in_flap)
+        -> TimePoint {
+      TrueFailure f;
+      f.link = link.id;
+      f.link_name = name;
+      f.in_flap_episode = in_flap;
+      const bool media = link_rng.bernoulli(params.media_failure_prob);
+      const Duration dur = Duration::from_seconds_f(duration_s);
+      if (media) {
+        f.cls = FailureClass::kMediaFailure;
+        f.media_down = TimeRange{t, t + dur};
+        const Duration detect = link_rng.uniform_duration(
+            Duration::millis(0), params.adjacency_detect_max);
+        const Duration handshake = link_rng.uniform_duration(
+            params.handshake_min, params.handshake_max);
+        f.adjacency_down = TimeRange{t + detect, t + dur + handshake};
+      } else {
+        f.cls = FailureClass::kProtocolFailure;
+        f.adjacency_down = TimeRange{t, t + dur};
+      }
+      TimePoint recovered = f.adjacency_down.end;
+      f.ticketed = f.adjacency_down.duration() >= params.ticket_threshold;
+      f.syslog_silent =
+          f.ticketed && link_rng.bernoulli(params.maintenance_silent_prob);
+      busy.add(TimeRange{t, recovered});
+      out.push_back(f);
+
+      // Post-recovery adjacency reset: a syslog-only pseudo-failure.
+      if (link_rng.bernoulli(params.reset_after_failure_prob)) {
+        TrueFailure reset;
+        reset.link = link.id;
+        reset.link_name = name;
+        reset.cls = FailureClass::kPseudoFailure;
+        const TimePoint rt =
+            recovered + Duration::from_seconds_f(link_rng.uniform_real(0.5, 3.0));
+        reset.adjacency_down =
+            TimeRange{rt, rt + Duration::from_seconds_f(
+                              link_rng.uniform_real(0.2, 1.0))};
+        reset.in_flap_episode = in_flap;
+        recovered = reset.adjacency_down.end;
+        busy.add(reset.adjacency_down);
+        out.push_back(reset);
+      }
+      return recovered;
+    };
+
+    // ---- main arrival process -------------------------------------------------
+    TimePoint cursor =
+        period.begin + Duration::from_seconds_f(link_rng.exponential(mean_gap_s));
+    while (cursor < period.end) {
+      if (link_rng.bernoulli(core ? params.core_flap_episode_prob
+                                  : params.cpe_flap_episode_prob)) {
+        // Flapping episode: a burst of short failures with short gaps.
+        const double mean_extra = params.flap_extra_mean * flappiness;
+        const int extra = static_cast<int>(
+            link_rng.geometric(1.0 / (1.0 + mean_extra)));
+        const int count = 2 + extra;
+        TimePoint t = cursor;
+        for (int k = 0; k < count && t < period.end; ++k) {
+          const double dur_s = sample_duration_s(params.flap_duration, link_rng);
+          t = emit_failure(t, dur_s, /*in_flap=*/true);
+          const double gap_s = std::max(
+              params.flap_gap_min.seconds_f(),
+              link_rng.lognormal(std::log(params.flap_gap_median.seconds_f()),
+                                 params.flap_gap_sigma));
+          t += Duration::from_seconds_f(std::min(gap_s, 590.0));
+        }
+        cursor = t;
+      } else {
+        cursor = emit_failure(cursor, sample_duration_s(mix, link_rng),
+                              /*in_flap=*/false);
+      }
+      // Aborted three-way handshake attempts cluster around flap episodes;
+      // handled below by tagging pseudo-failures onto episodes.
+      cursor += Duration::from_seconds_f(link_rng.exponential(mean_gap_s)) +
+                Duration::seconds(5);
+    }
+
+    // ---- handshake aborts on flap episodes -------------------------------------
+    // Walk the failures just added for this link; after a flap failure, with
+    // some probability insert an aborted-handshake pseudo-failure.
+    const std::size_t link_begin = out.size();
+    (void)link_begin;  // (aborts are appended below, scanning is bounded)
+    std::vector<TrueFailure> aborts;
+    for (const TrueFailure& f : out) {
+      if (f.link != link.id || !f.in_flap_episode ||
+          f.cls == FailureClass::kPseudoFailure) {
+        continue;
+      }
+      if (!link_rng.bernoulli(params.handshake_abort_prob)) continue;
+      TrueFailure abort;
+      abort.link = link.id;
+      abort.link_name = name;
+      abort.cls = FailureClass::kPseudoFailure;
+      abort.in_flap_episode = true;
+      const TimePoint at = f.adjacency_down.end +
+                           Duration::from_seconds_f(link_rng.uniform_real(1.0, 8.0));
+      abort.adjacency_down =
+          TimeRange{at, at + Duration::from_seconds_f(
+                            link_rng.uniform_real(0.1, 0.9))};
+      if (!busy.overlaps(abort.adjacency_down) &&
+          abort.adjacency_down.end < period.end) {
+        busy.add(abort.adjacency_down);
+        aborts.push_back(abort);
+      }
+    }
+    out.insert(out.end(), aborts.begin(), aborts.end());
+
+    // ---- media blips ------------------------------------------------------------
+    const double blip_gap_s = kSecondsPerYear / params.blip_rate_per_year;
+    TimePoint bt =
+        period.begin + Duration::from_seconds_f(link_rng.exponential(blip_gap_s));
+    while (bt < period.end) {
+      const double dur_s =
+          std::min(params.blip_max_s,
+                   link_rng.lognormal(std::log(params.blip_median_s),
+                                      params.blip_sigma));
+      TrueFailure blip;
+      blip.link = link.id;
+      blip.link_name = name;
+      blip.cls = FailureClass::kMediaBlip;
+      blip.media_down = TimeRange{bt, bt + Duration::from_seconds_f(dur_s)};
+      if (!busy.overlaps(blip.media_down) && blip.media_down.end < period.end) {
+        busy.add(blip.media_down);
+        out.push_back(blip);
+      }
+      bt += Duration::from_seconds_f(link_rng.exponential(blip_gap_s));
+    }
+  }
+
+  // ---- correlated site outages -------------------------------------------------
+  // A power or facility failure on customer premises takes down *all* of a
+  // multi-homed site's uplinks at once — the mechanism that lets isolation
+  // happen to redundant customers (paper sect. 4.4).
+  if (params.site_outage_rate_per_year > 0) {
+    for (const Customer& customer : topo.customers()) {
+      // Collect the site's uplinks (CPE-router links toward the core).
+      std::vector<const Link*> uplinks;
+      for (const RouterId router : customer.routers) {
+        for (const auto& [peer, link] : topo.adjacency(router)) {
+          if (topo.router(peer).cls == RouterClass::kCore) {
+            uplinks.push_back(&topo.link(link));
+          }
+        }
+      }
+      if (uplinks.size() < 2) continue;  // single links fail plenty already
+
+      Rng site_rng = rng.fork();
+      const double gap_s =
+          kSecondsPerYear / params.site_outage_rate_per_year;
+      TimePoint t =
+          period.begin + Duration::from_seconds_f(site_rng.exponential(gap_s));
+      while (t < period.end) {
+        const double dur_s = site_rng.lognormal(
+            std::log(params.site_outage_median.seconds_f()),
+            params.site_outage_sigma);
+        const TimeRange outage{t, t + Duration::from_seconds_f(dur_s)};
+        // Skip the whole outage if any uplink is already busy around it.
+        const TimeRange padded{outage.begin - Duration::seconds(10),
+                               outage.end + Duration::seconds(60)};
+        bool clear = outage.end < period.end;
+        for (const Link* l : uplinks) {
+          if (busy_map[l->id].overlaps(padded)) clear = false;
+        }
+        if (clear) {
+          for (const Link* l : uplinks) {
+            TrueFailure f;
+            f.link = l->id;
+            f.link_name = topo.link_name(l->id);
+            f.cls = FailureClass::kMediaFailure;
+            const Duration jit =
+                Duration::millis(site_rng.uniform_int(0, 1200));
+            f.media_down = TimeRange{outage.begin + jit, outage.end + jit};
+            const Duration detect = site_rng.uniform_duration(
+                Duration::millis(0), params.adjacency_detect_max);
+            const Duration handshake = site_rng.uniform_duration(
+                params.handshake_min, params.handshake_max);
+            f.adjacency_down = TimeRange{f.media_down.begin + detect,
+                                         f.media_down.end + handshake};
+            f.ticketed =
+                f.adjacency_down.duration() >= params.ticket_threshold;
+            busy_map[l->id].add(
+                TimeRange{f.media_down.begin, f.adjacency_down.end});
+            out.push_back(std::move(f));
+          }
+        }
+        t += Duration::from_seconds_f(site_rng.exponential(gap_s));
+      }
+    }
+  }
+
+  // Clamp everything into the study period and drop empty leftovers.
+  std::erase_if(out, [&](const TrueFailure& f) {
+    const TimeRange& r =
+        f.cls == FailureClass::kMediaBlip ? f.media_down : f.adjacency_down;
+    return r.begin >= period.end;
+  });
+  for (TrueFailure& f : out) {
+    auto clamp = [&](TimeRange& r) {
+      if (r.empty()) return;
+      r.begin = std::max(r.begin, period.begin);
+      r.end = std::min(r.end, period.end);
+    };
+    clamp(f.media_down);
+    clamp(f.adjacency_down);
+  }
+
+  std::sort(out.begin(), out.end(), [](const TrueFailure& a, const TrueFailure& b) {
+    const TimePoint ta = a.media_down.empty() ? a.adjacency_down.begin
+                                              : a.media_down.begin;
+    const TimePoint tb = b.media_down.empty() ? b.adjacency_down.begin
+                                              : b.media_down.begin;
+    return ta < tb;
+  });
+  return out;
+}
+
+}  // namespace netfail::sim

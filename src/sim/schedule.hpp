@@ -1,0 +1,27 @@
+// Failure schedule generation: turns ScenarioParams + a topology into the
+// ground-truth list of failures, blips and pseudo-failures for the whole
+// study period.
+//
+// Every stochastic choice draws from one seeded Rng, so the schedule — and
+// therefore every downstream table — is identical across runs and machines.
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/ground_truth.hpp"
+#include "src/sim/scenario.hpp"
+#include "src/topology/topology.hpp"
+
+namespace netfail::sim {
+
+/// Generate all ground-truth failures. Output is sorted by event start time;
+/// per-link intervals never overlap (a link must recover before failing
+/// again).
+std::vector<TrueFailure> generate_schedule(const ScenarioParams& params,
+                                           const Topology& topo, Rng& rng);
+
+/// Sample a duration (seconds) from a two-component lognormal mixture.
+double sample_duration_s(const DurationMixture& mix, Rng& rng);
+
+}  // namespace netfail::sim

@@ -1,0 +1,91 @@
+#include "src/stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/strfmt.hpp"
+
+namespace netfail::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  NETFAIL_ASSERT(!sorted_.empty(), "quantile of empty ECDF");
+  NETFAIL_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  if (q <= 0) return sorted_.front();
+  const std::size_t k = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(k == 0 ? 0 : k - 1, sorted_.size() - 1)];
+}
+
+std::vector<double> Ecdf::evaluate(const std::vector<double>& points) const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) out.push_back(at(p));
+  return out;
+}
+
+std::string Ecdf::ascii_plot(
+    const std::vector<std::pair<std::string, const Ecdf*>>& curves,
+    double x_min, double x_max, int width, int height,
+    const std::string& x_label) {
+  NETFAIL_ASSERT(x_min > 0 && x_max > x_min, "log plot needs 0 < x_min < x_max");
+  NETFAIL_ASSERT(width > 10 && height > 4, "plot too small");
+  const char* const kMarks = "*o+x#@";
+
+  // grid[row][col]; row 0 is F = 1.0.
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const double lx0 = std::log10(x_min);
+  const double lx1 = std::log10(x_max);
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    const Ecdf* e = curves[c].second;
+    if (e == nullptr || e->empty()) continue;
+    const char mark = kMarks[c % 6];
+    for (int col = 0; col < width; ++col) {
+      const double x = std::pow(
+          10.0, lx0 + (lx1 - lx0) * static_cast<double>(col) / (width - 1));
+      const double f = e->at(x);
+      int row = height - 1 - static_cast<int>(std::round(f * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      char& cell =
+          grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+      // Where curves coincide, show '=' instead of hiding one under the other.
+      cell = (cell == ' ' || cell == mark) ? mark : '=';
+    }
+  }
+
+  std::string out;
+  for (int row = 0; row < height; ++row) {
+    const double f =
+        1.0 - static_cast<double>(row) / static_cast<double>(height - 1);
+    out += strformat("%4.2f |", f);
+    out += grid[static_cast<std::size_t>(row)];
+    out += "\n";
+  }
+  out += "     +";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += "\n";
+  out += strformat("      %-10.3g", x_min);
+  const std::string right = strformat("%.3g", x_max);
+  const int pad = width - 10 - static_cast<int>(right.size());
+  if (pad > 0) out.append(static_cast<std::size_t>(pad), ' ');
+  out += right + "   (" + x_label + ", log scale)\n";
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    out += strformat("      %c : %s\n", kMarks[c % 6], curves[c].first.c_str());
+  }
+  if (curves.size() > 1) out += "      = : curves coincide\n";
+  return out;
+}
+
+}  // namespace netfail::stats

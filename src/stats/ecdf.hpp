@@ -1,0 +1,40 @@
+// Empirical cumulative distribution functions (Figure 1 of the paper plots
+// three of these for CPE links).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netfail::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  std::size_t sample_count() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// F(x) = fraction of samples <= x.
+  double at(double x) const;
+
+  /// Inverse: smallest sample s with F(s) >= q.
+  double quantile(double q) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// Evaluate at `points` (ascending); used to print comparable curves.
+  std::vector<double> evaluate(const std::vector<double>& points) const;
+
+  /// Render an ASCII plot of one or more CDFs over a log-spaced x axis.
+  /// Each curve is (label, ecdf). Used by the Figure 1 benchmark.
+  static std::string ascii_plot(
+      const std::vector<std::pair<std::string, const Ecdf*>>& curves,
+      double x_min, double x_max, int width = 72, int height = 20,
+      const std::string& x_label = "x");
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace netfail::stats

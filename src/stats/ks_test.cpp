@@ -1,0 +1,52 @@
+#include "src/stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netfail::stats {
+
+double ks_survival(double lambda) {
+  // Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+  if (lambda <= 0) return 1.0;
+  double sum = 0;
+  double sign = 1;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  KsResult r;
+  r.n1 = a.size();
+  r.n2 = b.size();
+  if (a.empty() || b.empty()) return r;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  // Walk both sorted samples, tracking the maximum ECDF gap.
+  std::size_t i = 0, j = 0;
+  double d = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    const double f1 = static_cast<double>(i) / static_cast<double>(a.size());
+    const double f2 = static_cast<double>(j) / static_cast<double>(b.size());
+    d = std::max(d, std::abs(f1 - f2));
+  }
+  r.statistic = d;
+
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double ne = n1 * n2 / (n1 + n2);
+  // Asymptotic with the small-sample correction of Stephens (1970).
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  r.p_value = ks_survival(lambda);
+  return r;
+}
+
+}  // namespace netfail::stats

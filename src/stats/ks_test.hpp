@@ -1,0 +1,30 @@
+// Two-sample Kolmogorov-Smirnov test.
+//
+// The paper (sect. 4.2) uses the two-tailed KS statistic to decide which
+// per-link metrics syslog reproduces faithfully: failures-per-link and link
+// downtime pass, failure duration does not.
+#pragma once
+
+#include <vector>
+
+namespace netfail::stats {
+
+struct KsResult {
+  double statistic = 0;  // sup |F1 - F2|
+  double p_value = 1;    // asymptotic two-sided p-value
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+
+  /// Conventional alpha = 0.05 decision: true when the two samples are
+  /// consistent with one distribution (fail to reject).
+  bool consistent(double alpha = 0.05) const { return p_value > alpha; }
+};
+
+/// Two-sample two-tailed KS test. Inputs need not be sorted.
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// Marsaglia-style asymptotic KS survival function Q(lambda); exposed for
+/// tests against published values.
+double ks_survival(double lambda);
+
+}  // namespace netfail::stats

@@ -1,0 +1,41 @@
+#include "src/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+
+namespace netfail::stats {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  NETFAIL_ASSERT(!sorted.empty(), "quantile of empty data");
+  NETFAIL_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.median = quantile_sorted(values, 0.5);
+  s.p95 = quantile_sorted(values, 0.95);
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double ss = 0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace netfail::stats

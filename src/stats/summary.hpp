@@ -1,0 +1,26 @@
+// Descriptive statistics: the median / average / 95th-percentile triplets
+// that fill the paper's Table 5.
+#pragma once
+
+#include <vector>
+
+namespace netfail::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double median = 0;
+  double mean = 0;
+  double p95 = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+};
+
+/// Compute summary statistics. Empty input yields an all-zero summary.
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolation quantile (R-7, the common default), q in [0, 1].
+/// `sorted` must be ascending and non-empty.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace netfail::stats

@@ -1,0 +1,75 @@
+#include "src/syslog/channel.hpp"
+
+#include <algorithm>
+
+namespace netfail::syslog {
+
+void LossyChannel::add_blackout(const std::string& reporter, TimeRange window) {
+  blackouts_[reporter].add(window);
+}
+
+const IntervalSet* LossyChannel::blackouts_of(const std::string& reporter) const {
+  auto it = blackouts_.find(reporter);
+  return it == blackouts_.end() ? nullptr : &it->second;
+}
+
+void LossyChannel::set_extra_loss(const std::string& reporter, double p) {
+  state_[reporter].extra_loss = p;
+}
+
+void LossyChannel::age_out(ReporterState& state, TimePoint t) {
+  while (!state.recent.empty() &&
+         state.recent.front() + params_.burst_window < t) {
+    state.recent.pop_front();
+  }
+}
+
+double LossyChannel::current_run_onset(const std::string& reporter,
+                                       TimePoint t) {
+  ReporterState& state = state_[reporter];
+  age_out(state, t);
+  const double p = params_.run_onset_per_message *
+                   static_cast<double>(state.recent.size());
+  return std::min(p, params_.max_run_onset);
+}
+
+bool LossyChannel::in_drop_run(const std::string& reporter, TimePoint t) const {
+  const auto it = state_.find(reporter);
+  return it != state_.end() && t < it->second.run_until;
+}
+
+bool LossyChannel::transmit(const std::string& reporter, TimePoint t) {
+  ++sent_;
+  ReporterState& state = state_[reporter];
+  age_out(state, t);
+  // The router did emit the message, so it always counts toward the burst
+  // history regardless of its fate.
+  state.recent.push_back(t);
+
+  if (const IntervalSet* b = blackouts_of(reporter); b && b->contains(t)) {
+    ++lost_;
+    return false;
+  }
+  if (t < state.run_until) {  // inside an active drop run
+    ++lost_;
+    return false;
+  }
+  // Queue-overflow onset: the more the router has logged recently, the more
+  // likely its syslog queue tips over and a run of messages is dropped.
+  const double onset = std::min(
+      params_.run_onset_per_message * static_cast<double>(state.recent.size() - 1),
+      params_.max_run_onset);
+  if (rng_.bernoulli(onset)) {
+    state.run_until =
+        t + Duration::from_seconds_f(rng_.exponential(params_.run_mean.seconds_f()));
+    ++lost_;
+    return false;
+  }
+  if (rng_.bernoulli(params_.base_loss + state.extra_loss)) {
+    ++lost_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace netfail::syslog

@@ -1,0 +1,39 @@
+#include "src/syslog/collector.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/assert.hpp"
+
+namespace netfail::syslog {
+
+void Collector::receive(TimePoint t, std::string line) {
+  NETFAIL_ASSERT(lines_.empty() || lines_.back().received_at <= t,
+                 "collector lines must arrive in time order");
+  lines_.push_back(ReceivedLine{t, std::move(line)});
+}
+
+TimePoint resolve_year(TimePoint parsed, TimePoint received) {
+  const CivilTime p = to_civil(parsed);
+  const int received_year = to_civil(received).year;
+  TimePoint best = parsed;
+  std::int64_t best_gap = -1;
+  for (int year = received_year - 1; year <= received_year + 1; ++year) {
+    // Feb 29 in a non-leap year would assert inside from_civil's day math;
+    // the candidate is simply skipped (it cannot be the right year).
+    if (p.month == 2 && p.day == 29 && !(year % 4 == 0 && (year % 100 != 0 || year % 400 == 0))) {
+      continue;
+    }
+    const TimePoint candidate = TimePoint::from_civil(
+        year, p.month, p.day, p.hour, p.minute, p.second, p.millisecond);
+    const std::int64_t gap =
+        std::llabs((candidate - received).total_millis());
+    if (best_gap < 0 || gap < best_gap) {
+      best_gap = gap;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace netfail::syslog

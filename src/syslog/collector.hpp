@@ -1,0 +1,37 @@
+// The central syslog collector: an append-only store of raw received lines.
+//
+// Like CENIC's logging host, the collector records the raw text plus its own
+// arrival timestamp. The arrival time matters because RFC 3164 timestamps
+// carry no year — the extractor resolves the year against the capture time,
+// exactly as operational log pipelines must.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.hpp"
+
+namespace netfail::syslog {
+
+struct ReceivedLine {
+  TimePoint received_at;
+  std::string line;
+};
+
+class Collector {
+ public:
+  /// Lines must arrive in nondecreasing time order.
+  void receive(TimePoint t, std::string line);
+
+  const std::vector<ReceivedLine>& lines() const { return lines_; }
+  std::size_t size() const { return lines_.size(); }
+
+ private:
+  std::vector<ReceivedLine> lines_;
+};
+
+/// Resolve a year-less RFC 3164 timestamp against the collector's arrival
+/// time: pick the year that brings the message time closest to arrival.
+TimePoint resolve_year(TimePoint parsed, TimePoint received);
+
+}  // namespace netfail::syslog

@@ -1,0 +1,41 @@
+#include "src/syslog/extract.hpp"
+
+namespace netfail::syslog {
+
+SyslogExtraction extract_transitions(const Collector& collector,
+                                     const LinkCensus& census) {
+  SyslogExtraction out;
+  out.transitions.reserve(collector.size());
+  for (const ReceivedLine& rec : collector.lines()) {
+    ++out.stats.lines_seen;
+    Result<Message> parsed = parse_message(rec.line);
+    if (!parsed) {
+      if (parsed.error().code == ErrorCode::kNotFound) {
+        ++out.stats.irrelevant_lines;
+      } else {
+        ++out.stats.parse_failures;
+      }
+      continue;
+    }
+    const Message& m = *parsed;
+
+    SyslogTransition tr;
+    tr.time = resolve_year(m.timestamp, rec.received_at);
+    tr.dir = m.dir;
+    tr.cls = classify(m.type);
+    tr.type = m.type;
+    tr.reporter = m.reporter;
+    tr.reason = m.reason;
+    const std::optional<LinkId> link =
+        census.find_by_interface(m.reporter, m.interface);
+    if (!link) {
+      ++out.stats.unresolved_links;
+      continue;
+    }
+    tr.link = *link;
+    out.transitions.push_back(std::move(tr));
+  }
+  return out;
+}
+
+}  // namespace netfail::syslog

@@ -1,0 +1,45 @@
+// Collector lines -> link state transitions.
+//
+// Parses every stored raw line, resolves (reporter, interface) to a census
+// link, and emits one transition per message. Messages stay per-reporter:
+// the matcher needs to know whether one or both ends of a link reported
+// (paper Table 3); the failure reconstruction merges the two ends later.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/events.hpp"
+#include "src/common/ids.hpp"
+#include "src/config/census.hpp"
+#include "src/syslog/collector.hpp"
+#include "src/syslog/message.hpp"
+
+namespace netfail::syslog {
+
+struct SyslogTransition {
+  TimePoint time;  // message timestamp, year-resolved
+  LinkDirection dir = LinkDirection::kDown;
+  MessageClass cls = MessageClass::kIsisAdjacency;
+  MessageType type = MessageType::kIsisAdjChange;
+  LinkId link;  // resolved census link; invalid when resolution failed
+  std::string reporter;
+  std::string reason;
+};
+
+struct SyslogExtractionStats {
+  std::size_t lines_seen = 0;
+  std::size_t parse_failures = 0;
+  std::size_t irrelevant_lines = 0;   // valid syslog, not a type we track
+  std::size_t unresolved_links = 0;   // (reporter, interface) not in census
+};
+
+struct SyslogExtraction {
+  std::vector<SyslogTransition> transitions;
+  SyslogExtractionStats stats;
+};
+
+SyslogExtraction extract_transitions(const Collector& collector,
+                                     const LinkCensus& census);
+
+}  // namespace netfail::syslog

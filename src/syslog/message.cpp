@@ -1,0 +1,220 @@
+#include "src/syslog/message.hpp"
+
+#include <algorithm>
+
+#include "src/common/strfmt.hpp"
+
+namespace netfail::syslog {
+namespace {
+
+// facility local7 (23), severities per message type.
+int priority_for(MessageType t) {
+  switch (t) {
+    case MessageType::kIsisAdjChange: return 23 * 8 + 5;    // notice
+    case MessageType::kLinkUpDown: return 23 * 8 + 3;       // error
+    case MessageType::kLineProtoUpDown: return 23 * 8 + 5;  // notice
+  }
+  return 23 * 8 + 6;
+}
+
+std::string render_body_ios(const Message& m) {
+  switch (m.type) {
+    case MessageType::kIsisAdjChange:
+      return strformat("%%CLNS-5-ADJCHANGE: ISIS: Adjacency to %s (%s) %s, %s",
+                       m.neighbor.c_str(), m.interface.c_str(),
+                       m.dir == LinkDirection::kUp ? "Up" : "Down",
+                       m.reason.c_str());
+    case MessageType::kLinkUpDown:
+      return strformat("%%LINK-3-UPDOWN: Interface %s, changed state to %s",
+                       m.interface.c_str(),
+                       m.dir == LinkDirection::kUp ? "up" : "down");
+    case MessageType::kLineProtoUpDown:
+      return strformat(
+          "%%LINEPROTO-5-UPDOWN: Line protocol on Interface %s, changed "
+          "state to %s",
+          m.interface.c_str(), m.dir == LinkDirection::kUp ? "up" : "down");
+  }
+  return {};
+}
+
+std::string render_body_iosxr(const Message& m) {
+  switch (m.type) {
+    case MessageType::kIsisAdjChange:
+      return strformat(
+          "%%ROUTING-ISIS-4-ADJCHANGE : Adjacency to %s (%s) (L2) %s, %s",
+          m.neighbor.c_str(), m.interface.c_str(),
+          m.dir == LinkDirection::kUp ? "Up" : "Down", m.reason.c_str());
+    case MessageType::kLinkUpDown:
+      return strformat(
+          "%%PKT_INFRA-LINK-3-UPDOWN : Interface %s, changed state to %s",
+          m.interface.c_str(), m.dir == LinkDirection::kUp ? "Up" : "Down");
+    case MessageType::kLineProtoUpDown:
+      return strformat(
+          "%%PKT_INFRA-LINEPROTO-5-UPDOWN : Line protocol on Interface %s, "
+          "changed state to %s",
+          m.interface.c_str(), m.dir == LinkDirection::kUp ? "Up" : "Down");
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string Message::render(unsigned sequence_number) const {
+  const std::string header = strformat(
+      "<%d>%s %s ", priority_for(type), timestamp.to_syslog_string().c_str(),
+      reporter.c_str());
+  if (dialect == RouterOs::kIosXr) {
+    // IOS-XR: "node: process[pid]: %MNEMONIC : text".
+    return header +
+           strformat("RP/0/RSP0/CPU0:isis[%u]: ", 1000 + sequence_number % 10) +
+           render_body_iosxr(*this);
+  }
+  // Classic IOS: "seq: *timestamp: %MNEMONIC: text".
+  const CivilTime c = to_civil(timestamp);
+  const std::string inner_ts =
+      strformat("*%s %2d %02d:%02d:%02d.%03d", month_abbrev(c.month), c.day,
+                c.hour, c.minute, c.second, c.millisecond);
+  return header + strformat("%u: %s: ", sequence_number, inner_ts.c_str()) +
+         render_body_ios(*this);
+}
+
+Result<Message> parse_message(std::string_view line) {
+  Message m;
+
+  // -- priority ---------------------------------------------------------------
+  if (line.empty() || line[0] != '<') {
+    return make_error(ErrorCode::kParseError, "missing <PRI>");
+  }
+  const std::size_t pri_end = line.find('>');
+  if (pri_end == std::string_view::npos || pri_end > 4) {
+    return make_error(ErrorCode::kParseError, "malformed <PRI>");
+  }
+  std::string_view rest = line.substr(pri_end + 1);
+
+  // -- RFC 3164 timestamp: "Mmm dd hh:mm:ss" -----------------------------------
+  if (rest.size() < 16) {
+    return make_error(ErrorCode::kTruncated, "line too short for timestamp");
+  }
+  const std::string mon(rest.substr(0, 3));
+  int month = 0;
+  for (int i = 1; i <= 12; ++i) {
+    if (mon == month_abbrev(i)) {
+      month = i;
+      break;
+    }
+  }
+  if (month == 0) {
+    return make_error(ErrorCode::kParseError, "bad month '" + mon + "'");
+  }
+  int day = 0, hh = 0, mm = 0, ss = 0;
+  if (std::sscanf(std::string(rest.substr(3, 13)).c_str(), "%d %d:%d:%d", &day,
+                  &hh, &mm, &ss) != 4) {
+    return make_error(ErrorCode::kParseError, "bad timestamp");
+  }
+  // RFC 3164 timestamps carry no year; the collector assigns one from the
+  // study period. 2010 covers Oct-Dec, 2011 the rest (see collector.cpp);
+  // here we default to the convention used by our collector: the caller
+  // rewrites the year via assign_year() below when it knows the capture date.
+  m.timestamp = TimePoint::from_civil(month >= 10 ? 2010 : 2011, month, day, hh,
+                                      mm, ss);
+
+  rest = rest.substr(16);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+
+  // -- hostname ----------------------------------------------------------------
+  const std::size_t host_end = rest.find(' ');
+  if (host_end == std::string_view::npos) {
+    return make_error(ErrorCode::kTruncated, "missing hostname");
+  }
+  m.reporter = std::string(rest.substr(0, host_end));
+  rest = rest.substr(host_end + 1);
+
+  // -- locate the %FAC-SEV-MNEMONIC token ---------------------------------------
+  const std::size_t pct = rest.find('%');
+  if (pct == std::string_view::npos) {
+    return make_error(ErrorCode::kNotFound, "no %MNEMONIC in line");
+  }
+  std::string_view body = rest.substr(pct);
+  const std::size_t colon = body.find(':');
+  if (colon == std::string_view::npos) {
+    return make_error(ErrorCode::kParseError, "mnemonic not terminated");
+  }
+  std::string mnemonic(trim(body.substr(1, colon - 1)));
+  std::string_view text = trim(body.substr(colon + 1));
+
+  m.dialect = mnemonic.starts_with("ROUTING-ISIS") ||
+                      mnemonic.starts_with("PKT_INFRA")
+                  ? RouterOs::kIosXr
+                  : RouterOs::kIos;
+
+  auto parse_direction = [&](std::string_view s) -> Result<LinkDirection> {
+    if (s == "Up" || s == "up") return LinkDirection::kUp;
+    if (s == "Down" || s == "down") return LinkDirection::kDown;
+    return make_error(ErrorCode::kParseError,
+                      "bad direction '" + std::string(s) + "'");
+  };
+
+  if (mnemonic == "CLNS-5-ADJCHANGE" || mnemonic == "ROUTING-ISIS-4-ADJCHANGE") {
+    m.type = MessageType::kIsisAdjChange;
+    // "...Adjacency to <nbr> (<intf>) [(L2)] <Dir>, <reason>"
+    const std::size_t to = text.find("Adjacency to ");
+    if (to == std::string_view::npos) {
+      return make_error(ErrorCode::kParseError, "ADJCHANGE without neighbor");
+    }
+    std::string_view tail = text.substr(to + 13);
+    const std::size_t sp = tail.find(' ');
+    if (sp == std::string_view::npos) {
+      return make_error(ErrorCode::kTruncated, "ADJCHANGE truncated");
+    }
+    m.neighbor = std::string(tail.substr(0, sp));
+    const std::size_t open = tail.find('(');
+    const std::size_t close = tail.find(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      return make_error(ErrorCode::kParseError, "ADJCHANGE without interface");
+    }
+    m.interface = std::string(tail.substr(open + 1, close - open - 1));
+    std::string_view after = trim(tail.substr(close + 1));
+    if (after.starts_with("(L2)")) after = trim(after.substr(4));
+    const std::size_t comma = after.find(',');
+    const std::string_view dir_word =
+        comma == std::string_view::npos ? after : trim(after.substr(0, comma));
+    Result<LinkDirection> dir = parse_direction(dir_word);
+    if (!dir) return dir.error();
+    m.dir = *dir;
+    if (comma != std::string_view::npos) {
+      m.reason = std::string(trim(after.substr(comma + 1)));
+    }
+    return m;
+  }
+
+  const bool is_link = mnemonic == "LINK-3-UPDOWN" ||
+                       mnemonic == "PKT_INFRA-LINK-3-UPDOWN";
+  const bool is_lineproto = mnemonic == "LINEPROTO-5-UPDOWN" ||
+                            mnemonic == "PKT_INFRA-LINEPROTO-5-UPDOWN";
+  if (is_link || is_lineproto) {
+    m.type = is_link ? MessageType::kLinkUpDown : MessageType::kLineProtoUpDown;
+    const std::size_t intf = text.find("Interface ");
+    if (intf == std::string_view::npos) {
+      return make_error(ErrorCode::kParseError, "UPDOWN without interface");
+    }
+    std::string_view tail = text.substr(intf + 10);
+    const std::size_t comma = tail.find(',');
+    if (comma == std::string_view::npos) {
+      return make_error(ErrorCode::kTruncated, "UPDOWN truncated");
+    }
+    m.interface = std::string(tail.substr(0, comma));
+    const std::size_t state = tail.find("changed state to ");
+    if (state == std::string_view::npos) {
+      return make_error(ErrorCode::kParseError, "UPDOWN without state");
+    }
+    Result<LinkDirection> dir = parse_direction(trim(tail.substr(state + 17)));
+    if (!dir) return dir.error();
+    m.dir = *dir;
+    return m;
+  }
+
+  return make_error(ErrorCode::kNotFound, "unhandled mnemonic " + mnemonic);
+}
+
+}  // namespace netfail::syslog

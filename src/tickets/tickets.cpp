@@ -1,0 +1,50 @@
+#include "src/tickets/tickets.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace netfail {
+
+TicketId TicketStore::file(std::string link_name, TimeRange outage,
+                           std::string summary) {
+  NETFAIL_ASSERT(!outage.empty(), "ticket with empty outage window");
+  const TicketId id{static_cast<std::uint32_t>(tickets_.size())};
+  tickets_.push_back(
+      TroubleTicket{id, std::move(link_name), outage, std::move(summary)});
+  return id;
+}
+
+std::vector<TicketId> TicketStore::find(const std::string& link_name,
+                                        TimeRange window) const {
+  std::vector<TicketId> out;
+  for (const TroubleTicket& t : tickets_) {
+    if (t.link_name == link_name && t.outage.overlaps(window)) {
+      out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+bool TicketStore::corroborates(const std::string& link_name, TimeRange failure,
+                               double min_overlap_fraction) const {
+  if (failure.empty()) return false;
+  for (const TroubleTicket& t : tickets_) {
+    if (t.link_name != link_name) continue;
+    const TimePoint lo = std::max(t.outage.begin, failure.begin);
+    const TimePoint hi = std::min(t.outage.end, failure.end);
+    if (lo >= hi) continue;
+    const double overlap = (hi - lo).seconds_f();
+    if (overlap >= min_overlap_fraction * failure.duration().seconds_f()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const TroubleTicket& TicketStore::ticket(TicketId id) const {
+  NETFAIL_ASSERT(id.valid() && id.index() < tickets_.size(), "bad ticket id");
+  return tickets_[id.index()];
+}
+
+}  // namespace netfail

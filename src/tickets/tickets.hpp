@@ -1,0 +1,50 @@
+// Trouble tickets: the operator-side record of significant network events.
+//
+// The paper manually verified every syslog failure longer than 24 hours
+// against CENIC's trouble tickets (sect. 4.2) — long outages are reliably
+// ticketed, so a multi-day "failure" with no ticket is a syslog artifact.
+// The simulator files a ticket for every genuine long outage; the sanitizer
+// queries this store to reproduce the verification step mechanically.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/common/time.hpp"
+
+namespace netfail {
+
+struct TroubleTicket {
+  TicketId id;
+  std::string link_name;   // canonical census link name
+  TimeRange outage;        // the period the ticket documents
+  std::string summary;     // free text, e.g. "fiber cut near Fresno"
+};
+
+class TicketStore {
+ public:
+  TicketId file(std::string link_name, TimeRange outage, std::string summary);
+
+  const std::vector<TroubleTicket>& tickets() const { return tickets_; }
+  std::size_t size() const { return tickets_.size(); }
+
+  /// Tickets on `link_name` whose outage window overlaps `window`.
+  std::vector<TicketId> find(const std::string& link_name,
+                             TimeRange window) const;
+
+  /// The verification question the paper's authors asked by hand: does any
+  /// ticket corroborate (substantially overlap) this long failure? A ticket
+  /// corroborates when the overlap covers at least `min_overlap_fraction`
+  /// of the failure.
+  bool corroborates(const std::string& link_name, TimeRange failure,
+                    double min_overlap_fraction = 0.5) const;
+
+  const TroubleTicket& ticket(TicketId id) const;
+
+ private:
+  std::vector<TroubleTicket> tickets_;
+};
+
+}  // namespace netfail

@@ -1,0 +1,272 @@
+// netfail — command-line front end.
+//
+//   netfail simulate --out DIR [--small] [--seed N]
+//       Run the (CENIC-scale or scaled-down) simulation and write a full
+//       capture bundle: flat syslog file, NFC1 LSP capture, per-device
+//       config archive, ticket TSV, listener-gap TSV and a META file.
+//
+//   netfail analyze --dir DIR [--policy drop|assume-down|assume-up|hold-state]
+//       Run the paper's analysis over a capture bundle (yours or a
+//       simulated one) and print the comparison tables.
+//
+// The bundle format is exactly what a real deployment can produce: a
+// syslog archive, a PyRT-style LSP capture, a RANCID-style config archive,
+// and ticket/outage exports.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "src/analysis/ambiguous.hpp"
+#include "src/analysis/availability.hpp"
+#include "src/analysis/match.hpp"
+#include "src/analysis/pipeline.hpp"
+#include "src/analysis/tables.hpp"
+#include "src/common/strfmt.hpp"
+#include "src/config/miner.hpp"
+#include "src/io/config_dir.hpp"
+#include "src/io/interval_file.hpp"
+#include "src/io/lsp_capture.hpp"
+#include "src/io/syslog_file.hpp"
+#include "src/io/ticket_file.hpp"
+
+namespace {
+
+using namespace netfail;
+namespace fs = std::filesystem;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  netfail simulate --out DIR [--small] [--seed N]\n"
+      "  netfail analyze --dir DIR [--policy drop|assume-down|assume-up|"
+      "hold-state]\n");
+  return 2;
+}
+
+const char* flag_value(int argc, char** argv, const char* name) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+// ---- simulate ----------------------------------------------------------------
+
+int cmd_simulate(int argc, char** argv) {
+  const char* out = flag_value(argc, argv, "--out");
+  if (out == nullptr) return usage();
+  sim::ScenarioParams scenario = has_flag(argc, argv, "--small")
+                                     ? sim::test_scenario()
+                                     : sim::cenic_scenario();
+  if (const char* seed = flag_value(argc, argv, "--seed")) {
+    scenario.seed = std::strtoull(seed, nullptr, 10);
+  }
+
+  std::fprintf(stderr, "simulating %s scenario (seed %llu)...\n",
+               has_flag(argc, argv, "--small") ? "small" : "CENIC-scale",
+               static_cast<unsigned long long>(scenario.seed));
+  const sim::SimulationResult sim = sim::run_simulation(scenario);
+
+  fs::create_directories(out);
+  const fs::path dir(out);
+
+  auto check = [](Status s, const char* what) {
+    if (!s) {
+      std::fprintf(stderr, "error writing %s: %s\n", what,
+                   s.error().to_string().c_str());
+      std::exit(1);
+    }
+  };
+  check(io::write_syslog_file(sim.collector, (dir / "messages.log").string()),
+        "messages.log");
+  check(io::write_lsp_capture(sim.listener.records(),
+                              (dir / "listener.nfc").string()),
+        "listener.nfc");
+  const ConfigArchive archive =
+      generate_archive(sim.topology, scenario.period);
+  check(io::write_config_dir(archive, (dir / "configs").string()), "configs/");
+  check(io::write_ticket_file(sim.tickets, (dir / "tickets.tsv").string()),
+        "tickets.tsv");
+  check(io::write_interval_file(sim.truth.listener_gaps(),
+                                (dir / "listener_gaps.tsv").string()),
+        "listener_gaps.tsv");
+  {
+    std::FILE* meta = std::fopen((dir / "META").string().c_str(), "w");
+    if (meta == nullptr) {
+      std::fprintf(stderr, "error writing META\n");
+      return 1;
+    }
+    std::fprintf(meta, "period_begin_ms\t%lld\nperiod_end_ms\t%lld\n",
+                 static_cast<long long>(scenario.period.begin.unix_millis()),
+                 static_cast<long long>(scenario.period.end.unix_millis()));
+    std::fclose(meta);
+  }
+
+  std::printf("wrote capture bundle to %s:\n", out);
+  std::printf("  messages.log       %zu syslog lines\n", sim.collector.size());
+  std::printf("  listener.nfc       %zu LSP frames\n",
+              sim.listener.records().size());
+  std::printf("  configs/           %zu files\n", archive.size());
+  std::printf("  tickets.tsv        %zu tickets\n", sim.tickets.size());
+  std::printf("  listener_gaps.tsv  %zu windows\n",
+              sim.truth.listener_gaps().ranges().size());
+  return 0;
+}
+
+// ---- analyze -----------------------------------------------------------------
+
+Result<TimeRange> read_meta(const fs::path& dir) {
+  std::FILE* meta = std::fopen((dir / "META").string().c_str(), "r");
+  if (meta == nullptr) {
+    return make_error(ErrorCode::kNotFound, "no META file in bundle");
+  }
+  long long begin_ms = 0, end_ms = 0;
+  char key[64];
+  TimeRange period;
+  while (std::fscanf(meta, "%63s %lld", key, &begin_ms) == 2) {
+    if (std::strcmp(key, "period_begin_ms") == 0) {
+      period.begin = TimePoint::from_unix_millis(begin_ms);
+    } else if (std::strcmp(key, "period_end_ms") == 0) {
+      end_ms = begin_ms;
+      period.end = TimePoint::from_unix_millis(end_ms);
+    }
+  }
+  std::fclose(meta);
+  if (period.empty()) {
+    return make_error(ErrorCode::kParseError, "META has no valid period");
+  }
+  return period;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  const char* dir_arg = flag_value(argc, argv, "--dir");
+  if (dir_arg == nullptr) return usage();
+  const fs::path dir(dir_arg);
+
+  analysis::AmbiguityPolicy policy = analysis::AmbiguityPolicy::kAssumeUp;
+  if (const char* p = flag_value(argc, argv, "--policy")) {
+    if (std::strcmp(p, "drop") == 0) {
+      policy = analysis::AmbiguityPolicy::kDrop;
+    } else if (std::strcmp(p, "assume-down") == 0) {
+      policy = analysis::AmbiguityPolicy::kAssumeDown;
+    } else if (std::strcmp(p, "assume-up") == 0) {
+      policy = analysis::AmbiguityPolicy::kAssumeUp;
+    } else if (std::strcmp(p, "hold-state") == 0) {
+      policy = analysis::AmbiguityPolicy::kHoldState;
+    } else {
+      return usage();
+    }
+  }
+
+  // ---- load the bundle -------------------------------------------------------
+  const auto period = read_meta(dir);
+  if (!period) {
+    std::fprintf(stderr, "error: %s\n", period.error().to_string().c_str());
+    return 1;
+  }
+  io::ConfigDirStats config_stats;
+  const auto archive =
+      io::read_config_dir((dir / "configs").string(), &config_stats);
+  if (!archive) {
+    std::fprintf(stderr, "error: %s\n", archive.error().to_string().c_str());
+    return 1;
+  }
+  const auto collector =
+      io::read_syslog_file((dir / "messages.log").string(), period->begin);
+  if (!collector) {
+    std::fprintf(stderr, "error: %s\n", collector.error().to_string().c_str());
+    return 1;
+  }
+  const auto records = io::read_lsp_capture((dir / "listener.nfc").string());
+  if (!records) {
+    std::fprintf(stderr, "error: %s\n", records.error().to_string().c_str());
+    return 1;
+  }
+  TicketStore tickets;
+  if (const auto t = io::read_ticket_file((dir / "tickets.tsv").string())) {
+    tickets = *t;
+  }
+  IntervalSet gaps;
+  if (const auto g =
+          io::read_interval_file((dir / "listener_gaps.tsv").string())) {
+    gaps = *g;
+  }
+
+  // ---- the paper's pipeline, from files --------------------------------------
+  MiningStats mining;
+  const LinkCensus census = mine_archive(*archive, *period, {}, &mining);
+  std::fprintf(stderr,
+               "bundle: %zu configs -> %zu links; %zu syslog lines; %zu "
+               "LSPs; %zu tickets\n",
+               config_stats.files, census.size(), collector->size(),
+               records->size(), tickets.size());
+
+  const isis::IsisExtraction isis_ex =
+      isis::extract_transitions(*records, census);
+  const syslog::SyslogExtraction syslog_ex =
+      syslog::extract_transitions(*collector, census);
+
+  analysis::ReconstructOptions recon;
+  recon.period = *period;
+  recon.policy = policy;
+  analysis::Reconstruction isis_recon =
+      analysis::reconstruct_from_isis(isis_ex.is_reach, recon);
+  analysis::Reconstruction syslog_recon =
+      analysis::reconstruct_from_syslog(syslog_ex.transitions, recon);
+  (void)analysis::remove_listener_gap_failures(isis_recon.failures, gaps);
+  (void)analysis::remove_listener_gap_failures(syslog_recon.failures, gaps);
+  const analysis::SanitizationReport long_report =
+      analysis::verify_long_failures(syslog_recon.failures, census, tickets);
+  analysis::FlapAnalysis isis_flaps =
+      analysis::detect_flaps(isis_recon.failures);
+  (void)analysis::detect_flaps(syslog_recon.failures);
+
+  // ---- reports ----------------------------------------------------------------
+  std::printf("%s\n", analysis::render_table2(analysis::match_reachability(
+                          syslog_ex.transitions, isis_ex.is_reach,
+                          isis_ex.ip_reach, {}))
+                          .c_str());
+  std::printf("%s\n", analysis::render_table3(analysis::match_transitions(
+                          isis_ex.is_reach, syslog_ex.transitions,
+                          isis_flaps.flap_ranges, {}))
+                          .c_str());
+  analysis::Table4Data t4;
+  t4.match = analysis::match_failures(isis_recon.failures,
+                                      syslog_recon.failures, {});
+  std::printf("%s\n", analysis::render_table4(t4).c_str());
+  std::printf(
+      "Long-failure verification removed %zu failures (%.0f h spurious)\n\n",
+      long_report.long_failures_removed,
+      long_report.spurious_hours_removed.hours_f());
+
+  analysis::Table5Data t5;
+  t5.syslog =
+      analysis::compute_link_statistics(syslog_recon.failures, census, *period);
+  t5.isis =
+      analysis::compute_link_statistics(isis_recon.failures, census, *period);
+  std::printf("%s\n", analysis::render_table5(t5).c_str());
+  std::printf("%s\n", analysis::render_ks(analysis::compute_ks(t5)).c_str());
+  std::printf("%s\n", analysis::render_table6(analysis::classify_ambiguous(
+                          syslog_recon.ambiguous, isis_recon.failures,
+                          isis_ex.is_reach, {}))
+                          .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(argc, argv);
+  if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
+  return usage();
+}

@@ -1,0 +1,71 @@
+// IPv4 addresses and prefixes.
+//
+// CENIC numbers every point-to-point link out of a /16 using /31 subnets
+// (RFC 3021), which is what makes the IS-IS "extended IP reachability"
+// field a unique link identifier in the paper. We reproduce that scheme.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.hpp"
+
+namespace netfail {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) : v_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+           (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  std::string to_string() const;
+
+  static Result<Ipv4Address> parse(std::string_view s);
+
+  constexpr Ipv4Address operator+(std::uint32_t off) const { return Ipv4Address{v_ + off}; }
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// `length` in [0, 32]; host bits of `network` are masked off.
+  Ipv4Prefix(Ipv4Address network, int length);
+
+  Ipv4Address network() const { return network_; }
+  int length() const { return length_; }
+  std::uint32_t mask() const;
+  /// Dotted-decimal netmask, "255.255.255.254" for a /31.
+  std::string netmask_string() const;
+  bool contains(Ipv4Address a) const;
+  std::string to_string() const;  // "137.164.0.0/31"
+
+  static Result<Ipv4Prefix> parse(std::string_view s);
+  /// Build the /31 containing `a` (used to pair interfaces into links).
+  static Ipv4Prefix slash31_of(Ipv4Address a) { return Ipv4Prefix{a, 31}; }
+
+  auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  Ipv4Address network_;
+  int length_ = 0;
+};
+
+}  // namespace netfail
+
+namespace std {
+template <>
+struct hash<netfail::Ipv4Prefix> {
+  size_t operator()(const netfail::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.network().value()} << 6) | static_cast<unsigned>(p.length()));
+  }
+};
+}  // namespace std

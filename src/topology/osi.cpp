@@ -1,0 +1,64 @@
+#include "src/topology/osi.hpp"
+
+#include <cctype>
+
+#include "src/common/strfmt.hpp"
+
+namespace netfail {
+
+OsiSystemId OsiSystemId::from_index(std::uint32_t index) {
+  // Emulate the "loopback address as BCD" convention: router index k gets
+  // loopback 137.164.255.k (wrapping into the third octet), written as
+  // twelve decimal digits packed into six bytes.
+  const std::uint32_t a = 137, b = 164;
+  const std::uint32_t c = 200 + index / 256;
+  const std::uint32_t d = index % 256;
+  const std::string digits = strformat("%03u%03u%03u%03u", a, b, c, d);
+  std::array<std::uint8_t, 6> bytes{};
+  for (int i = 0; i < 6; ++i) {
+    const int hi = digits[2 * i] - '0';
+    const int lo = digits[2 * i + 1] - '0';
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return OsiSystemId{bytes};
+}
+
+std::string OsiSystemId::to_string() const {
+  return strformat("%02x%02x.%02x%02x.%02x%02x", b_[0], b_[1], b_[2], b_[3],
+                   b_[4], b_[5]);
+}
+
+std::string OsiSystemId::to_net_string() const {
+  return "49.0001." + to_string() + ".00";
+}
+
+Result<OsiSystemId> OsiSystemId::parse(std::string_view s) {
+  // Accept "xxxx.xxxx.xxxx" (12 hex digits in 3 groups).
+  std::string hex;
+  for (char c : s) {
+    if (c == '.') continue;
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      return make_error(ErrorCode::kParseError,
+                        "bad system id: '" + std::string(s) + "'");
+    }
+    hex += c;
+  }
+  if (hex.size() != 12) {
+    return make_error(ErrorCode::kParseError,
+                      "system id needs 12 hex digits: '" + std::string(s) + "'");
+  }
+  auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    return static_cast<std::uint8_t>(c - 'A' + 10);
+  };
+  std::array<std::uint8_t, 6> bytes{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    bytes[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                         nibble(hex[2 * i + 1]));
+  }
+  return OsiSystemId{bytes};
+}
+
+}  // namespace netfail

@@ -1,0 +1,54 @@
+// OSI addressing for IS-IS: 6-byte system identifiers and NET rendering.
+//
+// LSPs identify routers by system ID; syslog identifies them by hostname.
+// Bridging the two naming schemes (via the dynamic-hostname TLV and mined
+// configs) is a core step of the paper's matching methodology (sect. 3.4).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.hpp"
+
+namespace netfail {
+
+class OsiSystemId {
+ public:
+  constexpr OsiSystemId() = default;
+  explicit constexpr OsiSystemId(std::array<std::uint8_t, 6> bytes) : b_(bytes) {}
+
+  /// Deterministic system ID from a dense router index, BCD-style like the
+  /// common practice of embedding a loopback IP: index 7 with base
+  /// 192.168.1.0 -> 1921.6800.1007-ish encoding.
+  static OsiSystemId from_index(std::uint32_t index);
+
+  const std::array<std::uint8_t, 6>& bytes() const { return b_; }
+
+  /// Canonical IS-IS rendering: three dot-separated 16-bit hex groups,
+  /// e.g. "1921.6800.1007".
+  std::string to_string() const;
+  static Result<OsiSystemId> parse(std::string_view s);
+
+  /// Full NET with area 49.0001 and NSEL 00: "49.0001.xxxx.xxxx.xxxx.00".
+  std::string to_net_string() const;
+
+  constexpr auto operator<=>(const OsiSystemId&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> b_{};
+};
+
+}  // namespace netfail
+
+namespace std {
+template <>
+struct hash<netfail::OsiSystemId> {
+  size_t operator()(const netfail::OsiSystemId& id) const noexcept {
+    std::uint64_t v = 0;
+    for (std::uint8_t b : id.bytes()) v = (v << 8) | b;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};
+}  // namespace std

@@ -1,0 +1,205 @@
+#include "src/topology/topology.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace netfail {
+
+std::string make_link_name(std::string_view host_a, std::string_view if_a,
+                           std::string_view host_b, std::string_view if_b) {
+  std::string ea = std::string(host_a) + ":" + std::string(if_a);
+  std::string eb = std::string(host_b) + ":" + std::string(if_b);
+  if (eb < ea) ea.swap(eb);
+  return ea + "|" + eb;
+}
+
+RouterId Topology::add_router(std::string hostname, RouterClass cls,
+                              RouterOs os, CustomerId customer) {
+  NETFAIL_ASSERT(!by_hostname_.contains(hostname), "duplicate hostname");
+  const RouterId id{static_cast<std::uint32_t>(routers_.size())};
+  Router r;
+  r.id = id;
+  r.hostname = std::move(hostname);
+  r.cls = cls;
+  r.os = os;
+  r.system_id = OsiSystemId::from_index(id.value());
+  r.loopback = Ipv4Address{137, 164, static_cast<std::uint8_t>(200 + id.value() / 256),
+                           static_cast<std::uint8_t>(id.value() % 256)};
+  r.customer = customer;
+  by_hostname_.emplace(r.hostname, id);
+  by_system_id_.emplace(r.system_id, id);
+  routers_.push_back(std::move(r));
+  adjacency_.emplace_back();
+  if (customer.valid()) {
+    NETFAIL_ASSERT(customer.index() < customers_.size(), "unknown customer");
+    customers_[customer.index()].routers.push_back(id);
+  }
+  return id;
+}
+
+CustomerId Topology::add_customer(std::string name) {
+  const CustomerId id{static_cast<std::uint32_t>(customers_.size())};
+  customers_.push_back(Customer{id, std::move(name), {}});
+  return id;
+}
+
+AdjacencyGroupId Topology::new_adjacency_group() {
+  const AdjacencyGroupId id{static_cast<std::uint32_t>(groups_.size())};
+  groups_.emplace_back();
+  return id;
+}
+
+void Topology::assign_group(LinkId link, AdjacencyGroupId group) {
+  NETFAIL_ASSERT(link.valid() && link.index() < links_.size(), "bad link id");
+  NETFAIL_ASSERT(group.valid() && group.index() < groups_.size(), "bad group id");
+  NETFAIL_ASSERT(!links_[link.index()].group.valid(), "link already grouped");
+  links_[link.index()].group = group;
+  groups_[group.index()].push_back(link);
+}
+
+LinkId Topology::add_link(RouterId a, std::string if_name_a, RouterId b,
+                          std::string if_name_b, Ipv4Prefix subnet,
+                          std::uint32_t metric, AdjacencyGroupId group) {
+  NETFAIL_ASSERT(a != b, "self-link");
+  NETFAIL_ASSERT(subnet.length() == 31, "links are numbered from /31 subnets");
+  NETFAIL_ASSERT(!by_subnet_.contains(subnet), "subnet already in use");
+
+  // Canonicalize endpoint order by (hostname, interface name).
+  const std::string ea = routers_[a.index()].hostname + ":" + if_name_a;
+  const std::string eb = routers_[b.index()].hostname + ":" + if_name_b;
+  if (eb < ea) {
+    std::swap(a, b);
+    std::swap(if_name_a, if_name_b);
+  }
+
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  const InterfaceId ia{static_cast<std::uint32_t>(interfaces_.size())};
+  interfaces_.push_back(
+      Interface{ia, a, std::move(if_name_a), subnet.network(), id});
+  const InterfaceId ib{static_cast<std::uint32_t>(interfaces_.size())};
+  interfaces_.push_back(
+      Interface{ib, b, std::move(if_name_b), subnet.network() + 1, id});
+  routers_[a.index()].interfaces.push_back(ia);
+  routers_[b.index()].interfaces.push_back(ib);
+
+  Link l;
+  l.id = id;
+  l.router_a = a;
+  l.if_a = ia;
+  l.router_b = b;
+  l.if_b = ib;
+  l.cls = (routers_[a.index()].cls == RouterClass::kCpe ||
+           routers_[b.index()].cls == RouterClass::kCpe)
+              ? RouterClass::kCpe
+              : RouterClass::kCore;
+  l.subnet = subnet;
+  l.metric = metric;
+  l.group = group;
+  links_.push_back(l);
+  by_subnet_.emplace(subnet, id);
+  adjacency_[a.index()].emplace_back(b, id);
+  adjacency_[b.index()].emplace_back(a, id);
+  if (group.valid()) {
+    NETFAIL_ASSERT(group.index() < groups_.size(), "unknown adjacency group");
+    groups_[group.index()].push_back(id);
+  }
+  return id;
+}
+
+const Router& Topology::router(RouterId id) const {
+  NETFAIL_ASSERT(id.valid() && id.index() < routers_.size(), "bad router id");
+  return routers_[id.index()];
+}
+
+const Interface& Topology::interface(InterfaceId id) const {
+  NETFAIL_ASSERT(id.valid() && id.index() < interfaces_.size(), "bad interface id");
+  return interfaces_[id.index()];
+}
+
+const Link& Topology::link(LinkId id) const {
+  NETFAIL_ASSERT(id.valid() && id.index() < links_.size(), "bad link id");
+  return links_[id.index()];
+}
+
+const Customer& Topology::customer(CustomerId id) const {
+  NETFAIL_ASSERT(id.valid() && id.index() < customers_.size(), "bad customer id");
+  return customers_[id.index()];
+}
+
+std::size_t Topology::router_count(RouterClass cls) const {
+  return static_cast<std::size_t>(std::count_if(
+      routers_.begin(), routers_.end(),
+      [cls](const Router& r) { return r.cls == cls; }));
+}
+
+std::size_t Topology::link_count(RouterClass cls) const {
+  return static_cast<std::size_t>(std::count_if(
+      links_.begin(), links_.end(),
+      [cls](const Link& l) { return l.cls == cls; }));
+}
+
+std::optional<RouterId> Topology::find_router(std::string_view hostname) const {
+  auto it = by_hostname_.find(std::string(hostname));
+  if (it == by_hostname_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RouterId> Topology::find_router(const OsiSystemId& system_id) const {
+  auto it = by_system_id_.find(system_id);
+  if (it == by_system_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<InterfaceId> Topology::find_interface(
+    RouterId router, std::string_view if_name) const {
+  for (InterfaceId iid : routers_[router.index()].interfaces) {
+    if (interfaces_[iid.index()].name == if_name) return iid;
+  }
+  return std::nullopt;
+}
+
+std::optional<LinkId> Topology::find_link_by_subnet(const Ipv4Prefix& subnet) const {
+  auto it = by_subnet_.find(subnet);
+  if (it == by_subnet_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<LinkId> Topology::links_between(RouterId a, RouterId b) const {
+  std::vector<LinkId> out;
+  for (const auto& [peer, link] : adjacency_[a.index()]) {
+    if (peer == b) out.push_back(link);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Topology::link_name(LinkId id) const {
+  const Link& l = link(id);
+  // Endpoints are already canonically ordered by add_link.
+  return routers_[l.router_a.index()].hostname + ":" +
+         interfaces_[l.if_a.index()].name + "|" +
+         routers_[l.router_b.index()].hostname + ":" +
+         interfaces_[l.if_b.index()].name;
+}
+
+RouterId Topology::link_peer(LinkId id, RouterId from) const {
+  const Link& l = link(id);
+  if (l.router_a == from) return l.router_b;
+  NETFAIL_ASSERT(l.router_b == from, "router not on link");
+  return l.router_a;
+}
+
+const std::vector<std::pair<RouterId, LinkId>>& Topology::adjacency(
+    RouterId id) const {
+  NETFAIL_ASSERT(id.valid() && id.index() < adjacency_.size(), "bad router id");
+  return adjacency_[id.index()];
+}
+
+std::size_t Topology::multilink_member_count() const {
+  std::size_t n = 0;
+  for (const auto& g : groups_) n += g.size();
+  return n;
+}
+
+}  // namespace netfail

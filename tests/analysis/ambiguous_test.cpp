@@ -1,0 +1,110 @@
+#include "src/analysis/ambiguous.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::analysis {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+const LinkId kLink{0};
+
+isis::IsisTransition isis_tr(std::int64_t s, LinkDirection dir) {
+  isis::IsisTransition tr;
+  tr.time = at(s);
+  tr.dir = dir;
+  tr.link = kLink;
+  return tr;
+}
+
+Failure isis_failure(std::int64_t b, std::int64_t e) {
+  Failure f;
+  f.link = kLink;
+  f.span = TimeRange{at(b), at(e)};
+  f.source = Source::kIsis;
+  return f;
+}
+
+AmbiguousSegment seg(LinkDirection dir, std::int64_t first,
+                     std::int64_t second) {
+  return AmbiguousSegment{kLink, dir, at(first), at(second)};
+}
+
+TEST(ClassifyAmbiguous, LostUpMessage) {
+  // Syslog: down@100 ... down@500. IS-IS saw two failures with an up at 300:
+  // the syslog up was lost.
+  const std::vector<Failure> failures{isis_failure(100, 300),
+                                      isis_failure(500, 600)};
+  const std::vector<isis::IsisTransition> transitions{
+      isis_tr(100, LinkDirection::kDown), isis_tr(300, LinkDirection::kUp),
+      isis_tr(500, LinkDirection::kDown), isis_tr(600, LinkDirection::kUp)};
+  const AmbiguityClassification c = classify_ambiguous(
+      {seg(LinkDirection::kDown, 100, 500)}, failures, transitions,
+      MatchOptions{});
+  EXPECT_EQ(c.lost_down, 1u);
+  EXPECT_EQ(c.spurious_down, 0u);
+  EXPECT_EQ(c.unknown_down, 0u);
+}
+
+TEST(ClassifyAmbiguous, SpuriousDownDuringFailure) {
+  // Syslog: down@100 ... down@200 while IS-IS says one long failure
+  // [100, 400]: the second down is a spurious reminder of the same failure.
+  const std::vector<Failure> failures{isis_failure(100, 400)};
+  const std::vector<isis::IsisTransition> transitions{
+      isis_tr(100, LinkDirection::kDown), isis_tr(400, LinkDirection::kUp)};
+  const AmbiguityClassification c = classify_ambiguous(
+      {seg(LinkDirection::kDown, 100, 200)}, failures, transitions,
+      MatchOptions{});
+  EXPECT_EQ(c.spurious_down, 1u);
+  EXPECT_EQ(c.spurious_down_same_failure, 1u);
+  EXPECT_EQ(c.lost_down, 0u);
+}
+
+TEST(ClassifyAmbiguous, SpuriousUpDuringUptime) {
+  // Syslog: up@100 ... up@300 while IS-IS shows no failure: spurious up.
+  const AmbiguityClassification c = classify_ambiguous(
+      {seg(LinkDirection::kUp, 100, 300)}, {}, {}, MatchOptions{});
+  EXPECT_EQ(c.spurious_up, 1u);
+}
+
+TEST(ClassifyAmbiguous, LostDownMessage) {
+  // Syslog: up@300 ... up@600. IS-IS: failure [500, 600]: the down at 500
+  // was lost; the second up is genuine.
+  const std::vector<Failure> failures{isis_failure(100, 300),
+                                      isis_failure(500, 600)};
+  const std::vector<isis::IsisTransition> transitions{
+      isis_tr(100, LinkDirection::kDown), isis_tr(300, LinkDirection::kUp),
+      isis_tr(500, LinkDirection::kDown), isis_tr(600, LinkDirection::kUp)};
+  const AmbiguityClassification c = classify_ambiguous(
+      {seg(LinkDirection::kUp, 300, 600)}, failures, transitions,
+      MatchOptions{});
+  EXPECT_EQ(c.lost_up, 1u);
+}
+
+TEST(ClassifyAmbiguous, UnknownWhenNothingFits) {
+  // Double down but IS-IS says the link was up and saw no transitions.
+  const AmbiguityClassification c = classify_ambiguous(
+      {seg(LinkDirection::kDown, 100, 200)}, {}, {}, MatchOptions{});
+  EXPECT_EQ(c.unknown_down, 1u);
+}
+
+TEST(ClassifyAmbiguous, AmbiguousTimeAccumulates) {
+  const AmbiguityClassification c = classify_ambiguous(
+      {seg(LinkDirection::kDown, 100, 200), seg(LinkDirection::kUp, 500, 800)},
+      {}, {}, MatchOptions{});
+  EXPECT_EQ(c.ambiguous_time, Duration::seconds(100 + 300));
+}
+
+TEST(ClassifyAmbiguous, Totals) {
+  const std::vector<Failure> failures{isis_failure(100, 400)};
+  const std::vector<isis::IsisTransition> transitions{
+      isis_tr(100, LinkDirection::kDown), isis_tr(400, LinkDirection::kUp)};
+  const AmbiguityClassification c = classify_ambiguous(
+      {seg(LinkDirection::kDown, 100, 200),
+       seg(LinkDirection::kUp, 400, 900)},
+      failures, transitions, MatchOptions{});
+  EXPECT_EQ(c.total_down(), 1u);
+  EXPECT_EQ(c.total_up(), 1u);
+}
+
+}  // namespace
+}  // namespace netfail::analysis

@@ -1,0 +1,100 @@
+#include "src/analysis/availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::analysis {
+namespace {
+
+const TimePoint kStart = TimePoint::from_civil(2011, 1, 1);
+const TimeRange kPeriod{kStart, kStart + Duration::days(100)};
+
+class AvailabilityTest : public ::testing::Test {
+ protected:
+  AvailabilityTest() {
+    good_ = census_.add_link(
+        CensusEndpoint{"a-core", "1", Ipv4Address(10, 0, 0, 0)},
+        CensusEndpoint{"b-core", "1", Ipv4Address(10, 0, 0, 1)},
+        Ipv4Prefix{Ipv4Address(10, 0, 0, 0), 31}, kPeriod, RouterClass::kCore);
+    bad_ = census_.add_link(
+        CensusEndpoint{"b-core", "2", Ipv4Address(10, 0, 0, 2)},
+        CensusEndpoint{"edu1-gw", "1", Ipv4Address(10, 0, 0, 3)},
+        Ipv4Prefix{Ipv4Address(10, 0, 0, 2), 31}, kPeriod, RouterClass::kCpe);
+    census_.finalize();
+  }
+
+  Failure fail(LinkId link, std::int64_t start_h, std::int64_t hours) {
+    Failure f;
+    f.link = link;
+    f.span = TimeRange{kStart + Duration::hours(start_h),
+                       kStart + Duration::hours(start_h + hours)};
+    return f;
+  }
+
+  LinkCensus census_;
+  LinkId good_, bad_;
+};
+
+TEST_F(AvailabilityTest, PerLinkNumbers) {
+  // bad_ is down 24 h of 2400 h -> 99% available.
+  const std::vector<Failure> failures{fail(bad_, 10, 12), fail(bad_, 100, 12)};
+  const AvailabilityReport report =
+      compute_availability(failures, census_, kPeriod);
+  ASSERT_EQ(report.links.size(), 2u);
+  // Sorted worst-first: bad_ leads.
+  EXPECT_EQ(report.links[0].link, bad_);
+  EXPECT_NEAR(report.links[0].availability(), 1.0 - 24.0 / 2400.0, 1e-9);
+  EXPECT_EQ(report.links[0].failure_count, 2u);
+  EXPECT_NEAR(report.links[0].mttr().hours_f(), 12.0, 1e-6);
+  EXPECT_NEAR(report.links[0].mtbf().hours_f(), 1200.0, 1e-6);
+  // good_ never failed.
+  EXPECT_EQ(report.links[1].link, good_);
+  EXPECT_DOUBLE_EQ(report.links[1].availability(), 1.0);
+  EXPECT_EQ(report.links[1].mtbf(), Duration::days(100));
+  EXPECT_EQ(report.links[1].mttr(), Duration{});
+}
+
+TEST_F(AvailabilityTest, NetworkAvailability) {
+  const std::vector<Failure> failures{fail(bad_, 0, 48)};
+  const AvailabilityReport report =
+      compute_availability(failures, census_, kPeriod);
+  // 48 h downtime over 2 x 2400 h of link-lifetime.
+  EXPECT_NEAR(report.network_availability, 1.0 - 48.0 / 4800.0, 1e-9);
+  EXPECT_NEAR(report.total_downtime.hours_f(), 48.0, 1e-6);
+}
+
+TEST_F(AvailabilityTest, NinesRendering) {
+  LinkAvailability a;
+  a.lifetime = Duration::hours(100000);
+  a.downtime = Duration::hours(100);  // 99.9%
+  EXPECT_NEAR(a.nines(), 3.0, 1e-9);
+  a.downtime = Duration{};
+  EXPECT_DOUBLE_EQ(a.nines(), 9.0);
+}
+
+TEST_F(AvailabilityTest, OverlappingFailuresNotDoubleCounted) {
+  const std::vector<Failure> failures{fail(bad_, 0, 10), fail(bad_, 5, 10)};
+  const AvailabilityReport report =
+      compute_availability(failures, census_, kPeriod);
+  EXPECT_NEAR(report.links[0].downtime.hours_f(), 15.0, 1e-6);
+}
+
+TEST_F(AvailabilityTest, DowntimeClippedToLifetime) {
+  // A failure extending past the link's lifetime only counts the inside part.
+  LinkCensus census;
+  const TimeRange half{kStart, kStart + Duration::days(50)};
+  const LinkId link = census.add_link(
+      CensusEndpoint{"x-core", "1", Ipv4Address(10, 1, 0, 0)},
+      CensusEndpoint{"y-core", "1", Ipv4Address(10, 1, 0, 1)},
+      Ipv4Prefix{Ipv4Address(10, 1, 0, 0), 31}, half, RouterClass::kCore);
+  census.finalize();
+  Failure f;
+  f.link = link;
+  f.span = TimeRange{kStart + Duration::days(49), kStart + Duration::days(60)};
+  const AvailabilityReport report =
+      compute_availability({f}, census, kPeriod);
+  ASSERT_EQ(report.links.size(), 1u);
+  EXPECT_NEAR(report.links[0].downtime.hours_f(), 24.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace netfail::analysis

@@ -1,0 +1,83 @@
+#include "src/analysis/isolation_diff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::analysis {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+IsolationResult make_result(
+    const std::vector<std::pair<std::string, TimeRange>>& events) {
+  IsolationResult r;
+  for (const auto& [customer, span] : events) {
+    r.events.push_back(IsolationEvent{customer, span});
+    r.by_customer[customer].add(span);
+  }
+  return r;
+}
+
+TEST(IsolationDiff, NoCounterpart) {
+  const IsolationResult a =
+      make_result({{"edu001", TimeRange{at(100), at(200)}}});
+  const IsolationResult b;  // other source saw nothing
+  const IsolationDiff d = diff_isolation(a, b);
+  EXPECT_EQ(d.unmatched_total, 1u);
+  EXPECT_EQ(d.no_counterpart, 1u);
+  EXPECT_EQ(d.partial_overlap, 0u);
+  EXPECT_EQ(d.unmatched_downtime, Duration::seconds(100));
+}
+
+TEST(IsolationDiff, PartialOverlapViaSlack) {
+  // b's event ends 5 s before a's begins: inside the 10 s slack.
+  const IsolationResult a =
+      make_result({{"edu001", TimeRange{at(100), at(200)}}});
+  const IsolationResult b =
+      make_result({{"edu001", TimeRange{at(50), at(95)}}});
+  const IsolationDiff d = diff_isolation(a, b);
+  EXPECT_EQ(d.unmatched_total, 1u);
+  EXPECT_EQ(d.partial_overlap, 1u);
+  EXPECT_EQ(d.no_counterpart, 0u);
+}
+
+TEST(IsolationDiff, OverlappingEventsNotCounted) {
+  const IsolationResult a =
+      make_result({{"edu001", TimeRange{at(100), at(200)}}});
+  const IsolationResult b =
+      make_result({{"edu001", TimeRange{at(150), at(250)}}});
+  const IsolationDiff d = diff_isolation(a, b);
+  EXPECT_EQ(d.unmatched_total, 0u);
+}
+
+TEST(IsolationDiff, CustomerMustMatch) {
+  const IsolationResult a =
+      make_result({{"edu001", TimeRange{at(100), at(200)}}});
+  const IsolationResult b =
+      make_result({{"edu002", TimeRange{at(100), at(200)}}});
+  const IsolationDiff d = diff_isolation(a, b);
+  EXPECT_EQ(d.unmatched_total, 1u);
+  EXPECT_EQ(d.no_counterpart, 1u);
+}
+
+TEST(IsolationDiff, EgregiousMismatch) {
+  // a reports 17 hours; b covers only the last 30 seconds of it.
+  const IsolationResult a =
+      make_result({{"edu001", TimeRange{at(0), at(17 * 3600)}}});
+  const IsolationResult b = make_result(
+      {{"edu001", TimeRange{at(17 * 3600 - 30), at(17 * 3600 + 60)}}});
+  const IsolationDiff d = diff_isolation(a, b);
+  EXPECT_EQ(d.unmatched_total, 0u);  // they do overlap
+  EXPECT_EQ(d.egregious, 1u);
+}
+
+TEST(IsolationDiff, ShortEventsNeverEgregious) {
+  const IsolationResult a =
+      make_result({{"edu001", TimeRange{at(0), at(60)}}});
+  const IsolationResult b =
+      make_result({{"edu001", TimeRange{at(59), at(61)}}});
+  const IsolationDiff d = diff_isolation(a, b);
+  EXPECT_EQ(d.egregious, 0u);
+}
+
+}  // namespace
+}  // namespace netfail::analysis

@@ -1,0 +1,182 @@
+#include "src/analysis/isolation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::analysis {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+const TimeRange kPeriod{at(0), at(100'000)};
+
+/// Census: core ring a--b, single-homed customer edu1 on a, dual-homed
+/// customer edu2 with uplinks to both a and b, and a multi-link pair from
+/// edu3 to b (two members).
+class IsolationTest : public ::testing::Test {
+ protected:
+  IsolationTest() {
+    auto add = [&](const char* h1, const char* i1, const char* h2,
+                   const char* i2, std::uint32_t subnet_index,
+                   RouterClass cls) {
+      return census_.add_link(
+          CensusEndpoint{h1, i1, Ipv4Address{10, 0, 0, 0} + 2 * subnet_index},
+          CensusEndpoint{h2, i2,
+                         Ipv4Address{10, 0, 0, 0} + 2 * subnet_index + 1},
+          Ipv4Prefix{Ipv4Address{10, 0, 0, 0} + 2 * subnet_index, 31}, kPeriod,
+          cls);
+    };
+    ab_ = add("a-core", "1", "b-core", "1", 0, RouterClass::kCore);
+    e1a_ = add("edu1-gw-1", "1", "a-core", "2", 1, RouterClass::kCpe);
+    e2a_ = add("edu2-gw-1", "1", "a-core", "3", 2, RouterClass::kCpe);
+    e2b_ = add("edu2-gw-1", "2", "b-core", "2", 3, RouterClass::kCpe);
+    e3b1_ = add("edu3-gw-1", "1", "b-core", "3", 4, RouterClass::kCpe);
+    e3b2_ = add("edu3-gw-1", "2", "b-core", "4", 5, RouterClass::kCpe);
+    census_.finalize();
+  }
+
+  Failure failure(LinkId link, std::int64_t b, std::int64_t e) {
+    Failure f;
+    f.link = link;
+    f.span = TimeRange{at(b), at(e)};
+    return f;
+  }
+
+  LinkCensus census_;
+  LinkId ab_, e1a_, e2a_, e2b_, e3b1_, e3b2_;
+};
+
+TEST_F(IsolationTest, SingleHomedUplinkFailureIsolates) {
+  const PairDowntime pairs =
+      pair_downtime_from_failures(census_, {failure(e1a_, 100, 200)});
+  const IsolationResult r = compute_isolation(census_, pairs, kPeriod);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].customer, "edu1");
+  EXPECT_EQ(r.events[0].span, (TimeRange{at(100), at(200)}));
+  EXPECT_EQ(r.sites_impacted, 1u);
+  EXPECT_EQ(r.total_isolation, Duration::seconds(100));
+}
+
+TEST_F(IsolationTest, DualHomedNeedsBothUplinksDown) {
+  // Only one uplink down: not isolated.
+  {
+    const PairDowntime pairs =
+        pair_downtime_from_failures(census_, {failure(e2a_, 100, 200)});
+    EXPECT_TRUE(compute_isolation(census_, pairs, kPeriod).events.empty());
+  }
+  // Both down, overlapping [150, 200): isolated for the overlap.
+  {
+    const PairDowntime pairs = pair_downtime_from_failures(
+        census_, {failure(e2a_, 100, 200), failure(e2b_, 150, 300)});
+    const IsolationResult r = compute_isolation(census_, pairs, kPeriod);
+    ASSERT_EQ(r.events.size(), 1u);
+    EXPECT_EQ(r.events[0].customer, "edu2");
+    EXPECT_EQ(r.events[0].span, (TimeRange{at(150), at(200)}));
+  }
+}
+
+TEST_F(IsolationTest, MultilinkPairNeedsAllMembersDown) {
+  // One member down: logical adjacency stays up.
+  {
+    const PairDowntime pairs =
+        pair_downtime_from_failures(census_, {failure(e3b1_, 100, 200)});
+    EXPECT_TRUE(pairs.empty());
+  }
+  // Both members down simultaneously: pair down, customer isolated.
+  {
+    const PairDowntime pairs = pair_downtime_from_failures(
+        census_, {failure(e3b1_, 100, 250), failure(e3b2_, 150, 200)});
+    const IsolationResult r = compute_isolation(census_, pairs, kPeriod);
+    ASSERT_EQ(r.events.size(), 1u);
+    EXPECT_EQ(r.events[0].customer, "edu3");
+    EXPECT_EQ(r.events[0].span, (TimeRange{at(150), at(200)}));
+  }
+}
+
+TEST_F(IsolationTest, CoreLinkFailureDoesNotIsolateLeafCustomers) {
+  // a--b down: both cores are roots, so all customers keep their uplinks.
+  const PairDowntime pairs =
+      pair_downtime_from_failures(census_, {failure(ab_, 100, 200)});
+  EXPECT_TRUE(compute_isolation(census_, pairs, kPeriod).events.empty());
+}
+
+TEST_F(IsolationTest, RepeatedIsolationMakesSeparateEvents) {
+  const PairDowntime pairs = pair_downtime_from_failures(
+      census_, {failure(e1a_, 100, 200), failure(e1a_, 500, 600)});
+  const IsolationResult r = compute_isolation(census_, pairs, kPeriod);
+  EXPECT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.sites_impacted, 1u);
+  EXPECT_EQ(r.total_isolation, Duration::seconds(200));
+}
+
+TEST_F(IsolationTest, IntersectIsolation) {
+  const PairDowntime p1 =
+      pair_downtime_from_failures(census_, {failure(e1a_, 100, 300)});
+  const PairDowntime p2 =
+      pair_downtime_from_failures(census_, {failure(e1a_, 200, 400)});
+  const IsolationResult a = compute_isolation(census_, p1, kPeriod);
+  const IsolationResult b = compute_isolation(census_, p2, kPeriod);
+  const IsolationResult both = intersect_isolation(a, b);
+  ASSERT_EQ(both.events.size(), 1u);
+  EXPECT_EQ(both.events[0].span, (TimeRange{at(200), at(300)}));
+  EXPECT_EQ(unmatched_events(a, b), 0u);  // events overlap
+
+  const IsolationResult c = compute_isolation(
+      census_,
+      pair_downtime_from_failures(census_, {failure(e1a_, 5000, 5100)}),
+      kPeriod);
+  EXPECT_EQ(unmatched_events(c, a), 1u);
+}
+
+TEST_F(IsolationTest, IsisPairDowntimeUsesPairCounts) {
+  // IS-IS view of the multi-link pair: member transitions are unresolvable
+  // but the pair count crossing zero marks the adjacency down.
+  std::vector<isis::IsisTransition> transitions;
+  auto tr = [&](std::int64_t s, LinkDirection dir, int count) {
+    isis::IsisTransition t;
+    t.time = at(s);
+    t.dir = dir;
+    t.multilink = true;
+    t.host_a = "b-core";
+    t.host_b = "edu3-gw-1";
+    t.pair_count_after = count;
+    transitions.push_back(t);
+  };
+  tr(100, LinkDirection::kDown, 1);
+  tr(150, LinkDirection::kDown, 0);
+  tr(200, LinkDirection::kUp, 1);
+  tr(250, LinkDirection::kUp, 2);
+
+  const PairDowntime pairs =
+      pair_downtime_from_isis(census_, {}, transitions, kPeriod);
+  const auto it = pairs.find(host_pair_key("b-core", "edu3-gw-1"));
+  ASSERT_NE(it, pairs.end());
+  EXPECT_EQ(it->second.total(), Duration::seconds(50));
+
+  const IsolationResult r = compute_isolation(census_, pairs, kPeriod);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].span, (TimeRange{at(150), at(200)}));
+}
+
+TEST_F(IsolationTest, OpenEndedPairDowntimeClampedToPeriod) {
+  std::vector<isis::IsisTransition> transitions;
+  isis::IsisTransition t;
+  t.time = at(100);
+  t.dir = LinkDirection::kDown;
+  t.multilink = true;
+  t.host_a = "b-core";
+  t.host_b = "edu3-gw-1";
+  t.pair_count_after = 0;
+  transitions.push_back(t);
+  const PairDowntime pairs =
+      pair_downtime_from_isis(census_, {}, transitions, kPeriod);
+  const auto it = pairs.find(host_pair_key("b-core", "edu3-gw-1"));
+  ASSERT_NE(it, pairs.end());
+  EXPECT_EQ(it->second.ranges().back().end, kPeriod.end);
+}
+
+TEST(HostPairKey, Canonical) {
+  EXPECT_EQ(host_pair_key("b", "a"), "a|b");
+  EXPECT_EQ(host_pair_key("a", "b"), "a|b");
+}
+
+}  // namespace
+}  // namespace netfail::analysis

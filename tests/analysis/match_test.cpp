@@ -1,0 +1,201 @@
+#include "src/analysis/match.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::analysis {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+const LinkId kLink{0};
+
+isis::IsisTransition isis_tr(std::int64_t s, LinkDirection dir,
+                             LinkId link = kLink) {
+  isis::IsisTransition tr;
+  tr.time = at(s);
+  tr.dir = dir;
+  tr.link = link;
+  return tr;
+}
+
+syslog::SyslogTransition sys_tr(std::int64_t s, LinkDirection dir,
+                                const std::string& reporter,
+                                syslog::MessageClass cls =
+                                    syslog::MessageClass::kIsisAdjacency,
+                                LinkId link = kLink) {
+  syslog::SyslogTransition tr;
+  tr.time = at(s);
+  tr.dir = dir;
+  tr.reporter = reporter;
+  tr.cls = cls;
+  tr.link = link;
+  return tr;
+}
+
+Failure failure(std::int64_t b, std::int64_t e, Source src,
+                LinkId link = kLink) {
+  Failure f;
+  f.link = link;
+  f.span = TimeRange{at(b), at(e)};
+  f.source = src;
+  return f;
+}
+
+TEST(MatchTransitions, NoneOneBoth) {
+  const std::vector<isis::IsisTransition> isis{
+      isis_tr(100, LinkDirection::kDown),  // both ends report
+      isis_tr(200, LinkDirection::kDown),  // one end reports
+      isis_tr(300, LinkDirection::kDown),  // nobody reports
+  };
+  const std::vector<syslog::SyslogTransition> syslog{
+      sys_tr(101, LinkDirection::kDown, "a"),
+      sys_tr(102, LinkDirection::kDown, "b"),
+      sys_tr(205, LinkDirection::kDown, "a"),
+  };
+  const TransitionMatchCounts c =
+      match_transitions(isis, syslog, {}, MatchOptions{});
+  EXPECT_EQ(c.down_both, 1u);
+  EXPECT_EQ(c.down_one, 1u);
+  EXPECT_EQ(c.down_none, 1u);
+  EXPECT_EQ(c.down_total(), 3u);
+}
+
+TEST(MatchTransitions, WindowEnforced) {
+  const std::vector<isis::IsisTransition> isis{
+      isis_tr(100, LinkDirection::kDown)};
+  const std::vector<syslog::SyslogTransition> syslog{
+      sys_tr(111, LinkDirection::kDown, "a")};  // 11 s away: outside window
+  const TransitionMatchCounts c =
+      match_transitions(isis, syslog, {}, MatchOptions{});
+  EXPECT_EQ(c.down_none, 1u);
+}
+
+TEST(MatchTransitions, DirectionMustAgree) {
+  const std::vector<isis::IsisTransition> isis{
+      isis_tr(100, LinkDirection::kDown)};
+  const std::vector<syslog::SyslogTransition> syslog{
+      sys_tr(100, LinkDirection::kUp, "a")};
+  const TransitionMatchCounts c =
+      match_transitions(isis, syslog, {}, MatchOptions{});
+  EXPECT_EQ(c.down_none, 1u);
+}
+
+TEST(MatchTransitions, MessageConsumedOnce) {
+  // Two IS-IS transitions 5 s apart but only one syslog message: it can
+  // match only one of them.
+  const std::vector<isis::IsisTransition> isis{
+      isis_tr(100, LinkDirection::kDown), isis_tr(105, LinkDirection::kDown)};
+  const std::vector<syslog::SyslogTransition> syslog{
+      sys_tr(102, LinkDirection::kDown, "a")};
+  const TransitionMatchCounts c =
+      match_transitions(isis, syslog, {}, MatchOptions{});
+  EXPECT_EQ(c.down_one, 1u);
+  EXPECT_EQ(c.down_none, 1u);
+}
+
+TEST(MatchTransitions, SameReporterCountsOnce) {
+  const std::vector<isis::IsisTransition> isis{
+      isis_tr(100, LinkDirection::kUp)};
+  const std::vector<syslog::SyslogTransition> syslog{
+      sys_tr(99, LinkDirection::kUp, "a"), sys_tr(101, LinkDirection::kUp, "a")};
+  const TransitionMatchCounts c =
+      match_transitions(isis, syslog, {}, MatchOptions{});
+  EXPECT_EQ(c.up_one, 1u);
+  EXPECT_EQ(c.up_both, 0u);
+}
+
+TEST(MatchTransitions, FlapAttribution) {
+  std::map<LinkId, IntervalSet> flaps;
+  flaps[kLink].add(TimeRange{at(90), at(110)});
+  const std::vector<isis::IsisTransition> isis{
+      isis_tr(100, LinkDirection::kDown),  // in flap, unmatched
+      isis_tr(500, LinkDirection::kDown),  // outside flap, unmatched
+  };
+  const TransitionMatchCounts c =
+      match_transitions(isis, {}, flaps, MatchOptions{});
+  EXPECT_EQ(c.down_none, 2u);
+  EXPECT_EQ(c.down_none_in_flap, 1u);
+}
+
+TEST(MatchTransitions, PhysicalMessagesIgnored) {
+  const std::vector<isis::IsisTransition> isis{
+      isis_tr(100, LinkDirection::kDown)};
+  const std::vector<syslog::SyslogTransition> syslog{
+      sys_tr(100, LinkDirection::kDown, "a",
+             syslog::MessageClass::kPhysicalMedia)};
+  const TransitionMatchCounts c =
+      match_transitions(isis, syslog, {}, MatchOptions{});
+  EXPECT_EQ(c.down_none, 1u);
+}
+
+TEST(MatchReachability, PerClassPercentages) {
+  std::vector<isis::IsisTransition> is_reach{
+      isis_tr(100, LinkDirection::kDown)};
+  std::vector<isis::IsisTransition> ip_reach{
+      isis_tr(500, LinkDirection::kDown)};
+  const std::vector<syslog::SyslogTransition> syslog{
+      sys_tr(101, LinkDirection::kDown, "a"),  // matches IS only
+      sys_tr(501, LinkDirection::kDown, "a",
+             syslog::MessageClass::kPhysicalMedia),  // matches IP only
+  };
+  const ReachabilityMatchTable t =
+      match_reachability(syslog, is_reach, ip_reach, MatchOptions{});
+  EXPECT_DOUBLE_EQ(t.isis_down_vs_is, 100.0);
+  EXPECT_DOUBLE_EQ(t.isis_down_vs_ip, 0.0);
+  EXPECT_DOUBLE_EQ(t.media_down_vs_is, 0.0);
+  EXPECT_DOUBLE_EQ(t.media_down_vs_ip, 100.0);
+  EXPECT_EQ(t.isis_down_messages, 1u);
+  EXPECT_EQ(t.media_down_messages, 1u);
+}
+
+TEST(MatchFailures, ExactAndWindowedMatch) {
+  const std::vector<Failure> isis{failure(100, 200, Source::kIsis),
+                                  failure(1000, 1100, Source::kIsis)};
+  const std::vector<Failure> syslog{failure(105, 195, Source::kSyslog),
+                                    failure(5000, 5100, Source::kSyslog)};
+  const FailureMatchResult r = match_failures(isis, syslog, MatchOptions{});
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_EQ(r.isis_only.size(), 1u);
+  EXPECT_EQ(r.syslog_only.size(), 1u);
+  EXPECT_EQ(r.isis_count, 2u);
+  EXPECT_EQ(r.syslog_count, 2u);
+}
+
+TEST(MatchFailures, EndMustAlsoMatch) {
+  const std::vector<Failure> isis{failure(100, 200, Source::kIsis)};
+  const std::vector<Failure> syslog{failure(100, 300, Source::kSyslog)};
+  const FailureMatchResult r = match_failures(isis, syslog, MatchOptions{});
+  EXPECT_EQ(r.matched, 0u);
+  EXPECT_EQ(r.syslog_partial, 1u);  // overlaps but does not match
+}
+
+TEST(MatchFailures, DowntimeAccounting) {
+  const std::vector<Failure> isis{failure(0, 100, Source::kIsis)};
+  const std::vector<Failure> syslog{failure(50, 150, Source::kSyslog)};
+  const FailureMatchResult r = match_failures(isis, syslog, MatchOptions{});
+  EXPECT_EQ(r.isis_downtime, Duration::seconds(100));
+  EXPECT_EQ(r.syslog_downtime, Duration::seconds(100));
+  EXPECT_EQ(r.overlap_downtime, Duration::seconds(50));
+  // The unmatched syslog failure's false downtime = part outside IS-IS.
+  EXPECT_EQ(r.syslog_false_downtime, Duration::seconds(50));
+}
+
+TEST(MatchFailures, DifferentLinksNeverMatch) {
+  const std::vector<Failure> isis{failure(100, 200, Source::kIsis, LinkId{0})};
+  const std::vector<Failure> syslog{
+      failure(100, 200, Source::kSyslog, LinkId{1})};
+  const FailureMatchResult r = match_failures(isis, syslog, MatchOptions{});
+  EXPECT_EQ(r.matched, 0u);
+}
+
+TEST(MatchFailures, GreedyOneToOne) {
+  // Two identical syslog failures, one IS-IS failure: only one match.
+  const std::vector<Failure> isis{failure(100, 200, Source::kIsis)};
+  const std::vector<Failure> syslog{failure(100, 200, Source::kSyslog),
+                                    failure(101, 201, Source::kSyslog)};
+  const FailureMatchResult r = match_failures(isis, syslog, MatchOptions{});
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_EQ(r.syslog_only.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netfail::analysis

@@ -1,0 +1,206 @@
+#include "src/common/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace netfail {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+TimeRange range(std::int64_t b, std::int64_t e) { return TimeRange{at(b), at(e)}; }
+
+TEST(IntervalSet, EmptyBasics) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total(), Duration{});
+  EXPECT_FALSE(s.contains(at(0)));
+  EXPECT_FALSE(s.overlaps(range(0, 100)));
+}
+
+TEST(IntervalSet, AddDisjoint) {
+  IntervalSet s;
+  s.add(range(0, 10));
+  s.add(range(20, 30));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.total(), Duration::seconds(20));
+  EXPECT_TRUE(s.contains(at(5)));
+  EXPECT_FALSE(s.contains(at(15)));
+  EXPECT_TRUE(s.contains(at(20)));
+  EXPECT_FALSE(s.contains(at(30)));  // half-open
+}
+
+TEST(IntervalSet, AddMergesOverlap) {
+  IntervalSet s;
+  s.add(range(0, 10));
+  s.add(range(5, 15));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.total(), Duration::seconds(15));
+}
+
+TEST(IntervalSet, AddMergesAdjacent) {
+  IntervalSet s;
+  s.add(range(0, 10));
+  s.add(range(10, 20));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.total(), Duration::seconds(20));
+}
+
+TEST(IntervalSet, AddSwallowsMultiple) {
+  IntervalSet s;
+  s.add(range(0, 5));
+  s.add(range(10, 15));
+  s.add(range(20, 25));
+  s.add(range(3, 22));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.total(), Duration::seconds(25));
+}
+
+TEST(IntervalSet, AddEmptyIsNoop) {
+  IntervalSet s;
+  s.add(range(10, 10));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, SubtractMiddleSplits) {
+  IntervalSet s;
+  s.add(range(0, 30));
+  s.subtract(range(10, 20));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.total(), Duration::seconds(20));
+  EXPECT_FALSE(s.contains(at(15)));
+  EXPECT_TRUE(s.contains(at(9)));
+  EXPECT_TRUE(s.contains(at(20)));
+}
+
+TEST(IntervalSet, SubtractEdges) {
+  IntervalSet s;
+  s.add(range(0, 30));
+  s.subtract(range(0, 10));
+  s.subtract(range(25, 40));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.ranges()[0], range(10, 25));
+}
+
+TEST(IntervalSet, OverlapsAndCovers) {
+  IntervalSet s;
+  s.add(range(10, 20));
+  EXPECT_TRUE(s.overlaps(range(15, 25)));
+  EXPECT_TRUE(s.overlaps(range(0, 11)));
+  EXPECT_FALSE(s.overlaps(range(20, 25)));
+  EXPECT_FALSE(s.overlaps(range(0, 10)));
+  EXPECT_TRUE(s.covers(range(12, 18)));
+  EXPECT_TRUE(s.covers(range(10, 20)));
+  EXPECT_FALSE(s.covers(range(5, 15)));
+  EXPECT_TRUE(s.covers(range(15, 15)));  // empty range is always covered
+}
+
+TEST(IntervalSet, MeasureWithin) {
+  IntervalSet s;
+  s.add(range(0, 10));
+  s.add(range(20, 30));
+  EXPECT_EQ(s.measure_within(range(5, 25)), Duration::seconds(10));
+  EXPECT_EQ(s.measure_within(range(10, 20)), Duration::seconds(0));
+  EXPECT_EQ(s.measure_within(range(-100, 100)), Duration::seconds(20));
+}
+
+TEST(IntervalSet, Intersect) {
+  IntervalSet a, b;
+  a.add(range(0, 10));
+  a.add(range(20, 30));
+  b.add(range(5, 25));
+  const IntervalSet c = a.intersect(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ranges()[0], range(5, 10));
+  EXPECT_EQ(c.ranges()[1], range(20, 25));
+}
+
+TEST(IntervalSet, Unite) {
+  IntervalSet a, b;
+  a.add(range(0, 10));
+  b.add(range(5, 15));
+  b.add(range(30, 40));
+  const IntervalSet c = a.unite(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.total(), Duration::seconds(25));
+}
+
+TEST(IntervalSet, Difference) {
+  IntervalSet a, b;
+  a.add(range(0, 30));
+  b.add(range(5, 10));
+  b.add(range(20, 25));
+  const IntervalSet c = a.difference(b);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.total(), Duration::seconds(20));
+}
+
+TEST(IntervalSet, ComplementWithin) {
+  IntervalSet s;
+  s.add(range(10, 20));
+  const IntervalSet c = s.complement_within(range(0, 30));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ranges()[0], range(0, 10));
+  EXPECT_EQ(c.ranges()[1], range(20, 30));
+  EXPECT_EQ(s.unite(c).total(), Duration::seconds(30));
+}
+
+TEST(IntervalSet, ConstructorNormalizes) {
+  const IntervalSet s{{range(20, 30), range(0, 10), range(5, 15), range(8, 8)}};
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ranges()[0], range(0, 15));
+  EXPECT_EQ(s.ranges()[1], range(20, 30));
+}
+
+// Property tests: set algebra identities on random interval sets.
+class IntervalAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  IntervalSet random_set(Rng& rng, int n) {
+    IntervalSet s;
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t b = rng.uniform_int(0, 10'000);
+      s.add(range(b, b + rng.uniform_int(1, 500)));
+    }
+    return s;
+  }
+};
+
+TEST_P(IntervalAlgebra, DeMorganAndMeasure) {
+  Rng rng(GetParam());
+  const IntervalSet a = random_set(rng, 20);
+  const IntervalSet b = random_set(rng, 20);
+  const TimeRange window = range(-1000, 12'000);
+
+  // |A| + |B| = |A∪B| + |A∩B|
+  EXPECT_EQ(a.total() + b.total(),
+            a.unite(b).total() + a.intersect(b).total());
+  // A \ B = A ∩ complement(B)
+  EXPECT_EQ(a.difference(b), a.intersect(b.complement_within(window)));
+  // complement is involutive within the window
+  EXPECT_EQ(a.complement_within(window).complement_within(window), a);
+  // intersect/unite commute
+  EXPECT_EQ(a.intersect(b), b.intersect(a));
+  EXPECT_EQ(a.unite(b), b.unite(a));
+}
+
+TEST_P(IntervalAlgebra, InvariantsHold) {
+  Rng rng(GetParam() + 1000);
+  IntervalSet s = random_set(rng, 50);
+  // Invariant: sorted, disjoint, non-adjacent, non-empty.
+  const auto& rs = s.ranges();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_FALSE(rs[i].empty());
+    if (i > 0) {
+      EXPECT_LT(rs[i - 1].end, rs[i].begin);
+    }
+  }
+  // Subtracting everything empties the set.
+  for (const TimeRange& r : std::vector<TimeRange>(rs)) s.subtract(r);
+  EXPECT_TRUE(s.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalAlgebra,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace netfail

@@ -1,0 +1,65 @@
+#include "src/common/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return make_error(ErrorCode::kInvalidArgument, "not positive");
+  return v;
+}
+
+TEST(Result, OkPath) {
+  const Result<int> r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+TEST(Result, ErrorPath) {
+  const Result<int> r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "not positive");
+  EXPECT_EQ(r.value_or(-7), -7);
+}
+
+TEST(Result, MoveOut) {
+  Result<std::string> r = std::string("hello");
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, ArrowOperator) {
+  const Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Status, OkAndError) {
+  const Status ok = Status::ok_status();
+  EXPECT_TRUE(ok.ok());
+  const Status bad = make_error(ErrorCode::kParseError, "boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kParseError);
+}
+
+TEST(Error, ToString) {
+  const Error e = make_error(ErrorCode::kTruncated, "need 4 bytes");
+  EXPECT_EQ(e.to_string(), "truncated: need 4 bytes");
+}
+
+TEST(ErrorCodeName, AllCodes) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(error_code_name(ErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(error_code_name(ErrorCode::kTruncated), "truncated");
+  EXPECT_STREQ(error_code_name(ErrorCode::kChecksumMismatch), "checksum_mismatch");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOutOfRange), "out_of_range");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace netfail

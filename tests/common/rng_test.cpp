@@ -1,0 +1,191 @@
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace netfail {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GE(differing, 15);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == -3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerate) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  const int n = 200'000;
+  double sum = 0, ss = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    ss += v * v;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(7);
+  std::vector<double> v;
+  const int n = 100'001;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(rng.lognormal(std::log(42.0), 1.5));
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(v[n / 2], 42.0, 2.0);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.06);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(7);
+  const int n = 50'000;
+  double small_sum = 0, large_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    small_sum += rng.poisson(3.0);
+    large_sum += rng.poisson(100.0);
+  }
+  EXPECT_NEAR(small_sum / n, 3.0, 0.1);
+  EXPECT_NEAR(large_sum / n, 100.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(7);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(7);
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.geometric(p);
+  EXPECT_NEAR(sum / n, (1 - p) / p, 0.05);
+}
+
+TEST(Rng, WeightedIndex) {
+  Rng rng(7);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {};
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(7);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // The child stream differs from the parent's continuation.
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+TEST(Rng, UniformDuration) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d =
+        rng.uniform_duration(Duration::seconds(1), Duration::seconds(2));
+    EXPECT_GE(d, Duration::seconds(1));
+    EXPECT_LE(d, Duration::seconds(2));
+  }
+}
+
+// Property: distributions stay in their support across parameter sweeps.
+class DistributionSupport : public ::testing::TestWithParam<double> {};
+
+TEST_P(DistributionSupport, AllPositive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GT(rng.exponential(GetParam()), 0.0);
+    EXPECT_GT(rng.weibull(0.7, GetParam()), 0.0);
+    EXPECT_GT(rng.lognormal(std::log(GetParam()), 1.0), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DistributionSupport,
+                         ::testing::Values(0.001, 0.1, 1.0, 42.0, 1e6));
+
+}  // namespace
+}  // namespace netfail

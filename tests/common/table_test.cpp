@@ -1,0 +1,81 @@
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail {
+namespace {
+
+TEST(TextTable, BasicRendering) {
+  TextTable t("Title");
+  t.set_header({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Right-aligned numeric column: "22" ends at the same position as header.
+  EXPECT_NE(out.find("   22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t;
+  t.set_header({"A", "BBBB"});
+  t.add_row({"xxxx", "1"});
+  const std::string out = t.render();
+  // Each line should have the same length (trailing spaces trimmed, so
+  // compare the position of the second column).
+  const auto lines = [&] {
+    std::vector<std::string> ls;
+    std::size_t start = 0;
+    while (start < out.size()) {
+      const std::size_t nl = out.find('\n', start);
+      ls.push_back(out.substr(start, nl - start));
+      start = nl + 1;
+    }
+    return ls;
+  }();
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].find("BBBB"), 6u);  // "A" padded to 4 + 2 spaces
+}
+
+TEST(TextTable, RuleRendering) {
+  TextTable t;
+  t.set_header({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Two rules: one under the header, one explicit.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTable, LeftAlignment) {
+  TextTable t;
+  t.set_header({"k", "v"});
+  t.set_align(1, TextTable::Align::kLeft);
+  t.add_row({"key", "val"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("key  val"), std::string::npos);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+TEST(TextTable, NoHeaderNoTitle) {
+  TextTable t;
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.render(), "x  y\n");
+}
+
+}  // namespace
+}  // namespace netfail

@@ -1,0 +1,135 @@
+#include "src/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail {
+namespace {
+
+TEST(Duration, Construction) {
+  EXPECT_EQ(Duration::seconds(1).total_millis(), 1000);
+  EXPECT_EQ(Duration::minutes(2).total_seconds(), 120);
+  EXPECT_EQ(Duration::hours(1).total_seconds(), 3600);
+  EXPECT_EQ(Duration::days(1).total_seconds(), 86400);
+  EXPECT_EQ(Duration::from_seconds_f(1.5).total_millis(), 1500);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration d = Duration::seconds(90) - Duration::seconds(30);
+  EXPECT_EQ(d.total_seconds(), 60);
+  EXPECT_EQ((d * 3).total_seconds(), 180);
+  EXPECT_EQ((d / 2).total_seconds(), 30);
+  EXPECT_DOUBLE_EQ(Duration::hours(3) / Duration::hours(2), 1.5);
+  EXPECT_TRUE((-d).is_negative());
+  EXPECT_TRUE(Duration{}.is_zero());
+}
+
+TEST(Duration, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(Duration::hours(36).days_f(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::minutes(90).hours_f(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::millis(2500).seconds_f(), 2.5);
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::seconds(42).to_string(), "42s");
+  EXPECT_EQ(Duration::millis(1250).to_string(), "1.250s");
+  EXPECT_EQ(Duration::seconds(150).to_string(), "2m 30s");
+  EXPECT_EQ(Duration::hours(25).to_string(), "1d 1h 00m");
+  EXPECT_EQ((-Duration::seconds(5)).to_string(), "-5s");
+}
+
+TEST(TimePoint, CivilRoundTrip) {
+  const TimePoint t = TimePoint::from_civil(2010, 10, 20, 14, 3, 27, 250);
+  const CivilTime c = to_civil(t);
+  EXPECT_EQ(c.year, 2010);
+  EXPECT_EQ(c.month, 10);
+  EXPECT_EQ(c.day, 20);
+  EXPECT_EQ(c.hour, 14);
+  EXPECT_EQ(c.minute, 3);
+  EXPECT_EQ(c.second, 27);
+  EXPECT_EQ(c.millisecond, 250);
+}
+
+TEST(TimePoint, KnownEpochValues) {
+  EXPECT_EQ(TimePoint::from_civil(1970, 1, 1).unix_millis(), 0);
+  // 2010-10-20 00:00:00 UTC == 1287532800 (independently computed).
+  EXPECT_EQ(TimePoint::from_civil(2010, 10, 20).unix_seconds(), 1287532800);
+  EXPECT_EQ(TimePoint::from_civil(2011, 11, 11).unix_seconds(), 1320969600);
+}
+
+TEST(TimePoint, LeapYearHandling) {
+  const TimePoint feb29 = TimePoint::from_civil(2012, 2, 29);
+  const CivilTime c = to_civil(feb29);
+  EXPECT_EQ(c.month, 2);
+  EXPECT_EQ(c.day, 29);
+  // Feb 28 + 1 day = Feb 29 in a leap year...
+  EXPECT_EQ((TimePoint::from_civil(2012, 2, 28) + Duration::days(1)), feb29);
+  // ...but Mar 1 in a non-leap year.
+  const CivilTime c2 = to_civil(TimePoint::from_civil(2011, 2, 28) + Duration::days(1));
+  EXPECT_EQ(c2.month, 3);
+  EXPECT_EQ(c2.day, 1);
+}
+
+TEST(TimePoint, Rendering) {
+  const TimePoint t = TimePoint::from_civil(2011, 3, 9, 4, 11, 17, 5);
+  EXPECT_EQ(t.to_string(), "2011-03-09 04:11:17.005");
+  EXPECT_EQ(t.to_syslog_string(), "Mar  9 04:11:17");
+  const TimePoint t2 = TimePoint::from_civil(2011, 3, 19, 4, 11, 17);
+  EXPECT_EQ(t2.to_syslog_string(), "Mar 19 04:11:17");
+}
+
+TEST(TimePoint, Ordering) {
+  const TimePoint a = TimePoint::from_civil(2010, 10, 20);
+  const TimePoint b = a + Duration::seconds(1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b - a, Duration::seconds(1));
+}
+
+TEST(TimeRange, Basics) {
+  const TimePoint a = TimePoint::from_civil(2011, 1, 1);
+  const TimeRange r{a, a + Duration::hours(2)};
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.duration(), Duration::hours(2));
+  EXPECT_TRUE(r.contains(a));
+  EXPECT_TRUE(r.contains(a + Duration::hours(1)));
+  EXPECT_FALSE(r.contains(a + Duration::hours(2)));  // half-open
+}
+
+TEST(TimeRange, EmptyAndOverlap) {
+  const TimePoint a = TimePoint::from_civil(2011, 1, 1);
+  EXPECT_TRUE((TimeRange{a, a}).empty());
+  EXPECT_TRUE((TimeRange{a + Duration::seconds(1), a}).empty());
+  EXPECT_EQ((TimeRange{a, a}).duration(), Duration{});
+
+  const TimeRange r1{a, a + Duration::hours(1)};
+  const TimeRange r2{a + Duration::minutes(30), a + Duration::hours(2)};
+  const TimeRange r3{a + Duration::hours(1), a + Duration::hours(2)};
+  EXPECT_TRUE(r1.overlaps(r2));
+  EXPECT_FALSE(r1.overlaps(r3));  // touching half-open ranges do not overlap
+}
+
+TEST(MonthAbbrev, AllMonths) {
+  EXPECT_STREQ(month_abbrev(1), "Jan");
+  EXPECT_STREQ(month_abbrev(6), "Jun");
+  EXPECT_STREQ(month_abbrev(12), "Dec");
+}
+
+// Property: civil round-trip holds across a broad sweep of instants.
+class CivilRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CivilRoundTrip, Holds) {
+  const TimePoint t = TimePoint::from_unix_millis(GetParam());
+  const CivilTime c = to_civil(t);
+  EXPECT_EQ(TimePoint::from_civil(c.year, c.month, c.day, c.hour, c.minute,
+                                  c.second, c.millisecond),
+            t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CivilRoundTrip,
+    ::testing::Values(0LL, 1LL, 999LL, 86'400'000LL, 1'287'532'800'000LL,
+                      1'298'937'599'999LL, 1'320'969'600'000LL,
+                      1'330'473'600'000LL,  // 2012-02-29
+                      253'402'300'799'000LL));
+
+}  // namespace
+}  // namespace netfail

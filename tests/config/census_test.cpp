@@ -1,0 +1,83 @@
+#include "src/config/census.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail {
+namespace {
+
+class CensusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    period_ = TimeRange{TimePoint::from_civil(2010, 10, 20),
+                        TimePoint::from_civil(2011, 11, 11)};
+    ab_ = census_.add_link(
+        CensusEndpoint{"a-core-1", "Te0/0", Ipv4Address(10, 0, 0, 0)},
+        CensusEndpoint{"b-core-1", "Te0/0", Ipv4Address(10, 0, 0, 1)},
+        Ipv4Prefix{Ipv4Address(10, 0, 0, 0), 31}, period_, RouterClass::kCore);
+    // Two parallel links between b and c: a multi-link pair.
+    bc1_ = census_.add_link(
+        CensusEndpoint{"b-core-1", "Te0/1", Ipv4Address(10, 0, 0, 2)},
+        CensusEndpoint{"edu001-gw-1", "Gi0/0", Ipv4Address(10, 0, 0, 3)},
+        Ipv4Prefix{Ipv4Address(10, 0, 0, 2), 31}, period_, RouterClass::kCpe);
+    bc2_ = census_.add_link(
+        CensusEndpoint{"b-core-1", "Te0/2", Ipv4Address(10, 0, 0, 4)},
+        CensusEndpoint{"edu001-gw-1", "Gi0/1", Ipv4Address(10, 0, 0, 5)},
+        Ipv4Prefix{Ipv4Address(10, 0, 0, 4), 31}, period_, RouterClass::kCpe);
+    census_.set_hostname(OsiSystemId::from_index(1), "a-core-1");
+    census_.finalize();
+  }
+
+  TimeRange period_;
+  LinkCensus census_;
+  LinkId ab_, bc1_, bc2_;
+};
+
+TEST_F(CensusTest, Lookups) {
+  EXPECT_EQ(census_.size(), 3u);
+  EXPECT_EQ(census_.find_by_name("a-core-1:Te0/0|b-core-1:Te0/0"), ab_);
+  EXPECT_EQ(census_.find_by_subnet(Ipv4Prefix{Ipv4Address(10, 0, 0, 2), 31}),
+            bc1_);
+  EXPECT_EQ(census_.find_by_interface("edu001-gw-1", "Gi0/1"), bc2_);
+  EXPECT_EQ(census_.find_by_interface("edu001-gw-1", "Gi9/9"), std::nullopt);
+  EXPECT_EQ(census_.find_by_name("nope"), std::nullopt);
+}
+
+TEST_F(CensusTest, HostPairLookupOrderInsensitive) {
+  const auto fwd = census_.find_between_hosts("b-core-1", "edu001-gw-1");
+  const auto rev = census_.find_between_hosts("edu001-gw-1", "b-core-1");
+  EXPECT_EQ(fwd, rev);
+  EXPECT_EQ(fwd.size(), 2u);
+  EXPECT_EQ(census_.find_between_hosts("a-core-1", "b-core-1").size(), 1u);
+  EXPECT_TRUE(census_.find_between_hosts("a-core-1", "edu001-gw-1").empty());
+}
+
+TEST_F(CensusTest, MultilinkFlags) {
+  EXPECT_FALSE(census_.link(ab_).multilink);
+  EXPECT_TRUE(census_.link(bc1_).multilink);
+  EXPECT_TRUE(census_.link(bc2_).multilink);
+  EXPECT_EQ(census_.multilink_member_count(), 2u);
+}
+
+TEST_F(CensusTest, ClassCounts) {
+  EXPECT_EQ(census_.count(RouterClass::kCore), 1u);
+  EXPECT_EQ(census_.count(RouterClass::kCpe), 2u);
+}
+
+TEST_F(CensusTest, HostnameMapping) {
+  EXPECT_EQ(census_.hostname_of(OsiSystemId::from_index(1)), "a-core-1");
+  EXPECT_EQ(census_.hostname_of(OsiSystemId::from_index(99)), std::nullopt);
+}
+
+TEST_F(CensusTest, CanonicalEndpointOrder) {
+  // Endpoints given in reverse order canonicalize identically.
+  LinkCensus other;
+  other.add_link(
+      CensusEndpoint{"b-core-1", "Te0/0", Ipv4Address(10, 0, 0, 1)},
+      CensusEndpoint{"a-core-1", "Te0/0", Ipv4Address(10, 0, 0, 0)},
+      Ipv4Prefix{Ipv4Address(10, 0, 0, 0), 31}, period_, RouterClass::kCore);
+  EXPECT_EQ(other.links()[0].name, census_.link(ab_).name);
+  EXPECT_EQ(other.links()[0].a.host, "a-core-1");
+}
+
+}  // namespace
+}  // namespace netfail

@@ -1,0 +1,83 @@
+#include "src/config/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/generator.hpp"
+
+namespace netfail {
+namespace {
+
+class RenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TopologyParams p = TopologyParams{}.scaled_down(6);
+    topo_ = generate_topology(p);
+    when_ = TimePoint::from_civil(2011, 2, 1, 12, 0, 0);
+  }
+
+  Topology topo_;
+  TimePoint when_;
+};
+
+TEST_F(RenderTest, IosConfigShape) {
+  // Find a CPE (IOS) router.
+  const Router* cpe = nullptr;
+  for (const Router& r : topo_.routers()) {
+    if (r.os == RouterOs::kIos) {
+      cpe = &r;
+      break;
+    }
+  }
+  ASSERT_NE(cpe, nullptr);
+  const std::string cfg = render_config(topo_, cpe->id, when_);
+  EXPECT_NE(cfg.find("hostname " + cpe->hostname), std::string::npos);
+  EXPECT_NE(cfg.find("ip address "), std::string::npos);
+  EXPECT_NE(cfg.find("255.255.255.254"), std::string::npos);
+  EXPECT_NE(cfg.find("router isis cenic"), std::string::npos);
+  EXPECT_NE(cfg.find("net 49.0001."), std::string::npos);
+  EXPECT_NE(cfg.find("ip router isis"), std::string::npos);
+  EXPECT_EQ(cfg.find("ipv4 address"), std::string::npos);  // not IOS-XR syntax
+}
+
+TEST_F(RenderTest, IosXrConfigShape) {
+  const Router* core = nullptr;
+  for (const Router& r : topo_.routers()) {
+    if (r.os == RouterOs::kIosXr) {
+      core = &r;
+      break;
+    }
+  }
+  ASSERT_NE(core, nullptr);
+  const std::string cfg = render_config(topo_, core->id, when_);
+  EXPECT_NE(cfg.find("hostname " + core->hostname), std::string::npos);
+  EXPECT_NE(cfg.find("ipv4 address "), std::string::npos);
+  EXPECT_NE(cfg.find("router isis cenic"), std::string::npos);
+  EXPECT_NE(cfg.find("address-family ipv4 unicast"), std::string::npos);
+}
+
+TEST_F(RenderTest, EveryInterfaceAppears) {
+  for (const Router& r : topo_.routers()) {
+    const std::string cfg = render_config(topo_, r.id, when_);
+    for (InterfaceId iid : r.interfaces) {
+      const Interface& intf = topo_.interface(iid);
+      EXPECT_NE(cfg.find("interface " + intf.name), std::string::npos)
+          << r.hostname << " missing " << intf.name;
+      EXPECT_NE(cfg.find(intf.address.to_string()), std::string::npos);
+    }
+  }
+}
+
+TEST_F(RenderTest, DescriptionNamesPeer) {
+  const Link& l = topo_.links().front();
+  const std::string cfg = render_config(topo_, l.router_a, when_);
+  const Router& peer = topo_.router(l.router_b);
+  EXPECT_NE(cfg.find("Link to " + peer.hostname), std::string::npos);
+}
+
+TEST_F(RenderTest, TimestampEmbedded) {
+  const std::string cfg = render_config(topo_, topo_.routers()[0].id, when_);
+  EXPECT_NE(cfg.find("2011-02-01"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netfail

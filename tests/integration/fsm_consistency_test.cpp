@@ -1,0 +1,174 @@
+// DESIGN.md commitment: the simulator's analytic fast path (failure
+// schedule -> adjacency timings) must agree with the real three-way
+// handshake FSM. These tests drive two coupled AdjacencyFsm instances
+// through the same situations the scheduler parameterizes and check the
+// analytic timing assumptions bracket the FSM's behaviour.
+#include <gtest/gtest.h>
+
+#include "src/isis/adjacency.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace netfail {
+namespace {
+
+using isis::AdjacencyFsm;
+using isis::AdjacencyState;
+using isis::PointToPointHello;
+
+TimePoint at(double s) {
+  return TimePoint::from_unix_millis(static_cast<std::int64_t>(s * 1000));
+}
+
+/// Two routers exchanging hellos every `interval` seconds, with media state
+/// under test control.
+class Harness {
+ public:
+  Harness()
+      : a_(OsiSystemId::from_index(1)), b_(OsiSystemId::from_index(2)) {}
+
+  void media_up(double t) {
+    a_.media_up(at(t));
+    b_.media_up(at(t));
+    media_ = true;
+  }
+  void media_down(double t) {
+    a_.media_down(at(t));
+    b_.media_down(at(t));
+    media_ = false;
+  }
+
+  /// Advance to `t`, exchanging hellos on the 10 s grid while media is up.
+  void run_until(double t) {
+    while (clock_ + 10.0 <= t) {
+      clock_ += 10.0;
+      a_.advance_to(at(clock_));
+      b_.advance_to(at(clock_));
+      if (media_) {
+        const PointToPointHello ha = a_.make_hello(at(clock_));
+        const PointToPointHello hb = b_.make_hello(at(clock_));
+        a_.receive_hello(at(clock_), hb);
+        b_.receive_hello(at(clock_), ha);
+      }
+    }
+  }
+
+  AdjacencyFsm a_, b_;
+  double clock_ = 0;
+  bool media_ = false;
+};
+
+TEST(FsmConsistency, MediaLossDetectionIsImmediate) {
+  // Analytic assumption: adjacency_detect_max bounds the delay between
+  // media loss and the adjacency-down event.
+  const sim::ScenarioParams params;
+  Harness h;
+  h.media_up(0);
+  h.run_until(30);
+  ASSERT_EQ(h.a_.state(), AdjacencyState::kUp);
+
+  h.media_down(42.5);
+  EXPECT_EQ(h.a_.state(), AdjacencyState::kDown);
+  const auto changes = h.a_.take_changes();
+  const TimePoint down_at = changes.back().time;
+  EXPECT_LE(down_at - at(42.5), params.adjacency_detect_max);
+}
+
+TEST(FsmConsistency, HandshakeDelayWithinTwoHelloRounds) {
+  // Analytic assumption: handshake_min..handshake_max (2-10 s) sits inside
+  // the FSM's possible range of [0, 2 hello intervals] after media
+  // restoration. With a 10 s hello timer the FSM needs at most two
+  // exchanges.
+  const sim::ScenarioParams params;
+  Harness h;
+  h.media_up(0);
+  h.run_until(30);
+  h.media_down(35);
+  h.run_until(60);
+  ASSERT_EQ(h.a_.state(), AdjacencyState::kDown);
+
+  h.media_up(61);
+  h.run_until(100);
+  ASSERT_EQ(h.a_.state(), AdjacencyState::kUp);
+  (void)h.a_.take_changes();
+  // Find when b reported Up.
+  TimePoint up_at;
+  for (const auto& c : h.b_.take_changes()) {
+    if (c.state == AdjacencyState::kUp) up_at = c.time;
+  }
+  const Duration handshake = up_at - at(61);
+  EXPECT_GE(handshake, Duration::seconds(0));
+  EXPECT_LE(handshake, Duration::seconds(20));  // two hello rounds
+  // The scheduler's sampled range lies inside the FSM-feasible range.
+  EXPECT_GE(params.handshake_min, Duration::seconds(0));
+  EXPECT_LE(params.handshake_max, Duration::seconds(20));
+}
+
+TEST(FsmConsistency, SilentFailureTakesHoldTime) {
+  // Protocol failures in the schedule start at a sampled instant; the FSM
+  // equivalent (peer falls silent) fires after the hold time — which is why
+  // the two ends of a protocol failure can disagree by several seconds and
+  // the matcher needs its 10 s window.
+  Harness h;
+  h.media_up(0);
+  h.run_until(30);
+  ASSERT_EQ(h.a_.state(), AdjacencyState::kUp);
+
+  // b falls silent after t=30 (we stop exchanging but keep a's clock
+  // moving and media up).
+  const TimePoint last_hello = at(h.clock_);
+  h.a_.advance_to(at(100));
+  EXPECT_EQ(h.a_.state(), AdjacencyState::kDown);
+  const auto changes = h.a_.take_changes();
+  EXPECT_EQ(changes.back().reason,
+            isis::AdjacencyChangeReason::kHoldTimeExpired);
+  EXPECT_EQ(changes.back().time, last_hello + h.a_.holding_time());
+}
+
+TEST(FsmConsistency, PeerDetectionIsHelloQuantized) {
+  // A one-sided media bounce: the local end (a) sees the drop instantly,
+  // but the peer (b) only learns at the *next hello exchange* — its
+  // adjacency-down report can lag the event by up to a full hello interval.
+  // This is why the two ends of one transition can disagree by several
+  // seconds and the paper needs a 10 s matching window.
+  Harness h;
+  h.media_up(0);
+  h.run_until(30);
+  ASSERT_EQ(h.b_.state(), AdjacencyState::kUp);
+  (void)h.a_.take_changes();
+  (void)h.b_.take_changes();
+
+  // Local bounce at a between the hellos at t=30 and t=40.
+  h.a_.media_down(at(31));
+  h.a_.media_up(at(33));
+  h.run_until(80);
+
+  // a reported down at exactly 31.
+  TimePoint a_down;
+  for (const auto& c : h.a_.take_changes()) {
+    if (c.state == AdjacencyState::kDown) {
+      a_down = c.time;
+      break;
+    }
+  }
+  EXPECT_EQ(a_down, at(31));
+
+  // b learned only from a's restarted-handshake hello at t=40.
+  TimePoint b_down;
+  bool b_went_down = false;
+  for (const auto& c : h.b_.take_changes()) {
+    if (c.state == AdjacencyState::kDown && !b_went_down) {
+      b_down = c.time;
+      b_went_down = true;
+    }
+  }
+  ASSERT_TRUE(b_went_down);
+  EXPECT_EQ(b_down, at(40));
+  EXPECT_LE(b_down - a_down, Duration::seconds(10));  // one hello interval
+
+  // And both sides re-converge to Up afterwards.
+  EXPECT_EQ(h.a_.state(), AdjacencyState::kUp);
+  EXPECT_EQ(h.b_.state(), AdjacencyState::kUp);
+}
+
+}  // namespace
+}  // namespace netfail

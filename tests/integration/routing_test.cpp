@@ -1,0 +1,142 @@
+// Integration: the LSDB + SPF substrate against the simulated capture —
+// the routing-level meaning of "IS-IS is ground truth".
+#include <gtest/gtest.h>
+
+#include "src/analysis/pipeline.hpp"
+#include "src/isis/lsdb.hpp"
+#include "src/isis/spf.hpp"
+
+namespace netfail {
+namespace {
+
+class RoutingIntegration : public ::testing::Test {
+ protected:
+  static const analysis::PipelineResult& result() {
+    static const analysis::PipelineResult r = [] {
+      analysis::PipelineOptions options;
+      options.scenario = sim::test_scenario(55);
+      return analysis::run_pipeline(options);
+    }();
+    return r;
+  }
+
+  static isis::LinkStateDatabase database_at(TimePoint when) {
+    isis::LinkStateDatabase db;
+    for (const isis::LspRecord& rec : result().sim.listener.records()) {
+      if (rec.received_at > when) break;
+      const auto lsp = isis::Lsp::decode(rec.bytes);
+      if (lsp.ok()) (void)db.install(*lsp, rec.received_at);
+    }
+    return db;
+  }
+
+  static OsiSystemId first_core_system() {
+    for (const Router& r : result().sim.topology.routers()) {
+      if (r.cls == RouterClass::kCore) return r.system_id;
+    }
+    return OsiSystemId{};
+  }
+};
+
+TEST_F(RoutingIntegration, EveryRouterInDatabaseAfterBaseline) {
+  const TimePoint t =
+      result().options_period.begin + Duration::minutes(10);
+  const isis::LinkStateDatabase db = database_at(t);
+  EXPECT_EQ(db.size(), result().sim.topology.router_count());
+}
+
+TEST_F(RoutingIntegration, QuietMomentReachesWholeNetwork) {
+  // Find an instant with no true adjacency failure in progress.
+  const auto downtime = result().sim.truth.adjacency_downtime_by_link();
+  TimePoint probe = result().options_period.begin + Duration::hours(2);
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    bool busy = false;
+    for (const auto& [name, set] : downtime) {
+      if (set.contains(probe)) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy && !result().sim.truth.listener_gaps().contains(probe)) break;
+    probe += Duration::minutes(30);
+  }
+  const isis::LinkStateDatabase db = database_at(probe);
+  const isis::SpfResult spf =
+      isis::shortest_paths(db, first_core_system());
+  // Everything is up: the whole network is one SPF-reachable component.
+  EXPECT_EQ(spf.nodes.size(), result().sim.topology.router_count());
+}
+
+TEST_F(RoutingIntegration, SpfDistancesAreMonotoneAlongFirstHops) {
+  const TimePoint t = result().options_period.begin + Duration::hours(2);
+  const isis::LinkStateDatabase db = database_at(t);
+  const OsiSystemId root = first_core_system();
+  const isis::SpfResult spf = isis::shortest_paths(db, root);
+  for (const auto& [sys, node] : spf.nodes) {
+    if (sys == root) {
+      EXPECT_EQ(node.distance, 0u);
+      EXPECT_FALSE(node.first_hop.has_value());
+      continue;
+    }
+    ASSERT_TRUE(node.first_hop.has_value());
+    // The first hop must itself be reachable at no greater distance.
+    const auto hop = spf.nodes.find(*node.first_hop);
+    ASSERT_NE(hop, spf.nodes.end());
+    EXPECT_LE(hop->second.distance, node.distance);
+  }
+}
+
+TEST_F(RoutingIntegration, CsnpSummarizesWholeDatabase) {
+  const TimePoint t = result().options_period.begin + Duration::hours(1);
+  const isis::LinkStateDatabase db = database_at(t);
+  const isis::Csnp csnp = db.build_csnp(first_core_system(), t);
+  EXPECT_EQ(csnp.entries.size(), db.size());
+  // A fresh database is "missing" everything the CSNP lists.
+  isis::LinkStateDatabase empty;
+  EXPECT_EQ(empty.missing_from(csnp).size(), csnp.entries.size());
+  // The database itself is missing nothing from its own summary.
+  EXPECT_TRUE(db.missing_from(csnp).empty());
+}
+
+TEST_F(RoutingIntegration, DatabaseTracksFailureAndRecovery) {
+  // Take a long, clean failure and verify the adjacency leaves and
+  // re-enters the database's advertisements.
+  const analysis::Failure* target = nullptr;
+  for (const analysis::Failure& f : result().isis_recon.failures) {
+    if (f.duration() >= Duration::minutes(10) &&
+        f.span.begin > result().options_period.begin + Duration::hours(1)) {
+      target = &f;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr) << "scenario produced no long clean failure";
+  const CensusLink& link = result().census.link(target->link);
+
+  // Direct check: the bidirectional adjacency advertisement.
+  const auto adjacency_up = [&](TimePoint when) {
+    const isis::LinkStateDatabase db = database_at(when);
+    int directions = 0;
+    for (const isis::Lsp* lsp : db.snapshot()) {
+      if (lsp->hostname != link.a.host && lsp->hostname != link.b.host) {
+        continue;
+      }
+      const std::string& other =
+          lsp->hostname == link.a.host ? link.b.host : link.a.host;
+      for (const isis::IsReachEntry& e : lsp->is_reach) {
+        const auto host = result().census.hostname_of(e.neighbor);
+        if (host && *host == other) {
+          ++directions;
+          break;
+        }
+      }
+    }
+    return directions == 2;
+  };
+
+  EXPECT_TRUE(adjacency_up(target->span.begin - Duration::minutes(2)));
+  EXPECT_FALSE(adjacency_up(target->span.begin + target->duration() / 2));
+  EXPECT_TRUE(adjacency_up(target->span.end + Duration::minutes(2)));
+}
+
+}  // namespace
+}  // namespace netfail

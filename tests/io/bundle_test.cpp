@@ -1,0 +1,149 @@
+// Tests for the capture-bundle pieces: config directories, ticket files,
+// interval files — plus a miner round-trip through the on-disk archive.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "src/config/miner.hpp"
+#include "src/io/config_dir.hpp"
+#include "src/io/interval_file.hpp"
+#include "src/io/ticket_file.hpp"
+#include "src/topology/generator.hpp"
+
+namespace netfail::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+class TempDir {
+ public:
+  TempDir() : path_(fs::temp_directory_path() /
+                    ("netfail_test_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter_++))) {
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+TEST(ConfigDir, RoundTripThroughMiner) {
+  const Topology topo = generate_topology(TopologyParams{}.scaled_down(8));
+  const TimeRange period{TimePoint::from_civil(2011, 1, 1),
+                         TimePoint::from_civil(2011, 3, 1)};
+  const ConfigArchive original = generate_archive(topo, period);
+
+  TempDir dir;
+  ASSERT_TRUE(write_config_dir(original, dir.path().string()).ok());
+
+  ConfigDirStats stats;
+  const auto loaded = read_config_dir(dir.path().string(), &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(stats.files, original.size());
+  EXPECT_EQ(stats.skipped, 0u);
+
+  // The census mined from disk matches the census mined in memory.
+  const LinkCensus from_disk = mine_archive(*loaded, period);
+  const LinkCensus from_memory = mine_archive(original, period);
+  ASSERT_EQ(from_disk.size(), from_memory.size());
+  for (const CensusLink& l : from_memory.links()) {
+    const auto found = from_disk.find_by_name(l.name);
+    ASSERT_TRUE(found.has_value()) << l.name;
+    EXPECT_EQ(from_disk.link(*found).subnet, l.subnet);
+    EXPECT_EQ(from_disk.link(*found).multilink, l.multilink);
+  }
+}
+
+TEST(ConfigDir, SkipsForeignFiles) {
+  TempDir dir;
+  fs::create_directories(dir.path() / "router1");
+  {
+    std::ofstream(dir.path() / "router1" / "1000.cfg") << "hostname router1\n";
+    std::ofstream(dir.path() / "router1" / "README.txt") << "not a config\n";
+    std::ofstream(dir.path() / "router1" / "garbage.cfg") << "hostname x\n";
+    std::ofstream(dir.path() / "stray.cfg") << "hostname stray\n";
+  }
+  ConfigDirStats stats;
+  const auto loaded = read_config_dir(dir.path().string(), &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(stats.files, 1u);   // only router1/1000.cfg qualifies
+  EXPECT_EQ(stats.skipped, 3u); // txt, non-numeric stem, top-level file
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(loaded->files()[0].router_hostname, "router1");
+  EXPECT_EQ(loaded->files()[0].captured_at, at(1000));
+}
+
+TEST(ConfigDir, MissingRootReported) {
+  EXPECT_FALSE(read_config_dir("/nonexistent/archive").ok());
+}
+
+TEST(TicketFile, RoundTrip) {
+  TicketStore store;
+  store.file("a:1|b:2", TimeRange{at(100), at(50'000)}, "fiber cut near X");
+  store.file("c:1|d:2", TimeRange{at(999), at(2000)}, "maintenance");
+  std::stringstream stream;
+  write_ticket_file(store, stream);
+
+  TicketReadStats stats;
+  const auto loaded = read_ticket_file(stream, &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.malformed, 0u);
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->tickets()[0].link_name, "a:1|b:2");
+  EXPECT_EQ(loaded->tickets()[0].outage, (TimeRange{at(100), at(50'000)}));
+  EXPECT_EQ(loaded->tickets()[1].summary, "maintenance");
+  // Corroboration still works after the round trip.
+  EXPECT_TRUE(loaded->corroborates("a:1|b:2", TimeRange{at(200), at(40'000)}));
+}
+
+TEST(TicketFile, MalformedRowsSkipped) {
+  std::stringstream stream;
+  stream << "good\t1000\t2000\tok\n"
+         << "bad line without tabs\n"
+         << "backwards\t2000\t1000\toops\n"
+         << "nonnumeric\tx\ty\tz\n";
+  TicketReadStats stats;
+  const auto loaded = read_ticket_file(stream, &stats);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(stats.rows, 1u);
+  EXPECT_EQ(stats.malformed, 3u);
+}
+
+TEST(IntervalFile, RoundTrip) {
+  IntervalSet set;
+  set.add(TimeRange{at(10), at(20)});
+  set.add(TimeRange{at(100), at(300)});
+  std::stringstream stream;
+  write_interval_file(set, stream);
+  const auto loaded = read_interval_file(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, set);
+}
+
+TEST(IntervalFile, BadRowRejected) {
+  std::stringstream stream;
+  stream << "1000\t2000\n" << "oops\n";
+  EXPECT_FALSE(read_interval_file(stream).ok());
+}
+
+TEST(IntervalFile, EmptyFileIsEmptySet) {
+  std::stringstream stream;
+  const auto loaded = read_interval_file(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace netfail::io

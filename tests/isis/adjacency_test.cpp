@@ -1,0 +1,173 @@
+#include "src/isis/adjacency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::isis {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+/// Drive two coupled FSMs exchanging hellos every `interval` seconds;
+/// returns the time (seconds) at which both sides report Up.
+struct FsmPair {
+  AdjacencyFsm a{OsiSystemId::from_index(1)};
+  AdjacencyFsm b{OsiSystemId::from_index(2)};
+
+  void media_up(std::int64_t t) {
+    a.media_up(at(t));
+    b.media_up(at(t));
+  }
+  void exchange(std::int64_t t) {
+    const PointToPointHello ha = a.make_hello(at(t));
+    const PointToPointHello hb = b.make_hello(at(t));
+    a.receive_hello(at(t), hb);
+    b.receive_hello(at(t), ha);
+  }
+};
+
+TEST(AdjacencyFsm, ThreeWayHandshake) {
+  FsmPair pair;
+  pair.media_up(0);
+  EXPECT_EQ(pair.a.state(), AdjacencyState::kDown);
+
+  // First exchange: each side learns of the other -> Initializing.
+  pair.exchange(1);
+  EXPECT_EQ(pair.a.state(), AdjacencyState::kInitializing);
+  EXPECT_EQ(pair.b.state(), AdjacencyState::kInitializing);
+
+  // Second exchange: hellos now carry the neighbor -> Up.
+  pair.exchange(11);
+  EXPECT_EQ(pair.a.state(), AdjacencyState::kUp);
+  EXPECT_EQ(pair.b.state(), AdjacencyState::kUp);
+}
+
+TEST(AdjacencyFsm, MediaDownDropsImmediately) {
+  FsmPair pair;
+  pair.media_up(0);
+  pair.exchange(1);
+  pair.exchange(11);
+  ASSERT_EQ(pair.a.state(), AdjacencyState::kUp);
+
+  pair.a.media_down(at(20));
+  EXPECT_EQ(pair.a.state(), AdjacencyState::kDown);
+  const auto changes = pair.a.take_changes();
+  ASSERT_FALSE(changes.empty());
+  EXPECT_EQ(changes.back().reason, AdjacencyChangeReason::kInterfaceDown);
+  EXPECT_EQ(changes.back().time, at(20));
+}
+
+TEST(AdjacencyFsm, HoldTimeExpiry) {
+  FsmPair pair;
+  pair.media_up(0);
+  pair.exchange(1);
+  pair.exchange(11);
+  ASSERT_EQ(pair.a.state(), AdjacencyState::kUp);
+
+  // Silence: a's hold timer (30s from the last hello at t=11) fires.
+  pair.a.advance_to(at(60));
+  EXPECT_EQ(pair.a.state(), AdjacencyState::kDown);
+  const auto changes = pair.a.take_changes();
+  ASSERT_FALSE(changes.empty());
+  EXPECT_EQ(changes.back().reason, AdjacencyChangeReason::kHoldTimeExpired);
+  EXPECT_EQ(changes.back().time, at(41));  // 11 + 30
+}
+
+TEST(AdjacencyFsm, HellosRefreshHoldTimer) {
+  FsmPair pair;
+  pair.media_up(0);
+  for (std::int64_t t = 1; t <= 101; t += 10) pair.exchange(t);
+  pair.a.advance_to(at(110));
+  EXPECT_EQ(pair.a.state(), AdjacencyState::kUp);
+}
+
+TEST(AdjacencyFsm, HelloOverDeadMediaIgnored) {
+  AdjacencyFsm fsm(OsiSystemId::from_index(1));
+  PointToPointHello h;
+  h.source = OsiSystemId::from_index(2);
+  h.holding_time = 30;
+  fsm.receive_hello(at(5), h);
+  EXPECT_EQ(fsm.state(), AdjacencyState::kDown);
+}
+
+TEST(AdjacencyFsm, NeighborChangeRestartsAdjacency) {
+  AdjacencyFsm fsm(OsiSystemId::from_index(1));
+  fsm.media_up(at(0));
+  PointToPointHello h;
+  h.source = OsiSystemId::from_index(2);
+  h.holding_time = 30;
+  h.has_neighbor = true;
+  h.neighbor = OsiSystemId::from_index(1);
+  fsm.receive_hello(at(1), h);
+  ASSERT_EQ(fsm.state(), AdjacencyState::kUp);
+
+  // A different router appears on the circuit.
+  PointToPointHello h2 = h;
+  h2.source = OsiSystemId::from_index(9);
+  h2.has_neighbor = false;
+  fsm.receive_hello(at(5), h2);
+  EXPECT_EQ(fsm.state(), AdjacencyState::kInitializing);
+  bool saw_down = false;
+  for (const AdjacencyChange& c : fsm.take_changes()) {
+    if (c.state == AdjacencyState::kDown &&
+        c.reason == AdjacencyChangeReason::kNeighborRestarted) {
+      saw_down = true;
+    }
+  }
+  EXPECT_TRUE(saw_down);
+}
+
+TEST(AdjacencyFsm, HelloReflectsState) {
+  FsmPair pair;
+  pair.media_up(0);
+  EXPECT_EQ(pair.a.make_hello(at(0)).three_way_state, ThreeWayState::kDown);
+  EXPECT_FALSE(pair.a.make_hello(at(0)).has_neighbor);
+  pair.exchange(1);
+  const PointToPointHello h = pair.a.make_hello(at(2));
+  EXPECT_EQ(h.three_way_state, ThreeWayState::kInitializing);
+  ASSERT_TRUE(h.has_neighbor);
+  EXPECT_EQ(h.neighbor, OsiSystemId::from_index(2));
+  pair.exchange(11);
+  EXPECT_EQ(pair.a.make_hello(at(12)).three_way_state, ThreeWayState::kUp);
+}
+
+TEST(AdjacencyFsm, FullLifecycleChanges) {
+  FsmPair pair;
+  pair.media_up(0);
+  pair.exchange(1);
+  pair.exchange(11);
+  pair.a.media_down(at(30));
+  pair.a.media_up(at(60));
+  const PointToPointHello hb = pair.b.make_hello(at(61));
+  pair.a.receive_hello(at(61), hb);
+
+  const auto changes = pair.a.take_changes();
+  // Init(1) -> Up(11) -> Down(30) -> Init-or-Up(61).
+  ASSERT_GE(changes.size(), 4u);
+  EXPECT_EQ(changes[0].state, AdjacencyState::kInitializing);
+  EXPECT_EQ(changes[1].state, AdjacencyState::kUp);
+  EXPECT_EQ(changes[2].state, AdjacencyState::kDown);
+}
+
+// Property: under any interleaving of periodic hellos the pair converges to
+// Up within three hello intervals after media comes up.
+class ConvergenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvergenceProperty, ConvergesToUp) {
+  const int offset = GetParam();  // b's hellos are offset by this many seconds
+  AdjacencyFsm a{OsiSystemId::from_index(1)};
+  AdjacencyFsm b{OsiSystemId::from_index(2)};
+  a.media_up(at(0));
+  b.media_up(at(0));
+  for (std::int64_t t = 0; t <= 40; ++t) {
+    if (t % 10 == 1) b.receive_hello(at(t), a.make_hello(at(t)));
+    if (t % 10 == (1 + offset) % 10) a.receive_hello(at(t), b.make_hello(at(t)));
+  }
+  EXPECT_EQ(a.state(), AdjacencyState::kUp);
+  EXPECT_EQ(b.state(), AdjacencyState::kUp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ConvergenceProperty,
+                         ::testing::Values(0, 1, 3, 5, 9));
+
+}  // namespace
+}  // namespace netfail::isis

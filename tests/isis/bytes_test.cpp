@@ -1,0 +1,86 @@
+#include "src/isis/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail {
+namespace {
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090a);
+  const std::vector<std::uint8_t> expect{0x01, 0x02, 0x03, 0x04, 0x05,
+                                         0x06, 0x07, 0x08, 0x09, 0x0a};
+  EXPECT_EQ(w.data(), expect);
+}
+
+TEST(ByteWriter, StringAndBytes) {
+  ByteWriter w;
+  w.string("ab");
+  const std::uint8_t raw[] = {0xff, 0x00};
+  w.bytes(raw);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 'a');
+  EXPECT_EQ(w.data()[2], 0xff);
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u32(0);
+  w.patch_u16(1, 0xbeef);
+  EXPECT_EQ(w.data()[1], 0xbe);
+  EXPECT_EQ(w.data()[2], 0xef);
+}
+
+TEST(ByteReader, RoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(1000);
+  w.u24(70000);
+  w.u32(5'000'000);
+  w.string("xyz");
+  const auto buf = w.data();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 1000);
+  EXPECT_EQ(r.u24().value(), 70000u);
+  EXPECT_EQ(r.u32().value(), 5'000'000u);
+  EXPECT_EQ(r.string(3).value(), "xyz");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, TruncationErrors) {
+  const std::vector<std::uint8_t> buf{0x01};
+  ByteReader r(buf);
+  EXPECT_FALSE(r.u16().ok());
+  EXPECT_TRUE(r.u8().ok());  // failed read consumed nothing
+  EXPECT_FALSE(r.u8().ok());
+}
+
+TEST(ByteReader, SubReader) {
+  const std::vector<std::uint8_t> buf{1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  auto sub = r.sub(3);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->remaining(), 3u);
+  EXPECT_EQ(sub->u8().value(), 1);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.u8().value(), 4);
+  EXPECT_FALSE(r.sub(5).ok());
+}
+
+TEST(ByteReader, BytesExact) {
+  const std::vector<std::uint8_t> buf{9, 8, 7};
+  ByteReader r(buf);
+  const auto got = r.bytes(2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0], 9);
+  EXPECT_EQ((*got)[1], 8);
+  EXPECT_FALSE(r.bytes(2).ok());
+}
+
+}  // namespace
+}  // namespace netfail

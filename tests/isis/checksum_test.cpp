@@ -1,0 +1,83 @@
+#include "src/isis/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace netfail {
+namespace {
+
+std::vector<std::uint8_t> with_checksum(std::vector<std::uint8_t> data,
+                                        std::size_t offset) {
+  const std::uint16_t ck = fletcher_checksum(data, offset);
+  data[offset] = static_cast<std::uint8_t>(ck >> 8);
+  data[offset + 1] = static_cast<std::uint8_t>(ck);
+  return data;
+}
+
+TEST(Fletcher, ComputedChecksumVerifies) {
+  std::vector<std::uint8_t> data(40);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13 + 7);
+  }
+  const auto sealed = with_checksum(data, 12);
+  EXPECT_TRUE(fletcher_verify(sealed, 12));
+}
+
+TEST(Fletcher, CorruptionDetected) {
+  std::vector<std::uint8_t> data(64, 0x5a);
+  auto sealed = with_checksum(data, 10);
+  for (std::size_t i : {0u, 5u, 20u, 63u}) {
+    auto corrupt = sealed;
+    corrupt[i] ^= 0x01;
+    EXPECT_FALSE(fletcher_verify(corrupt, 10)) << "flip at " << i;
+  }
+}
+
+TEST(Fletcher, ZeroChecksumRejected) {
+  std::vector<std::uint8_t> data(32, 0);
+  // All zeros: stored checksum 0x0000 means "not computed".
+  EXPECT_FALSE(fletcher_verify(data, 8));
+}
+
+TEST(Fletcher, ChecksumNeverZeroOctets) {
+  // The generator substitutes 255 for 0 octets; verify on tricky inputs.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(rng.uniform_int(16, 200)));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const std::size_t offset =
+        static_cast<std::size_t>(rng.uniform_int(0, 8)) * 2;
+    const std::uint16_t ck = fletcher_checksum(data, offset);
+    EXPECT_NE(ck >> 8, 0);
+    EXPECT_NE(ck & 0xff, 0);
+  }
+}
+
+// Property: random payloads round-trip; single-bit flips are detected.
+class FletcherProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FletcherProperty, RoundTripAndDetect) {
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> data(
+      static_cast<std::size_t>(rng.uniform_int(20, 500)));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const std::size_t offset = 12;
+  const auto sealed = with_checksum(data, offset);
+  ASSERT_TRUE(fletcher_verify(sealed, offset));
+
+  auto corrupt = sealed;
+  const std::size_t pos =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(corrupt.size()) - 1));
+  const std::uint8_t flip =
+      static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+  corrupt[pos] ^= flip;
+  EXPECT_FALSE(fletcher_verify(corrupt, offset));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FletcherProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace netfail

@@ -1,0 +1,116 @@
+#include "src/isis/lsdb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::isis {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+Lsp make_lsp(std::uint32_t index, std::uint32_t seq,
+             std::uint16_t lifetime = 1199) {
+  Lsp lsp;
+  lsp.source = OsiSystemId::from_index(index);
+  lsp.sequence = seq;
+  lsp.remaining_lifetime = lifetime;
+  lsp.hostname = "r" + std::to_string(index);
+  return lsp;
+}
+
+LspId id_of(std::uint32_t index) {
+  return LspId{OsiSystemId::from_index(index), 0, 0};
+}
+
+TEST(Lsdb, InstallAndLookup) {
+  LinkStateDatabase db;
+  EXPECT_EQ(db.install(make_lsp(1, 5), at(0)), InstallResult::kInstalled);
+  ASSERT_NE(db.lookup(id_of(1)), nullptr);
+  EXPECT_EQ(db.lookup(id_of(1))->sequence, 5u);
+  EXPECT_EQ(db.sequence_of(id_of(1)), 5u);
+  EXPECT_EQ(db.lookup(id_of(2)), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(Lsdb, StaleRejected) {
+  LinkStateDatabase db;
+  (void)db.install(make_lsp(1, 5), at(0));
+  EXPECT_EQ(db.install(make_lsp(1, 5), at(1)), InstallResult::kStale);
+  EXPECT_EQ(db.install(make_lsp(1, 4), at(2)), InstallResult::kStale);
+  EXPECT_EQ(db.install(make_lsp(1, 6), at(3)), InstallResult::kInstalled);
+  EXPECT_EQ(db.sequence_of(id_of(1)), 6u);
+}
+
+TEST(Lsdb, PurgeRemoves) {
+  LinkStateDatabase db;
+  (void)db.install(make_lsp(1, 5), at(0));
+  EXPECT_EQ(db.install(make_lsp(1, 6, /*lifetime=*/0), at(1)),
+            InstallResult::kPurged);
+  EXPECT_EQ(db.lookup(id_of(1)), nullptr);
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(Lsdb, AgingExpires) {
+  LinkStateDatabase db;
+  (void)db.install(make_lsp(1, 5, /*lifetime=*/100), at(0));
+  (void)db.install(make_lsp(2, 1, /*lifetime=*/1000), at(0));
+  db.advance_to(at(100));
+  EXPECT_EQ(db.lookup(id_of(1)), nullptr);
+  EXPECT_NE(db.lookup(id_of(2)), nullptr);
+}
+
+TEST(Lsdb, SnapshotOrdered) {
+  LinkStateDatabase db;
+  (void)db.install(make_lsp(3, 1), at(0));
+  (void)db.install(make_lsp(1, 1), at(0));
+  (void)db.install(make_lsp(2, 1), at(0));
+  const auto snap = db.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_LT(snap[0]->source, snap[1]->source);
+  EXPECT_LT(snap[1]->source, snap[2]->source);
+}
+
+TEST(Lsdb, FragmentsAreDistinct) {
+  LinkStateDatabase db;
+  Lsp frag0 = make_lsp(1, 5);
+  Lsp frag1 = make_lsp(1, 9);
+  frag1.fragment = 1;
+  (void)db.install(frag0, at(0));
+  (void)db.install(frag1, at(0));
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.sequence_of(LspId{OsiSystemId::from_index(1), 0, 1}), 9u);
+}
+
+TEST(Lsdb, BuildCsnpSummarizes) {
+  LinkStateDatabase db;
+  (void)db.install(make_lsp(1, 5, 600), at(0));
+  (void)db.install(make_lsp(2, 7, 600), at(0));
+  const Csnp csnp = db.build_csnp(OsiSystemId::from_index(99), at(100));
+  ASSERT_EQ(csnp.entries.size(), 2u);
+  EXPECT_EQ(csnp.entries[0].sequence, 5u);
+  EXPECT_EQ(csnp.entries[0].remaining_lifetime, 500u);
+  EXPECT_NE(csnp.entries[0].checksum, 0u);
+  // The summary must round-trip through the wire format.
+  const auto decoded = Csnp::decode(csnp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->entries, csnp.entries);
+}
+
+TEST(Lsdb, MissingFromDetectsGaps) {
+  LinkStateDatabase peer_db;
+  (void)peer_db.install(make_lsp(1, 5), at(0));
+  (void)peer_db.install(make_lsp(2, 7), at(0));
+  (void)peer_db.install(make_lsp(3, 2), at(0));
+  const Csnp csnp = peer_db.build_csnp(OsiSystemId::from_index(99), at(0));
+
+  LinkStateDatabase mine;
+  (void)mine.install(make_lsp(1, 5), at(0));   // current
+  (void)mine.install(make_lsp(2, 6), at(0));   // stale
+  // LSP 3 missing entirely.
+  const auto missing = mine.missing_from(csnp);
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0].id.system, OsiSystemId::from_index(2));
+  EXPECT_EQ(missing[1].id.system, OsiSystemId::from_index(3));
+}
+
+}  // namespace
+}  // namespace netfail::isis

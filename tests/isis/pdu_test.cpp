@@ -1,0 +1,165 @@
+#include "src/isis/pdu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::isis {
+namespace {
+
+Lsp sample_lsp(int adjacencies = 3, int prefixes = 2) {
+  Lsp lsp;
+  lsp.source = OsiSystemId::from_index(7);
+  lsp.sequence = 42;
+  lsp.remaining_lifetime = 1199;
+  lsp.hostname = "lax-core-1";
+  for (int i = 0; i < adjacencies; ++i) {
+    lsp.is_reach.push_back(IsReachEntry{
+        OsiSystemId::from_index(100 + static_cast<std::uint32_t>(i)), 0,
+        static_cast<std::uint32_t>(10 + i)});
+  }
+  for (int i = 0; i < prefixes; ++i) {
+    lsp.ip_reach.push_back(IpReachEntry{
+        100, Ipv4Prefix{Ipv4Address(137, 164, 0, static_cast<std::uint8_t>(2 * i)), 31}});
+  }
+  return lsp;
+}
+
+TEST(Lsp, EncodeDecodeRoundTrip) {
+  const Lsp lsp = sample_lsp();
+  const auto bytes = lsp.encode();
+  const auto decoded = Lsp::decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded, lsp);
+}
+
+TEST(Lsp, WireFormatHeader) {
+  const auto bytes = sample_lsp().encode();
+  ASSERT_GE(bytes.size(), 27u);
+  EXPECT_EQ(bytes[0], 0x83);            // protocol discriminator
+  EXPECT_EQ(bytes[1], 27);              // LSP header length
+  EXPECT_EQ(bytes[4] & 0x1f, 20);       // PDU type: L2 LSP
+  // PDU length field matches the actual buffer size.
+  EXPECT_EQ((bytes[8] << 8) | bytes[9], static_cast<int>(bytes.size()));
+}
+
+TEST(Lsp, ChecksumTamperingDetected) {
+  auto bytes = sample_lsp().encode();
+  bytes[30] ^= 0xff;  // corrupt a TLV byte
+  const auto decoded = Lsp::decode(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kChecksumMismatch);
+}
+
+TEST(Lsp, TruncationRejected) {
+  const auto bytes = sample_lsp().encode();
+  for (std::size_t cut : {0u, 10u, 26u}) {
+    const std::span<const std::uint8_t> partial(bytes.data(), cut);
+    EXPECT_FALSE(Lsp::decode(partial).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(Lsp, EmptyLspValid) {
+  Lsp lsp;
+  lsp.source = OsiSystemId::from_index(1);
+  lsp.sequence = 1;
+  const auto decoded = Lsp::decode(lsp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->is_reach.empty());
+  EXPECT_TRUE(decoded->ip_reach.empty());
+  EXPECT_TRUE(decoded->hostname.empty());
+}
+
+TEST(Lsp, ManyEntriesSplitAcrossTlvs) {
+  // 23 IS entries fit one TLV; 60 must span three.
+  const Lsp lsp = sample_lsp(60, 40);
+  const auto decoded = Lsp::decode(lsp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->is_reach.size(), 60u);
+  EXPECT_EQ(decoded->ip_reach.size(), 40u);
+  EXPECT_EQ(*decoded, lsp);
+}
+
+TEST(Lsp, DuplicateNeighborsPreserved) {
+  // Parallel adjacencies: the same neighbor appears twice in TLV 22 (this is
+  // exactly the paper's multi-link ambiguity).
+  Lsp lsp = sample_lsp(0, 0);
+  const OsiSystemId nbr = OsiSystemId::from_index(9);
+  lsp.is_reach.push_back(IsReachEntry{nbr, 0, 10});
+  lsp.is_reach.push_back(IsReachEntry{nbr, 0, 10});
+  const auto decoded = Lsp::decode(lsp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->is_reach.size(), 2u);
+  EXPECT_EQ(decoded->is_reach[0], decoded->is_reach[1]);
+}
+
+TEST(Lsp, VariousPrefixLengths) {
+  Lsp lsp = sample_lsp(1, 0);
+  lsp.ip_reach.push_back(IpReachEntry{1, Ipv4Prefix{Ipv4Address(10, 0, 0, 0), 8}});
+  lsp.ip_reach.push_back(IpReachEntry{2, Ipv4Prefix{Ipv4Address(10, 1, 0, 0), 16}});
+  lsp.ip_reach.push_back(IpReachEntry{3, Ipv4Prefix{Ipv4Address(10, 1, 2, 0), 24}});
+  lsp.ip_reach.push_back(IpReachEntry{4, Ipv4Prefix{Ipv4Address(10, 1, 2, 3), 32}});
+  lsp.ip_reach.push_back(IpReachEntry{5, Ipv4Prefix{Ipv4Address(0, 0, 0, 0), 0}});
+  const auto decoded = Lsp::decode(lsp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, lsp);
+}
+
+TEST(Lsp, LspIdString) {
+  Lsp lsp;
+  lsp.source = OsiSystemId::from_index(0);
+  lsp.pseudonode = 0;
+  lsp.fragment = 2;
+  EXPECT_TRUE(lsp.lsp_id_string().ends_with(".00-02"));
+}
+
+TEST(PduType, Peek) {
+  EXPECT_EQ(pdu_type(sample_lsp().encode()).value(), kPduTypeLspL2);
+  PointToPointHello hello;
+  hello.source = OsiSystemId::from_index(3);
+  EXPECT_EQ(pdu_type(hello.encode()).value(), kPduTypeP2PHello);
+  const std::vector<std::uint8_t> garbage{0x00, 0x01};
+  EXPECT_FALSE(pdu_type(garbage).ok());
+}
+
+TEST(Hello, RoundTripWithoutNeighbor) {
+  PointToPointHello h;
+  h.source = OsiSystemId::from_index(5);
+  h.holding_time = 30;
+  h.three_way_state = ThreeWayState::kDown;
+  const auto decoded = PointToPointHello::decode(h.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, h);
+}
+
+TEST(Hello, RoundTripWithNeighbor) {
+  PointToPointHello h;
+  h.source = OsiSystemId::from_index(5);
+  h.holding_time = 30;
+  h.three_way_state = ThreeWayState::kUp;
+  h.has_neighbor = true;
+  h.neighbor = OsiSystemId::from_index(6);
+  const auto decoded = PointToPointHello::decode(h.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, h);
+}
+
+TEST(Hello, RejectsLsp) {
+  EXPECT_FALSE(PointToPointHello::decode(sample_lsp().encode()).ok());
+}
+
+// Property: encode/decode round-trips across LSP sizes.
+class LspRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LspRoundTrip, Holds) {
+  const auto [adjacencies, prefixes] = GetParam();
+  const Lsp lsp = sample_lsp(adjacencies, prefixes);
+  const auto decoded = Lsp::decode(lsp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, lsp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LspRoundTrip,
+                         ::testing::Combine(::testing::Values(0, 1, 22, 23, 24, 100),
+                                            ::testing::Values(0, 1, 28, 29, 90)));
+
+}  // namespace
+}  // namespace netfail::isis

@@ -1,0 +1,94 @@
+#include "src/isis/snp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/isis/pdu.hpp"
+
+namespace netfail::isis {
+namespace {
+
+LspEntry entry(std::uint32_t index, std::uint32_t seq) {
+  LspEntry e;
+  e.remaining_lifetime = 1100;
+  e.id = LspId{OsiSystemId::from_index(index), 0, 0};
+  e.sequence = seq;
+  e.checksum = static_cast<std::uint16_t>(0x1000 + index);
+  return e;
+}
+
+TEST(Csnp, RoundTrip) {
+  Csnp csnp;
+  csnp.source = OsiSystemId::from_index(1);
+  for (std::uint32_t i = 0; i < 5; ++i) csnp.entries.push_back(entry(i, i + 10));
+  const auto decoded = Csnp::decode(csnp.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded, csnp);
+}
+
+TEST(Csnp, DefaultRangeIsFullDatabase) {
+  const Csnp csnp;
+  EXPECT_EQ(csnp.start.system.bytes(),
+            (std::array<std::uint8_t, 6>{0, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(csnp.end.system.bytes(),
+            (std::array<std::uint8_t, 6>{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}));
+  EXPECT_EQ(csnp.end.fragment, 0xff);
+}
+
+TEST(Csnp, ManyEntriesSpanTlvs) {
+  Csnp csnp;
+  csnp.source = OsiSystemId::from_index(1);
+  for (std::uint32_t i = 0; i < 40; ++i) csnp.entries.push_back(entry(i, 1));
+  const auto decoded = Csnp::decode(csnp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->entries.size(), 40u);
+}
+
+TEST(Csnp, EmptyEntriesValid) {
+  Csnp csnp;
+  csnp.source = OsiSystemId::from_index(3);
+  const auto decoded = Csnp::decode(csnp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->entries.empty());
+}
+
+TEST(Csnp, PduTypeVisible) {
+  Csnp csnp;
+  csnp.source = OsiSystemId::from_index(1);
+  EXPECT_EQ(pdu_type(csnp.encode()).value(), kPduTypeCsnpL2);
+}
+
+TEST(Csnp, TruncationRejected) {
+  Csnp csnp;
+  csnp.source = OsiSystemId::from_index(1);
+  csnp.entries.push_back(entry(0, 1));
+  const auto bytes = csnp.encode();
+  const std::span<const std::uint8_t> cut(bytes.data(), bytes.size() - 3);
+  EXPECT_FALSE(Csnp::decode(cut).ok());
+}
+
+TEST(Psnp, RoundTrip) {
+  Psnp psnp;
+  psnp.source = OsiSystemId::from_index(9);
+  psnp.entries.push_back(entry(4, 77));
+  const auto decoded = Psnp::decode(psnp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, psnp);
+}
+
+TEST(Psnp, RejectsCsnp) {
+  Csnp csnp;
+  csnp.source = OsiSystemId::from_index(1);
+  EXPECT_FALSE(Psnp::decode(csnp.encode()).ok());
+}
+
+TEST(LspIdStruct, OrderingAndString) {
+  const LspId a{OsiSystemId::from_index(1), 0, 0};
+  const LspId b{OsiSystemId::from_index(1), 0, 1};
+  const LspId c{OsiSystemId::from_index(2), 0, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_TRUE(b.to_string().ends_with(".00-01"));
+}
+
+}  // namespace
+}  // namespace netfail::isis

@@ -1,0 +1,159 @@
+#include "src/isis/spf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::isis {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+OsiSystemId sys(std::uint32_t i) { return OsiSystemId::from_index(i); }
+
+Ipv4Prefix prefix(std::uint8_t k) {
+  return Ipv4Prefix{Ipv4Address{10, 0, 0, static_cast<std::uint8_t>(2 * k)}, 31};
+}
+
+/// Build a database from (from, to, metric) arcs; both directions must be
+/// listed explicitly so tests can model one-way advertisements.
+class SpfTest : public ::testing::Test {
+ protected:
+  void add_node(std::uint32_t index,
+                std::vector<std::pair<std::uint32_t, std::uint32_t>> neighbors,
+                std::vector<std::pair<std::uint8_t, std::uint32_t>> prefixes = {}) {
+    Lsp lsp;
+    lsp.source = sys(index);
+    lsp.sequence = 1;
+    for (const auto& [to, metric] : neighbors) {
+      lsp.is_reach.push_back(IsReachEntry{sys(to), 0, metric});
+    }
+    for (const auto& [k, metric] : prefixes) {
+      lsp.ip_reach.push_back(IpReachEntry{metric, prefix(k)});
+    }
+    ASSERT_EQ(db_.install(std::move(lsp), at(0)), InstallResult::kInstalled);
+  }
+
+  LinkStateDatabase db_;
+};
+
+TEST_F(SpfTest, LineTopologyDistances) {
+  add_node(1, {{2, 10}});
+  add_node(2, {{1, 10}, {3, 20}});
+  add_node(3, {{2, 20}});
+  const SpfResult r = shortest_paths(db_, sys(1));
+  ASSERT_TRUE(r.reaches(sys(3)));
+  EXPECT_EQ(r.nodes.at(sys(1)).distance, 0u);
+  EXPECT_EQ(r.nodes.at(sys(2)).distance, 10u);
+  EXPECT_EQ(r.nodes.at(sys(3)).distance, 30u);
+}
+
+TEST_F(SpfTest, PicksCheaperPath) {
+  // Triangle: 1-2 (10), 2-3 (10), 1-3 (100).
+  add_node(1, {{2, 10}, {3, 100}});
+  add_node(2, {{1, 10}, {3, 10}});
+  add_node(3, {{1, 100}, {2, 10}});
+  const SpfResult r = shortest_paths(db_, sys(1));
+  EXPECT_EQ(r.nodes.at(sys(3)).distance, 20u);
+  ASSERT_TRUE(r.nodes.at(sys(3)).first_hop.has_value());
+  EXPECT_EQ(*r.nodes.at(sys(3)).first_hop, sys(2));
+}
+
+TEST_F(SpfTest, TwoWayCheckBlocksOneWayArcs) {
+  // 2 advertises 1, but 1 does not advertise 2: the adjacency is not usable.
+  add_node(1, {});
+  add_node(2, {{1, 10}});
+  const SpfResult from1 = shortest_paths(db_, sys(1));
+  EXPECT_FALSE(from1.reaches(sys(2)));
+  const SpfResult from2 = shortest_paths(db_, sys(2));
+  EXPECT_FALSE(from2.reaches(sys(1)));
+}
+
+TEST_F(SpfTest, PartitionDetected) {
+  add_node(1, {{2, 10}});
+  add_node(2, {{1, 10}});
+  add_node(3, {{4, 10}});
+  add_node(4, {{3, 10}});
+  const SpfResult r = shortest_paths(db_, sys(1));
+  EXPECT_TRUE(r.reaches(sys(2)));
+  EXPECT_FALSE(r.reaches(sys(3)));
+  const auto cut_off = unreachable_systems(db_, sys(1));
+  ASSERT_EQ(cut_off.size(), 2u);
+  EXPECT_EQ(cut_off[0], sys(3));
+  EXPECT_EQ(cut_off[1], sys(4));
+}
+
+TEST_F(SpfTest, PrefixMetrics) {
+  add_node(1, {{2, 10}}, {{0, 1}});
+  add_node(2, {{1, 10}}, {{1, 5}});
+  const SpfResult r = shortest_paths(db_, sys(1));
+  ASSERT_TRUE(r.reaches(prefix(0)));
+  ASSERT_TRUE(r.reaches(prefix(1)));
+  EXPECT_EQ(r.prefixes.at(prefix(0)), 1u);        // local
+  EXPECT_EQ(r.prefixes.at(prefix(1)), 15u);       // 10 + 5
+}
+
+TEST_F(SpfTest, PrefixFromUnreachableNodeAbsent) {
+  add_node(1, {});
+  add_node(2, {}, {{3, 5}});
+  const SpfResult r = shortest_paths(db_, sys(1));
+  EXPECT_FALSE(r.reaches(prefix(3)));
+}
+
+TEST_F(SpfTest, ParallelAdjacenciesUseCheapest) {
+  // Two parallel links 1-2 with metrics 10 and 30 (duplicate TLV entries).
+  add_node(1, {{2, 30}, {2, 10}});
+  add_node(2, {{1, 30}, {1, 10}});
+  const SpfResult r = shortest_paths(db_, sys(1));
+  EXPECT_EQ(r.nodes.at(sys(2)).distance, 10u);
+}
+
+TEST_F(SpfTest, RootMissingFromDatabase) {
+  add_node(1, {{2, 10}});
+  add_node(2, {{1, 10}});
+  const SpfResult r = shortest_paths(db_, sys(99));
+  EXPECT_TRUE(r.nodes.empty());
+}
+
+TEST_F(SpfTest, FirstHopInheritance) {
+  // Chain 1-2-3-4: everything beyond 2 shares first hop 2.
+  add_node(1, {{2, 1}});
+  add_node(2, {{1, 1}, {3, 1}});
+  add_node(3, {{2, 1}, {4, 1}});
+  add_node(4, {{3, 1}});
+  const SpfResult r = shortest_paths(db_, sys(1));
+  EXPECT_EQ(*r.nodes.at(sys(2)).first_hop, sys(2));
+  EXPECT_EQ(*r.nodes.at(sys(3)).first_hop, sys(2));
+  EXPECT_EQ(*r.nodes.at(sys(4)).first_hop, sys(2));
+  EXPECT_FALSE(r.nodes.at(sys(1)).first_hop.has_value());
+}
+
+// Property: on a ring of N nodes with unit metrics, the distance to node k
+// is min(k, N - k).
+class RingSpf : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSpf, DistancesMatchRingGeometry) {
+  const int n = GetParam();
+  LinkStateDatabase db;
+  for (int i = 0; i < n; ++i) {
+    Lsp lsp;
+    lsp.source = sys(static_cast<std::uint32_t>(i));
+    lsp.sequence = 1;
+    const int prev = (i + n - 1) % n;
+    const int next = (i + 1) % n;
+    lsp.is_reach.push_back(IsReachEntry{sys(static_cast<std::uint32_t>(prev)), 0, 1});
+    lsp.is_reach.push_back(IsReachEntry{sys(static_cast<std::uint32_t>(next)), 0, 1});
+    (void)db.install(std::move(lsp), at(0));
+  }
+  const SpfResult r = shortest_paths(db, sys(0));
+  for (int k = 0; k < n; ++k) {
+    const std::uint32_t expect =
+        static_cast<std::uint32_t>(std::min(k, n - k));
+    ASSERT_TRUE(r.reaches(sys(static_cast<std::uint32_t>(k)))) << k;
+    EXPECT_EQ(r.nodes.at(sys(static_cast<std::uint32_t>(k))).distance, expect)
+        << "node " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSpf, ::testing::Values(3, 4, 7, 16, 61));
+
+}  // namespace
+}  // namespace netfail::isis

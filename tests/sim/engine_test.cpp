@@ -1,0 +1,80 @@
+#include "src/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::sim {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at(30), [&](TimePoint) { order.push_back(3); });
+  q.push(at(10), [&](TimePoint) { order.push_back(1); });
+  q.push(at(20), [&](TimePoint) { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(at(5), [&order, i](TimePoint) { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersCanPushMoreEvents) {
+  EventQueue q;
+  std::vector<std::int64_t> times;
+  q.push(at(1), [&](TimePoint t) {
+    times.push_back(t.unix_seconds());
+    q.push(at(2), [&](TimePoint t2) {
+      times.push_back(t2.unix_seconds());
+      q.push(at(3), [&](TimePoint t3) { times.push_back(t3.unix_seconds()); });
+    });
+  });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(times, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(EventQueue, StepByStep) {
+  EventQueue q;
+  int count = 0;
+  q.push(at(1), [&](TimePoint) { ++count; });
+  q.push(at(2), [&](TimePoint) { ++count; });
+  EXPECT_EQ(q.next_time(), at(1));
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(q.next_time(), at(2));
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HandlerReceivesScheduledTime) {
+  EventQueue q;
+  TimePoint seen;
+  q.push(at(42), [&](TimePoint t) { seen = t; });
+  q.run();
+  EXPECT_EQ(seen, at(42));
+}
+
+TEST(EventQueue, PastEventsAllowed) {
+  // Events pushed "in the past" (relative to others) still run, in order.
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at(10), [&](TimePoint) {
+    order.push_back(1);
+    q.push(at(5), [&](TimePoint) { order.push_back(2); });  // before "now"
+  });
+  q.push(at(20), [&](TimePoint) { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace netfail::sim

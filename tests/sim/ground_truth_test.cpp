@@ -1,0 +1,82 @@
+#include "src/sim/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::sim {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+TrueFailure failure(const char* name, FailureClass cls, std::int64_t b,
+                    std::int64_t e, bool flap = false) {
+  TrueFailure f;
+  f.link = LinkId{0};
+  f.link_name = name;
+  f.cls = cls;
+  if (cls == FailureClass::kMediaBlip) {
+    f.media_down = TimeRange{at(b), at(e)};
+  } else {
+    f.adjacency_down = TimeRange{at(b), at(e)};
+    if (cls == FailureClass::kMediaFailure) {
+      f.media_down = TimeRange{at(b), at(e)};
+    }
+  }
+  f.in_flap_episode = flap;
+  return f;
+}
+
+TEST(GroundTruth, DowntimeByLinkMergesOverlaps) {
+  GroundTruth truth;
+  truth.add_failure(failure("l1", FailureClass::kProtocolFailure, 0, 100));
+  truth.add_failure(failure("l1", FailureClass::kMediaFailure, 50, 150));
+  truth.add_failure(failure("l2", FailureClass::kProtocolFailure, 0, 30));
+  const auto by_link = truth.adjacency_downtime_by_link();
+  ASSERT_EQ(by_link.size(), 2u);
+  EXPECT_EQ(by_link.at("l1").total(), Duration::seconds(150));
+  EXPECT_EQ(truth.total_adjacency_downtime(), Duration::seconds(180));
+}
+
+TEST(GroundTruth, BlipsAndPseudoHandling) {
+  GroundTruth truth;
+  truth.add_failure(failure("l1", FailureClass::kMediaBlip, 0, 5));
+  // Blips have no adjacency downtime.
+  EXPECT_TRUE(truth.adjacency_downtime_by_link().empty());
+  // Pseudo-failures DO carry an adjacency_down span (what syslog reports),
+  // and count toward the class census.
+  truth.add_failure(failure("l1", FailureClass::kPseudoFailure, 10, 11));
+  EXPECT_EQ(truth.count(FailureClass::kMediaBlip), 1u);
+  EXPECT_EQ(truth.count(FailureClass::kPseudoFailure), 1u);
+  EXPECT_EQ(truth.count(FailureClass::kMediaFailure), 0u);
+}
+
+TEST(GroundTruth, FlapCensus) {
+  GroundTruth truth;
+  truth.add_failure(failure("l1", FailureClass::kProtocolFailure, 0, 5, true));
+  truth.add_failure(failure("l1", FailureClass::kProtocolFailure, 20, 25, true));
+  truth.add_failure(failure("l1", FailureClass::kProtocolFailure, 900, 950));
+  EXPECT_EQ(truth.flap_failure_count(), 2u);
+}
+
+TEST(GroundTruth, ListenerGapsAndBlackouts) {
+  GroundTruth truth;
+  IntervalSet gaps;
+  gaps.add(TimeRange{at(100), at(200)});
+  truth.set_listener_gaps(gaps);
+  EXPECT_TRUE(truth.listener_gaps().contains(at(150)));
+
+  truth.add_syslog_blackout("r1", TimeRange{at(0), at(50)});
+  truth.add_syslog_blackout("r1", TimeRange{at(60), at(70)});
+  truth.add_syslog_blackout("r2", TimeRange{at(0), at(10)});
+  ASSERT_EQ(truth.syslog_blackouts().size(), 2u);
+  EXPECT_EQ(truth.syslog_blackouts().at("r1").total(), Duration::seconds(60));
+}
+
+TEST(FailureClassName, AllClasses) {
+  EXPECT_STREQ(failure_class_name(FailureClass::kMediaFailure), "media");
+  EXPECT_STREQ(failure_class_name(FailureClass::kProtocolFailure), "protocol");
+  EXPECT_STREQ(failure_class_name(FailureClass::kMediaBlip), "blip");
+  EXPECT_STREQ(failure_class_name(FailureClass::kPseudoFailure), "pseudo");
+}
+
+}  // namespace
+}  // namespace netfail::sim

@@ -1,0 +1,163 @@
+#include "src/sim/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/topology/generator.hpp"
+
+namespace netfail::sim {
+namespace {
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  ScheduleTest() : params_(test_scenario(3)) {
+    topo_ = generate_topology(params_.topology);
+    Rng rng(params_.seed);
+    schedule_ = generate_schedule(params_, topo_, rng);
+  }
+
+  ScenarioParams params_;
+  Topology topo_;
+  std::vector<TrueFailure> schedule_;
+};
+
+TEST_F(ScheduleTest, NonEmptyAndSorted) {
+  ASSERT_GT(schedule_.size(), 50u);
+  for (std::size_t i = 1; i < schedule_.size(); ++i) {
+    const auto start = [](const TrueFailure& f) {
+      return f.media_down.empty() ? f.adjacency_down.begin : f.media_down.begin;
+    };
+    EXPECT_LE(start(schedule_[i - 1]), start(schedule_[i]));
+  }
+}
+
+TEST_F(ScheduleTest, EverythingInsidePeriod) {
+  for (const TrueFailure& f : schedule_) {
+    for (const TimeRange& r : {f.media_down, f.adjacency_down}) {
+      if (r.empty()) continue;
+      EXPECT_GE(r.begin, params_.period.begin);
+      EXPECT_LE(r.end, params_.period.end);
+    }
+  }
+}
+
+TEST_F(ScheduleTest, PerLinkIntervalsDisjoint) {
+  std::map<LinkId, IntervalSet> busy;
+  for (const TrueFailure& f : schedule_) {
+    const TimeRange span =
+        f.cls == FailureClass::kMediaBlip ? f.media_down : f.adjacency_down;
+    if (span.empty()) continue;
+    EXPECT_FALSE(busy[f.link].overlaps(span))
+        << f.link_name << " overlapping at " << span.to_string();
+    busy[f.link].add(span);
+  }
+}
+
+TEST_F(ScheduleTest, ClassInvariants) {
+  for (const TrueFailure& f : schedule_) {
+    switch (f.cls) {
+      case FailureClass::kMediaFailure:
+        EXPECT_FALSE(f.media_down.empty());
+        EXPECT_FALSE(f.adjacency_down.empty());
+        // Detection happens after the media drop; recovery needs the
+        // handshake after media restoration (unless clamped at period end).
+        EXPECT_GE(f.adjacency_down.begin, f.media_down.begin);
+        EXPECT_GE(f.adjacency_down.end, f.media_down.end);
+        break;
+      case FailureClass::kProtocolFailure:
+        EXPECT_TRUE(f.media_down.empty());
+        EXPECT_FALSE(f.adjacency_down.empty());
+        break;
+      case FailureClass::kMediaBlip:
+        EXPECT_FALSE(f.media_down.empty());
+        EXPECT_TRUE(f.adjacency_down.empty());
+        EXPECT_LE(f.media_down.duration(), Duration::seconds(21));
+        break;
+      case FailureClass::kPseudoFailure:
+        EXPECT_TRUE(f.media_down.empty());
+        EXPECT_FALSE(f.adjacency_down.empty());
+        EXPECT_LE(f.adjacency_down.duration(), Duration::seconds(2));
+        break;
+    }
+  }
+}
+
+TEST_F(ScheduleTest, AllClassesPresent) {
+  EXPECT_GT(std::count_if(schedule_.begin(), schedule_.end(),
+                          [](const TrueFailure& f) {
+                            return f.cls == FailureClass::kMediaFailure;
+                          }),
+            0);
+  EXPECT_GT(std::count_if(schedule_.begin(), schedule_.end(),
+                          [](const TrueFailure& f) {
+                            return f.cls == FailureClass::kProtocolFailure;
+                          }),
+            0);
+  EXPECT_GT(std::count_if(schedule_.begin(), schedule_.end(),
+                          [](const TrueFailure& f) {
+                            return f.cls == FailureClass::kMediaBlip;
+                          }),
+            0);
+  EXPECT_GT(std::count_if(schedule_.begin(), schedule_.end(),
+                          [](const TrueFailure& f) {
+                            return f.cls == FailureClass::kPseudoFailure;
+                          }),
+            0);
+}
+
+TEST_F(ScheduleTest, FlapEpisodesExist) {
+  const auto flap_count = std::count_if(
+      schedule_.begin(), schedule_.end(),
+      [](const TrueFailure& f) { return f.in_flap_episode; });
+  EXPECT_GT(flap_count, 0);
+}
+
+TEST_F(ScheduleTest, TicketsOnlyForLongFailures) {
+  for (const TrueFailure& f : schedule_) {
+    if (f.ticketed) {
+      EXPECT_GE(f.adjacency_down.duration() + Duration::seconds(1),
+                params_.ticket_threshold);
+    }
+  }
+}
+
+TEST_F(ScheduleTest, Deterministic) {
+  Rng rng(params_.seed);
+  const auto again = generate_schedule(params_, topo_, rng);
+  ASSERT_EQ(again.size(), schedule_.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].link, schedule_[i].link);
+    EXPECT_EQ(again[i].adjacency_down, schedule_[i].adjacency_down);
+    EXPECT_EQ(again[i].media_down, schedule_[i].media_down);
+    EXPECT_EQ(again[i].cls, schedule_[i].cls);
+  }
+}
+
+TEST(SampleDuration, RespectsFloor) {
+  Rng rng(1);
+  DurationMixture mix;
+  mix.min_s = 2.0;
+  mix.body_median_s = 1.0;  // would often sample below the floor
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(sample_duration_s(mix, rng), 2.0);
+  }
+}
+
+TEST(SampleDuration, TailMattersForMean) {
+  Rng rng(2);
+  DurationMixture no_tail{.body_median_s = 10, .body_sigma = 0.5,
+                          .tail_prob = 0.0, .tail_median_s = 10000,
+                          .tail_sigma = 1.0, .min_s = 1.0};
+  DurationMixture with_tail = no_tail;
+  with_tail.tail_prob = 0.1;
+  double sum_no = 0, sum_with = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sum_no += sample_duration_s(no_tail, rng);
+    sum_with += sample_duration_s(with_tail, rng);
+  }
+  EXPECT_GT(sum_with, sum_no * 5);
+}
+
+}  // namespace
+}  // namespace netfail::sim

@@ -1,0 +1,88 @@
+#include "src/stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::stats {
+namespace {
+
+TEST(Ecdf, Empty) {
+  const Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.at(0.0), 0.0);
+}
+
+TEST(Ecdf, StepValues) {
+  const Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(Ecdf, Duplicates) {
+  const Ecdf e({1.0, 1.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.at(4.9), 0.75);
+}
+
+TEST(Ecdf, Quantile) {
+  const Ecdf e({10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(e.quantile(0.0), 10.0);
+  EXPECT_EQ(e.quantile(0.25), 10.0);
+  EXPECT_EQ(e.quantile(0.26), 20.0);
+  EXPECT_EQ(e.quantile(1.0), 40.0);
+}
+
+TEST(Ecdf, Evaluate) {
+  const Ecdf e({1.0, 2.0});
+  const auto vals = e.evaluate({0.0, 1.0, 2.0});
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_DOUBLE_EQ(vals[0], 0.0);
+  EXPECT_DOUBLE_EQ(vals[1], 0.5);
+  EXPECT_DOUBLE_EQ(vals[2], 1.0);
+}
+
+TEST(Ecdf, AsciiPlotRuns) {
+  const Ecdf a({1, 2, 5, 10, 100});
+  const Ecdf b({2, 3, 8, 20, 80});
+  const std::string plot =
+      Ecdf::ascii_plot({{"A", &a}, {"B", &b}}, 0.5, 200.0, 40, 10, "x");
+  EXPECT_NE(plot.find("A"), std::string::npos);
+  EXPECT_NE(plot.find("B"), std::string::npos);
+  EXPECT_NE(plot.find("1.00 |"), std::string::npos);
+  EXPECT_NE(plot.find("0.00 |"), std::string::npos);
+}
+
+TEST(Ecdf, AsciiPlotHandlesEmptyCurve) {
+  const Ecdf a({1, 2});
+  const Ecdf empty;
+  const std::string plot =
+      Ecdf::ascii_plot({{"A", &a}, {"none", &empty}}, 0.5, 10.0, 30, 8, "x");
+  EXPECT_NE(plot.find("none"), std::string::npos);
+}
+
+// Property: at() is a valid CDF — monotone, in [0,1].
+class EcdfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdfProperty, MonotoneCdf) {
+  std::vector<double> samples;
+  for (int i = 0; i < GetParam(); ++i) {
+    samples.push_back(static_cast<double>((i * 7919) % 1000) / 10.0);
+  }
+  const Ecdf e(std::move(samples));
+  double prev = 0;
+  for (double x = -5; x <= 105; x += 0.5) {
+    const double f = e.at(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(e.at(1e9), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EcdfProperty, ::testing::Values(1, 2, 17, 500));
+
+}  // namespace
+}  // namespace netfail::stats

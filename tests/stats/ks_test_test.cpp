@@ -1,0 +1,105 @@
+#include "src/stats/ks_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace netfail::stats {
+namespace {
+
+TEST(KsSurvival, KnownValues) {
+  // Q(lambda) reference values from the standard KS distribution.
+  EXPECT_NEAR(ks_survival(0.5), 0.9639, 1e-3);
+  EXPECT_NEAR(ks_survival(1.0), 0.2700, 1e-3);
+  EXPECT_NEAR(ks_survival(1.36), 0.0491, 1e-3);  // ~alpha = 0.05 critical
+  EXPECT_NEAR(ks_survival(2.0), 0.00067, 1e-4);
+  EXPECT_DOUBLE_EQ(ks_survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ks_survival(-1.0), 1.0);
+}
+
+TEST(KsTwoSample, IdenticalSamples) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const KsResult r = ks_two_sample(v, v);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_GT(r.p_value, 0.99);
+  EXPECT_TRUE(r.consistent());
+}
+
+TEST(KsTwoSample, DisjointSamples) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(i);
+    b.push_back(1000 + i);
+  }
+  const KsResult r = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_FALSE(r.consistent());
+}
+
+TEST(KsTwoSample, KnownStatistic) {
+  // a: {1,2,3,4}, b: {3,4,5,6}. Max ECDF gap = 0.5 at x in [2,3).
+  const KsResult r = ks_two_sample({1, 2, 3, 4}, {3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+}
+
+TEST(KsTwoSample, EmptyInput) {
+  const KsResult r = ks_two_sample({}, {1.0});
+  EXPECT_EQ(r.statistic, 0);
+  EXPECT_EQ(r.p_value, 1);
+}
+
+TEST(KsTwoSample, SameDistributionUsuallyConsistent) {
+  Rng rng(3);
+  int consistent = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 400; ++i) {
+      a.push_back(rng.lognormal(2.0, 1.0));
+      b.push_back(rng.lognormal(2.0, 1.0));
+    }
+    consistent += ks_two_sample(a, b).consistent();
+  }
+  EXPECT_GE(consistent, 17);  // alpha = 0.05 -> ~1 rejection expected
+}
+
+TEST(KsTwoSample, DifferentDistributionsDetected) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(rng.lognormal(2.0, 1.0));
+    b.push_back(rng.lognormal(2.6, 1.0));  // shifted median
+  }
+  EXPECT_FALSE(ks_two_sample(a, b).consistent());
+}
+
+TEST(KsTwoSample, UnsortedInputAccepted) {
+  const KsResult sorted = ks_two_sample({1, 2, 3}, {2, 3, 4});
+  const KsResult shuffled = ks_two_sample({3, 1, 2}, {4, 2, 3});
+  EXPECT_DOUBLE_EQ(sorted.statistic, shuffled.statistic);
+}
+
+// Property: statistic in [0,1], p in [0,1], symmetric in arguments.
+class KsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KsProperty, BoundsAndSymmetry) {
+  Rng rng(GetParam());
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.exponential(2.0));
+    b.push_back(rng.weibull(0.8, 3.0));
+  }
+  const KsResult r1 = ks_two_sample(a, b);
+  const KsResult r2 = ks_two_sample(b, a);
+  EXPECT_GE(r1.statistic, 0.0);
+  EXPECT_LE(r1.statistic, 1.0);
+  EXPECT_GE(r1.p_value, 0.0);
+  EXPECT_LE(r1.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r1.statistic, r2.statistic);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace netfail::stats

@@ -1,0 +1,85 @@
+#include "src/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::stats {
+namespace {
+
+TEST(Summary, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.median, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.p95, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summary, OddCount) {
+  const Summary s = summarize({3, 1, 2});
+  EXPECT_EQ(s.median, 2.0);
+  EXPECT_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(Summary, EvenCountInterpolates) {
+  const Summary s = summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summary, P95) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_NEAR(s.p95, 95.05, 0.01);  // R-7 interpolation
+}
+
+TEST(Summary, Stddev) {
+  const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);  // sample stddev
+}
+
+TEST(QuantileSorted, Endpoints) {
+  const std::vector<double> v{10, 20, 30};
+  EXPECT_EQ(quantile_sorted(v, 0.0), 10.0);
+  EXPECT_EQ(quantile_sorted(v, 1.0), 30.0);
+  EXPECT_EQ(quantile_sorted(v, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 15.0);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  EXPECT_EQ(quantile_sorted({7.0}, 0.3), 7.0);
+}
+
+// Property: median and p95 are monotone in q and bounded by min/max.
+class QuantileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileProperty, MonotoneBounded) {
+  std::vector<double> v;
+  for (int i = 0; i < GetParam(); ++i) {
+    v.push_back(static_cast<double>((i * 37) % 101));
+  }
+  std::sort(v.begin(), v.end());
+  double prev = v.front();
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double val = quantile_sorted(v, q);
+    EXPECT_GE(val, prev - 1e-12);
+    EXPECT_GE(val, v.front());
+    EXPECT_LE(val, v.back());
+    prev = val;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuantileProperty,
+                         ::testing::Values(1, 2, 3, 10, 101, 1000));
+
+}  // namespace
+}  // namespace netfail::stats

@@ -1,0 +1,153 @@
+#include "src/syslog/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::syslog {
+namespace {
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+ChannelParams lossless() {
+  ChannelParams p;
+  p.base_loss = 0.0;
+  p.run_onset_per_message = 0.0;
+  return p;
+}
+
+TEST(LossyChannel, ZeroLossDeliversEverything) {
+  LossyChannel ch(lossless(), 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ch.transmit("r1", at(i * 100)));
+  }
+  EXPECT_EQ(ch.lost_count(), 0u);
+  EXPECT_EQ(ch.sent_count(), 100u);
+}
+
+TEST(LossyChannel, BaseLossRate) {
+  ChannelParams p = lossless();
+  p.base_loss = 0.25;
+  LossyChannel ch(p, 2);
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    ch.transmit("r1", at(i * 1000));  // spaced out: no run onset
+  }
+  EXPECT_NEAR(static_cast<double>(ch.lost_count()) / n, 0.25, 0.02);
+}
+
+TEST(LossyChannel, RunOnsetGrowsWithBurst) {
+  ChannelParams p = lossless();
+  p.run_onset_per_message = 0.10;
+  p.burst_window = Duration::seconds(30);
+  LossyChannel ch(p, 3);
+  EXPECT_DOUBLE_EQ(ch.current_run_onset("r1", at(0)), 0.0);
+  (void)ch.transmit("r1", at(0));
+  (void)ch.transmit("r1", at(1));
+  (void)ch.transmit("r1", at(2));
+  EXPECT_DOUBLE_EQ(ch.current_run_onset("r1", at(3)), 0.30);
+  // Outside the burst window the history ages out.
+  EXPECT_DOUBLE_EQ(ch.current_run_onset("r1", at(100)), 0.0);
+}
+
+TEST(LossyChannel, OnsetCapped) {
+  ChannelParams p = lossless();
+  p.run_onset_per_message = 0.2;
+  p.max_run_onset = 0.8;
+  LossyChannel ch(p, 4);
+  for (int i = 0; i < 50; ++i) (void)ch.transmit("r1", at(0));
+  EXPECT_DOUBLE_EQ(ch.current_run_onset("r1", at(0)), 0.8);
+}
+
+TEST(LossyChannel, DropRunsAreContiguous) {
+  // Force a run: onset 100% once any recent message exists.
+  ChannelParams p = lossless();
+  p.run_onset_per_message = 1.0;
+  p.run_mean = Duration::seconds(1000);
+  LossyChannel ch(p, 5);
+  EXPECT_TRUE(ch.transmit("r1", at(0)));   // first message: no history yet
+  EXPECT_FALSE(ch.transmit("r1", at(1)));  // run starts here
+  EXPECT_TRUE(ch.in_drop_run("r1", at(2)));
+  // Everything inside the run is lost, with no interleaving.
+  for (int i = 2; i < 20; ++i) {
+    EXPECT_FALSE(ch.transmit("r1", at(i)));
+  }
+}
+
+TEST(LossyChannel, RunsEnd) {
+  ChannelParams p = lossless();
+  p.run_onset_per_message = 1.0;
+  p.run_mean = Duration::millis(1);  // runs die almost immediately
+  p.burst_window = Duration::seconds(2);
+  LossyChannel ch(p, 6);
+  (void)ch.transmit("r1", at(0));
+  (void)ch.transmit("r1", at(1));  // run starts and expires
+  // Far in the future, with an empty burst window, messages flow again.
+  EXPECT_TRUE(ch.transmit("r1", at(100)));
+}
+
+TEST(LossyChannel, PerReporterIsolation) {
+  ChannelParams p = lossless();
+  p.run_onset_per_message = 0.5;
+  LossyChannel ch(p, 7);
+  (void)ch.transmit("noisy", at(0));
+  (void)ch.transmit("noisy", at(1));
+  EXPECT_DOUBLE_EQ(ch.current_run_onset("quiet", at(2)), 0.0);
+  EXPECT_GT(ch.current_run_onset("noisy", at(2)), 0.5);
+}
+
+TEST(LossyChannel, BlackoutLosesEverything) {
+  LossyChannel ch(lossless(), 8);
+  ch.add_blackout("r1", TimeRange{at(100), at(200)});
+  EXPECT_TRUE(ch.transmit("r1", at(50)));
+  EXPECT_FALSE(ch.transmit("r1", at(150)));
+  EXPECT_FALSE(ch.transmit("r1", at(199)));
+  EXPECT_TRUE(ch.transmit("r1", at(200)));
+  EXPECT_TRUE(ch.transmit("r2", at(150)));  // other routers unaffected
+  EXPECT_EQ(ch.lost_count(), 2u);
+}
+
+TEST(LossyChannel, BlackoutsQueryable) {
+  LossyChannel ch(ChannelParams{}, 9);
+  EXPECT_EQ(ch.blackouts_of("r1"), nullptr);
+  ch.add_blackout("r1", TimeRange{at(0), at(10)});
+  ASSERT_NE(ch.blackouts_of("r1"), nullptr);
+  EXPECT_TRUE(ch.blackouts_of("r1")->contains(at(5)));
+}
+
+TEST(LossyChannel, Deterministic) {
+  ChannelParams p;
+  p.base_loss = 0.3;
+  LossyChannel a(p, 42), b(p, 42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.transmit("r", at(i)), b.transmit("r", at(i)));
+  }
+}
+
+TEST(LossyChannel, BurstLossIsCorrelated) {
+  // Statistical check: with run loss, consecutive losses cluster — the
+  // number of received->lost alternations is far below the independent
+  // expectation for the same loss rate.
+  ChannelParams p;
+  p.base_loss = 0.0;
+  p.run_onset_per_message = 0.05;
+  p.run_mean = Duration::seconds(30);
+  LossyChannel ch(p, 10);
+  int alternations = 0, losses = 0;
+  bool prev = true;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    // 6s apart: sustained moderate burst pressure, so the loss rate lands in
+    // the middle where clustering is measurable.
+    const bool ok = ch.transmit("r1", at(i * 6));
+    losses += !ok;
+    alternations += (ok != prev);
+    prev = ok;
+  }
+  ASSERT_GT(losses, n / 20);
+  ASSERT_LT(losses, n * 19 / 20);
+  const double loss_rate = static_cast<double>(losses) / n;
+  const double independent_alternations = 2 * loss_rate * (1 - loss_rate) * n;
+  EXPECT_LT(alternations, independent_alternations / 1.5);
+}
+
+}  // namespace
+}  // namespace netfail::syslog

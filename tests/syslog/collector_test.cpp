@@ -1,0 +1,57 @@
+#include "src/syslog/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::syslog {
+namespace {
+
+TEST(Collector, StoresLines) {
+  Collector c;
+  c.receive(TimePoint::from_unix_seconds(1), "line one");
+  c.receive(TimePoint::from_unix_seconds(2), "line two");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.lines()[0].line, "line one");
+  EXPECT_EQ(c.lines()[1].received_at, TimePoint::from_unix_seconds(2));
+}
+
+TEST(ResolveYear, SameYear) {
+  // Message says "Mar 9", collector received it in March 2011.
+  const TimePoint parsed = TimePoint::from_civil(2011, 3, 9, 4, 0, 0);
+  const TimePoint received = TimePoint::from_civil(2011, 3, 9, 4, 0, 1);
+  EXPECT_EQ(resolve_year(parsed, received), parsed);
+}
+
+TEST(ResolveYear, CrossYearBoundary) {
+  // Message says "Dec 31 23:59", received Jan 1 2011: year must be 2010.
+  const TimePoint parsed = TimePoint::from_civil(2011, 12, 31, 23, 59, 0);
+  const TimePoint received = TimePoint::from_civil(2011, 1, 1, 0, 0, 30);
+  EXPECT_EQ(resolve_year(parsed, received),
+            TimePoint::from_civil(2010, 12, 31, 23, 59, 0));
+}
+
+TEST(ResolveYear, ForwardBoundary) {
+  // Message says "Jan 1 00:00" parsed into the wrong year (2010), received
+  // Dec 31 2010: resolves forward to 2011.
+  const TimePoint parsed = TimePoint::from_civil(2010, 1, 1, 0, 0, 10);
+  const TimePoint received = TimePoint::from_civil(2010, 12, 31, 23, 59, 50);
+  EXPECT_EQ(resolve_year(parsed, received),
+            TimePoint::from_civil(2011, 1, 1, 0, 0, 10));
+}
+
+TEST(ResolveYear, StudyPeriodDates) {
+  // Nov 5 received in Nov 2011 must stay 2011 even though the naive parse
+  // guessed 2010 (both Oct/Nov exist in the study period).
+  const TimePoint parsed = TimePoint::from_civil(2010, 11, 5, 12, 0, 0);
+  const TimePoint received = TimePoint::from_civil(2011, 11, 5, 12, 0, 2);
+  EXPECT_EQ(resolve_year(parsed, received),
+            TimePoint::from_civil(2011, 11, 5, 12, 0, 0));
+}
+
+TEST(ResolveYear, Feb29SkipsNonLeapCandidates) {
+  const TimePoint parsed = TimePoint::from_civil(2012, 2, 29, 10, 0, 0);
+  const TimePoint received = TimePoint::from_civil(2012, 2, 29, 10, 0, 5);
+  EXPECT_EQ(resolve_year(parsed, received), parsed);
+}
+
+}  // namespace
+}  // namespace netfail::syslog

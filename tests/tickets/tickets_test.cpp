@@ -1,0 +1,52 @@
+#include "src/tickets/tickets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail {
+namespace {
+
+TimePoint at(std::int64_t h) {
+  return TimePoint::from_civil(2011, 1, 1) + Duration::hours(h);
+}
+
+TEST(TicketStore, FileAndFetch) {
+  TicketStore store;
+  const TicketId id =
+      store.file("a:1|b:2", TimeRange{at(0), at(30)}, "fiber cut");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.ticket(id).summary, "fiber cut");
+  EXPECT_EQ(store.ticket(id).link_name, "a:1|b:2");
+}
+
+TEST(TicketStore, FindByLinkAndWindow) {
+  TicketStore store;
+  store.file("l1", TimeRange{at(0), at(10)}, "t1");
+  store.file("l1", TimeRange{at(20), at(30)}, "t2");
+  store.file("l2", TimeRange{at(0), at(10)}, "t3");
+  EXPECT_EQ(store.find("l1", TimeRange{at(5), at(25)}).size(), 2u);
+  EXPECT_EQ(store.find("l1", TimeRange{at(12), at(18)}).size(), 0u);
+  EXPECT_EQ(store.find("l2", TimeRange{at(5), at(6)}).size(), 1u);
+  EXPECT_EQ(store.find("nope", TimeRange{at(0), at(100)}).size(), 0u);
+}
+
+TEST(TicketStore, CorroborationRequiresSubstantialOverlap) {
+  TicketStore store;
+  store.file("l1", TimeRange{at(0), at(30)}, "documented outage");
+  // Fully covered failure: corroborated.
+  EXPECT_TRUE(store.corroborates("l1", TimeRange{at(2), at(28)}));
+  // Failure that barely grazes the ticket: not corroborated at 50%.
+  EXPECT_FALSE(store.corroborates("l1", TimeRange{at(29), at(100)}));
+  // Same failure at a permissive threshold passes.
+  EXPECT_TRUE(store.corroborates("l1", TimeRange{at(29), at(100)}, 0.01));
+  // Wrong link never corroborates.
+  EXPECT_FALSE(store.corroborates("l2", TimeRange{at(2), at(28)}));
+}
+
+TEST(TicketStore, EmptyFailureNeverCorroborated) {
+  TicketStore store;
+  store.file("l1", TimeRange{at(0), at(30)}, "t");
+  EXPECT_FALSE(store.corroborates("l1", TimeRange{at(5), at(5)}));
+}
+
+}  // namespace
+}  // namespace netfail

@@ -1,0 +1,135 @@
+#include "src/topology/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netfail {
+namespace {
+
+TEST(Generator, CenicCensusMatchesPaper) {
+  const Topology topo = generate_cenic_topology();
+  // Table 1 of the paper.
+  EXPECT_EQ(topo.router_count(RouterClass::kCore), 60u);
+  EXPECT_EQ(topo.router_count(RouterClass::kCpe), 175u);
+  EXPECT_EQ(topo.link_count(RouterClass::kCore), 84u);
+  EXPECT_EQ(topo.link_count(RouterClass::kCpe), 215u);
+  EXPECT_EQ(topo.customer_count(), 120u);
+}
+
+TEST(Generator, MultilinkPairs) {
+  const Topology topo = generate_cenic_topology();
+  // Sect. 3.4: 26 device pairs with multi-link adjacencies; members are
+  // about 20% of all physical links.
+  EXPECT_EQ(topo.adjacency_groups().size(), 26u);
+  const double member_fraction =
+      static_cast<double>(topo.multilink_member_count()) /
+      static_cast<double>(topo.link_count());
+  EXPECT_GT(member_fraction, 0.15);
+  EXPECT_LT(member_fraction, 0.25);
+  for (const auto& group : topo.adjacency_groups()) {
+    EXPECT_GE(group.size(), 2u);
+  }
+}
+
+TEST(Generator, Deterministic) {
+  const Topology a = generate_cenic_topology();
+  const Topology b = generate_cenic_topology();
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    const LinkId id{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.link_name(id), b.link_name(id));
+    EXPECT_EQ(a.link(id).subnet, b.link(id).subnet);
+  }
+}
+
+TEST(Generator, CoreIsConnectedRing) {
+  const Topology topo = generate_cenic_topology();
+  // BFS over core links only must reach every core router.
+  std::set<RouterId> visited;
+  std::vector<RouterId> stack;
+  for (const Router& r : topo.routers()) {
+    if (r.cls == RouterClass::kCore) {
+      stack.push_back(r.id);
+      visited.insert(r.id);
+      break;
+    }
+  }
+  while (!stack.empty()) {
+    const RouterId v = stack.back();
+    stack.pop_back();
+    for (const auto& [peer, link] : topo.adjacency(v)) {
+      if (topo.router(peer).cls != RouterClass::kCore) continue;
+      if (visited.insert(peer).second) stack.push_back(peer);
+    }
+  }
+  EXPECT_EQ(visited.size(), topo.router_count(RouterClass::kCore));
+}
+
+TEST(Generator, EveryCpeHasUplink) {
+  const Topology topo = generate_cenic_topology();
+  for (const Router& r : topo.routers()) {
+    if (r.cls != RouterClass::kCpe) continue;
+    bool has_core_uplink = false;
+    for (const auto& [peer, link] : topo.adjacency(r.id)) {
+      if (topo.router(peer).cls == RouterClass::kCore) has_core_uplink = true;
+    }
+    EXPECT_TRUE(has_core_uplink) << r.hostname;
+  }
+}
+
+TEST(Generator, EveryCustomerHasRouters) {
+  const Topology topo = generate_cenic_topology();
+  for (const Customer& c : topo.customers()) {
+    EXPECT_FALSE(c.routers.empty()) << c.name;
+  }
+}
+
+TEST(Generator, UniqueSubnets) {
+  const Topology topo = generate_cenic_topology();
+  std::set<Ipv4Prefix> subnets;
+  for (const Link& l : topo.links()) {
+    EXPECT_EQ(l.subnet.length(), 31);
+    EXPECT_TRUE(subnets.insert(l.subnet).second) << l.subnet.to_string();
+  }
+}
+
+TEST(Generator, OsAssignment) {
+  const Topology topo = generate_cenic_topology();
+  for (const Router& r : topo.routers()) {
+    if (r.cls == RouterClass::kCore) {
+      EXPECT_EQ(r.os, RouterOs::kIosXr) << r.hostname;
+    } else {
+      EXPECT_EQ(r.os, RouterOs::kIos) << r.hostname;
+    }
+  }
+}
+
+TEST(Generator, ScaledDownIsFeasible) {
+  for (int factor : {2, 4, 6, 10}) {
+    const TopologyParams p = TopologyParams{}.scaled_down(factor);
+    const Topology topo = generate_topology(p);
+    EXPECT_EQ(topo.link_count(RouterClass::kCore),
+              static_cast<std::size_t>(p.core_links));
+    EXPECT_EQ(topo.link_count(RouterClass::kCpe),
+              static_cast<std::size_t>(p.cpe_links));
+  }
+}
+
+// Property: the census comes out exactly as parameterized across seeds.
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeeds, CensusInvariant) {
+  TopologyParams p;
+  p.seed = GetParam();
+  const Topology topo = generate_topology(p);
+  EXPECT_EQ(topo.router_count(RouterClass::kCore), 60u);
+  EXPECT_EQ(topo.link_count(RouterClass::kCore), 84u);
+  EXPECT_EQ(topo.link_count(RouterClass::kCpe), 215u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1, 7, 42, 1337, 0xdeadbeef));
+
+}  // namespace
+}  // namespace netfail

@@ -1,0 +1,66 @@
+#include "src/topology/osi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netfail {
+namespace {
+
+TEST(OsiSystemId, FromIndexUnique) {
+  std::set<OsiSystemId> seen;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(seen.insert(OsiSystemId::from_index(i)).second)
+        << "collision at index " << i;
+  }
+}
+
+TEST(OsiSystemId, ToStringFormat) {
+  const OsiSystemId id = OsiSystemId::from_index(0);
+  const std::string s = id.to_string();
+  ASSERT_EQ(s.size(), 14u);
+  EXPECT_EQ(s[4], '.');
+  EXPECT_EQ(s[9], '.');
+}
+
+TEST(OsiSystemId, NetString) {
+  const OsiSystemId id = OsiSystemId::from_index(7);
+  const std::string net = id.to_net_string();
+  EXPECT_TRUE(net.starts_with("49.0001."));
+  EXPECT_TRUE(net.ends_with(".00"));
+}
+
+TEST(OsiSystemId, ParseRoundTrip) {
+  for (std::uint32_t i : {0u, 1u, 42u, 255u, 256u, 1000u}) {
+    const OsiSystemId id = OsiSystemId::from_index(i);
+    const auto parsed = OsiSystemId::parse(id.to_string());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+}
+
+TEST(OsiSystemId, ParseWithoutDots) {
+  const auto parsed = OsiSystemId::parse("1371642000007");
+  EXPECT_FALSE(parsed.ok());  // 13 digits is invalid
+  const auto ok = OsiSystemId::parse("137164200000");
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(OsiSystemId, ParseInvalid) {
+  EXPECT_FALSE(OsiSystemId::parse("zzzz.0000.0000").ok());
+  EXPECT_FALSE(OsiSystemId::parse("12.34").ok());
+  EXPECT_FALSE(OsiSystemId::parse("").ok());
+}
+
+TEST(OsiSystemId, Ordering) {
+  EXPECT_LT(OsiSystemId::from_index(0), OsiSystemId::from_index(1));
+}
+
+TEST(OsiSystemId, Hash) {
+  const std::hash<OsiSystemId> h;
+  EXPECT_NE(h(OsiSystemId::from_index(0)), h(OsiSystemId::from_index(1)));
+  EXPECT_EQ(h(OsiSystemId::from_index(5)), h(OsiSystemId::from_index(5)));
+}
+
+}  // namespace
+}  // namespace netfail

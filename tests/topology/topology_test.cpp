@@ -1,0 +1,118 @@
+#include "src/topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail {
+namespace {
+
+Ipv4Prefix slash31(std::uint32_t k) {
+  return Ipv4Prefix{Ipv4Address{137, 164, 0, 0} + 2 * k, 31};
+}
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cust_ = topo_.add_customer("edu001");
+    a_ = topo_.add_router("aaa-core-1", RouterClass::kCore, RouterOs::kIosXr);
+    b_ = topo_.add_router("bbb-core-1", RouterClass::kCore, RouterOs::kIosXr);
+    c_ = topo_.add_router("edu001-gw-1", RouterClass::kCpe, RouterOs::kIos, cust_);
+    ab_ = topo_.add_link(a_, "Te0/0", b_, "Te0/0", slash31(0), 10);
+    bc_ = topo_.add_link(b_, "Gi0/1", c_, "Gi0/0", slash31(1), 100);
+  }
+
+  Topology topo_;
+  CustomerId cust_;
+  RouterId a_, b_, c_;
+  LinkId ab_, bc_;
+};
+
+TEST_F(TopologyTest, Counts) {
+  EXPECT_EQ(topo_.router_count(), 3u);
+  EXPECT_EQ(topo_.link_count(), 2u);
+  EXPECT_EQ(topo_.router_count(RouterClass::kCore), 2u);
+  EXPECT_EQ(topo_.router_count(RouterClass::kCpe), 1u);
+  EXPECT_EQ(topo_.link_count(RouterClass::kCore), 1u);
+  EXPECT_EQ(topo_.link_count(RouterClass::kCpe), 1u);
+}
+
+TEST_F(TopologyTest, LinkClassDerivation) {
+  EXPECT_EQ(topo_.link(ab_).cls, RouterClass::kCore);
+  EXPECT_EQ(topo_.link(bc_).cls, RouterClass::kCpe);
+}
+
+TEST_F(TopologyTest, CanonicalEndpointOrder) {
+  // "aaa-core-1:Te0/0" < "bbb-core-1:Te0/0", so a is endpoint A.
+  const Link& l = topo_.link(ab_);
+  EXPECT_EQ(l.router_a, a_);
+  EXPECT_EQ(l.router_b, b_);
+  EXPECT_EQ(topo_.link_name(ab_), "aaa-core-1:Te0/0|bbb-core-1:Te0/0");
+}
+
+TEST_F(TopologyTest, CanonicalOrderSwaps) {
+  // Adding with endpoints in "wrong" order still canonicalizes.
+  const LinkId l = topo_.add_link(b_, "Te9/9", a_, "Te1/1", slash31(2), 10);
+  EXPECT_EQ(topo_.link(l).router_a, a_);
+  EXPECT_EQ(topo_.link_name(l), "aaa-core-1:Te1/1|bbb-core-1:Te9/9");
+}
+
+TEST_F(TopologyTest, Lookups) {
+  EXPECT_EQ(topo_.find_router("bbb-core-1"), b_);
+  EXPECT_EQ(topo_.find_router("nope"), std::nullopt);
+  EXPECT_EQ(topo_.find_router(topo_.router(c_).system_id), c_);
+  EXPECT_EQ(topo_.find_link_by_subnet(slash31(0)), ab_);
+  EXPECT_EQ(topo_.find_link_by_subnet(slash31(9)), std::nullopt);
+  EXPECT_EQ(topo_.find_interface(a_, "Te0/0"), topo_.link(ab_).if_a);
+  EXPECT_EQ(topo_.find_interface(a_, "Gi9/9"), std::nullopt);
+}
+
+TEST_F(TopologyTest, InterfaceAddresses) {
+  const Link& l = topo_.link(ab_);
+  EXPECT_EQ(topo_.interface(l.if_a).address, slash31(0).network());
+  EXPECT_EQ(topo_.interface(l.if_b).address, slash31(0).network() + 1);
+  EXPECT_TRUE(l.subnet.contains(topo_.interface(l.if_a).address));
+}
+
+TEST_F(TopologyTest, Adjacency) {
+  const auto& adj_b = topo_.adjacency(b_);
+  EXPECT_EQ(adj_b.size(), 2u);
+  EXPECT_EQ(topo_.link_peer(ab_, a_), b_);
+  EXPECT_EQ(topo_.link_peer(ab_, b_), a_);
+}
+
+TEST_F(TopologyTest, LinksBetween) {
+  EXPECT_EQ(topo_.links_between(a_, b_).size(), 1u);
+  EXPECT_EQ(topo_.links_between(a_, c_).size(), 0u);
+  topo_.add_link(a_, "Te5/5", b_, "Te5/5", slash31(3), 10);
+  EXPECT_EQ(topo_.links_between(a_, b_).size(), 2u);
+}
+
+TEST_F(TopologyTest, AdjacencyGroups) {
+  const AdjacencyGroupId g = topo_.new_adjacency_group();
+  topo_.assign_group(ab_, g);
+  const LinkId parallel =
+      topo_.add_link(a_, "Te7/7", b_, "Te7/7", slash31(4), 10, g);
+  EXPECT_EQ(topo_.adjacency_groups()[g.index()].size(), 2u);
+  EXPECT_EQ(topo_.multilink_member_count(), 2u);
+  EXPECT_EQ(topo_.link(parallel).group, g);
+}
+
+TEST_F(TopologyTest, CustomerMembership) {
+  EXPECT_EQ(topo_.customer(cust_).routers.size(), 1u);
+  EXPECT_EQ(topo_.customer(cust_).routers[0], c_);
+  EXPECT_EQ(topo_.router(c_).customer, cust_);
+  EXPECT_FALSE(topo_.router(a_).customer.valid());
+}
+
+TEST_F(TopologyTest, SystemIdsUnique) {
+  EXPECT_NE(topo_.router(a_).system_id, topo_.router(b_).system_id);
+  EXPECT_NE(topo_.router(b_).system_id, topo_.router(c_).system_id);
+}
+
+TEST(MakeLinkName, OrdersEndpoints) {
+  EXPECT_EQ(make_link_name("b", "2", "a", "1"), "a:1|b:2");
+  EXPECT_EQ(make_link_name("a", "1", "b", "2"), "a:1|b:2");
+  EXPECT_EQ(make_link_name("a", "2", "a", "1"), "a:1|a:2");
+}
+
+}  // namespace
+}  // namespace netfail
