@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_cdfs.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_figure1_cdfs.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_figure1_cdfs.dir/bench_figure1_cdfs.cpp.o"
+  "CMakeFiles/bench_figure1_cdfs.dir/bench_figure1_cdfs.cpp.o.d"
+  "bench_figure1_cdfs"
+  "bench_figure1_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

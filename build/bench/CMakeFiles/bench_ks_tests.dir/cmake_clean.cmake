@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ks_tests.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ks_tests.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_ks_tests.dir/bench_ks_tests.cpp.o"
+  "CMakeFiles/bench_ks_tests.dir/bench_ks_tests.cpp.o.d"
+  "bench_ks_tests"
+  "bench_ks_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ks_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

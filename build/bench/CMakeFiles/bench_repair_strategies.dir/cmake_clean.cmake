@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_strategies.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_repair_strategies.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_repair_strategies.dir/bench_repair_strategies.cpp.o"
+  "CMakeFiles/bench_repair_strategies.dir/bench_repair_strategies.cpp.o.d"
+  "bench_repair_strategies"
+  "bench_repair_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

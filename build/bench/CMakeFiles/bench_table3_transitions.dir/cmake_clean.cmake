@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_transitions.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table3_transitions.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table3_transitions.dir/bench_table3_transitions.cpp.o"
+  "CMakeFiles/bench_table3_transitions.dir/bench_table3_transitions.cpp.o.d"
+  "bench_table3_transitions"
+  "bench_table3_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_failures.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table4_failures.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table4_failures.dir/bench_table4_failures.cpp.o"
+  "CMakeFiles/bench_table4_failures.dir/bench_table4_failures.cpp.o.d"
+  "bench_table4_failures"
+  "bench_table4_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

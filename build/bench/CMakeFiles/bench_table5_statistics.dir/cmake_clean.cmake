@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_statistics.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table5_statistics.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table5_statistics.dir/bench_table5_statistics.cpp.o"
+  "CMakeFiles/bench_table5_statistics.dir/bench_table5_statistics.cpp.o.d"
+  "bench_table5_statistics"
+  "bench_table5_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_ambiguous.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table6_ambiguous.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table6_ambiguous.dir/bench_table6_ambiguous.cpp.o"
+  "CMakeFiles/bench_table6_ambiguous.dir/bench_table6_ambiguous.cpp.o.d"
+  "bench_table6_ambiguous"
+  "bench_table6_ambiguous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ambiguous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

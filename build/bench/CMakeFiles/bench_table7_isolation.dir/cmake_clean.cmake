@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_isolation.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table7_isolation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table7_isolation.dir/bench_table7_isolation.cpp.o"
+  "CMakeFiles/bench_table7_isolation.dir/bench_table7_isolation.cpp.o.d"
+  "bench_table7_isolation"
+  "bench_table7_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_report.dir/availability_report.cpp.o"
+  "CMakeFiles/availability_report.dir/availability_report.cpp.o.d"
+  "availability_report"
+  "availability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

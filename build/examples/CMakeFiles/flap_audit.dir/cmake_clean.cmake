@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flap_audit.dir/flap_audit.cpp.o"
+  "CMakeFiles/flap_audit.dir/flap_audit.cpp.o.d"
+  "flap_audit"
+  "flap_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flap_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

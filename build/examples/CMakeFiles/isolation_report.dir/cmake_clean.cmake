@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_report.dir/isolation_report.cpp.o"
+  "CMakeFiles/isolation_report.dir/isolation_report.cpp.o.d"
+  "isolation_report"
+  "isolation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_capture.dir/replay_capture.cpp.o"
+  "CMakeFiles/replay_capture.dir/replay_capture.cpp.o.d"
+  "replay_capture"
+  "replay_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

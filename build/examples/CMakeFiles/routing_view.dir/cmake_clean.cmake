@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_view.dir/routing_view.cpp.o"
+  "CMakeFiles/routing_view.dir/routing_view.cpp.o.d"
+  "routing_view"
+  "routing_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

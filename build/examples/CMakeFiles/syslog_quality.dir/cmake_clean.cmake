@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syslog_quality.dir/syslog_quality.cpp.o"
+  "CMakeFiles/syslog_quality.dir/syslog_quality.cpp.o.d"
+  "syslog_quality"
+  "syslog_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syslog_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

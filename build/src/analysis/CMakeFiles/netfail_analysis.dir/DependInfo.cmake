@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ambiguous.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/ambiguous.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/ambiguous.cpp.o.d"
+  "/root/repo/src/analysis/availability.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/availability.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/availability.cpp.o.d"
+  "/root/repo/src/analysis/failure.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/failure.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/failure.cpp.o.d"
+  "/root/repo/src/analysis/false_positives.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/false_positives.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/false_positives.cpp.o.d"
+  "/root/repo/src/analysis/flaps.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/flaps.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/flaps.cpp.o.d"
+  "/root/repo/src/analysis/isolation.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/isolation.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/isolation.cpp.o.d"
+  "/root/repo/src/analysis/isolation_diff.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/isolation_diff.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/isolation_diff.cpp.o.d"
+  "/root/repo/src/analysis/linkstats.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/linkstats.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/linkstats.cpp.o.d"
+  "/root/repo/src/analysis/match.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/match.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/match.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/pipeline.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/reconstruct.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/reconstruct.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/analysis/sanitize.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/sanitize.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/sanitize.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/analysis/CMakeFiles/netfail_analysis.dir/tables.cpp.o" "gcc" "src/analysis/CMakeFiles/netfail_analysis.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/netfail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isis/CMakeFiles/netfail_isis.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/netfail_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/netfail_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/tickets/CMakeFiles/netfail_tickets.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_analysis.dir/ambiguous.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/ambiguous.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/availability.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/availability.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/failure.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/failure.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/false_positives.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/false_positives.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/flaps.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/flaps.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/isolation.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/isolation.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/isolation_diff.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/isolation_diff.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/linkstats.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/linkstats.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/match.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/match.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/pipeline.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/pipeline.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/reconstruct.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/sanitize.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/sanitize.cpp.o.d"
+  "CMakeFiles/netfail_analysis.dir/tables.cpp.o"
+  "CMakeFiles/netfail_analysis.dir/tables.cpp.o.d"
+  "libnetfail_analysis.a"
+  "libnetfail_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_common.dir/interval_set.cpp.o"
+  "CMakeFiles/netfail_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/netfail_common.dir/rng.cpp.o"
+  "CMakeFiles/netfail_common.dir/rng.cpp.o.d"
+  "CMakeFiles/netfail_common.dir/strfmt.cpp.o"
+  "CMakeFiles/netfail_common.dir/strfmt.cpp.o.d"
+  "CMakeFiles/netfail_common.dir/table.cpp.o"
+  "CMakeFiles/netfail_common.dir/table.cpp.o.d"
+  "CMakeFiles/netfail_common.dir/time.cpp.o"
+  "CMakeFiles/netfail_common.dir/time.cpp.o.d"
+  "libnetfail_common.a"
+  "libnetfail_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/archive.cpp" "src/config/CMakeFiles/netfail_config.dir/archive.cpp.o" "gcc" "src/config/CMakeFiles/netfail_config.dir/archive.cpp.o.d"
+  "/root/repo/src/config/census.cpp" "src/config/CMakeFiles/netfail_config.dir/census.cpp.o" "gcc" "src/config/CMakeFiles/netfail_config.dir/census.cpp.o.d"
+  "/root/repo/src/config/miner.cpp" "src/config/CMakeFiles/netfail_config.dir/miner.cpp.o" "gcc" "src/config/CMakeFiles/netfail_config.dir/miner.cpp.o.d"
+  "/root/repo/src/config/render.cpp" "src/config/CMakeFiles/netfail_config.dir/render.cpp.o" "gcc" "src/config/CMakeFiles/netfail_config.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

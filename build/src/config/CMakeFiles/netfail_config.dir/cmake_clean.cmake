@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_config.dir/archive.cpp.o"
+  "CMakeFiles/netfail_config.dir/archive.cpp.o.d"
+  "CMakeFiles/netfail_config.dir/census.cpp.o"
+  "CMakeFiles/netfail_config.dir/census.cpp.o.d"
+  "CMakeFiles/netfail_config.dir/miner.cpp.o"
+  "CMakeFiles/netfail_config.dir/miner.cpp.o.d"
+  "CMakeFiles/netfail_config.dir/render.cpp.o"
+  "CMakeFiles/netfail_config.dir/render.cpp.o.d"
+  "libnetfail_config.a"
+  "libnetfail_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

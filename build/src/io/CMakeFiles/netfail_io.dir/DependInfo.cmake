@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/config_dir.cpp" "src/io/CMakeFiles/netfail_io.dir/config_dir.cpp.o" "gcc" "src/io/CMakeFiles/netfail_io.dir/config_dir.cpp.o.d"
+  "/root/repo/src/io/interval_file.cpp" "src/io/CMakeFiles/netfail_io.dir/interval_file.cpp.o" "gcc" "src/io/CMakeFiles/netfail_io.dir/interval_file.cpp.o.d"
+  "/root/repo/src/io/lsp_capture.cpp" "src/io/CMakeFiles/netfail_io.dir/lsp_capture.cpp.o" "gcc" "src/io/CMakeFiles/netfail_io.dir/lsp_capture.cpp.o.d"
+  "/root/repo/src/io/syslog_file.cpp" "src/io/CMakeFiles/netfail_io.dir/syslog_file.cpp.o" "gcc" "src/io/CMakeFiles/netfail_io.dir/syslog_file.cpp.o.d"
+  "/root/repo/src/io/ticket_file.cpp" "src/io/CMakeFiles/netfail_io.dir/ticket_file.cpp.o" "gcc" "src/io/CMakeFiles/netfail_io.dir/ticket_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isis/CMakeFiles/netfail_isis.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/netfail_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/netfail_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/tickets/CMakeFiles/netfail_tickets.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_io.dir/config_dir.cpp.o"
+  "CMakeFiles/netfail_io.dir/config_dir.cpp.o.d"
+  "CMakeFiles/netfail_io.dir/interval_file.cpp.o"
+  "CMakeFiles/netfail_io.dir/interval_file.cpp.o.d"
+  "CMakeFiles/netfail_io.dir/lsp_capture.cpp.o"
+  "CMakeFiles/netfail_io.dir/lsp_capture.cpp.o.d"
+  "CMakeFiles/netfail_io.dir/syslog_file.cpp.o"
+  "CMakeFiles/netfail_io.dir/syslog_file.cpp.o.d"
+  "CMakeFiles/netfail_io.dir/ticket_file.cpp.o"
+  "CMakeFiles/netfail_io.dir/ticket_file.cpp.o.d"
+  "libnetfail_io.a"
+  "libnetfail_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

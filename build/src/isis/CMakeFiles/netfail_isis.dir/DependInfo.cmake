@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isis/adjacency.cpp" "src/isis/CMakeFiles/netfail_isis.dir/adjacency.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/adjacency.cpp.o.d"
+  "/root/repo/src/isis/bytes.cpp" "src/isis/CMakeFiles/netfail_isis.dir/bytes.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/bytes.cpp.o.d"
+  "/root/repo/src/isis/checksum.cpp" "src/isis/CMakeFiles/netfail_isis.dir/checksum.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/checksum.cpp.o.d"
+  "/root/repo/src/isis/extract.cpp" "src/isis/CMakeFiles/netfail_isis.dir/extract.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/extract.cpp.o.d"
+  "/root/repo/src/isis/listener.cpp" "src/isis/CMakeFiles/netfail_isis.dir/listener.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/listener.cpp.o.d"
+  "/root/repo/src/isis/lsdb.cpp" "src/isis/CMakeFiles/netfail_isis.dir/lsdb.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/lsdb.cpp.o.d"
+  "/root/repo/src/isis/lsp_builder.cpp" "src/isis/CMakeFiles/netfail_isis.dir/lsp_builder.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/lsp_builder.cpp.o.d"
+  "/root/repo/src/isis/pdu.cpp" "src/isis/CMakeFiles/netfail_isis.dir/pdu.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/pdu.cpp.o.d"
+  "/root/repo/src/isis/snp.cpp" "src/isis/CMakeFiles/netfail_isis.dir/snp.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/snp.cpp.o.d"
+  "/root/repo/src/isis/spf.cpp" "src/isis/CMakeFiles/netfail_isis.dir/spf.cpp.o" "gcc" "src/isis/CMakeFiles/netfail_isis.dir/spf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/netfail_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

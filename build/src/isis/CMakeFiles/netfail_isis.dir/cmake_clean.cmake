@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_isis.dir/adjacency.cpp.o"
+  "CMakeFiles/netfail_isis.dir/adjacency.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/bytes.cpp.o"
+  "CMakeFiles/netfail_isis.dir/bytes.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/checksum.cpp.o"
+  "CMakeFiles/netfail_isis.dir/checksum.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/extract.cpp.o"
+  "CMakeFiles/netfail_isis.dir/extract.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/listener.cpp.o"
+  "CMakeFiles/netfail_isis.dir/listener.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/lsdb.cpp.o"
+  "CMakeFiles/netfail_isis.dir/lsdb.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/lsp_builder.cpp.o"
+  "CMakeFiles/netfail_isis.dir/lsp_builder.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/pdu.cpp.o"
+  "CMakeFiles/netfail_isis.dir/pdu.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/snp.cpp.o"
+  "CMakeFiles/netfail_isis.dir/snp.cpp.o.d"
+  "CMakeFiles/netfail_isis.dir/spf.cpp.o"
+  "CMakeFiles/netfail_isis.dir/spf.cpp.o.d"
+  "libnetfail_isis.a"
+  "libnetfail_isis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_isis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

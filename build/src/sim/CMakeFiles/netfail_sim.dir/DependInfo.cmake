@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/netfail_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/netfail_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/netfail_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/netfail_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/network_sim.cpp" "src/sim/CMakeFiles/netfail_sim.dir/network_sim.cpp.o" "gcc" "src/sim/CMakeFiles/netfail_sim.dir/network_sim.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/netfail_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/netfail_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/netfail_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/netfail_sim.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isis/CMakeFiles/netfail_isis.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/netfail_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/netfail_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/tickets/CMakeFiles/netfail_tickets.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

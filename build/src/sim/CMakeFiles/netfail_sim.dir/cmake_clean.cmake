@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_sim.dir/engine.cpp.o"
+  "CMakeFiles/netfail_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/netfail_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/netfail_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/netfail_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/netfail_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/netfail_sim.dir/scenario.cpp.o"
+  "CMakeFiles/netfail_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/netfail_sim.dir/schedule.cpp.o"
+  "CMakeFiles/netfail_sim.dir/schedule.cpp.o.d"
+  "libnetfail_sim.a"
+  "libnetfail_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/netfail_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/netfail_stats.dir/ks_test.cpp.o"
+  "CMakeFiles/netfail_stats.dir/ks_test.cpp.o.d"
+  "CMakeFiles/netfail_stats.dir/summary.cpp.o"
+  "CMakeFiles/netfail_stats.dir/summary.cpp.o.d"
+  "libnetfail_stats.a"
+  "libnetfail_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

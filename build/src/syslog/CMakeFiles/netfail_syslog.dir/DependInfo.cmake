@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syslog/channel.cpp" "src/syslog/CMakeFiles/netfail_syslog.dir/channel.cpp.o" "gcc" "src/syslog/CMakeFiles/netfail_syslog.dir/channel.cpp.o.d"
+  "/root/repo/src/syslog/collector.cpp" "src/syslog/CMakeFiles/netfail_syslog.dir/collector.cpp.o" "gcc" "src/syslog/CMakeFiles/netfail_syslog.dir/collector.cpp.o.d"
+  "/root/repo/src/syslog/extract.cpp" "src/syslog/CMakeFiles/netfail_syslog.dir/extract.cpp.o" "gcc" "src/syslog/CMakeFiles/netfail_syslog.dir/extract.cpp.o.d"
+  "/root/repo/src/syslog/message.cpp" "src/syslog/CMakeFiles/netfail_syslog.dir/message.cpp.o" "gcc" "src/syslog/CMakeFiles/netfail_syslog.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/netfail_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

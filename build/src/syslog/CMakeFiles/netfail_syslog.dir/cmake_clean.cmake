@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_syslog.dir/channel.cpp.o"
+  "CMakeFiles/netfail_syslog.dir/channel.cpp.o.d"
+  "CMakeFiles/netfail_syslog.dir/collector.cpp.o"
+  "CMakeFiles/netfail_syslog.dir/collector.cpp.o.d"
+  "CMakeFiles/netfail_syslog.dir/extract.cpp.o"
+  "CMakeFiles/netfail_syslog.dir/extract.cpp.o.d"
+  "CMakeFiles/netfail_syslog.dir/message.cpp.o"
+  "CMakeFiles/netfail_syslog.dir/message.cpp.o.d"
+  "libnetfail_syslog.a"
+  "libnetfail_syslog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_syslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_tickets.dir/tickets.cpp.o"
+  "CMakeFiles/netfail_tickets.dir/tickets.cpp.o.d"
+  "libnetfail_tickets.a"
+  "libnetfail_tickets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

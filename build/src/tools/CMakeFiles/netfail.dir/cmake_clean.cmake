@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail.dir/netfail_cli.cpp.o"
+  "CMakeFiles/netfail.dir/netfail_cli.cpp.o.d"
+  "netfail"
+  "netfail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfail_topology.dir/generator.cpp.o"
+  "CMakeFiles/netfail_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/netfail_topology.dir/ipv4.cpp.o"
+  "CMakeFiles/netfail_topology.dir/ipv4.cpp.o.d"
+  "CMakeFiles/netfail_topology.dir/osi.cpp.o"
+  "CMakeFiles/netfail_topology.dir/osi.cpp.o.d"
+  "CMakeFiles/netfail_topology.dir/topology.cpp.o"
+  "CMakeFiles/netfail_topology.dir/topology.cpp.o.d"
+  "libnetfail_topology.a"
+  "libnetfail_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfail_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

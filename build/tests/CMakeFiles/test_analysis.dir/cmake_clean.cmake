@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/ambiguous_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/ambiguous_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/availability_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/availability_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/false_positives_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/false_positives_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/flaps_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/flaps_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/isolation_diff_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/isolation_diff_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/isolation_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/isolation_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/linkstats_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/linkstats_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/match_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/match_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/reconstruct_property_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/reconstruct_property_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/reconstruct_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/reconstruct_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/sanitize_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/sanitize_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/tables_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/tables_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config/census_test.cpp" "tests/CMakeFiles/test_config.dir/config/census_test.cpp.o" "gcc" "tests/CMakeFiles/test_config.dir/config/census_test.cpp.o.d"
+  "/root/repo/tests/config/miner_test.cpp" "tests/CMakeFiles/test_config.dir/config/miner_test.cpp.o" "gcc" "tests/CMakeFiles/test_config.dir/config/miner_test.cpp.o.d"
+  "/root/repo/tests/config/render_test.cpp" "tests/CMakeFiles/test_config.dir/config/render_test.cpp.o" "gcc" "tests/CMakeFiles/test_config.dir/config/render_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/netfail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netfail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isis/CMakeFiles/netfail_isis.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/netfail_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/netfail_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/tickets/CMakeFiles/netfail_tickets.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/netfail_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

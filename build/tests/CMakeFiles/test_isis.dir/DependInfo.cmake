@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isis/adjacency_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/adjacency_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/adjacency_test.cpp.o.d"
+  "/root/repo/tests/isis/bytes_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/bytes_test.cpp.o.d"
+  "/root/repo/tests/isis/checksum_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/checksum_test.cpp.o.d"
+  "/root/repo/tests/isis/extract_property_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/extract_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/extract_property_test.cpp.o.d"
+  "/root/repo/tests/isis/extract_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/extract_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/extract_test.cpp.o.d"
+  "/root/repo/tests/isis/listener_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/listener_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/listener_test.cpp.o.d"
+  "/root/repo/tests/isis/lsdb_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/lsdb_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/lsdb_test.cpp.o.d"
+  "/root/repo/tests/isis/lsp_builder_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/lsp_builder_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/lsp_builder_test.cpp.o.d"
+  "/root/repo/tests/isis/pdu_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/pdu_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/pdu_test.cpp.o.d"
+  "/root/repo/tests/isis/snp_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/snp_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/snp_test.cpp.o.d"
+  "/root/repo/tests/isis/spf_test.cpp" "tests/CMakeFiles/test_isis.dir/isis/spf_test.cpp.o" "gcc" "tests/CMakeFiles/test_isis.dir/isis/spf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/netfail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/netfail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isis/CMakeFiles/netfail_isis.dir/DependInfo.cmake"
+  "/root/repo/build/src/syslog/CMakeFiles/netfail_syslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/netfail_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/tickets/CMakeFiles/netfail_tickets.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/netfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/netfail_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netfail_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

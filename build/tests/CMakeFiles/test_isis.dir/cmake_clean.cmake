@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isis.dir/isis/adjacency_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/adjacency_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/bytes_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/bytes_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/checksum_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/checksum_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/extract_property_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/extract_property_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/extract_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/extract_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/listener_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/listener_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/lsdb_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/lsdb_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/lsp_builder_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/lsp_builder_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/pdu_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/pdu_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/snp_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/snp_test.cpp.o.d"
+  "CMakeFiles/test_isis.dir/isis/spf_test.cpp.o"
+  "CMakeFiles/test_isis.dir/isis/spf_test.cpp.o.d"
+  "test_isis"
+  "test_isis.pdb"
+  "test_isis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

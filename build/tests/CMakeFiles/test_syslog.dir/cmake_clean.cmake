@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syslog.dir/syslog/channel_test.cpp.o"
+  "CMakeFiles/test_syslog.dir/syslog/channel_test.cpp.o.d"
+  "CMakeFiles/test_syslog.dir/syslog/collector_test.cpp.o"
+  "CMakeFiles/test_syslog.dir/syslog/collector_test.cpp.o.d"
+  "CMakeFiles/test_syslog.dir/syslog/extract_test.cpp.o"
+  "CMakeFiles/test_syslog.dir/syslog/extract_test.cpp.o.d"
+  "CMakeFiles/test_syslog.dir/syslog/message_test.cpp.o"
+  "CMakeFiles/test_syslog.dir/syslog/message_test.cpp.o.d"
+  "test_syslog"
+  "test_syslog.pdb"
+  "test_syslog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tickets.dir/tickets/tickets_test.cpp.o"
+  "CMakeFiles/test_tickets.dir/tickets/tickets_test.cpp.o.d"
+  "test_tickets"
+  "test_tickets.pdb"
+  "test_tickets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/generator_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/generator_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/ipv4_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/ipv4_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/osi_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/osi_test.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/topology_test.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/topology_test.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
