@@ -1,0 +1,74 @@
+// The per-link reconstruction FSM, shared by the batch reconstructor and the
+// online streaming engine.
+//
+// Batch `reconstruct()` walks each link's sorted transitions through one
+// walker; `stream::LinkTracker` keeps one `LinkWalker::State` per live link
+// and re-binds a walker to it for every flushed transition. Because both
+// paths execute this exact code, the streaming reconstruction is
+// interval-identical to the batch one by construction (the differential test
+// in tests/stream enforces it).
+//
+// The walker owns no storage: counters go to a `Reconstruction` (its
+// failure/ambiguous vectors are untouched), finished failures are appended
+// to `failure_sink`, ambiguous segments to `ambiguous_sink`. Under the
+// kDrop policy a double UP *retracts* the most recently appended failure of
+// this link, so a streaming caller must keep at least the newest failure per
+// link in its sink until a later event makes retraction impossible.
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/reconstruct.hpp"
+
+namespace netfail::analysis {
+
+class LinkWalker {
+ public:
+  /// The FSM's complete mutable state — a plain value so it can be stored
+  /// per link, copied into a checkpoint, and resumed.
+  struct State {
+    LinkDirection state = LinkDirection::kUp;
+    TimePoint failure_start;
+    TimePoint last_up;
+    bool has_last_up = false;
+    bool dropped_episode = false;
+    // Duplicate-merge memory: the last *kept* transition, used to collapse
+    // same-direction reports from the two ends of the link.
+    bool has_last_kept = false;
+    TimePoint last_kept_time;
+    LinkDirection last_kept_dir = LinkDirection::kDown;
+  };
+
+  LinkWalker(LinkId link, const ReconstructOptions& options,
+             Reconstruction& counters, std::vector<Failure>& failure_sink,
+             std::vector<AmbiguousSegment>& ambiguous_sink, State& state)
+      : link_(link),
+        options_(options),
+        counters_(counters),
+        failures_(failure_sink),
+        ambiguous_(ambiguous_sink),
+        s_(state) {}
+
+  /// Feed the next transition for this link; times must be nondecreasing
+  /// per link. Applies the both-ends merge window, then the ambiguity
+  /// policy.
+  void feed(TimePoint t, LinkDirection dir);
+
+  /// End of stream: a still-open failure is dropped and counted.
+  void finish();
+
+ private:
+  void emit(TimeRange span);
+  void on_down(TimePoint t);
+  void on_up(TimePoint t);
+  void set_last_up(TimePoint t);
+
+  LinkId link_;
+  const ReconstructOptions& options_;
+  Reconstruction& counters_;
+  std::vector<Failure>& failures_;
+  std::vector<AmbiguousSegment>& ambiguous_;
+  State& s_;
+};
+
+}  // namespace netfail::analysis

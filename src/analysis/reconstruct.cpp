@@ -1,122 +1,10 @@
 #include "src/analysis/reconstruct.hpp"
 
 #include <algorithm>
-#include <map>
-#include <optional>
+
+#include "src/analysis/link_walker.hpp"
 
 namespace netfail::analysis {
-namespace {
-
-/// Per-link reconstruction walker.
-class LinkWalker {
- public:
-  LinkWalker(LinkId link, const ReconstructOptions& options,
-             Reconstruction& out)
-      : link_(link), options_(options), out_(out) {}
-
-  void feed(TimePoint t, LinkDirection dir) {
-    if (dir == LinkDirection::kDown) {
-      on_down(t);
-    } else {
-      on_up(t);
-    }
-  }
-
-  void finish() {
-    if (state_ == LinkDirection::kDown) ++out_.unterminated;
-  }
-
- private:
-  void emit(TimeRange span) {
-    if (span.empty()) return;
-    Failure f;
-    f.link = link_;
-    f.span = span;
-    out_.failures.push_back(f);
-  }
-
-  void on_down(TimePoint t) {
-    if (state_ == LinkDirection::kUp) {
-      state_ = LinkDirection::kDown;
-      failure_start_ = t;
-      dropped_episode_ = false;
-      return;
-    }
-    // Double DOWN: the state between failure_start_ and t is ambiguous.
-    ++out_.double_downs;
-    out_.ambiguous.push_back(
-        AmbiguousSegment{link_, LinkDirection::kDown, failure_start_, t});
-    switch (options_.policy) {
-      case AmbiguityPolicy::kHoldState:
-      case AmbiguityPolicy::kAssumeDown:
-        // Second message is spurious / period was down: failure continues
-        // from the original start.
-        break;
-      case AmbiguityPolicy::kAssumeUp:
-        // Period was up: the first failure's end is unknown — discard it and
-        // restart the failure at the repeated message.
-        failure_start_ = t;
-        break;
-      case AmbiguityPolicy::kDrop:
-        // Prior-work behaviour: the whole episode is tainted; swallow it,
-        // including the eventual UP.
-        dropped_episode_ = true;
-        failure_start_ = t;
-        break;
-    }
-  }
-
-  void on_up(TimePoint t) {
-    if (state_ == LinkDirection::kDown) {
-      state_ = LinkDirection::kUp;
-      if (options_.policy == AmbiguityPolicy::kDrop && dropped_episode_) {
-        dropped_episode_ = false;  // episode swallowed, nothing recorded
-      } else {
-        emit(TimeRange{failure_start_, t});
-      }
-      set_last_up(t);
-      return;
-    }
-    // Double UP: state between last_up_ and t is ambiguous.
-    ++out_.double_ups;
-    const TimePoint first = has_last_up_ ? last_up_ : options_.period.begin;
-    out_.ambiguous.push_back(
-        AmbiguousSegment{link_, LinkDirection::kUp, first, t});
-    switch (options_.policy) {
-      case AmbiguityPolicy::kHoldState:
-      case AmbiguityPolicy::kAssumeUp:
-        break;  // spurious reminder; nothing changes
-      case AmbiguityPolicy::kAssumeDown:
-        // Period was down: record it as a failure.
-        emit(TimeRange{first, t});
-        break;
-      case AmbiguityPolicy::kDrop:
-        // Remove the failure the first UP closed (the event is tainted).
-        if (!out_.failures.empty() && out_.failures.back().link == link_ &&
-            has_last_up_ && out_.failures.back().span.end == last_up_) {
-          out_.failures.pop_back();
-        }
-        break;
-    }
-    set_last_up(t);
-  }
-
-  void set_last_up(TimePoint t) {
-    last_up_ = t;
-    has_last_up_ = true;
-  }
-
-  LinkId link_;
-  const ReconstructOptions& options_;
-  Reconstruction& out_;
-  LinkDirection state_ = LinkDirection::kUp;
-  TimePoint failure_start_;
-  TimePoint last_up_;
-  bool has_last_up_ = false;
-  bool dropped_episode_ = false;
-};
-
-}  // namespace
 
 Reconstruction reconstruct(std::vector<RawTransition> transitions,
                            const ReconstructOptions& options) {
@@ -134,18 +22,13 @@ Reconstruction reconstruct(std::vector<RawTransition> transitions,
     std::size_t j = i;
     while (j < transitions.size() && transitions[j].link == link) ++j;
 
-    LinkWalker walker(link, options, out);
-    // Merge same-direction reports from the two ends of the link.
-    std::optional<RawTransition> last_kept;
+    // Batch mode appends straight into the result vectors; that is safe for
+    // the kDrop retraction because links are processed one at a time, so the
+    // back of out.failures is always this link's most recent failure.
+    LinkWalker::State state;
+    LinkWalker walker(link, options, out, out.failures, out.ambiguous, state);
     for (std::size_t k = i; k < j; ++k) {
-      const RawTransition& tr = transitions[k];
-      if (last_kept && last_kept->dir == tr.dir &&
-          tr.time - last_kept->time <= options.merge_window) {
-        ++out.merged_duplicates;
-        continue;
-      }
-      walker.feed(tr.time, tr.dir);
-      last_kept = tr;
+      walker.feed(transitions[k].time, transitions[k].dir);
     }
     walker.finish();
     i = j;

@@ -1,0 +1,72 @@
+#include "src/common/flags.hpp"
+
+namespace netfail::flags {
+namespace {
+
+const FlagSpec* find_spec(const std::vector<FlagSpec>& specs,
+                          const std::string& name) {
+  for (const FlagSpec& s : specs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Parsed parse_flags(const std::vector<std::string>& args,
+                   const std::vector<FlagSpec>& specs) {
+  Parsed out;
+  bool flags_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
+      if (arg == "--") {
+        flags_done = true;
+        continue;
+      }
+      out.positional.push_back(arg);
+      continue;
+    }
+
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    const FlagSpec* spec = find_spec(specs, name);
+    if (spec == nullptr) {
+      out.error = "unknown flag: " + name;
+      return out;
+    }
+    out.present.insert(name);
+    if (!spec->takes_value) {
+      if (inline_value) {
+        out.error = "flag " + name + " does not take a value";
+        return out;
+      }
+      continue;
+    }
+    if (inline_value) {
+      out.values[name] = *inline_value;
+    } else if (i + 1 < args.size()) {
+      out.values[name] = args[++i];
+    } else {
+      out.error = "flag " + name + " requires a value";
+      return out;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+Parsed parse_flags(int argc, char** argv, int first,
+                   const std::vector<FlagSpec>& specs) {
+  std::vector<std::string> args;
+  for (int i = first; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse_flags(args, specs);
+}
+
+}  // namespace netfail::flags

@@ -1,0 +1,50 @@
+// Minimal command-line flag parser with strict validation.
+//
+// The CLI used to scan argv for known names and silently ignore everything
+// else, so a typo like --poliyc ran the default analysis without complaint.
+// This parser takes the set of flags a subcommand accepts and rejects
+// anything it does not recognise (or a value flag missing its value), so
+// the caller can print usage and exit non-zero.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace netfail::flags {
+
+struct FlagSpec {
+  std::string name;        // including the leading "--"
+  bool takes_value = false;
+};
+
+struct Parsed {
+  bool ok = false;
+  std::string error;  // set when !ok, e.g. "unknown flag: --frobnicate"
+
+  std::set<std::string> present;               // every flag seen
+  std::map<std::string, std::string> values;   // value flags only
+  std::vector<std::string> positional;         // non-flag arguments, in order
+
+  bool has(const std::string& name) const { return present.contains(name); }
+  std::optional<std::string> value(const std::string& name) const {
+    const auto it = values.find(name);
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+/// Parse `args` (argv slice, no program/subcommand names) against `specs`.
+/// Accepts both "--flag value" and "--flag=value"; a repeated flag keeps the
+/// last value. Tokens not starting with "--" are collected as positional
+/// arguments; a lone "--" ends flag parsing.
+Parsed parse_flags(const std::vector<std::string>& args,
+                   const std::vector<FlagSpec>& specs);
+
+/// Convenience for main(): parses argv[first..argc).
+Parsed parse_flags(int argc, char** argv, int first,
+                   const std::vector<FlagSpec>& specs);
+
+}  // namespace netfail::flags

@@ -1,0 +1,139 @@
+#include "src/common/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace netfail::metrics {
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+}
+
+std::vector<double> exponential_bounds(double first, double factor,
+                                       std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double b = first;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::string Registry::render_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name;
+    out += ' ';
+    out += std::to_string(c->value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name;
+    out += " count=" + std::to_string(h->count());
+    out += " sum=" + format_double(h->sum());
+    out += " min=" + format_double(h->min());
+    out += " max=" + format_double(h->max());
+    out += " mean=" + format_double(h->mean());
+    out += '\n';
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (h->bucket_count(i) == 0) continue;
+      out += "  le=";
+      out += (i < h->bounds().size()) ? format_double(h->bounds()[i]) : "+inf";
+      out += ' ';
+      out += std::to_string(h->bucket_count(i));
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string Registry::render_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(c->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":{";
+    out += "\"count\":" + std::to_string(h->count());
+    out += ",\"sum\":" + format_double(h->sum());
+    out += ",\"min\":" + format_double(h->min());
+    out += ",\"max\":" + format_double(h->max());
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"le\":";
+      out += (i < h->bounds().size()) ? format_double(h->bounds()[i])
+                                      : std::string("\"+inf\"");
+      out += ",\"count\":" + std::to_string(h->bucket_count(i)) + '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& global() {
+  static Registry* r = new Registry;  // leaked: outlives all static users
+  return *r;
+}
+
+}  // namespace netfail::metrics

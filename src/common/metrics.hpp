@@ -1,0 +1,96 @@
+// Lightweight in-process metrics: named counters and fixed-bucket
+// histograms, zero dependencies.
+//
+// The registry is the observability spine of the streaming path (and is
+// threaded through the extractors and collector): components grab a counter
+// once by name and bump it on the hot path; a snapshot renders every metric
+// as text or JSON. Values are cumulative since process start (or the last
+// reset()); names are dotted paths like "stream.events.lsp".
+//
+// Counters use relaxed atomics so a future multi-threaded ingest path can
+// share them; the registry itself locks only on first lookup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace netfail::metrics {
+
+/// A monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A histogram with fixed bucket upper bounds chosen at creation. Buckets
+/// are *not* cumulative: counts_[i] holds observations v with
+/// bounds_[i-1] < v <= bounds_[i]; one final overflow bucket catches the
+/// rest. Also tracks count/sum/min/max for cheap summary lines.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_count(i) for i in [0, bounds().size()]; the last index is the
+  /// overflow bucket (v > bounds().back()).
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;   // sorted ascending
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Common bucket layouts.
+std::vector<double> exponential_bounds(double first, double factor, std::size_t n);
+
+/// Named metric registry. Lookup creates on first use; returned references
+/// stay valid for the registry's lifetime, so hot paths should look up once
+/// and keep the reference.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  /// Bounds are fixed on first creation; later calls with the same name
+  /// return the existing histogram and ignore `upper_bounds`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Flat text dump, one metric per line, sorted by name.
+  std::string render_text() const;
+  /// JSON object {"counters": {...}, "histograms": {...}}.
+  std::string render_json() const;
+
+  /// Zero every value, keeping the registered names (tests use this).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry the library components report into.
+Registry& global();
+
+}  // namespace netfail::metrics

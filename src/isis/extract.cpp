@@ -1,223 +1,231 @@
 #include "src/isis/extract.hpp"
 
 #include <algorithm>
-#include <map>
 #include <optional>
-#include <set>
 
+#include "src/common/metrics.hpp"
 #include "src/isis/pdu.hpp"
 
 namespace netfail::isis {
 namespace {
-
-/// Everything remembered about one LSP source between packets.
-struct SourceState {
-  std::uint32_t sequence = 0;
-  std::string hostname;
-  std::map<OsiSystemId, int> adjacency_count;  // neighbor -> up adjacencies
-  std::vector<Ipv4Prefix> prefixes;            // sorted
-  bool initialized = false;                    // first LSP sets the baseline
-};
-
-/// Bidirectional adjacency bookkeeping for one unordered host pair.
-struct PairState {
-  int count_ab = 0;  // adjacencies advertised by the lexically-first host
-  int count_ba = 0;
-  /// True once both hosts have reported a baseline; from then on changes in
-  /// the bidirectional minimum are emitted as transitions.
-  bool active = false;
-  int last_min = 0;
-};
 
 std::pair<std::string, std::string> ordered(std::string a, std::string b) {
   if (b < a) a.swap(b);
   return {std::move(a), std::move(b)};
 }
 
+struct IsisMetrics {
+  metrics::Counter& lsps = metrics::global().counter("isis.extract.lsps");
+  metrics::Counter& decode_failures =
+      metrics::global().counter("isis.extract.decode_failures");
+  metrics::Counter& stale = metrics::global().counter("isis.extract.stale_lsps");
+  metrics::Counter& transitions =
+      metrics::global().counter("isis.extract.transitions");
+};
+
+IsisMetrics& isis_metrics() {
+  static IsisMetrics m;
+  return m;
+}
+
 }  // namespace
+
+void StreamingExtractor::emit_is_transition(TimePoint t, LinkDirection dir,
+                                            const std::string& host_a,
+                                            const std::string& host_b,
+                                            int count_after,
+                                            std::vector<IsisTransition>& out) {
+  IsisTransition tr;
+  tr.time = t;
+  tr.dir = dir;
+  tr.field = ReachabilityField::kIsReach;
+  tr.host_a = host_a;
+  tr.host_b = host_b;
+  tr.pair_count_after = count_after;
+  const std::vector<LinkId> candidates =
+      census_->find_between_hosts(host_a, host_b);
+  if (candidates.empty()) {
+    ++stats_.unknown_host_pairs;
+    return;
+  }
+  if (candidates.size() > 1) {
+    tr.multilink = true;
+    ++stats_.multilink_transitions;
+  } else {
+    tr.link = candidates.front();
+  }
+  out.push_back(std::move(tr));
+}
+
+void StreamingExtractor::update_pair(TimePoint t, const std::string& from,
+                                     const std::string& to, int new_count,
+                                     bool from_is_baseline,
+                                     std::vector<IsisTransition>& out) {
+  const auto key = ordered(from, to);
+  PairState& p = pairs_[key];
+  int& mine = (from == key.first) ? p.count_ab : p.count_ba;
+  mine = new_count;
+  const int now = std::min(p.count_ab, p.count_ba);
+  if (p.active && !from_is_baseline) {
+    while (p.last_min > now) {
+      --p.last_min;
+      emit_is_transition(t, LinkDirection::kDown, key.first, key.second,
+                         p.last_min, out);
+    }
+    while (p.last_min < now) {
+      ++p.last_min;
+      emit_is_transition(t, LinkDirection::kUp, key.first, key.second,
+                         p.last_min, out);
+    }
+  } else {
+    p.last_min = now;
+  }
+  // The pair starts emitting once both ends have reported at least once.
+  if (!p.active) {
+    p.active = initialized_hosts_.contains(to) &&
+               (from_is_baseline || initialized_hosts_.contains(from));
+  }
+}
+
+void StreamingExtractor::feed(const LspRecord& rec,
+                              std::vector<IsisTransition>& out) {
+  const std::size_t out_before = out.size();
+  Result<Lsp> decoded = Lsp::decode(rec.bytes);
+  if (!decoded) {
+    if (decoded.error().code == ErrorCode::kChecksumMismatch) {
+      ++stats_.checksum_failures;
+    } else {
+      ++stats_.parse_failures;
+    }
+    isis_metrics().decode_failures.inc();
+    return;
+  }
+  const Lsp& lsp = *decoded;
+  ++stats_.lsps_processed;
+  isis_metrics().lsps.inc();
+
+  SourceState& src = sources_[lsp.source];
+  if (src.initialized && lsp.sequence <= src.sequence) {
+    ++stats_.stale_lsps;
+    isis_metrics().stale.inc();
+    return;
+  }
+  src.sequence = lsp.sequence;
+
+  // A purge (remaining lifetime zero) withdraws everything the source
+  // advertised: process it as an LSP with empty reachability.
+  const bool purged = lsp.remaining_lifetime == 0;
+  if (purged) ++stats_.purges;
+
+  // Hostname resolution: prefer the dynamic-hostname TLV, fall back to the
+  // config-mined mapping.
+  std::string hostname = lsp.hostname;
+  if (hostname.empty()) {
+    hostname = census_->hostname_of(lsp.source).value_or("");
+  }
+  if (hostname.empty()) {
+    // Cannot name this source; its adjacencies are unresolvable.
+    ++stats_.unknown_host_pairs;
+    return;
+  }
+  src.hostname = hostname;
+
+  // ---- Diff IS reachability. ---------------------------------------------
+  std::map<OsiSystemId, int> new_counts;
+  if (!purged) {
+    for (const IsReachEntry& e : lsp.is_reach) ++new_counts[e.neighbor];
+  }
+
+  const bool first_lsp = !src.initialized;
+  // Removed or decreased neighbors.
+  for (const auto& [neighbor, old_count] : src.adjacency_count) {
+    const auto it = new_counts.find(neighbor);
+    const int now = (it == new_counts.end()) ? 0 : it->second;
+    if (now < old_count) {
+      const std::string nbr_host =
+          census_->hostname_of(neighbor).value_or(neighbor.to_string());
+      update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
+    }
+  }
+  // Added or increased neighbors.
+  for (const auto& [neighbor, now] : new_counts) {
+    const auto it = src.adjacency_count.find(neighbor);
+    const int before = (it == src.adjacency_count.end()) ? 0 : it->second;
+    if (now > before) {
+      const std::string nbr_host =
+          census_->hostname_of(neighbor).value_or(neighbor.to_string());
+      update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
+    }
+  }
+  src.adjacency_count = std::move(new_counts);
+
+  // ---- Diff IP reachability. ---------------------------------------------
+  std::vector<Ipv4Prefix> new_prefixes;
+  if (!purged) {
+    new_prefixes.reserve(lsp.ip_reach.size());
+    for (const IpReachEntry& e : lsp.ip_reach) {
+      if (e.prefix.length() == 31) new_prefixes.push_back(e.prefix);
+    }
+    std::sort(new_prefixes.begin(), new_prefixes.end());
+  }
+
+  auto emit_ip_transition = [&](Ipv4Prefix prefix, LinkDirection dir) {
+    IsisTransition tr;
+    tr.time = rec.received_at;
+    tr.dir = dir;
+    tr.field = ReachabilityField::kIpReach;
+    const std::optional<LinkId> link = census_->find_by_subnet(prefix);
+    if (!link) {
+      ++stats_.unknown_prefixes;
+      return;
+    }
+    tr.link = *link;
+    const CensusLink& cl = census_->link(*link);
+    tr.host_a = cl.a.host;
+    tr.host_b = cl.b.host;
+    out.push_back(std::move(tr));
+  };
+
+  // Withdrawn prefixes: advertiser count drops; reaching zero is a DOWN.
+  for (const Ipv4Prefix& p : src.prefixes) {
+    if (!std::binary_search(new_prefixes.begin(), new_prefixes.end(), p)) {
+      if (--prefix_advertisers_[p] == 0) {
+        emit_ip_transition(p, LinkDirection::kDown);
+      }
+    }
+  }
+  // Newly advertised prefixes: count rises; leaving zero is an UP (but the
+  // first LSP from a source only sets baselines).
+  for (const Ipv4Prefix& p : new_prefixes) {
+    if (!std::binary_search(src.prefixes.begin(), src.prefixes.end(), p)) {
+      if (prefix_advertisers_[p]++ == 0 && !first_lsp) {
+        emit_ip_transition(p, LinkDirection::kUp);
+      }
+    }
+  }
+  src.prefixes = std::move(new_prefixes);
+  src.initialized = true;
+  initialized_hosts_.insert(hostname);
+  isis_metrics().transitions.inc(out.size() - out_before);
+}
 
 IsisExtraction extract_transitions(const std::vector<LspRecord>& records,
                                    const LinkCensus& census) {
   IsisExtraction out;
-  std::map<OsiSystemId, SourceState> sources;
-  std::map<std::pair<std::string, std::string>, PairState> pairs;
-  // Hosts whose baseline (first LSP) has been recorded.
-  std::set<std::string> initialized_hosts;
-  // prefix -> number of routers currently advertising it.
-  std::map<Ipv4Prefix, int> prefix_advertisers;
-
-  auto emit_is_transition = [&](TimePoint t, LinkDirection dir,
-                                const std::string& host_a,
-                                const std::string& host_b, int count_after) {
-    IsisTransition tr;
-    tr.time = t;
-    tr.dir = dir;
-    tr.field = ReachabilityField::kIsReach;
-    tr.host_a = host_a;
-    tr.host_b = host_b;
-    tr.pair_count_after = count_after;
-    const std::vector<LinkId> candidates =
-        census.find_between_hosts(host_a, host_b);
-    if (candidates.empty()) {
-      ++out.stats.unknown_host_pairs;
-      return;
-    }
-    if (candidates.size() > 1) {
-      tr.multilink = true;
-      ++out.stats.multilink_transitions;
-    } else {
-      tr.link = candidates.front();
-    }
-    out.is_reach.push_back(std::move(tr));
-  };
-
-  /// Update the pair's bidirectional state after one direction changed.
-  /// `from_is_baseline` marks the reporting source's first LSP: its counts
-  /// establish state without producing transitions.
-  auto update_pair = [&](TimePoint t, const std::string& from,
-                         const std::string& to, int new_count,
-                         bool from_is_baseline) {
-    const auto key = ordered(from, to);
-    PairState& p = pairs[key];
-    int& mine = (from == key.first) ? p.count_ab : p.count_ba;
-    mine = new_count;
-    const int now = std::min(p.count_ab, p.count_ba);
-    if (p.active && !from_is_baseline) {
-      while (p.last_min > now) {
-        --p.last_min;
-        emit_is_transition(t, LinkDirection::kDown, key.first, key.second,
-                           p.last_min);
-      }
-      while (p.last_min < now) {
-        ++p.last_min;
-        emit_is_transition(t, LinkDirection::kUp, key.first, key.second,
-                           p.last_min);
-      }
-    } else {
-      p.last_min = now;
-    }
-    // The pair starts emitting once both ends have reported at least once.
-    if (!p.active) {
-      p.active = initialized_hosts.contains(to) &&
-                 (from_is_baseline || initialized_hosts.contains(from));
-    }
-  };
-
+  StreamingExtractor extractor(&census);
+  std::vector<IsisTransition> emitted;
   for (const LspRecord& rec : records) {
-    Result<Lsp> decoded = Lsp::decode(rec.bytes);
-    if (!decoded) {
-      if (decoded.error().code == ErrorCode::kChecksumMismatch) {
-        ++out.stats.checksum_failures;
+    emitted.clear();
+    extractor.feed(rec, emitted);
+    for (IsisTransition& tr : emitted) {
+      if (tr.field == ReachabilityField::kIsReach) {
+        out.is_reach.push_back(std::move(tr));
       } else {
-        ++out.stats.parse_failures;
-      }
-      continue;
-    }
-    const Lsp& lsp = *decoded;
-    ++out.stats.lsps_processed;
-
-    SourceState& src = sources[lsp.source];
-    if (src.initialized && lsp.sequence <= src.sequence) {
-      ++out.stats.stale_lsps;
-      continue;
-    }
-    src.sequence = lsp.sequence;
-
-    // A purge (remaining lifetime zero) withdraws everything the source
-    // advertised: process it as an LSP with empty reachability.
-    const bool purged = lsp.remaining_lifetime == 0;
-    if (purged) ++out.stats.purges;
-
-    // Hostname resolution: prefer the dynamic-hostname TLV, fall back to the
-    // config-mined mapping.
-    std::string hostname = lsp.hostname;
-    if (hostname.empty()) {
-      hostname = census.hostname_of(lsp.source).value_or("");
-    }
-    if (hostname.empty()) {
-      // Cannot name this source; its adjacencies are unresolvable.
-      ++out.stats.unknown_host_pairs;
-      continue;
-    }
-    src.hostname = hostname;
-
-    // ---- Diff IS reachability. ---------------------------------------------
-    std::map<OsiSystemId, int> new_counts;
-    if (!purged) {
-      for (const IsReachEntry& e : lsp.is_reach) ++new_counts[e.neighbor];
-    }
-
-    const bool first_lsp = !src.initialized;
-    // Removed or decreased neighbors.
-    for (const auto& [neighbor, old_count] : src.adjacency_count) {
-      const auto it = new_counts.find(neighbor);
-      const int now = (it == new_counts.end()) ? 0 : it->second;
-      if (now < old_count) {
-        const std::string nbr_host =
-            census.hostname_of(neighbor).value_or(neighbor.to_string());
-        update_pair(rec.received_at, hostname, nbr_host, now, first_lsp);
+        out.ip_reach.push_back(std::move(tr));
       }
     }
-    // Added or increased neighbors.
-    for (const auto& [neighbor, now] : new_counts) {
-      const auto it = src.adjacency_count.find(neighbor);
-      const int before = (it == src.adjacency_count.end()) ? 0 : it->second;
-      if (now > before) {
-        const std::string nbr_host =
-            census.hostname_of(neighbor).value_or(neighbor.to_string());
-        update_pair(rec.received_at, hostname, nbr_host, now, first_lsp);
-      }
-    }
-    src.adjacency_count = std::move(new_counts);
-
-    // ---- Diff IP reachability. ---------------------------------------------
-    std::vector<Ipv4Prefix> new_prefixes;
-    if (!purged) {
-      new_prefixes.reserve(lsp.ip_reach.size());
-      for (const IpReachEntry& e : lsp.ip_reach) {
-        if (e.prefix.length() == 31) new_prefixes.push_back(e.prefix);
-      }
-      std::sort(new_prefixes.begin(), new_prefixes.end());
-    }
-
-    auto emit_ip_transition = [&](Ipv4Prefix prefix, LinkDirection dir) {
-      IsisTransition tr;
-      tr.time = rec.received_at;
-      tr.dir = dir;
-      tr.field = ReachabilityField::kIpReach;
-      const std::optional<LinkId> link = census.find_by_subnet(prefix);
-      if (!link) {
-        ++out.stats.unknown_prefixes;
-        return;
-      }
-      tr.link = *link;
-      const CensusLink& cl = census.link(*link);
-      tr.host_a = cl.a.host;
-      tr.host_b = cl.b.host;
-      out.ip_reach.push_back(std::move(tr));
-    };
-
-    // Withdrawn prefixes: advertiser count drops; reaching zero is a DOWN.
-    for (const Ipv4Prefix& p : src.prefixes) {
-      if (!std::binary_search(new_prefixes.begin(), new_prefixes.end(), p)) {
-        if (--prefix_advertisers[p] == 0) {
-          emit_ip_transition(p, LinkDirection::kDown);
-        }
-      }
-    }
-    // Newly advertised prefixes: count rises; leaving zero is an UP (but the
-    // first LSP from a source only sets baselines).
-    for (const Ipv4Prefix& p : new_prefixes) {
-      if (!std::binary_search(src.prefixes.begin(), src.prefixes.end(), p)) {
-        if (prefix_advertisers[p]++ == 0 && !first_lsp) {
-          emit_ip_transition(p, LinkDirection::kUp);
-        }
-      }
-    }
-    src.prefixes = std::move(new_prefixes);
-    src.initialized = true;
-    initialized_hosts.insert(hostname);
   }
+  out.stats = extractor.stats();
   return out;
 }
 

@@ -10,13 +10,18 @@
 // member link and are flagged instead (the paper omits them, sect. 3.4).
 #pragma once
 
+#include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/events.hpp"
 #include "src/common/ids.hpp"
 #include "src/config/census.hpp"
 #include "src/isis/listener.hpp"
+#include "src/topology/ipv4.hpp"
+#include "src/topology/osi.hpp"
 
 namespace netfail::isis {
 
@@ -67,5 +72,61 @@ struct IsisExtraction {
 /// listener guarantees this).
 IsisExtraction extract_transitions(const std::vector<LspRecord>& records,
                                    const LinkCensus& census);
+
+/// Incremental form of `extract_transitions`: feed LSP records one at a
+/// time and receive the transitions each record implies. Batch extraction
+/// is a thin loop over this class, so both paths share one diff algorithm.
+///
+/// The extractor is a plain value (the census is referenced, not owned), so
+/// the streaming engine can copy it into a checkpoint and resume later.
+class StreamingExtractor {
+ public:
+  StreamingExtractor() = default;
+  explicit StreamingExtractor(const LinkCensus* census) : census_(census) {}
+
+  /// Decode and diff one record; transitions (IS-reach and IP-reach, in
+  /// emission order) are appended to `out`. Records must arrive in listener
+  /// time order.
+  void feed(const LspRecord& rec, std::vector<IsisTransition>& out);
+
+  const ExtractionStats& stats() const { return stats_; }
+  /// Number of LSP sources (routers) currently tracked — the extractor's
+  /// state is O(sources + adjacencies), independent of records fed.
+  std::size_t tracked_sources() const { return sources_.size(); }
+
+ private:
+  /// Everything remembered about one LSP source between packets.
+  struct SourceState {
+    std::uint32_t sequence = 0;
+    std::string hostname;
+    std::map<OsiSystemId, int> adjacency_count;  // neighbor -> up adjacencies
+    std::vector<Ipv4Prefix> prefixes;            // sorted
+    bool initialized = false;                    // first LSP sets the baseline
+  };
+
+  /// Bidirectional adjacency bookkeeping for one unordered host pair.
+  struct PairState {
+    int count_ab = 0;  // adjacencies advertised by the lexically-first host
+    int count_ba = 0;
+    /// True once both hosts have reported a baseline; from then on changes
+    /// in the bidirectional minimum are emitted as transitions.
+    bool active = false;
+    int last_min = 0;
+  };
+
+  void emit_is_transition(TimePoint t, LinkDirection dir,
+                          const std::string& host_a, const std::string& host_b,
+                          int count_after, std::vector<IsisTransition>& out);
+  void update_pair(TimePoint t, const std::string& from, const std::string& to,
+                   int new_count, bool from_is_baseline,
+                   std::vector<IsisTransition>& out);
+
+  const LinkCensus* census_ = nullptr;
+  ExtractionStats stats_;
+  std::map<OsiSystemId, SourceState> sources_;
+  std::map<std::pair<std::string, std::string>, PairState> pairs_;
+  std::set<std::string> initialized_hosts_;
+  std::map<Ipv4Prefix, int> prefix_advertisers_;
+};
 
 }  // namespace netfail::isis

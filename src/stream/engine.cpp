@@ -1,0 +1,103 @@
+#include "src/stream/engine.hpp"
+
+#include "src/common/assert.hpp"
+#include "src/common/metrics.hpp"
+
+namespace netfail::stream {
+namespace {
+
+struct EngineMetrics {
+  metrics::Counter& events = metrics::global().counter("stream.engine.events");
+  metrics::Counter& syslog_events =
+      metrics::global().counter("stream.engine.syslog_events");
+  metrics::Counter& lsp_events =
+      metrics::global().counter("stream.engine.lsp_events");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+TrackerOptions tracker_options_for(const EngineOptions& options,
+                                   analysis::Source source) {
+  TrackerOptions t = options.tracker;
+  t.source = source;
+  return t;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(const LinkCensus& census, EngineOptions options)
+    : census_(&census),
+      options_(options),
+      isis_extractor_(&census),
+      isis_tracker_(tracker_options_for(options, analysis::Source::kIsis)),
+      syslog_tracker_(tracker_options_for(options, analysis::Source::kSyslog)) {}
+
+void StreamEngine::feed(const StreamEvent& ev) {
+  if (ev.kind() == EventKind::kSyslogLine) {
+    feed_syslog(ev.line());
+  } else {
+    feed_lsp(ev.lsp());
+  }
+}
+
+void StreamEngine::feed_syslog(const syslog::ReceivedLine& rec) {
+  ++events_;
+  ++syslog_events_;
+  engine_metrics().events.inc();
+  engine_metrics().syslog_events.inc();
+  if (rec.received_at > high_water_) high_water_ = rec.received_at;
+
+  const std::optional<syslog::SyslogTransition> tr =
+      syslog::extract_line(rec, *census_, syslog_stats_);
+  if (!tr) return;
+  // Same filter as reconstruct_from_syslog: adjacency-class messages on
+  // census-resolved links.
+  if (tr->cls != syslog::MessageClass::kIsisAdjacency) return;
+  if (!tr->link.valid()) return;
+  syslog_tracker_.ingest(
+      analysis::RawTransition{tr->link, tr->time, tr->dir}, rec.received_at);
+}
+
+void StreamEngine::feed_lsp(const isis::LspRecord& rec) {
+  ++events_;
+  ++lsp_events_;
+  engine_metrics().events.inc();
+  engine_metrics().lsp_events.inc();
+  if (rec.received_at > high_water_) high_water_ = rec.received_at;
+
+  scratch_.clear();
+  isis_extractor_.feed(rec, scratch_);
+  for (const isis::IsisTransition& tr : scratch_) {
+    // Same filter as reconstruct_from_isis: link-resolved IS-reachability
+    // transitions only (multi-link pairs excluded).
+    if (tr.field != isis::ReachabilityField::kIsReach) continue;
+    if (!tr.link.valid() || tr.multilink) continue;
+    isis_tracker_.ingest(analysis::RawTransition{tr.link, tr.time, tr.dir},
+                         rec.received_at);
+  }
+}
+
+void StreamEngine::finish() {
+  if (finished_) return;
+  isis_tracker_.finish();
+  syslog_tracker_.finish();
+  finished_ = true;
+}
+
+Checkpoint StreamEngine::checkpoint() const {
+  Checkpoint cp;
+  cp.state_ = std::make_shared<const StreamEngine>(*this);
+  cp.high_water_ = high_water_;
+  cp.events_ = events_;
+  return cp;
+}
+
+StreamEngine StreamEngine::resume(const Checkpoint& cp) {
+  NETFAIL_ASSERT(cp.state_ != nullptr, "resume from an empty Checkpoint");
+  return *cp.state_;
+}
+
+}  // namespace netfail::stream

@@ -1,0 +1,102 @@
+// stream::StreamEngine — single-pass online failure analysis over an
+// interleaved syslog + IS-IS event stream.
+//
+// The engine is the streaming counterpart of `analysis::run_pipeline`'s
+// extract+reconstruct stages: it parses each syslog line and diffs each LSP
+// as it arrives (sharing the exact extractor code with the batch path) and
+// feeds the resulting transitions into two LinkTrackers — one per
+// observation source, mirroring the paper's two reconstructions. All state
+// is O(links + reorder window); the full event trace is never buffered.
+//
+// `Checkpoint` captures the engine mid-stream (extractor LSP baselines,
+// per-link FSM states, reorder buffers, counters) so analysis can be
+// paused and resumed — e.g. across capture-file rotations — without
+// replaying history. Resume requires the same census (the checkpoint
+// stores per-census link ids).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/config/census.hpp"
+#include "src/isis/extract.hpp"
+#include "src/stream/event_mux.hpp"
+#include "src/stream/link_tracker.hpp"
+#include "src/syslog/extract.hpp"
+
+namespace netfail::stream {
+
+struct EngineOptions {
+  /// Tracker configuration, shared by both source trackers (the engine
+  /// overrides `source` per tracker).
+  TrackerOptions tracker;
+};
+
+class StreamEngine;
+
+/// A resumable snapshot of a StreamEngine. Opaque value: copy it, ship it,
+/// resume from it via StreamEngine::resume(). The census is referenced,
+/// not captured; resuming against a different census is undefined.
+class Checkpoint {
+ public:
+  TimePoint high_water() const { return high_water_; }
+  std::uint64_t events_ingested() const { return events_; }
+
+ private:
+  friend class StreamEngine;
+  std::shared_ptr<const StreamEngine> state_;  // deep copy at snapshot time
+  TimePoint high_water_;
+  std::uint64_t events_ = 0;
+};
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(const LinkCensus& census, EngineOptions options = {});
+
+  /// Feed the next event in merged arrival order (see EventMux).
+  void feed(const StreamEvent& ev);
+  void feed_syslog(const syslog::ReceivedLine& rec);
+  void feed_lsp(const isis::LspRecord& rec);
+
+  /// End of stream: drain both trackers. Idempotent.
+  void finish();
+
+  /// Pause: snapshot the complete engine state.
+  Checkpoint checkpoint() const;
+  /// Resume a snapshot (callbacks on the trackers are preserved).
+  static StreamEngine resume(const Checkpoint& cp);
+
+  // -- the two online reconstructions ------------------------------------------
+  LinkTracker& isis_tracker() { return isis_tracker_; }
+  LinkTracker& syslog_tracker() { return syslog_tracker_; }
+  const LinkTracker& isis_tracker() const { return isis_tracker_; }
+  const LinkTracker& syslog_tracker() const { return syslog_tracker_; }
+
+  const syslog::SyslogExtractionStats& syslog_stats() const {
+    return syslog_stats_;
+  }
+  const isis::ExtractionStats& isis_stats() const {
+    return isis_extractor_.stats();
+  }
+
+  std::uint64_t events_ingested() const { return events_; }
+  std::uint64_t syslog_events() const { return syslog_events_; }
+  std::uint64_t lsp_events() const { return lsp_events_; }
+  TimePoint high_water() const { return high_water_; }
+
+ private:
+  const LinkCensus* census_;
+  EngineOptions options_;
+  isis::StreamingExtractor isis_extractor_;
+  syslog::SyslogExtractionStats syslog_stats_;
+  LinkTracker isis_tracker_;
+  LinkTracker syslog_tracker_;
+  std::vector<isis::IsisTransition> scratch_;
+  std::uint64_t events_ = 0;
+  std::uint64_t syslog_events_ = 0;
+  std::uint64_t lsp_events_ = 0;
+  TimePoint high_water_;
+  bool finished_ = false;
+};
+
+}  // namespace netfail::stream

@@ -1,0 +1,92 @@
+#include "src/stream/event_mux.hpp"
+
+#include <memory>
+
+#include "src/common/metrics.hpp"
+
+namespace netfail::stream {
+
+EventMux::EventMux(SyslogSource syslog_source, LspSource lsp_source)
+    : syslog_source_(std::move(syslog_source)),
+      lsp_source_(std::move(lsp_source)) {
+  refill_syslog();
+  refill_lsp();
+}
+
+void EventMux::refill_syslog() {
+  static metrics::Counter& dropped =
+      metrics::global().counter("stream.mux.out_of_order_dropped");
+  while (syslog_source_) {
+    pending_line_ = syslog_source_();
+    if (!pending_line_) break;
+    if (have_last_syslog_ && pending_line_->received_at < last_syslog_) {
+      ++stats_.out_of_order_dropped;
+      dropped.inc();
+      continue;  // regression within the source: drop and pull again
+    }
+    last_syslog_ = pending_line_->received_at;
+    have_last_syslog_ = true;
+    return;
+  }
+  pending_line_.reset();
+}
+
+void EventMux::refill_lsp() {
+  static metrics::Counter& dropped =
+      metrics::global().counter("stream.mux.out_of_order_dropped");
+  while (lsp_source_) {
+    pending_lsp_ = lsp_source_();
+    if (!pending_lsp_) break;
+    if (have_last_lsp_ && pending_lsp_->received_at < last_lsp_) {
+      ++stats_.out_of_order_dropped;
+      dropped.inc();
+      continue;
+    }
+    last_lsp_ = pending_lsp_->received_at;
+    have_last_lsp_ = true;
+    return;
+  }
+  pending_lsp_.reset();
+}
+
+std::optional<StreamEvent> EventMux::next() {
+  const bool have_line = pending_line_.has_value();
+  const bool have_lsp = pending_lsp_.has_value();
+  if (!have_line && !have_lsp) return std::nullopt;
+
+  // Two-way merge; ties go to syslog for determinism.
+  const bool take_syslog =
+      have_line &&
+      (!have_lsp || pending_line_->received_at <= pending_lsp_->received_at);
+
+  StreamEvent ev;
+  if (take_syslog) {
+    ev.time = pending_line_->received_at;
+    ev.payload = std::move(*pending_line_);
+    ++stats_.syslog_events;
+    refill_syslog();
+  } else {
+    ev.time = pending_lsp_->received_at;
+    ev.payload = std::move(*pending_lsp_);
+    ++stats_.lsp_events;
+    refill_lsp();
+  }
+  return ev;
+}
+
+EventMux EventMux::over_vectors(const std::vector<syslog::ReceivedLine>& lines,
+                                const std::vector<isis::LspRecord>& records) {
+  auto line_cursor = std::make_shared<std::size_t>(0);
+  auto lsp_cursor = std::make_shared<std::size_t>(0);
+  return EventMux(
+      [&lines, line_cursor]() -> std::optional<syslog::ReceivedLine> {
+        if (*line_cursor >= lines.size()) return std::nullopt;
+        return lines[(*line_cursor)++];
+      },
+      [&records, lsp_cursor]() -> std::optional<isis::LspRecord> {
+        if (*lsp_cursor >= records.size()) return std::nullopt;
+        return records[(*lsp_cursor)++];
+      });
+}
+
+}  // namespace netfail::stream

@@ -1,0 +1,86 @@
+// stream::EventMux — merge the two observation sources into one
+// timestamp-ordered event stream.
+//
+// The paper's artifacts are live collectors: a central syslog host and a
+// passive PyRT-style IS-IS listener, each producing an arrival-ordered
+// stream. The mux performs a two-way merge on arrival time, checking each
+// source's monotonicity along the way: an event that time-travels backwards
+// within its own source is dropped and counted (a real tail of a syslog
+// file or a corrupt capture can contain such records; the online FSMs
+// require per-source order). Ties go to syslog so runs are deterministic.
+//
+// Sources are pull callbacks, so the mux works equally over in-memory
+// vectors (see `over_vectors`), file readers, or live sockets, and holds
+// O(1) state: one pending event per source.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/isis/listener.hpp"
+#include "src/syslog/collector.hpp"
+
+namespace netfail::stream {
+
+enum class EventKind { kSyslogLine, kLsp };
+
+struct StreamEvent {
+  TimePoint time;  // arrival timestamp at the event's collector
+  std::variant<syslog::ReceivedLine, isis::LspRecord> payload;
+
+  EventKind kind() const {
+    return payload.index() == 0 ? EventKind::kSyslogLine : EventKind::kLsp;
+  }
+  const syslog::ReceivedLine& line() const {
+    return std::get<syslog::ReceivedLine>(payload);
+  }
+  const isis::LspRecord& lsp() const {
+    return std::get<isis::LspRecord>(payload);
+  }
+};
+
+struct MuxStats {
+  std::uint64_t syslog_events = 0;
+  std::uint64_t lsp_events = 0;
+  std::uint64_t out_of_order_dropped = 0;
+};
+
+class EventMux {
+ public:
+  using SyslogSource = std::function<std::optional<syslog::ReceivedLine>()>;
+  using LspSource = std::function<std::optional<isis::LspRecord>()>;
+
+  /// Either source may be null (single-source streaming).
+  EventMux(SyslogSource syslog_source, LspSource lsp_source);
+
+  /// The next event in merged arrival order, or nullopt when both sources
+  /// are exhausted.
+  std::optional<StreamEvent> next();
+
+  const MuxStats& stats() const { return stats_; }
+
+  /// Convenience: mux over in-memory captures (e.g. a loaded bundle). The
+  /// vectors must outlive the mux.
+  static EventMux over_vectors(const std::vector<syslog::ReceivedLine>& lines,
+                               const std::vector<isis::LspRecord>& records);
+
+ private:
+  void refill_syslog();
+  void refill_lsp();
+
+  SyslogSource syslog_source_;
+  LspSource lsp_source_;
+  std::optional<syslog::ReceivedLine> pending_line_;
+  std::optional<isis::LspRecord> pending_lsp_;
+  TimePoint last_syslog_;
+  TimePoint last_lsp_;
+  bool have_last_syslog_ = false;
+  bool have_last_lsp_ = false;
+  MuxStats stats_;
+};
+
+}  // namespace netfail::stream

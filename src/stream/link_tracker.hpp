@@ -1,0 +1,172 @@
+// stream::LinkTracker — the online equivalent of `analysis::reconstruct`.
+//
+// Ingests one source's (link, time, dir) transitions as they arrive and
+// maintains, incrementally:
+//   - the per-link reconstruction FSM (the exact `analysis::LinkWalker` the
+//     batch path runs, so results are interval-identical);
+//   - sliding-window flap detection (the 10-minute rule of paper sect. 4.1)
+//     as a per-link running episode instead of a global regrouping pass;
+//   - running availability/downtime counters per link.
+//
+// Memory is O(links + window), never O(events):
+//   - transitions are buffered per link only until the reorder horizon
+//     passes them (a watermark `horizon` behind the newest arrival), which
+//     absorbs clock skew between message timestamps and arrival order —
+//     the batch path gets the same effect by sorting the full trace;
+//   - finished failures leave through the `on_failure` callback as soon as
+//     retraction is impossible; only O(1) per link is held back;
+//   - a fixed-capacity ring of recent failures supports rolling displays;
+//   - optionally, `max_tracked_links` caps link state via idle-LRU eviction
+//     (approximate mode for captures with unbounded link churn; off by
+//     default and unused by the differential test).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/analysis/flaps.hpp"
+#include "src/analysis/link_walker.hpp"
+#include "src/analysis/reconstruct.hpp"
+
+namespace netfail::stream {
+
+struct TrackerOptions {
+  /// Policy, merge window and study period for the FSM (must match the
+  /// batch run to be comparable).
+  analysis::ReconstructOptions reconstruct;
+  analysis::FlapOptions flaps;
+  /// Tag released failures with this source.
+  analysis::Source source = analysis::Source::kIsis;
+  /// Transitions are held back until the high-water arrival time is this
+  /// far past their timestamp, then applied in (time, arrival) order. Must
+  /// exceed the worst timestamp-vs-arrival skew of the source (router clock
+  /// skew + delivery delay; seconds in practice) for exact batch
+  /// equivalence.
+  Duration reorder_horizon = Duration::seconds(60);
+  /// 0 = unlimited. When set, the least-recently-active idle link may be
+  /// evicted to admit a new one.
+  std::size_t max_tracked_links = 0;
+  /// Capacity of the recent-failures ring kept for rolling displays.
+  std::size_t recent_ring_capacity = 32;
+};
+
+/// Per-link running counters; O(1) state each.
+struct LinkRunningStats {
+  LinkId link;
+  std::size_t failures = 0;
+  Duration downtime;
+  LinkDirection state = LinkDirection::kUp;
+  TimePoint last_transition;
+  std::size_t flap_episodes = 0;
+  std::size_t failures_in_episodes = 0;
+};
+
+struct TrackerCounters {
+  std::uint64_t transitions_ingested = 0;
+  std::uint64_t failures_released = 0;
+  std::uint64_t flap_episodes = 0;
+  std::uint64_t links_evicted = 0;
+  std::uint64_t pending_peak = 0;  // high-water mark of buffered transitions
+  // FSM counters (same meaning as analysis::Reconstruction).
+  std::uint64_t double_downs = 0;
+  std::uint64_t double_ups = 0;
+  std::uint64_t merged_duplicates = 0;
+  std::uint64_t unterminated = 0;
+};
+
+class LinkTracker {
+ public:
+  explicit LinkTracker(TrackerOptions options = {});
+
+  // Copyable by design: a checkpoint is a copy of the tracker.
+
+  /// Released failures, per link in chronological order. A failure is
+  /// released only once no later event can retract it.
+  std::function<void(const analysis::Failure&)> on_failure;
+  /// Closed flap episodes (>= min_failures failures, gaps <= max_gap).
+  std::function<void(const analysis::FlapEpisode&)> on_flap_episode;
+  /// Ambiguous (double DOWN / double UP) segments, as the FSM sees them.
+  std::function<void(const analysis::AmbiguousSegment&)> on_ambiguous;
+
+  /// Feed one transition. Arrival order must be nondecreasing in
+  /// `arrival`; the transition's own timestamp may lag or lead arrival by
+  /// up to the reorder horizon.
+  void ingest(const analysis::RawTransition& tr, TimePoint arrival);
+  /// Convenience: arrival == transition time (sources whose timestamps are
+  /// already monotone, like listener arrival times).
+  void ingest(const analysis::RawTransition& tr) { ingest(tr, tr.time); }
+
+  /// Flush every link's eligible buffered transitions (callers that pause
+  /// between bursts use this to push the watermark through).
+  void poll();
+
+  /// End of stream: drain all buffers, close open episodes, count
+  /// unterminated failures. Further ingest is a programming error.
+  void finish();
+
+  // -- snapshots --------------------------------------------------------------
+  const TrackerCounters& counters() const { return counters_; }
+  std::size_t tracked_links() const { return links_.size(); }
+  std::size_t pending_transitions() const { return pending_total_; }
+  /// Per-link running stats, link order.
+  std::vector<LinkRunningStats> link_stats() const;
+  /// The last few released failures, oldest first.
+  std::vector<analysis::Failure> recent_failures() const;
+  /// Total downtime released so far, all links.
+  Duration total_downtime() const { return total_downtime_; }
+  TimePoint high_water() const { return high_water_; }
+
+ private:
+  struct PendingTransition {
+    TimePoint time;
+    std::uint64_t seq = 0;  // arrival order, for stable ties
+    LinkDirection dir = LinkDirection::kDown;
+    bool operator<(const PendingTransition& o) const {
+      if (time != o.time) return time < o.time;
+      return seq < o.seq;
+    }
+  };
+
+  struct PerLink {
+    analysis::LinkWalker::State walker;
+    /// Min-heap on (time, seq); see flush_link.
+    std::vector<PendingTransition> pending;
+    /// Failures emitted by the walker but not yet released. Only the
+    /// newest failure of a link can ever be retracted (kDrop double-UP),
+    /// so at most one element is held back here.
+    std::vector<analysis::Failure> held;
+    LinkRunningStats stats;
+    // Current flap run (sliding-window episode detection).
+    std::size_t run_count = 0;
+    TimePoint run_start;
+    TimePoint run_last_end;
+    TimePoint last_active;  // newest arrival touching this link
+  };
+
+  PerLink& link_state(LinkId link, TimePoint arrival);
+  void flush_link(LinkId link, PerLink& pl, TimePoint up_to);
+  void apply(LinkId link, PerLink& pl, const PendingTransition& tr);
+  void release(LinkId link, PerLink& pl, std::size_t keep);
+  void close_run(LinkId link, PerLink& pl);
+  void maybe_evict(TimePoint arrival);
+
+  TrackerOptions options_;
+  std::map<LinkId, PerLink> links_;
+  TrackerCounters counters_;
+  /// Walker counter sink; its failure/ambiguous vectors stay empty (the
+  /// walker writes those through per-link sinks).
+  analysis::Reconstruction walker_counters_;
+  std::vector<analysis::AmbiguousSegment> ambiguous_scratch_;
+  std::deque<analysis::Failure> recent_;
+  Duration total_downtime_;
+  TimePoint high_water_;
+  bool has_high_water_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_total_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace netfail::stream

@@ -4,12 +4,16 @@
 #include <cstdlib>
 
 #include "src/common/assert.hpp"
+#include "src/common/metrics.hpp"
 
 namespace netfail::syslog {
 
 void Collector::receive(TimePoint t, std::string line) {
   NETFAIL_ASSERT(lines_.empty() || lines_.back().received_at <= t,
                  "collector lines must arrive in time order");
+  static metrics::Counter& received =
+      metrics::global().counter("syslog.collector.lines");
+  received.inc();
   lines_.push_back(ReceivedLine{t, std::move(line)});
 }
 

@@ -1,39 +1,72 @@
 #include "src/syslog/extract.hpp"
 
+#include "src/common/metrics.hpp"
+
 namespace netfail::syslog {
+namespace {
+
+struct SyslogMetrics {
+  metrics::Counter& lines = metrics::global().counter("syslog.extract.lines");
+  metrics::Counter& parse_failures =
+      metrics::global().counter("syslog.extract.parse_failures");
+  metrics::Counter& unresolved =
+      metrics::global().counter("syslog.extract.unresolved_links");
+  metrics::Counter& transitions =
+      metrics::global().counter("syslog.extract.transitions");
+};
+
+SyslogMetrics& syslog_metrics() {
+  static SyslogMetrics m;
+  return m;
+}
+
+}  // namespace
+
+std::optional<SyslogTransition> extract_line(const ReceivedLine& rec,
+                                             const LinkCensus& census,
+                                             SyslogExtractionStats& stats) {
+  ++stats.lines_seen;
+  syslog_metrics().lines.inc();
+  Result<Message> parsed = parse_message(rec.line);
+  if (!parsed) {
+    if (parsed.error().code == ErrorCode::kNotFound) {
+      ++stats.irrelevant_lines;
+    } else {
+      ++stats.parse_failures;
+      syslog_metrics().parse_failures.inc();
+    }
+    return std::nullopt;
+  }
+  const Message& m = *parsed;
+
+  SyslogTransition tr;
+  tr.time = resolve_year(m.timestamp, rec.received_at);
+  tr.dir = m.dir;
+  tr.cls = classify(m.type);
+  tr.type = m.type;
+  tr.reporter = m.reporter;
+  tr.reason = m.reason;
+  const std::optional<LinkId> link =
+      census.find_by_interface(m.reporter, m.interface);
+  if (!link) {
+    ++stats.unresolved_links;
+    syslog_metrics().unresolved.inc();
+    return std::nullopt;
+  }
+  tr.link = *link;
+  syslog_metrics().transitions.inc();
+  return tr;
+}
 
 SyslogExtraction extract_transitions(const Collector& collector,
                                      const LinkCensus& census) {
   SyslogExtraction out;
   out.transitions.reserve(collector.size());
   for (const ReceivedLine& rec : collector.lines()) {
-    ++out.stats.lines_seen;
-    Result<Message> parsed = parse_message(rec.line);
-    if (!parsed) {
-      if (parsed.error().code == ErrorCode::kNotFound) {
-        ++out.stats.irrelevant_lines;
-      } else {
-        ++out.stats.parse_failures;
-      }
-      continue;
+    if (std::optional<SyslogTransition> tr =
+            extract_line(rec, census, out.stats)) {
+      out.transitions.push_back(std::move(*tr));
     }
-    const Message& m = *parsed;
-
-    SyslogTransition tr;
-    tr.time = resolve_year(m.timestamp, rec.received_at);
-    tr.dir = m.dir;
-    tr.cls = classify(m.type);
-    tr.type = m.type;
-    tr.reporter = m.reporter;
-    tr.reason = m.reason;
-    const std::optional<LinkId> link =
-        census.find_by_interface(m.reporter, m.interface);
-    if (!link) {
-      ++out.stats.unresolved_links;
-      continue;
-    }
-    tr.link = *link;
-    out.transitions.push_back(std::move(tr));
   }
   return out;
 }

@@ -6,6 +6,7 @@
 // (paper Table 3); the failure reconstruction merges the two ends later.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,5 +42,14 @@ struct SyslogExtraction {
 
 SyslogExtraction extract_transitions(const Collector& collector,
                                      const LinkCensus& census);
+
+/// Incremental form: parse and resolve one received line. Returns the
+/// transition when the line is a tracked message type on a census link;
+/// otherwise updates `stats` and returns nullopt. Batch extraction is a
+/// loop over this function, so the streaming engine sees identical
+/// transitions.
+std::optional<SyslogTransition> extract_line(const ReceivedLine& rec,
+                                             const LinkCensus& census,
+                                             SyslogExtractionStats& stats);
 
 }  // namespace netfail::syslog

@@ -9,9 +9,20 @@
 //       Run the paper's analysis over a capture bundle (yours or a
 //       simulated one) and print the comparison tables.
 //
+//   netfail stream --dir DIR [--policy P] [--horizon SECS] [--max-links N]
+//                  [--report-every N] [--json-metrics]
+//       Tail a capture bundle through the online engine: interleave the
+//       syslog and LSP streams in arrival order, maintain per-link failure
+//       state incrementally in bounded memory, print rolling per-link
+//       stats, and end with a metrics snapshot.
+//
 // The bundle format is exactly what a real deployment can produce: a
 // syslog archive, a PyRT-style LSP capture, a RANCID-style config archive,
 // and ticket/outage exports.
+//
+// Unrecognized flags are an error (usage + exit 2), not a silent no-op.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -22,13 +33,18 @@
 #include "src/analysis/match.hpp"
 #include "src/analysis/pipeline.hpp"
 #include "src/analysis/tables.hpp"
+#include "src/common/flags.hpp"
+#include "src/common/metrics.hpp"
 #include "src/common/strfmt.hpp"
+#include "src/common/table.hpp"
 #include "src/config/miner.hpp"
 #include "src/io/config_dir.hpp"
 #include "src/io/interval_file.hpp"
 #include "src/io/lsp_capture.hpp"
 #include "src/io/syslog_file.hpp"
 #include "src/io/ticket_file.hpp"
+#include "src/stream/engine.hpp"
+#include "src/stream/event_mux.hpp"
 
 namespace {
 
@@ -41,43 +57,85 @@ int usage() {
       "usage:\n"
       "  netfail simulate --out DIR [--small] [--seed N]\n"
       "  netfail analyze --dir DIR [--policy drop|assume-down|assume-up|"
-      "hold-state]\n");
+      "hold-state]\n"
+      "  netfail stream --dir DIR [--policy P] [--horizon SECS] "
+      "[--max-links N]\n"
+      "                 [--report-every N] [--json-metrics]\n");
   return 2;
 }
 
-const char* flag_value(int argc, char** argv, const char* name) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+/// Parse the subcommand's flags; on any unknown flag / missing value /
+/// stray positional argument, print the problem and the usage text and make
+/// the caller exit 2.
+bool parse_or_usage(int argc, char** argv,
+                    const std::vector<flags::FlagSpec>& specs,
+                    flags::Parsed& out) {
+  out = flags::parse_flags(argc, argv, 2, specs);
+  if (out.ok && !out.positional.empty()) {
+    out.ok = false;
+    out.error = "unexpected argument: " + out.positional.front();
   }
-  return nullptr;
+  if (!out.ok) {
+    std::fprintf(stderr, "netfail: %s\n", out.error.c_str());
+    return false;
+  }
+  return true;
 }
 
-bool has_flag(int argc, char** argv, const char* name) {
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
+/// Parse a numeric flag value strictly: the whole string must be a
+/// non-negative decimal number, otherwise the caller exits 2.
+bool parse_number(const char* flag, const std::string& value,
+                  std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || value.front() == '-') {
+    std::fprintf(stderr, "netfail: flag %s expects a number, got '%s'\n", flag,
+                 value.c_str());
+    return false;
   }
-  return false;
+  return true;
+}
+
+bool parse_policy(const std::string& p, analysis::AmbiguityPolicy& policy) {
+  if (p == "drop") {
+    policy = analysis::AmbiguityPolicy::kDrop;
+  } else if (p == "assume-down") {
+    policy = analysis::AmbiguityPolicy::kAssumeDown;
+  } else if (p == "assume-up") {
+    policy = analysis::AmbiguityPolicy::kAssumeUp;
+  } else if (p == "hold-state") {
+    policy = analysis::AmbiguityPolicy::kHoldState;
+  } else {
+    std::fprintf(stderr, "netfail: unknown --policy %s\n", p.c_str());
+    return false;
+  }
+  return true;
 }
 
 // ---- simulate ----------------------------------------------------------------
 
 int cmd_simulate(int argc, char** argv) {
-  const char* out = flag_value(argc, argv, "--out");
-  if (out == nullptr) return usage();
-  sim::ScenarioParams scenario = has_flag(argc, argv, "--small")
-                                     ? sim::test_scenario()
-                                     : sim::cenic_scenario();
-  if (const char* seed = flag_value(argc, argv, "--seed")) {
-    scenario.seed = std::strtoull(seed, nullptr, 10);
+  flags::Parsed args;
+  if (!parse_or_usage(argc, argv,
+                      {{"--out", true}, {"--small", false}, {"--seed", true}},
+                      args)) {
+    return usage();
+  }
+  const auto out = args.value("--out");
+  if (!out) return usage();
+  sim::ScenarioParams scenario =
+      args.has("--small") ? sim::test_scenario() : sim::cenic_scenario();
+  if (const auto seed = args.value("--seed")) {
+    if (!parse_number("--seed", *seed, scenario.seed)) return usage();
   }
 
   std::fprintf(stderr, "simulating %s scenario (seed %llu)...\n",
-               has_flag(argc, argv, "--small") ? "small" : "CENIC-scale",
+               args.has("--small") ? "small" : "CENIC-scale",
                static_cast<unsigned long long>(scenario.seed));
   const sim::SimulationResult sim = sim::run_simulation(scenario);
 
-  fs::create_directories(out);
-  const fs::path dir(out);
+  fs::create_directories(*out);
+  const fs::path dir(*out);
 
   auto check = [](Status s, const char* what) {
     if (!s) {
@@ -111,7 +169,7 @@ int cmd_simulate(int argc, char** argv) {
     std::fclose(meta);
   }
 
-  std::printf("wrote capture bundle to %s:\n", out);
+  std::printf("wrote capture bundle to %s:\n", out->c_str());
   std::printf("  messages.log       %zu syslog lines\n", sim.collector.size());
   std::printf("  listener.nfc       %zu LSP frames\n",
               sim.listener.records().size());
@@ -122,7 +180,7 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
-// ---- analyze -----------------------------------------------------------------
+// ---- bundle loading (shared by analyze and stream) ---------------------------
 
 Result<TimeRange> read_meta(const fs::path& dir) {
   std::FILE* meta = std::fopen((dir / "META").string().c_str(), "r");
@@ -147,85 +205,100 @@ Result<TimeRange> read_meta(const fs::path& dir) {
   return period;
 }
 
-int cmd_analyze(int argc, char** argv) {
-  const char* dir_arg = flag_value(argc, argv, "--dir");
-  if (dir_arg == nullptr) return usage();
-  const fs::path dir(dir_arg);
+struct Bundle {
+  TimeRange period;
+  LinkCensus census;
+  syslog::Collector collector;
+  std::vector<isis::LspRecord> records;
+  TicketStore tickets;
+  IntervalSet gaps;
+};
 
-  analysis::AmbiguityPolicy policy = analysis::AmbiguityPolicy::kAssumeUp;
-  if (const char* p = flag_value(argc, argv, "--policy")) {
-    if (std::strcmp(p, "drop") == 0) {
-      policy = analysis::AmbiguityPolicy::kDrop;
-    } else if (std::strcmp(p, "assume-down") == 0) {
-      policy = analysis::AmbiguityPolicy::kAssumeDown;
-    } else if (std::strcmp(p, "assume-up") == 0) {
-      policy = analysis::AmbiguityPolicy::kAssumeUp;
-    } else if (std::strcmp(p, "hold-state") == 0) {
-      policy = analysis::AmbiguityPolicy::kHoldState;
-    } else {
-      return usage();
-    }
-  }
-
-  // ---- load the bundle -------------------------------------------------------
+/// Load META, configs, syslog and LSP capture; tickets/gaps are optional.
+bool load_bundle(const fs::path& dir, Bundle& out) {
   const auto period = read_meta(dir);
   if (!period) {
     std::fprintf(stderr, "error: %s\n", period.error().to_string().c_str());
-    return 1;
+    return false;
   }
+  out.period = *period;
   io::ConfigDirStats config_stats;
   const auto archive =
       io::read_config_dir((dir / "configs").string(), &config_stats);
   if (!archive) {
     std::fprintf(stderr, "error: %s\n", archive.error().to_string().c_str());
-    return 1;
+    return false;
   }
   const auto collector =
       io::read_syslog_file((dir / "messages.log").string(), period->begin);
   if (!collector) {
     std::fprintf(stderr, "error: %s\n", collector.error().to_string().c_str());
-    return 1;
+    return false;
   }
+  out.collector = *collector;
   const auto records = io::read_lsp_capture((dir / "listener.nfc").string());
   if (!records) {
     std::fprintf(stderr, "error: %s\n", records.error().to_string().c_str());
-    return 1;
+    return false;
   }
-  TicketStore tickets;
+  out.records = *records;
   if (const auto t = io::read_ticket_file((dir / "tickets.tsv").string())) {
-    tickets = *t;
+    out.tickets = *t;
   }
-  IntervalSet gaps;
   if (const auto g =
           io::read_interval_file((dir / "listener_gaps.tsv").string())) {
-    gaps = *g;
+    out.gaps = *g;
   }
 
-  // ---- the paper's pipeline, from files --------------------------------------
   MiningStats mining;
-  const LinkCensus census = mine_archive(*archive, *period, {}, &mining);
+  out.census = mine_archive(*archive, *period, {}, &mining);
   std::fprintf(stderr,
                "bundle: %zu configs -> %zu links; %zu syslog lines; %zu "
                "LSPs; %zu tickets\n",
-               config_stats.files, census.size(), collector->size(),
-               records->size(), tickets.size());
+               config_stats.files, out.census.size(), out.collector.size(),
+               out.records.size(), out.tickets.size());
+  return true;
+}
 
+// ---- analyze -----------------------------------------------------------------
+
+int cmd_analyze(int argc, char** argv) {
+  flags::Parsed args;
+  if (!parse_or_usage(argc, argv, {{"--dir", true}, {"--policy", true}},
+                      args)) {
+    return usage();
+  }
+  const auto dir_arg = args.value("--dir");
+  if (!dir_arg) return usage();
+
+  analysis::AmbiguityPolicy policy = analysis::AmbiguityPolicy::kAssumeUp;
+  if (const auto p = args.value("--policy")) {
+    if (!parse_policy(*p, policy)) return usage();
+  }
+
+  Bundle bundle;
+  if (!load_bundle(fs::path(*dir_arg), bundle)) return 1;
+
+  // ---- the paper's pipeline, from files --------------------------------------
   const isis::IsisExtraction isis_ex =
-      isis::extract_transitions(*records, census);
+      isis::extract_transitions(bundle.records, bundle.census);
   const syslog::SyslogExtraction syslog_ex =
-      syslog::extract_transitions(*collector, census);
+      syslog::extract_transitions(bundle.collector, bundle.census);
 
   analysis::ReconstructOptions recon;
-  recon.period = *period;
+  recon.period = bundle.period;
   recon.policy = policy;
   analysis::Reconstruction isis_recon =
       analysis::reconstruct_from_isis(isis_ex.is_reach, recon);
   analysis::Reconstruction syslog_recon =
       analysis::reconstruct_from_syslog(syslog_ex.transitions, recon);
-  (void)analysis::remove_listener_gap_failures(isis_recon.failures, gaps);
-  (void)analysis::remove_listener_gap_failures(syslog_recon.failures, gaps);
+  (void)analysis::remove_listener_gap_failures(isis_recon.failures,
+                                               bundle.gaps);
+  (void)analysis::remove_listener_gap_failures(syslog_recon.failures,
+                                               bundle.gaps);
   const analysis::SanitizationReport long_report =
-      analysis::verify_long_failures(syslog_recon.failures, census, tickets);
+      analysis::verify_long_failures(syslog_recon.failures, bundle.census,
+                                     bundle.tickets);
   analysis::FlapAnalysis isis_flaps =
       analysis::detect_flaps(isis_recon.failures);
   (void)analysis::detect_flaps(syslog_recon.failures);
@@ -249,10 +322,10 @@ int cmd_analyze(int argc, char** argv) {
       long_report.spurious_hours_removed.hours_f());
 
   analysis::Table5Data t5;
-  t5.syslog =
-      analysis::compute_link_statistics(syslog_recon.failures, census, *period);
-  t5.isis =
-      analysis::compute_link_statistics(isis_recon.failures, census, *period);
+  t5.syslog = analysis::compute_link_statistics(syslog_recon.failures,
+                                                bundle.census, bundle.period);
+  t5.isis = analysis::compute_link_statistics(isis_recon.failures,
+                                              bundle.census, bundle.period);
   std::printf("%s\n", analysis::render_table5(t5).c_str());
   std::printf("%s\n", analysis::render_ks(analysis::compute_ks(t5)).c_str());
   std::printf("%s\n", analysis::render_table6(analysis::classify_ambiguous(
@@ -262,11 +335,184 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+// ---- stream ------------------------------------------------------------------
+
+void print_rolling(const stream::StreamEngine& engine, const Bundle& bundle,
+                   double events_per_sec) {
+  const stream::LinkTracker& isis_t = engine.isis_tracker();
+  const stream::LinkTracker& syslog_t = engine.syslog_tracker();
+  std::printf(
+      "[%s] %llu events (%.0f ev/s) | IS-IS: %llu failures %.1f h down, "
+      "%zu links, %zu pending | syslog: %llu failures %.1f h down\n",
+      engine.high_water().to_string().c_str(),
+      static_cast<unsigned long long>(engine.events_ingested()),
+      events_per_sec,
+      static_cast<unsigned long long>(isis_t.counters().failures_released),
+      isis_t.total_downtime().hours_f(), isis_t.tracked_links(),
+      isis_t.pending_transitions(),
+      static_cast<unsigned long long>(syslog_t.counters().failures_released),
+      syslog_t.total_downtime().hours_f());
+
+  // Worst links right now, by released downtime.
+  std::vector<stream::LinkRunningStats> stats = isis_t.link_stats();
+  std::sort(stats.begin(), stats.end(),
+            [](const stream::LinkRunningStats& a,
+               const stream::LinkRunningStats& b) {
+              return a.downtime > b.downtime;
+            });
+  const std::size_t top = std::min<std::size_t>(3, stats.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const stream::LinkRunningStats& ls = stats[i];
+    if (ls.failures == 0) break;
+    std::printf("    %-44s %3zu failures  %8.2f h down  %zu flap episodes%s\n",
+                bundle.census.link(ls.link).name.c_str(), ls.failures,
+                ls.downtime.hours_f(), ls.flap_episodes,
+                ls.state == LinkDirection::kDown ? "  [DOWN]" : "");
+  }
+}
+
+int cmd_stream(int argc, char** argv) {
+  flags::Parsed args;
+  if (!parse_or_usage(argc, argv,
+                      {{"--dir", true},
+                       {"--policy", true},
+                       {"--horizon", true},
+                       {"--max-links", true},
+                       {"--report-every", true},
+                       {"--json-metrics", false}},
+                      args)) {
+    return usage();
+  }
+  const auto dir_arg = args.value("--dir");
+  if (!dir_arg) return usage();
+
+  stream::EngineOptions options;
+  if (const auto p = args.value("--policy")) {
+    if (!parse_policy(*p, options.tracker.reconstruct.policy)) return usage();
+  }
+  if (const auto h = args.value("--horizon")) {
+    std::uint64_t secs = 0;
+    if (!parse_number("--horizon", *h, secs)) return usage();
+    options.tracker.reorder_horizon =
+        Duration::seconds(static_cast<std::int64_t>(secs));
+  }
+  if (const auto m = args.value("--max-links")) {
+    std::uint64_t cap = 0;
+    if (!parse_number("--max-links", *m, cap)) return usage();
+    options.tracker.max_tracked_links = static_cast<std::size_t>(cap);
+  }
+  std::uint64_t report_every = 200000;
+  if (const auto r = args.value("--report-every")) {
+    if (!parse_number("--report-every", *r, report_every)) return usage();
+    if (report_every == 0) report_every = 200000;
+  }
+
+  Bundle bundle;
+  if (!load_bundle(fs::path(*dir_arg), bundle)) return 1;
+  options.tracker.reconstruct.period = bundle.period;
+
+  stream::StreamEngine engine(bundle.census, options);
+  stream::EventMux mux =
+      stream::EventMux::over_vectors(bundle.collector.lines(), bundle.records);
+
+  metrics::Histogram& latency = metrics::global().histogram(
+      "stream.event_latency_us", metrics::exponential_bounds(1, 4, 10));
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point started = Clock::now();
+  Clock::time_point window_start = started;
+  std::uint64_t window_events = 0;
+
+  while (std::optional<stream::StreamEvent> ev = mux.next()) {
+    const Clock::time_point t0 = Clock::now();
+    engine.feed(*ev);
+    const Clock::time_point t1 = Clock::now();
+    latency.observe(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+        1e3);
+    ++window_events;
+    if (engine.events_ingested() % report_every == 0) {
+      const double secs =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              t1 - window_start)
+              .count() /
+          1e6;
+      print_rolling(engine, bundle, secs > 0 ? window_events / secs : 0);
+      window_start = t1;
+      window_events = 0;
+    }
+  }
+  engine.finish();
+
+  const double total_secs =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            started)
+          .count() /
+      1e6;
+
+  // ---- final per-link table ---------------------------------------------------
+  std::printf("\nstreamed %llu events (%llu syslog, %llu LSP) in %.2f s "
+              "(%.0f events/s); %llu out-of-order drops\n",
+              static_cast<unsigned long long>(engine.events_ingested()),
+              static_cast<unsigned long long>(engine.syslog_events()),
+              static_cast<unsigned long long>(engine.lsp_events()), total_secs,
+              total_secs > 0 ? engine.events_ingested() / total_secs : 0,
+              static_cast<unsigned long long>(
+                  mux.stats().out_of_order_dropped));
+
+  for (const auto* tracker :
+       {&engine.isis_tracker(), &engine.syslog_tracker()}) {
+    const bool is_isis = tracker == &engine.isis_tracker();
+    const stream::TrackerCounters& c = tracker->counters();
+    std::printf(
+        "\n%s reconstruction: %llu failures on %zu links, %.1f h downtime, "
+        "%llu flap episodes, %llu double-down, %llu double-up, "
+        "%llu merged, %llu unterminated\n",
+        is_isis ? "IS-IS" : "syslog",
+        static_cast<unsigned long long>(c.failures_released),
+        tracker->tracked_links(), tracker->total_downtime().hours_f(),
+        static_cast<unsigned long long>(c.flap_episodes),
+        static_cast<unsigned long long>(c.double_downs),
+        static_cast<unsigned long long>(c.double_ups),
+        static_cast<unsigned long long>(c.merged_duplicates),
+        static_cast<unsigned long long>(c.unterminated));
+
+    std::vector<stream::LinkRunningStats> stats = tracker->link_stats();
+    std::sort(stats.begin(), stats.end(),
+              [](const stream::LinkRunningStats& a,
+                 const stream::LinkRunningStats& b) {
+                return a.downtime > b.downtime;
+              });
+    TextTable table;
+    table.set_header({"link", "failures", "downtime (h)", "flap episodes",
+                      "availability (%)"});
+    const Duration period = bundle.period.duration();
+    const std::size_t top = std::min<std::size_t>(10, stats.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const stream::LinkRunningStats& ls = stats[i];
+      if (ls.failures == 0) break;
+      table.add_row(
+          {bundle.census.link(ls.link).name, std::to_string(ls.failures),
+           strformat("%.2f", ls.downtime.hours_f()),
+           std::to_string(ls.flap_episodes),
+           strformat("%.4f", 100.0 * (1.0 - ls.downtime / period))});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+
+  std::printf("\n==== metrics snapshot ====\n%s",
+              args.has("--json-metrics")
+                  ? (metrics::global().render_json() + "\n").c_str()
+                  : metrics::global().render_text().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(argc, argv);
   if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
+  if (std::strcmp(argv[1], "stream") == 0) return cmd_stream(argc, argv);
   return usage();
 }

@@ -1,0 +1,79 @@
+#include "src/common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::flags {
+namespace {
+
+const std::vector<FlagSpec> kSpecs = {
+    {"--dir", true}, {"--policy", true}, {"--small", false}};
+
+TEST(ParseFlags, AcceptsKnownFlags) {
+  const Parsed p =
+      parse_flags({"--dir", "/tmp/x", "--small", "--policy", "drop"}, kSpecs);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.value("--dir"), "/tmp/x");
+  EXPECT_EQ(p.value("--policy"), "drop");
+  EXPECT_TRUE(p.has("--small"));
+  EXPECT_FALSE(p.has("--verbose"));
+  EXPECT_EQ(p.value("--verbose"), std::nullopt);
+  EXPECT_TRUE(p.positional.empty());
+}
+
+TEST(ParseFlags, EqualsSyntax) {
+  const Parsed p = parse_flags({"--dir=/tmp/y", "--policy=hold-state"}, kSpecs);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.value("--dir"), "/tmp/y");
+  EXPECT_EQ(p.value("--policy"), "hold-state");
+}
+
+TEST(ParseFlags, RejectsUnknownFlag) {
+  const Parsed p = parse_flags({"--dir", "/tmp/x", "--frobnicate"}, kSpecs);
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(ParseFlags, RejectsMissingValue) {
+  const Parsed p = parse_flags({"--dir"}, kSpecs);
+  EXPECT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--dir"), std::string::npos);
+}
+
+TEST(ParseFlags, RejectsValueOnBooleanFlag) {
+  const Parsed p = parse_flags({"--small=yes"}, kSpecs);
+  EXPECT_FALSE(p.ok);
+}
+
+TEST(ParseFlags, RepeatedFlagKeepsLastValue) {
+  const Parsed p = parse_flags({"--policy", "drop", "--policy", "assume-up"},
+                               kSpecs);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.value("--policy"), "assume-up");
+}
+
+TEST(ParseFlags, PositionalAndDoubleDash) {
+  const Parsed p =
+      parse_flags({"bundle1", "--small", "--", "--not-a-flag"}, kSpecs);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.has("--small"));
+  ASSERT_EQ(p.positional.size(), 2u);
+  EXPECT_EQ(p.positional[0], "bundle1");
+  EXPECT_EQ(p.positional[1], "--not-a-flag");
+}
+
+TEST(ParseFlags, ArgvConvenienceSkipsPrefix) {
+  const char* argv[] = {"netfail", "analyze", "--dir", "/x"};
+  const Parsed p =
+      parse_flags(4, const_cast<char**>(argv), 2, kSpecs);
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.value("--dir"), "/x");
+}
+
+TEST(ParseFlags, EmptyInputIsOk) {
+  const Parsed p = parse_flags(std::vector<std::string>{}, kSpecs);
+  EXPECT_TRUE(p.ok);
+  EXPECT_TRUE(p.present.empty());
+}
+
+}  // namespace
+}  // namespace netfail::flags

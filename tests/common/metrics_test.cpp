@@ -1,0 +1,106 @@
+#include "src/common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace netfail::metrics {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsObservations) {
+  // counts_[i] holds bounds[i-1] < v <= bounds[i]; overflow catches the rest.
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper bound)
+  h.observe(5.0);    // <= 10
+  h.observe(100.0);  // <= 100
+  h.observe(1e6);    // overflow
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 5.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, UnsortedBoundsAreNormalized) {
+  Histogram h({100.0, 1.0, 10.0, 10.0});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 100.0);
+}
+
+TEST(ExponentialBounds, GeometricSeries) {
+  const std::vector<double> b = exponential_bounds(1, 4, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 4.0);
+  EXPECT_DOUBLE_EQ(b[4], 256.0);
+}
+
+TEST(Registry, SameNameSameMetric) {
+  Registry r;
+  Counter& a = r.counter("x.y");
+  Counter& b = r.counter("x.y");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+
+  Histogram& h1 = r.histogram("h", {1.0, 2.0});
+  Histogram& h2 = r.histogram("h", {99.0});  // bounds fixed on first creation
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(Registry, RendersTextAndJson) {
+  Registry r;
+  r.counter("events.total").inc(7);
+  r.histogram("latency", {1.0, 10.0}).observe(3.0);
+
+  const std::string text = r.render_text();
+  EXPECT_NE(text.find("events.total 7"), std::string::npos);
+  EXPECT_NE(text.find("latency"), std::string::npos);
+
+  const std::string json = r.render_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"events.total\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsNames) {
+  Registry r;
+  Counter& c = r.counter("a");
+  c.inc(5);
+  r.histogram("h", {1.0}).observe(0.5);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(r.histogram("h", {}).count(), 0u);
+  EXPECT_NE(r.render_text().find("a 0"), std::string::npos);
+}
+
+TEST(GlobalRegistry, IsASingleton) {
+  Counter& a = global().counter("test.global.counter");
+  Counter& b = global().counter("test.global.counter");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace netfail::metrics

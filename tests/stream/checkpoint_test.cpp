@@ -1,0 +1,146 @@
+// Pause/resume mid-stream: a run that checkpoints halfway and resumes from
+// the snapshot must end with exactly the results of an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "src/config/miner.hpp"
+#include "src/sim/network_sim.hpp"
+#include "src/stream/engine.hpp"
+#include "src/stream/event_mux.hpp"
+
+namespace netfail::stream {
+namespace {
+
+struct Capture {
+  sim::SimulationResult sim;
+  LinkCensus census;
+  TimeRange period;
+  std::vector<StreamEvent> events;
+};
+
+const Capture& capture() {
+  static const Capture c = [] {
+    Capture out;
+    const sim::ScenarioParams params = sim::test_scenario(13);
+    out.sim = sim::run_simulation(params);
+    const ConfigArchive archive =
+        generate_archive(out.sim.topology, params.period);
+    out.census = mine_archive(archive, params.period, {}, nullptr);
+    out.period = params.period;
+    EventMux mux = EventMux::over_vectors(out.sim.collector.lines(),
+                                          out.sim.listener.records());
+    while (auto ev = mux.next()) out.events.push_back(*ev);
+    return out;
+  }();
+  return c;
+}
+
+EngineOptions engine_options() {
+  EngineOptions options;
+  options.tracker.reconstruct.period = capture().period;
+  return options;
+}
+
+struct Collected {
+  std::vector<std::tuple<std::uint32_t, std::int64_t, std::int64_t>> failures;
+  void attach(StreamEngine& engine) {
+    const auto sink = [this](const analysis::Failure& f) {
+      failures.emplace_back(f.link.value(), f.span.begin.unix_millis(),
+                            f.span.end.unix_millis());
+    };
+    engine.isis_tracker().on_failure = sink;
+    engine.syslog_tracker().on_failure = sink;
+  }
+  void sort() { std::sort(failures.begin(), failures.end()); }
+};
+
+TEST(Checkpoint, ResumeReproducesUninterruptedRun) {
+  const Capture& c = capture();
+  ASSERT_GT(c.events.size(), 100u);
+
+  // Reference: one uninterrupted run.
+  Collected reference;
+  {
+    StreamEngine engine(c.census, engine_options());
+    reference.attach(engine);
+    for (const StreamEvent& ev : c.events) engine.feed(ev);
+    engine.finish();
+  }
+  ASSERT_GT(reference.failures.size(), 10u);
+
+  // Checkpoint at several cut points, including mid-burst ones.
+  for (const double frac : {0.25, 0.5, 0.9}) {
+    SCOPED_TRACE("cut at " + std::to_string(frac));
+    const std::size_t cut =
+        static_cast<std::size_t>(c.events.size() * frac);
+    Collected resumed_out;
+    Checkpoint cp;
+    {
+      StreamEngine engine(c.census, engine_options());
+      resumed_out.attach(engine);
+      for (std::size_t i = 0; i < cut; ++i) engine.feed(c.events[i]);
+      cp = engine.checkpoint();
+      // The original engine is abandoned; only the snapshot continues.
+    }
+    EXPECT_EQ(cp.events_ingested(), cut);
+
+    StreamEngine resumed = StreamEngine::resume(cp);
+    EXPECT_EQ(resumed.events_ingested(), cut);
+    for (std::size_t i = cut; i < c.events.size(); ++i) {
+      resumed.feed(c.events[i]);
+    }
+    resumed.finish();
+
+    Collected ref_sorted = reference;
+    ref_sorted.sort();
+    resumed_out.sort();
+    EXPECT_EQ(resumed_out.failures, ref_sorted.failures);
+    EXPECT_EQ(resumed.events_ingested(), c.events.size());
+  }
+}
+
+TEST(Checkpoint, SnapshotIsIsolatedFromOriginal) {
+  // Feeding the original engine after taking a checkpoint must not change
+  // what the snapshot resumes to.
+  const Capture& c = capture();
+  const std::size_t cut = c.events.size() / 2;
+
+  StreamEngine engine(c.census, engine_options());
+  for (std::size_t i = 0; i < cut; ++i) engine.feed(c.events[i]);
+  const Checkpoint cp = engine.checkpoint();
+  const std::uint64_t at_cut = cp.events_ingested();
+
+  for (std::size_t i = cut; i < c.events.size(); ++i) engine.feed(c.events[i]);
+  engine.finish();
+
+  StreamEngine resumed = StreamEngine::resume(cp);
+  EXPECT_EQ(resumed.events_ingested(), at_cut);
+  EXPECT_EQ(resumed.high_water(), cp.high_water());
+  // And the resumed copy still accepts the remaining events.
+  for (std::size_t i = cut; i < c.events.size(); ++i) {
+    resumed.feed(c.events[i]);
+  }
+  resumed.finish();
+  EXPECT_EQ(resumed.events_ingested(), engine.events_ingested());
+}
+
+TEST(Checkpoint, CheckpointOfFinishedEngineCarriesFinalCounters) {
+  const Capture& c = capture();
+  StreamEngine engine(c.census, engine_options());
+  for (const StreamEvent& ev : c.events) engine.feed(ev);
+  engine.finish();
+  const Checkpoint cp = engine.checkpoint();
+  EXPECT_EQ(cp.events_ingested(), c.events.size());
+
+  const StreamEngine resumed = StreamEngine::resume(cp);
+  EXPECT_EQ(resumed.isis_tracker().counters().failures_released,
+            engine.isis_tracker().counters().failures_released);
+  EXPECT_EQ(resumed.syslog_tracker().counters().failures_released,
+            engine.syslog_tracker().counters().failures_released);
+}
+
+}  // namespace
+}  // namespace netfail::stream

@@ -1,0 +1,224 @@
+#include "src/stream/link_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netfail::stream {
+namespace {
+
+using analysis::Failure;
+using analysis::RawTransition;
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+TrackerOptions small_options() {
+  TrackerOptions o;
+  o.reconstruct.period = {at(0), at(1000000)};
+  o.reorder_horizon = Duration::seconds(10);
+  return o;
+}
+
+RawTransition down(std::uint32_t link, std::int64_t s) {
+  return {LinkId(link), at(s), LinkDirection::kDown};
+}
+RawTransition up(std::uint32_t link, std::int64_t s) {
+  return {LinkId(link), at(s), LinkDirection::kUp};
+}
+
+TEST(LinkTracker, BasicFailureReleased) {
+  LinkTracker tracker(small_options());
+  std::vector<Failure> released;
+  tracker.on_failure = [&](const Failure& f) { released.push_back(f); };
+
+  tracker.ingest(down(0, 100));
+  tracker.ingest(up(0, 160));
+  // Not yet past the reorder horizon: still buffered.
+  tracker.ingest(down(1, 300));  // arrival 300 flushes link 0's buffer
+  tracker.poll();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].link, LinkId(0));
+  EXPECT_EQ(released[0].span.begin, at(100));
+  EXPECT_EQ(released[0].span.end, at(160));
+  EXPECT_EQ(released[0].duration(), Duration::seconds(60));
+
+  tracker.finish();
+  EXPECT_EQ(released.size(), 1u);  // link 1 has no UP: unterminated
+  EXPECT_EQ(tracker.counters().unterminated, 1u);
+  EXPECT_EQ(tracker.counters().failures_released, 1u);
+  EXPECT_EQ(tracker.total_downtime(), Duration::seconds(60));
+}
+
+TEST(LinkTracker, ReordersWithinHorizon) {
+  // Arrival order UP-then-DOWN, timestamps say DOWN-then-UP: the pending
+  // heap must re-sort them before the FSM sees them.
+  LinkTracker tracker(small_options());
+  std::vector<Failure> released;
+  tracker.on_failure = [&](const Failure& f) { released.push_back(f); };
+
+  tracker.ingest(up(0, 105), at(106));
+  tracker.ingest(down(0, 100), at(107));
+  tracker.finish();
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].span.begin, at(100));
+  EXPECT_EQ(released[0].span.end, at(105));
+}
+
+TEST(LinkTracker, RunningStatsTrackState) {
+  LinkTracker tracker(small_options());
+  tracker.ingest(down(0, 100));
+  tracker.ingest(up(0, 200));
+  tracker.ingest(down(0, 5000));
+  tracker.finish();
+
+  const std::vector<LinkRunningStats> stats = tracker.link_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].failures, 1u);
+  EXPECT_EQ(stats[0].downtime, Duration::seconds(100));
+  EXPECT_EQ(stats[0].state, LinkDirection::kDown);  // last transition: DOWN
+}
+
+TEST(LinkTracker, FlapEpisodeDetectedOnline) {
+  // Three failures, gaps < 10 min -> one episode of three (paper sect. 4.1);
+  // a fourth failure 20 min later starts a new run that never reaches
+  // min_failures and emits nothing.
+  LinkTracker tracker(small_options());
+  std::vector<analysis::FlapEpisode> episodes;
+  tracker.on_flap_episode = [&](const analysis::FlapEpisode& e) {
+    episodes.push_back(e);
+  };
+
+  tracker.ingest(down(0, 100));
+  tracker.ingest(up(0, 110));
+  tracker.ingest(down(0, 200));
+  tracker.ingest(up(0, 230));
+  tracker.ingest(down(0, 500));
+  tracker.ingest(up(0, 520));
+  tracker.ingest(down(0, 520 + 1200));  // 20 min after the last UP
+  tracker.ingest(up(0, 520 + 1260));
+  tracker.finish();
+
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].link, LinkId(0));
+  EXPECT_EQ(episodes[0].failure_count, 3u);
+  EXPECT_EQ(episodes[0].span.begin, at(100));
+  EXPECT_EQ(episodes[0].span.end, at(520));
+  EXPECT_EQ(tracker.counters().flap_episodes, 1u);
+}
+
+TEST(LinkTracker, DropPolicyRetractsBeforeRelease) {
+  // Under kDrop a double-UP retracts the failure just closed; the tracker
+  // must not have released it through the callback yet.
+  TrackerOptions options = small_options();
+  options.reconstruct.policy = analysis::AmbiguityPolicy::kDrop;
+  LinkTracker tracker(options);
+  std::vector<Failure> released;
+  tracker.on_failure = [&](const Failure& f) { released.push_back(f); };
+
+  tracker.ingest(down(0, 100));
+  tracker.ingest(up(0, 150));
+  tracker.ingest(up(0, 155));  // double UP: retracts [100, 150)
+  tracker.ingest(down(0, 300));
+  tracker.ingest(up(0, 360));
+  tracker.finish();
+
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].span.begin, at(300));
+  EXPECT_EQ(released[0].span.end, at(360));
+  EXPECT_EQ(tracker.counters().double_ups, 1u);
+}
+
+TEST(LinkTracker, MergeWindowCollapsesBothEndReports) {
+  LinkTracker tracker(small_options());
+  tracker.ingest(down(0, 100));
+  tracker.ingest(down(0, 101));  // other end, within the 3 s merge window
+  tracker.ingest(up(0, 200));
+  tracker.ingest(up(0, 202));
+  tracker.finish();
+  EXPECT_EQ(tracker.counters().merged_duplicates, 2u);
+  EXPECT_EQ(tracker.counters().double_downs, 0u);
+  EXPECT_EQ(tracker.counters().failures_released, 1u);
+}
+
+TEST(LinkTracker, PendingDrainsAtWatermark) {
+  LinkTracker tracker(small_options());
+  tracker.ingest(down(0, 100));
+  EXPECT_EQ(tracker.pending_transitions(), 1u);
+  // Watermark = high-water arrival - horizon; arrival 120 releases t=100.
+  tracker.ingest(up(1, 120));
+  tracker.poll();
+  EXPECT_EQ(tracker.pending_transitions(), 1u);  // only t=120 still inside
+  EXPECT_GE(tracker.counters().pending_peak, 2u);
+  tracker.finish();
+  EXPECT_EQ(tracker.pending_transitions(), 0u);
+}
+
+TEST(LinkTracker, EvictionCapsTrackedLinks) {
+  // Only fully idle links (state UP, nothing pending or held, no open flap
+  // run) may be evicted; a link with real unreleased state never is. UP
+  // reminders leave a link idle once flushed, so they make good filler.
+  TrackerOptions options = small_options();
+  options.max_tracked_links = 2;
+  LinkTracker tracker(options);
+  tracker.ingest(up(0, 100));
+  tracker.ingest(up(1, 200));
+  tracker.poll();  // watermark 190: link 0 is now fully idle
+  EXPECT_EQ(tracker.tracked_links(), 2u);
+  tracker.ingest(up(2, 300));  // admits link 2 by evicting idle link 0
+  EXPECT_LE(tracker.tracked_links(), 2u);
+  EXPECT_EQ(tracker.counters().links_evicted, 1u);
+  tracker.finish();
+}
+
+TEST(LinkTracker, EvictionNeverDropsLiveState) {
+  // All links mid-failure: the cap is exceeded rather than results
+  // corrupted, and every failure is still released.
+  TrackerOptions options = small_options();
+  options.max_tracked_links = 1;
+  LinkTracker tracker(options);
+  for (std::uint32_t link = 0; link < 3; ++link) {
+    tracker.ingest(down(link, 100 + 10 * link));
+  }
+  EXPECT_EQ(tracker.tracked_links(), 3u);  // nothing evictable
+  for (std::uint32_t link = 0; link < 3; ++link) {
+    tracker.ingest(up(link, 500 + 10 * link));
+  }
+  tracker.finish();
+  EXPECT_EQ(tracker.counters().failures_released, 3u);
+}
+
+TEST(LinkTracker, RecentRingIsBounded) {
+  TrackerOptions options = small_options();
+  options.recent_ring_capacity = 4;
+  LinkTracker tracker(options);
+  for (int i = 0; i < 20; ++i) {
+    tracker.ingest(down(0, 100 + i * 1000));
+    tracker.ingest(up(0, 150 + i * 1000));
+  }
+  tracker.finish();
+  const std::vector<Failure> recent = tracker.recent_failures();
+  ASSERT_EQ(recent.size(), 4u);
+  // Oldest first; the newest failure is the 20th.
+  EXPECT_EQ(recent.back().span.begin, at(100 + 19 * 1000));
+  EXPECT_LT(recent.front().span.begin, recent.back().span.begin);
+}
+
+TEST(LinkTracker, CopyIsIndependent) {
+  // Copyability is what checkpoints are built on: mutating the copy must
+  // not leak into the original.
+  LinkTracker tracker(small_options());
+  tracker.ingest(down(0, 100));
+
+  LinkTracker copy = tracker;
+  copy.ingest(up(0, 200));
+  copy.finish();
+  EXPECT_EQ(copy.counters().failures_released, 1u);
+  EXPECT_EQ(tracker.counters().failures_released, 0u);
+
+  tracker.finish();
+  EXPECT_EQ(tracker.counters().failures_released, 0u);  // no UP ever seen
+  EXPECT_EQ(tracker.counters().unterminated, 1u);
+}
+
+}  // namespace
+}  // namespace netfail::stream

@@ -14,6 +14,24 @@ TEST(Collector, StoresLines) {
   EXPECT_EQ(c.lines()[1].received_at, TimePoint::from_unix_seconds(2));
 }
 
+TEST(Collector, EqualTimestampsAreInOrder) {
+  // "Nondecreasing", not "increasing": a busy second is legal.
+  Collector c;
+  c.receive(TimePoint::from_unix_seconds(5), "a");
+  c.receive(TimePoint::from_unix_seconds(5), "b");
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(CollectorDeathTest, RejectsOutOfOrderLines) {
+  // The whole year-resolution scheme (and the streaming mux) relies on the
+  // collector's arrival order being monotone; regressions must trap, not
+  // silently corrupt downstream extraction.
+  Collector c;
+  c.receive(TimePoint::from_unix_seconds(10), "first");
+  EXPECT_DEATH(c.receive(TimePoint::from_unix_seconds(9), "time traveler"),
+               "time order");
+}
+
 TEST(ResolveYear, SameYear) {
   // Message says "Mar 9", collector received it in March 2011.
   const TimePoint parsed = TimePoint::from_civil(2011, 3, 9, 4, 0, 0);
