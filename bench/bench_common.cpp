@@ -3,25 +3,88 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/analysis/scenario_cache.hpp"
+#include "src/common/par.hpp"
 
 namespace netfail::bench {
 
 const analysis::PipelineResult& cenic_pipeline() {
-  static const analysis::PipelineResult result = [] {
+  static const std::shared_ptr<const analysis::PipelineResult> result = [] {
     std::fprintf(stderr,
                  "[netfail] simulating 13 months of CENIC and running the "
                  "analysis pipeline...\n");
-    analysis::PipelineResult r = analysis::run_pipeline();
+    std::shared_ptr<const analysis::PipelineResult> r =
+        analysis::ScenarioCache::global().pipeline();
     std::fprintf(stderr, "[netfail] pipeline ready (%zu sim events)\n",
-                 r.sim.events_processed);
+                 r->sim.events_processed);
     return r;
   }();
-  return result;
+  return *result;
 }
 
-int table_bench_main(int argc, char** argv, const std::string& table_text) {
+std::vector<std::shared_ptr<const analysis::PipelineResult>> run_pipelines(
+    const std::vector<analysis::PipelineOptions>& options) {
+  std::vector<std::shared_ptr<const analysis::PipelineResult>> out(
+      options.size());
+  par::parallel_for(options.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = analysis::ScenarioCache::global().pipeline(options[i]);
+    }
+  });
+  return out;
+}
+
+std::string take_json_flag(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < *argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
+void write_bench_json(const std::string& path,
+                      const std::vector<BenchJsonEntry>& entries) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[netfail] cannot write bench json to %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"threads_default\": %zu,\n  \"entries\": [",
+               par::default_threads());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"events_per_sec\": %.1f, \"threads\": %d, "
+                 "\"speedup_vs_serial\": %.3f}",
+                 i == 0 ? "" : ",", e.name.c_str(), e.wall_ms,
+                 e.events_per_sec, e.threads, e.speedup_vs_serial);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[netfail] wrote %zu bench entries to %s\n",
+               entries.size(), path.c_str());
+}
+
+int table_bench_main(int argc, char** argv, const std::string& table_text,
+                     const std::vector<BenchJsonEntry>& entries) {
+  const std::string json_path = take_json_flag(&argc, argv);
   std::printf("%s\n", table_text.c_str());
   std::fflush(stdout);
+  write_bench_json(json_path, entries);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

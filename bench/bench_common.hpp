@@ -1,20 +1,56 @@
-// Shared infrastructure for the table-reproduction benchmarks: runs the
-// calibrated 13-month CENIC scenario once per process and caches the
-// pipeline result; every bench prints its table from this run and then
-// times its analysis stage with google-benchmark.
+// Shared infrastructure for the table-reproduction benchmarks: the
+// calibrated 13-month CENIC pipeline comes from the process-wide
+// analysis::ScenarioCache (so a binary touching it from several places
+// still simulates once); every bench prints its table from this run and
+// then times its analysis stage with google-benchmark.
+//
+// Benches also emit a machine-readable perf trajectory: pass
+// `--json <path>` (conventionally BENCH_pipeline.json) and the binary
+// writes its self-timed entries — events/sec, wall ms, thread count, and
+// speedup vs the forced-serial run — before handing off to
+// google-benchmark.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/analysis/pipeline.hpp"
 #include "src/analysis/tables.hpp"
 
 namespace netfail::bench {
 
-/// The full CENIC-scale pipeline, computed once per process.
+/// The full CENIC-scale pipeline, computed once per process (shared with
+/// every other ScenarioCache user in the binary).
 const analysis::PipelineResult& cenic_pipeline();
 
-/// Print the reproduction banner + table, then hand off to google-benchmark.
-int table_bench_main(int argc, char** argv, const std::string& table_text);
+/// Per-seed fan-out: run one pipeline per options entry concurrently on the
+/// netfail::par pool, through the ScenarioCache. Results land in input
+/// order; each pipeline's internal fan-outs run inline on their worker.
+std::vector<std::shared_ptr<const analysis::PipelineResult>> run_pipelines(
+    const std::vector<analysis::PipelineOptions>& options);
+
+// ---- machine-readable bench output (BENCH_*.json) ---------------------------
+
+struct BenchJsonEntry {
+  std::string name;
+  double wall_ms = 0;
+  double events_per_sec = 0;
+  int threads = 1;
+  double speedup_vs_serial = 1.0;
+};
+
+/// Remove "--json <path>" / "--json=<path>" from argv (so google-benchmark
+/// never sees it) and return the path, or "" when absent.
+std::string take_json_flag(int* argc, char** argv);
+
+/// Write the entries as a JSON document at `path` (no-op for empty path).
+void write_bench_json(const std::string& path,
+                      const std::vector<BenchJsonEntry>& entries);
+
+/// Print the reproduction banner + table, write `entries` if the caller
+/// passed --json, then hand off to google-benchmark.
+int table_bench_main(int argc, char** argv, const std::string& table_text,
+                     const std::vector<BenchJsonEntry>& entries = {});
 
 }  // namespace netfail::bench

@@ -1,8 +1,17 @@
 // Microbenchmarks of the substrate hot paths: LSP encode/decode, syslog
-// render/parse, interval-set arithmetic, Fletcher checksum, KS test.
+// render/parse, interval-set arithmetic, Fletcher checksum, KS test, and
+// the netfail::par fork/join dispatch overhead.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "src/common/interval_set.hpp"
+#include "src/common/par.hpp"
 #include "src/common/rng.hpp"
 #include "src/isis/checksum.hpp"
 #include "src/isis/pdu.hpp"
@@ -129,6 +138,83 @@ void BM_KsTwoSample(benchmark::State& state) {
 }
 BENCHMARK(BM_KsTwoSample)->Arg(1000)->Arg(10000);
 
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Fork/join fixed cost: an n-index no-op loop through the global pool.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    par::parallel_for(n, 64, [&](std::size_t begin, std::size_t end) {
+      sink.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(256)->Arg(4096)->Arg(65536);
+
+/// Self-timed entries for the --json trajectory: fixed workloads with
+/// events/sec, measured once per run.
+std::vector<bench::BenchJsonEntry> measure_json_entries() {
+  using clock = std::chrono::steady_clock;
+  std::vector<bench::BenchJsonEntry> entries;
+  const auto timed = [&](const std::string& name, std::size_t events,
+                         const std::function<void()>& fn) {
+    const auto t0 = clock::now();
+    fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    entries.push_back({name, ms, ms > 0 ? 1000.0 * static_cast<double>(events) / ms : 0,
+                       1, 1.0});
+  };
+
+  constexpr std::size_t kParse = 100'000;
+  syslog::Message m;
+  m.timestamp = TimePoint::from_civil(2011, 3, 14, 1, 59, 26);
+  m.reporter = "edu042-gw-1";
+  m.type = syslog::MessageType::kIsisAdjChange;
+  m.dir = LinkDirection::kDown;
+  m.interface = "GigabitEthernet0/1";
+  m.neighbor = "lax-core-1";
+  m.reason = "interface state down";
+  const std::string line = m.render(1234);
+  timed("syslog_parse", kParse, [&] {
+    for (std::size_t i = 0; i < kParse; ++i) {
+      benchmark::DoNotOptimize(syslog::parse_message(line));
+    }
+  });
+
+  constexpr std::size_t kDecode = 20'000;
+  const auto bytes = make_lsp(16, 16).encode();
+  timed("lsp_decode", kDecode, [&] {
+    for (std::size_t i = 0; i < kDecode; ++i) {
+      benchmark::DoNotOptimize(isis::Lsp::decode(bytes));
+    }
+  });
+
+  constexpr std::size_t kDispatch = 1'000;
+  std::atomic<std::uint64_t> sink{0};
+  timed("parallel_for_dispatch_4k", kDispatch, [&] {
+    for (std::size_t i = 0; i < kDispatch; ++i) {
+      par::parallel_for(4096, 64, [&](std::size_t begin, std::size_t end) {
+        sink.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+    }
+  });
+  entries.back().threads =
+      static_cast<int>(par::ThreadPool::global().threads());
+  return entries;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = netfail::bench::take_json_flag(&argc, argv);
+  if (!json_path.empty()) {
+    netfail::bench::write_bench_json(json_path, measure_json_entries());
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,9 +10,15 @@
 // instead of after the capture closes.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "src/analysis/reconstruct.hpp"
+#include "src/analysis/scenario_cache.hpp"
+#include "src/common/par.hpp"
 #include "src/config/miner.hpp"
 #include "src/isis/extract.hpp"
 #include "src/sim/network_sim.hpp"
@@ -25,44 +31,50 @@ namespace {
 using namespace netfail;
 
 struct Capture {
-  sim::SimulationResult sim;
-  LinkCensus census;
+  std::shared_ptr<const analysis::PipelineCapture> cap;
   TimeRange period;
   std::size_t event_count = 0;
+
+  const sim::SimulationResult& sim() const { return cap->sim; }
+  const LinkCensus& census() const { return cap->census; }
 };
 
-/// The full CENIC-scale capture, simulated once per process.
+/// The full CENIC-scale capture, simulated once per process (shared with
+/// any other ScenarioCache user in this binary).
 const Capture& capture() {
   static const Capture c = [] {
     Capture out;
     const sim::ScenarioParams params = sim::cenic_scenario();
-    out.sim = sim::run_simulation(params);
-    const ConfigArchive archive =
-        generate_archive(out.sim.topology, params.period);
-    out.census = mine_archive(archive, params.period, {}, nullptr);
+    out.cap = analysis::ScenarioCache::global().capture(params);
     out.period = params.period;
     out.event_count =
-        out.sim.collector.size() + out.sim.listener.records().size();
+        out.cap->sim.collector.size() + out.cap->sim.listener.records().size();
     return out;
   }();
   return c;
 }
 
-void BM_BatchExtractReconstruct(benchmark::State& state) {
-  const Capture& c = capture();
+/// One full batch extract+reconstruct pass; returns the failure count.
+std::size_t batch_pass(const Capture& c) {
   analysis::ReconstructOptions opts;
   opts.period = c.period;
+  const isis::IsisExtraction isis_ex =
+      isis::extract_transitions(c.sim().listener.records(), c.census());
+  const syslog::SyslogExtraction syslog_ex =
+      syslog::extract_transitions(c.sim().collector, c.census());
+  const analysis::Reconstruction isis_recon =
+      analysis::reconstruct_from_isis(isis_ex.is_reach, opts);
+  const analysis::Reconstruction syslog_recon =
+      analysis::reconstruct_from_syslog(syslog_ex.transitions, opts);
+  return isis_recon.failures.size() + syslog_recon.failures.size();
+}
+
+void BM_BatchExtractReconstruct(benchmark::State& state) {
+  // Reconstruction fans out per link on the global netfail::par pool.
+  const Capture& c = capture();
   std::size_t failures = 0;
   for (auto _ : state) {
-    const isis::IsisExtraction isis_ex =
-        isis::extract_transitions(c.sim.listener.records(), c.census);
-    const syslog::SyslogExtraction syslog_ex =
-        syslog::extract_transitions(c.sim.collector, c.census);
-    const analysis::Reconstruction isis_recon =
-        analysis::reconstruct_from_isis(isis_ex.is_reach, opts);
-    const analysis::Reconstruction syslog_recon =
-        analysis::reconstruct_from_syslog(syslog_ex.transitions, opts);
-    failures = isis_recon.failures.size() + syslog_recon.failures.size();
+    failures = batch_pass(c);
     benchmark::DoNotOptimize(failures);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -72,6 +84,25 @@ void BM_BatchExtractReconstruct(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchExtractReconstruct)->Unit(benchmark::kMillisecond);
 
+void BM_BatchExtractReconstructSerial(benchmark::State& state) {
+  // The same pass with the pool forced to one thread — the bit-exact
+  // baseline the parallel speedup in BENCH_pipeline.json is measured
+  // against.
+  const Capture& c = capture();
+  par::ThreadPool serial(1);
+  par::PoolGuard guard(&serial);
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    failures = batch_pass(c);
+    benchmark::DoNotOptimize(failures);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.event_count));
+  state.counters["failures"] =
+      benchmark::Counter(static_cast<double>(failures));
+}
+BENCHMARK(BM_BatchExtractReconstructSerial)->Unit(benchmark::kMillisecond);
+
 void BM_StreamEngine(benchmark::State& state) {
   const Capture& c = capture();
   stream::EngineOptions options;
@@ -79,9 +110,9 @@ void BM_StreamEngine(benchmark::State& state) {
   std::uint64_t failures = 0;
   std::uint64_t pending_peak = 0;
   for (auto _ : state) {
-    stream::StreamEngine engine(c.census, options);
+    stream::StreamEngine engine(c.census(), options);
     stream::EventMux mux = stream::EventMux::over_vectors(
-        c.sim.collector.lines(), c.sim.listener.records());
+        c.sim().collector.lines(), c.sim().listener.records());
     while (auto ev = mux.next()) engine.feed(*ev);
     engine.finish();
     failures = engine.isis_tracker().counters().failures_released +
@@ -105,7 +136,7 @@ void BM_StreamEngineIngestOnly(benchmark::State& state) {
   // Tracker-only cost: pre-extracted transitions, no LSP/syslog parsing.
   const Capture& c = capture();
   const isis::IsisExtraction isis_ex =
-      isis::extract_transitions(c.sim.listener.records(), c.census);
+      isis::extract_transitions(c.sim().listener.records(), c.census());
   stream::TrackerOptions options;
   options.reconstruct.period = c.period;
   std::size_t n = 0;
@@ -123,6 +154,70 @@ void BM_StreamEngineIngestOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamEngineIngestOnly)->Unit(benchmark::kMillisecond);
 
+double timed_ms(const std::function<void()>& fn, int reps) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Self-timed entries for BENCH_pipeline.json: the batch pipeline pass with
+/// the pool forced serial, the same pass on the global pool (speedup is the
+/// ratio), and one streaming-engine pass.
+std::vector<bench::BenchJsonEntry> measure_json_entries() {
+  const Capture& c = capture();
+  const double events = static_cast<double>(c.event_count);
+  const int reps = 3;
+
+  par::ThreadPool serial(1);
+  double serial_ms = 0;
+  {
+    par::PoolGuard guard(&serial);
+    serial_ms = timed_ms([&] { benchmark::DoNotOptimize(batch_pass(c)); }, reps);
+  }
+  const double parallel_ms =
+      timed_ms([&] { benchmark::DoNotOptimize(batch_pass(c)); }, reps);
+
+  stream::EngineOptions options;
+  options.tracker.reconstruct.period = c.period;
+  const double stream_ms = timed_ms(
+      [&] {
+        stream::StreamEngine engine(c.census(), options);
+        stream::EventMux mux = stream::EventMux::over_vectors(
+            c.sim().collector.lines(), c.sim().listener.records());
+        while (auto ev = mux.next()) engine.feed(*ev);
+        engine.finish();
+        benchmark::DoNotOptimize(
+            engine.isis_tracker().counters().failures_released);
+      },
+      reps);
+
+  const int threads = static_cast<int>(par::ThreadPool::global().threads());
+  return {
+      {"batch_extract_reconstruct_serial", serial_ms, 1000.0 * events / serial_ms,
+       1, 1.0},
+      {"batch_extract_reconstruct_parallel", parallel_ms,
+       1000.0 * events / parallel_ms, threads, serial_ms / parallel_ms},
+      {"stream_engine", stream_ms, 1000.0 * events / stream_ms, 1, 1.0},
+  };
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = netfail::bench::take_json_flag(&argc, argv);
+  if (!json_path.empty()) {
+    netfail::bench::write_bench_json(json_path, measure_json_entries());
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

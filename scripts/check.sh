@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 tests, then ASan+UBSan, then TSan.
+#
+#   scripts/check.sh            # all three stages
+#   scripts/check.sh tier1      # just the plain build + ctest
+#   scripts/check.sh asan       # just the ASan+UBSan build + ctest
+#   scripts/check.sh tsan       # just the TSan build + threaded suites
+#
+# Each stage uses its own build tree (build/, build-asan/, build-tsan/) so
+# switching sanitizers never forces a from-scratch rebuild of the others.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+configure_and_build() {
+  local dir="$1"; shift
+  cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_tier1() {
+  echo "== tier-1: plain build + full ctest =="
+  configure_and_build build
+  ctest --test-dir build -j "$JOBS" --output-on-failure
+}
+
+run_asan() {
+  echo "== ASan+UBSan build + full ctest =="
+  configure_and_build build-asan -DNETFAIL_SANITIZE=ON -DNETFAIL_TSAN=OFF
+  ctest --test-dir build-asan -j "$JOBS" --output-on-failure
+}
+
+run_tsan() {
+  echo "== TSan build + threaded suites =="
+  configure_and_build build-tsan -DNETFAIL_TSAN=ON -DNETFAIL_SANITIZE=OFF
+  # The suites that actually exercise threads: the pool itself, the parallel
+  # pipeline fan-out, the concurrent metrics/cache paths, sim determinism
+  # under the pool, and the streaming engine.
+  ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
+    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential'
+}
+
+case "$STAGE" in
+  tier1) run_tier1 ;;
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)
+    run_tier1
+    run_asan
+    run_tsan
+    echo "== all checks passed =="
+    ;;
+  *)
+    echo "usage: $0 [tier1|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac

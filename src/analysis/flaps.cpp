@@ -1,6 +1,9 @@
 #include "src/analysis/flaps.hpp"
 
 #include <algorithm>
+#include <iterator>
+
+#include "src/common/par.hpp"
 
 namespace netfail::analysis {
 
@@ -14,36 +17,67 @@ FlapAnalysis detect_flaps(std::vector<Failure>& failures,
   for (std::size_t i = 0; i < failures.size(); ++i) {
     by_link[failures[i].link].push_back(i);
   }
-  for (auto& [link, idx] : by_link) {
-    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-      return failures[a].span.begin < failures[b].span.begin;
-    });
 
-    std::size_t run_start = 0;
-    auto close_run = [&](std::size_t run_end) {  // [run_start, run_end)
-      const std::size_t n = run_end - run_start;
-      if (n >= options.min_failures) {
-        FlapEpisode ep;
-        ep.link = link;
-        ep.failure_count = n;
-        ep.span = TimeRange{failures[idx[run_start]].span.begin,
-                            failures[idx[run_end - 1]].span.end};
-        out.episodes.push_back(ep);
-        out.flap_ranges[link].add(ep.span);
-        out.failures_in_episodes += n;
-        for (std::size_t k = run_start; k < run_end; ++k) {
-          failures[idx[k]].in_flap_episode = true;
+  // Links shard across the pool: each link's episode detection touches only
+  // its own index set (so the in_flap_episode writes are disjoint) and
+  // appends to a per-link local, merged afterwards in map (= link) order so
+  // the result is identical to the serial walk for any thread count.
+  struct PerLink {
+    std::vector<FlapEpisode> episodes;
+    IntervalSet ranges;
+    std::size_t failures_in_episodes = 0;
+  };
+  std::vector<std::map<LinkId, std::vector<std::size_t>>::iterator> groups;
+  groups.reserve(by_link.size());
+  for (auto it = by_link.begin(); it != by_link.end(); ++it) {
+    groups.push_back(it);
+  }
+  std::vector<PerLink> locals(groups.size());
+
+  par::parallel_for(groups.size(), 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t li = lo; li < hi; ++li) {
+      const LinkId link = groups[li]->first;
+      std::vector<std::size_t>& idx = groups[li]->second;
+      PerLink& local = locals[li];
+      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return failures[a].span.begin < failures[b].span.begin;
+      });
+
+      std::size_t run_start = 0;
+      auto close_run = [&](std::size_t run_end) {  // [run_start, run_end)
+        const std::size_t n = run_end - run_start;
+        if (n >= options.min_failures) {
+          FlapEpisode ep;
+          ep.link = link;
+          ep.failure_count = n;
+          ep.span = TimeRange{failures[idx[run_start]].span.begin,
+                              failures[idx[run_end - 1]].span.end};
+          local.episodes.push_back(ep);
+          local.ranges.add(ep.span);
+          local.failures_in_episodes += n;
+          for (std::size_t k = run_start; k < run_end; ++k) {
+            failures[idx[k]].in_flap_episode = true;
+          }
         }
-      }
-      run_start = run_end;
-    };
+        run_start = run_end;
+      };
 
-    for (std::size_t k = 1; k < idx.size(); ++k) {
-      const Duration gap =
-          failures[idx[k]].span.begin - failures[idx[k - 1]].span.end;
-      if (gap > options.max_gap) close_run(k);
+      for (std::size_t k = 1; k < idx.size(); ++k) {
+        const Duration gap =
+            failures[idx[k]].span.begin - failures[idx[k - 1]].span.end;
+        if (gap > options.max_gap) close_run(k);
+      }
+      close_run(idx.size());
     }
-    close_run(idx.size());
+  });
+
+  for (std::size_t li = 0; li < groups.size(); ++li) {
+    PerLink& local = locals[li];
+    if (local.episodes.empty()) continue;
+    std::move(local.episodes.begin(), local.episodes.end(),
+              std::back_inserter(out.episodes));
+    out.flap_ranges[groups[li]->first] = std::move(local.ranges);
+    out.failures_in_episodes += local.failures_in_episodes;
   }
   return out;
 }

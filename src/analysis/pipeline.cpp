@@ -2,21 +2,33 @@
 
 namespace netfail::analysis {
 
-PipelineResult run_pipeline(const PipelineOptions& options) {
-  PipelineResult out;
-  out.options_period = options.scenario.period;
+PipelineCapture run_capture(const sim::ScenarioParams& scenario,
+                            const ArchiveParams& archive_params,
+                            const MinerParams& miner) {
+  PipelineCapture out;
+  out.period = scenario.period;
 
   // 1. Simulate the network for the study period.
-  out.sim = sim::run_simulation(options.scenario);
+  out.sim = sim::run_simulation(scenario);
 
   // 2. Mine the configuration archive into the link census (the common
   //    naming layer; paper sect. 3.4).
   const ConfigArchive archive =
-      generate_archive(out.sim.topology, options.scenario.period,
-                       options.archive);
+      generate_archive(out.sim.topology, scenario.period, archive_params);
   out.archive_files = archive.size();
-  out.census = mine_archive(archive, options.scenario.period, options.miner,
-                            &out.mining);
+  out.census =
+      mine_archive(archive, scenario.period, miner, &out.mining);
+  return out;
+}
+
+PipelineResult run_analysis(PipelineCapture capture,
+                            const PipelineOptions& options) {
+  PipelineResult out;
+  out.options_period = capture.period;
+  out.sim = std::move(capture.sim);
+  out.census = std::move(capture.census);
+  out.mining = capture.mining;
+  out.archive_files = capture.archive_files;
 
   // 3. Extract transitions from both raw streams.
   out.isis = isis::extract_transitions(out.sim.listener.records(), out.census);
@@ -24,7 +36,7 @@ PipelineResult run_pipeline(const PipelineOptions& options) {
 
   // 4. Reconstruct failures.
   ReconstructOptions recon = options.reconstruct;
-  recon.period = options.scenario.period;
+  recon.period = capture.period;
   out.isis_recon = reconstruct_from_isis(out.isis.is_reach, recon);
   out.syslog_recon = reconstruct_from_syslog(out.syslog.transitions, recon);
 
@@ -44,6 +56,11 @@ PipelineResult run_pipeline(const PipelineOptions& options) {
   out.syslog_flaps = detect_flaps(out.syslog_recon.failures, options.flaps);
 
   return out;
+}
+
+PipelineResult run_pipeline(const PipelineOptions& options) {
+  return run_analysis(
+      run_capture(options.scenario, options.archive, options.miner), options);
 }
 
 }  // namespace netfail::analysis

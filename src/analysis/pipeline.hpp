@@ -54,4 +54,27 @@ struct PipelineResult {
 
 PipelineResult run_pipeline(const PipelineOptions& options = {});
 
+/// The expensive, options-independent front half of the pipeline: one
+/// simulation plus the mined census. ScenarioCache shares captures across
+/// call sites; run_analysis() consumes one (by value — pass a copy when the
+/// capture is shared).
+struct PipelineCapture {
+  sim::SimulationResult sim;
+  LinkCensus census;
+  MiningStats mining;
+  std::size_t archive_files = 0;
+  TimeRange period;
+};
+
+/// Stages 1-2: simulate and mine. `archive`/`miner` default to the same
+/// parameters run_pipeline() uses.
+PipelineCapture run_capture(const sim::ScenarioParams& scenario,
+                            const ArchiveParams& archive = {},
+                            const MinerParams& miner = {});
+
+/// Stages 3-6: extraction, reconstruction, sanitization, flap detection.
+/// run_pipeline(options) == run_analysis(run_capture(...), options).
+PipelineResult run_analysis(PipelineCapture capture,
+                            const PipelineOptions& options = {});
+
 }  // namespace netfail::analysis

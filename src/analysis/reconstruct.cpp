@@ -1,37 +1,72 @@
 #include "src/analysis/reconstruct.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "src/analysis/link_walker.hpp"
+#include "src/common/par.hpp"
 
 namespace netfail::analysis {
 
 Reconstruction reconstruct(std::vector<RawTransition> transitions,
                            const ReconstructOptions& options) {
-  Reconstruction out;
-
   std::stable_sort(transitions.begin(), transitions.end(),
                    [](const RawTransition& a, const RawTransition& b) {
                      if (a.link != b.link) return a.link < b.link;
                      return a.time < b.time;
                    });
 
-  std::size_t i = 0;
-  while (i < transitions.size()) {
-    const LinkId link = transitions[i].link;
+  // Index the contiguous per-link ranges of the sorted stream.
+  struct LinkRange {
+    std::size_t begin, end;
+  };
+  std::vector<LinkRange> links;
+  for (std::size_t i = 0; i < transitions.size();) {
     std::size_t j = i;
-    while (j < transitions.size() && transitions[j].link == link) ++j;
-
-    // Batch mode appends straight into the result vectors; that is safe for
-    // the kDrop retraction because links are processed one at a time, so the
-    // back of out.failures is always this link's most recent failure.
-    LinkWalker::State state;
-    LinkWalker walker(link, options, out, out.failures, out.ambiguous, state);
-    for (std::size_t k = i; k < j; ++k) {
-      walker.feed(transitions[k].time, transitions[k].dir);
-    }
-    walker.finish();
+    while (j < transitions.size() && transitions[j].link == transitions[i].link)
+      ++j;
+    links.push_back(LinkRange{i, j});
     i = j;
+  }
+
+  // Each link's FSM is independent, so links shard across the pool. Every
+  // link walks into its own Reconstruction: appending locally keeps the
+  // kDrop retraction safe (the back of the local failure vector is always
+  // this link's most recent failure), and merging the locals in link order
+  // reproduces the serial append order exactly, for any thread count.
+  std::vector<Reconstruction> locals(links.size());
+  par::parallel_for(links.size(), 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t li = lo; li < hi; ++li) {
+      const LinkRange r = links[li];
+      Reconstruction& local = locals[li];
+      LinkWalker::State state;
+      LinkWalker walker(transitions[r.begin].link, options, local,
+                        local.failures, local.ambiguous, state);
+      for (std::size_t k = r.begin; k < r.end; ++k) {
+        walker.feed(transitions[k].time, transitions[k].dir);
+      }
+      walker.finish();
+    }
+  });
+
+  // Barrier merge: concatenate sinks in link order, sum the FSM counters.
+  Reconstruction out;
+  std::size_t total_failures = 0, total_ambiguous = 0;
+  for (const Reconstruction& local : locals) {
+    total_failures += local.failures.size();
+    total_ambiguous += local.ambiguous.size();
+  }
+  out.failures.reserve(total_failures);
+  out.ambiguous.reserve(total_ambiguous);
+  for (Reconstruction& local : locals) {
+    std::move(local.failures.begin(), local.failures.end(),
+              std::back_inserter(out.failures));
+    std::move(local.ambiguous.begin(), local.ambiguous.end(),
+              std::back_inserter(out.ambiguous));
+    out.double_downs += local.double_downs;
+    out.double_ups += local.double_ups;
+    out.merged_duplicates += local.merged_duplicates;
+    out.unterminated += local.unterminated;
   }
 
   std::sort(out.failures.begin(), out.failures.end(),

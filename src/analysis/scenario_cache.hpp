@@ -1,0 +1,77 @@
+// ScenarioCache — process-wide, thread-safe memoization of the expensive
+// pipeline front half (simulation + census mining) and of whole pipeline
+// results, keyed on a structural hash of every stochastic knob.
+//
+// The table benches, the differential tests, and the per-seed sweeps all
+// materialize the *identical* CENIC scenario; before this cache each call
+// site re-simulated it from scratch. Captures are shared immutably
+// (shared_ptr<const>), so a dozen readers cost one simulation. Requests for
+// different keys simulate concurrently; two concurrent requests for the
+// same key serialize on a per-entry lock and share one computation.
+//
+// The key hashes parameter *values*, not identities: a PipelineOptions
+// default-constructed in two binaries hashes identically. When a field is
+// added to ScenarioParams (or any hashed options struct), extend the
+// corresponding hash function — a missed field means false cache hits
+// across scenarios differing only in that field.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/analysis/pipeline.hpp"
+
+namespace netfail::analysis {
+
+/// Structural hash of every field of a scenario (FNV-1a over a canonical
+/// field serialization; stable within a process run, not across versions).
+std::uint64_t scenario_hash(const sim::ScenarioParams& params);
+
+/// scenario_hash extended with the archive/miner knobs that shape a capture.
+std::uint64_t capture_hash(const sim::ScenarioParams& params,
+                           const ArchiveParams& archive,
+                           const MinerParams& miner);
+
+/// capture_hash extended with every analysis-stage option.
+std::uint64_t pipeline_options_hash(const PipelineOptions& options);
+
+class ScenarioCache {
+ public:
+  static ScenarioCache& global();
+
+  /// Simulation + census for these parameters, computed at most once.
+  std::shared_ptr<const PipelineCapture> capture(
+      const sim::ScenarioParams& params, const ArchiveParams& archive = {},
+      const MinerParams& miner = {});
+
+  /// Full pipeline result, computed at most once per distinct options
+  /// value; the underlying capture is shared with capture() callers.
+  std::shared_ptr<const PipelineResult> pipeline(
+      const PipelineOptions& options = {});
+
+  /// Drop every cached entry (tests use this to bound memory).
+  void clear();
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  template <typename T>
+  struct Slot {
+    std::mutex mu;  // held while computing, so duplicates wait, not re-run
+    std::shared_ptr<const T> value;
+  };
+
+  template <typename T, typename ComputeFn>
+  std::shared_ptr<const T> lookup(
+      std::map<std::uint64_t, std::shared_ptr<Slot<T>>>& table,
+      std::uint64_t key, const ComputeFn& compute);
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Slot<PipelineCapture>>> captures_;
+  std::map<std::uint64_t, std::shared_ptr<Slot<PipelineResult>>> pipelines_;
+};
+
+}  // namespace netfail::analysis

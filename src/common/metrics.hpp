@@ -7,8 +7,12 @@
 // as text or JSON. Values are cumulative since process start (or the last
 // reset()); names are dotted paths like "stream.events.lsp".
 //
-// Counters use relaxed atomics so a future multi-threaded ingest path can
-// share them; the registry itself locks only on first lookup.
+// Counters and histograms use relaxed atomics so the streaming path and the
+// netfail::par parallel pipeline can share one registry without UB; the
+// registry itself locks only on first lookup. Histogram snapshots taken
+// while writers are active are per-field consistent (each load is atomic)
+// but not cross-field consistent — fine for observability, not for
+// invariants.
 #pragma once
 
 #include <atomic>
@@ -36,30 +40,40 @@ class Counter {
 /// are *not* cumulative: counts_[i] holds observations v with
 /// bounds_[i-1] < v <= bounds_[i]; one final overflow bucket catches the
 /// rest. Also tracks count/sum/min/max for cheap summary lines.
+///
+/// observe() is safe to call concurrently (bounds are immutable after
+/// construction; every mutable field is atomic). Not copyable.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
   void observe(double v);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed); }
+  double max() const { return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
   const std::vector<double>& bounds() const { return bounds_; }
   /// bucket_count(i) for i in [0, bounds().size()]; the last index is the
   /// overflow bucket (v > bounds().back()).
-  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
   void reset();
 
  private:
-  std::vector<double> bounds_;   // sorted ascending
-  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  std::vector<double> bounds_;                    // sorted ascending
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};  // +inf sentinel while empty
+  std::atomic<double> max_{0};  // -inf sentinel while empty
 };
 
 /// Common bucket layouts.

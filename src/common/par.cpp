@@ -1,0 +1,220 @@
+#include "src/common/par.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+
+#include "src/common/metrics.hpp"
+
+namespace netfail::par {
+namespace {
+
+// Set while a thread is executing chunks of some job; a parallel_for issued
+// from such a thread runs inline (nested fork/join would deadlock on the
+// pool's single-job submit lock, and the outer loop already owns the
+// parallelism).
+thread_local bool t_in_parallel_region = false;
+
+thread_local ThreadPool* t_pool_override = nullptr;
+
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+/// One fork/join region: the chunk deques (one per participant), the body,
+/// and the join state. Kept alive by shared_ptr so a worker that wakes late
+/// can still scan it safely after the caller returned.
+struct ThreadPool::Job {
+  struct Shard {
+    std::mutex mu;
+    std::deque<Chunk> chunks;
+  };
+
+  explicit Job(std::size_t shard_count) : shards(shard_count) {}
+
+  const RangeBody* body = nullptr;
+  std::deque<Shard> shards;  // deque: Shard is immovable (mutex)
+
+  std::atomic<std::size_t> pending{0};  // chunks whose body has not finished
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("NETFAIL_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return v > 256 ? 256 : static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  participants_ = threads == 0 ? default_threads() : threads;
+  workers_.reserve(participants_ - 1);
+  for (std::size_t i = 1; i < participants_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  // Leaked so the pointer stays reachable (no LSan report) and workers are
+  // never joined during static destruction.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ThreadPool::worker_loop(std::size_t shard_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      job = job_;
+      seen_generation = generation_;
+    }
+    t_in_parallel_region = true;
+    drain(*job, shard_index);
+    t_in_parallel_region = false;
+  }
+}
+
+void ThreadPool::drain(Job& job, std::size_t home_shard) {
+  static metrics::Counter& steals = metrics::global().counter("par.steals");
+  const std::size_t shard_count = job.shards.size();
+  for (;;) {
+    Chunk chunk;
+    bool got = false;
+    {
+      Job::Shard& own = job.shards[home_shard];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.chunks.empty()) {
+        chunk = own.chunks.back();
+        own.chunks.pop_back();
+        got = true;
+      }
+    }
+    for (std::size_t off = 1; !got && off < shard_count; ++off) {
+      Job::Shard& victim = job.shards[(home_shard + off) % shard_count];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.chunks.empty()) {
+        chunk = victim.chunks.front();
+        victim.chunks.pop_front();
+        got = true;
+        steals.inc();
+      }
+    }
+    if (!got) return;
+
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.body)(chunk.begin, chunk.end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (!job.error) {
+          job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_range(std::size_t n, std::size_t grain,
+                           const RangeBody& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (participants_ == 1 || t_in_parallel_region || n <= grain) {
+    body(0, n);
+    return;
+  }
+
+  // Aim for a few chunks per participant so stealing has something to
+  // balance, but never chunks smaller than the caller's grain.
+  std::size_t chunk_size = (n + 4 * participants_ - 1) / (4 * participants_);
+  if (chunk_size < grain) chunk_size = grain;
+  const std::size_t chunk_count = (n + chunk_size - 1) / chunk_size;
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  metrics::global().counter("par.jobs").inc();
+
+  auto job = std::make_shared<Job>(participants_);
+  job->body = &body;
+  job->pending.store(chunk_count, std::memory_order_relaxed);
+  // Contiguous runs of chunks per shard: participant p starts near its own
+  // slice of the index space, which keeps per-link merges cache-friendly.
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = begin + chunk_size < n ? begin + chunk_size : n;
+    job->shards[c * participants_ / chunk_count].chunks.push_back(
+        Chunk{begin, end});
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  t_in_parallel_region = true;
+  drain(*job, 0);
+  t_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] {
+      return job->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job_ == job) job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& current_pool() {
+  return t_pool_override != nullptr ? *t_pool_override : ThreadPool::global();
+}
+
+PoolGuard::PoolGuard(ThreadPool* pool) : previous_(t_pool_override) {
+  t_pool_override = pool;
+}
+
+PoolGuard::~PoolGuard() { t_pool_override = previous_; }
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const ThreadPool::RangeBody& body) {
+  current_pool().for_range(n, grain, body);
+}
+
+}  // namespace netfail::par

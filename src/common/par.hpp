@@ -1,0 +1,127 @@
+// netfail::par — a small, dependency-free fork/join thread pool.
+//
+// The paper's analyses are embarrassingly parallel across links and across
+// scenario seeds, so the hot layers (reconstruction, flap detection, the
+// per-seed bench sweeps) only need one primitive: a blocking parallel_for
+// over an index range. The pool provides it with
+//
+//   - a fixed worker count chosen once (NETFAIL_THREADS env override,
+//     hardware_concurrency fallback);
+//   - chunked work-stealing: each participant owns a deque of contiguous
+//     index chunks, pops its own from the back and steals from the front of
+//     the others, so an unlucky shard (one link with a giant flap history)
+//     drains onto idle workers instead of serializing the barrier;
+//   - exception propagation: the first exception thrown by the body is
+//     rethrown on the calling thread after the join; remaining chunks are
+//     skipped;
+//   - a serial guarantee: threads() == 1 executes the body inline on the
+//     calling thread in index order, with no pool machinery, so a
+//     NETFAIL_THREADS=1 run is bit-exact with the pre-pool code path.
+//
+// Nested calls never deadlock: a parallel_for issued from inside a pool
+// worker (e.g. reconstruct() called from a per-seed pipeline fan-out) runs
+// inline on that worker. Correctness of the callers therefore must not
+// depend on *where* the body runs — only on which indices it receives —
+// which is also what makes the results thread-count independent.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netfail::par {
+
+/// Worker count for new pools: NETFAIL_THREADS if set (clamped to
+/// [1, 256]), else std::thread::hardware_concurrency(), else 1. Re-read on
+/// every call; the global pool samples it once at first use.
+std::size_t default_threads();
+
+class ThreadPool {
+ public:
+  /// threads == 0 means default_threads(). A pool of n threads runs bodies
+  /// on n-1 background workers plus the calling thread.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const { return participants_; }
+
+  /// Invoke body(begin, end) over disjoint chunks covering [0, n); chunks
+  /// hold at least `grain` indices (except possibly the last). Blocks until
+  /// every index is processed. Rethrows the first body exception. Chunk
+  /// boundaries are a scheduling detail: the body must treat indices
+  /// independently.
+  using RangeBody = std::function<void(std::size_t begin, std::size_t end)>;
+  void for_range(std::size_t n, std::size_t grain, const RangeBody& body);
+
+  /// The process-wide pool (created on first use, intentionally leaked so
+  /// it is reachable at exit and never destructed under static teardown).
+  static ThreadPool& global();
+
+ private:
+  struct Job;
+  void worker_loop(std::size_t shard_index);
+  static void drain(Job& job, std::size_t home_shard);
+
+  std::size_t participants_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards job_/generation_/stopping_
+  std::condition_variable work_cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+
+  std::mutex submit_mu_;  // one fork/join region at a time per pool
+};
+
+/// The pool used by the free functions below. Defaults to
+/// ThreadPool::global(); scoped-overridable for serial/parallel differential
+/// testing.
+ThreadPool& current_pool();
+
+/// RAII override of current_pool() for this thread (and, transitively, for
+/// the library layers it calls). Pass nullptr to restore the global pool.
+class PoolGuard {
+ public:
+  explicit PoolGuard(ThreadPool* pool);
+  ~PoolGuard();
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+/// parallel_for over [0, n) through current_pool().
+void parallel_for(std::size_t n, std::size_t grain,
+                  const ThreadPool::RangeBody& body);
+
+/// Per-index convenience: fn(i) for i in [0, n).
+template <typename Fn>
+void parallel_for_each_index(std::size_t n, std::size_t grain, Fn&& fn) {
+  parallel_for(n, grain, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// Map items through fn concurrently; results land in input order, so the
+/// output is identical for any thread count. The result type must be
+/// default-constructible.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn)
+    -> std::vector<decltype(fn(items.front()))> {
+  std::vector<decltype(fn(items.front()))> out(items.size());
+  parallel_for(items.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(items[i]);
+  });
+  return out;
+}
+
+}  // namespace netfail::par

@@ -1,0 +1,211 @@
+// The acceptance gate for the parallel pipeline: reconstruction and flap
+// detection fanned out across pool workers must be *byte-identical* to the
+// threads=1 serial walk — every Failure field, every AmbiguousSegment, every
+// FSM counter — across a seed sweep and all four ambiguity policies. The
+// parallel path shards per link and merges local sinks in link order, so any
+// divergence means the sharding or merge broke the serial contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/flaps.hpp"
+#include "src/analysis/reconstruct.hpp"
+#include "src/analysis/scenario_cache.hpp"
+#include "src/common/par.hpp"
+#include "src/isis/extract.hpp"
+#include "src/sim/network_sim.hpp"
+#include "src/syslog/extract.hpp"
+
+namespace netfail::analysis {
+namespace {
+
+constexpr AmbiguityPolicy kAllPolicies[] = {
+    AmbiguityPolicy::kDrop, AmbiguityPolicy::kAssumeDown,
+    AmbiguityPolicy::kAssumeUp, AmbiguityPolicy::kHoldState};
+
+struct Outputs {
+  Reconstruction isis;
+  Reconstruction syslog;
+  FlapAnalysis isis_flaps;
+  FlapAnalysis syslog_flaps;
+};
+
+Outputs run_with_pool(const PipelineCapture& capture, AmbiguityPolicy policy,
+                      par::ThreadPool& pool) {
+  par::PoolGuard guard(&pool);
+  Outputs out;
+  const isis::IsisExtraction isis_ex =
+      isis::extract_transitions(capture.sim.listener.records(), capture.census);
+  const syslog::SyslogExtraction syslog_ex =
+      syslog::extract_transitions(capture.sim.collector, capture.census);
+  ReconstructOptions opts;
+  opts.period = capture.period;
+  opts.policy = policy;
+  out.isis = reconstruct_from_isis(isis_ex.is_reach, opts);
+  out.syslog = reconstruct_from_syslog(syslog_ex.transitions, opts);
+  out.isis_flaps = detect_flaps(out.isis.failures);
+  out.syslog_flaps = detect_flaps(out.syslog.failures);
+  return out;
+}
+
+void expect_reconstructions_identical(const Reconstruction& serial,
+                                      const Reconstruction& parallel,
+                                      const char* label) {
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size()) << label;
+  for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+    const Failure& a = serial.failures[i];
+    const Failure& b = parallel.failures[i];
+    ASSERT_EQ(a.link, b.link) << label << " failure " << i;
+    ASSERT_EQ(a.span.begin, b.span.begin) << label << " failure " << i;
+    ASSERT_EQ(a.span.end, b.span.end) << label << " failure " << i;
+    ASSERT_EQ(a.source, b.source) << label << " failure " << i;
+    ASSERT_EQ(a.in_flap_episode, b.in_flap_episode) << label << " f " << i;
+  }
+  ASSERT_EQ(serial.ambiguous.size(), parallel.ambiguous.size()) << label;
+  for (std::size_t i = 0; i < serial.ambiguous.size(); ++i) {
+    const AmbiguousSegment& a = serial.ambiguous[i];
+    const AmbiguousSegment& b = parallel.ambiguous[i];
+    ASSERT_EQ(a.link, b.link) << label << " ambiguous " << i;
+    ASSERT_EQ(a.repeated_dir, b.repeated_dir) << label << " ambiguous " << i;
+    ASSERT_EQ(a.first_message, b.first_message) << label << " ambiguous " << i;
+    ASSERT_EQ(a.second_message, b.second_message) << label << " amb " << i;
+  }
+  EXPECT_EQ(serial.double_downs, parallel.double_downs) << label;
+  EXPECT_EQ(serial.double_ups, parallel.double_ups) << label;
+  EXPECT_EQ(serial.merged_duplicates, parallel.merged_duplicates) << label;
+  EXPECT_EQ(serial.unterminated, parallel.unterminated) << label;
+}
+
+void expect_flaps_identical(const FlapAnalysis& serial,
+                            const FlapAnalysis& parallel, const char* label) {
+  ASSERT_EQ(serial.episodes.size(), parallel.episodes.size()) << label;
+  for (std::size_t i = 0; i < serial.episodes.size(); ++i) {
+    const FlapEpisode& a = serial.episodes[i];
+    const FlapEpisode& b = parallel.episodes[i];
+    ASSERT_EQ(a.link, b.link) << label << " episode " << i;
+    ASSERT_EQ(a.span.begin, b.span.begin) << label << " episode " << i;
+    ASSERT_EQ(a.span.end, b.span.end) << label << " episode " << i;
+    ASSERT_EQ(a.failure_count, b.failure_count) << label << " episode " << i;
+  }
+  ASSERT_EQ(serial.flap_ranges.size(), parallel.flap_ranges.size()) << label;
+  auto it_a = serial.flap_ranges.begin();
+  auto it_b = parallel.flap_ranges.begin();
+  for (; it_a != serial.flap_ranges.end(); ++it_a, ++it_b) {
+    ASSERT_EQ(it_a->first, it_b->first) << label;
+    ASSERT_TRUE(it_a->second == it_b->second)
+        << label << " link " << it_a->first.to_string() << ": "
+        << it_a->second.to_string() << " vs " << it_b->second.to_string();
+  }
+  EXPECT_EQ(serial.failures_in_episodes, parallel.failures_in_episodes)
+      << label;
+  EXPECT_EQ(serial.total_failures, parallel.total_failures) << label;
+}
+
+void expect_identical(const Outputs& serial, const Outputs& parallel) {
+  expect_reconstructions_identical(serial.isis, parallel.isis, "isis");
+  expect_reconstructions_identical(serial.syslog, parallel.syslog, "syslog");
+  expect_flaps_identical(serial.isis_flaps, parallel.isis_flaps, "isis");
+  expect_flaps_identical(serial.syslog_flaps, parallel.syslog_flaps, "syslog");
+}
+
+TEST(ParallelDifferential, SeedSweepAllPoliciesMatchSerial) {
+  // >= 5 seeds x all 4 policies, threads=1 vs 2 vs 4. Serial is the inline
+  // walk (no pool dispatch at all), so this pins the parallel fan-out to the
+  // exact behaviour the original sequential implementation had.
+  par::ThreadPool serial(1), two(2), four(4);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto capture =
+        ScenarioCache::global().capture(sim::test_scenario(seed));
+    ASSERT_GT(capture->sim.collector.size(), 0u);
+    for (const AmbiguityPolicy policy : kAllPolicies) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " policy " +
+                   ambiguity_policy_name(policy));
+      const Outputs expected = run_with_pool(*capture, policy, serial);
+      expect_identical(expected, run_with_pool(*capture, policy, two));
+      expect_identical(expected, run_with_pool(*capture, policy, four));
+    }
+  }
+}
+
+TEST(ParallelDifferential, CenicScenarioMatchesSerial) {
+  // Paper-scale: hundreds of links, ~70k syslog lines — enough links that
+  // the fan-out actually shards (the seed sweep's topologies are small).
+  const auto capture =
+      ScenarioCache::global().capture(sim::cenic_scenario());
+  par::ThreadPool serial(1), four(4);
+  const Outputs expected =
+      run_with_pool(*capture, AmbiguityPolicy::kAssumeUp, serial);
+  ASSERT_GT(expected.isis.failures.size(), 100u);
+  ASSERT_GT(expected.syslog.failures.size(), 100u);
+  expect_identical(expected,
+                   run_with_pool(*capture, AmbiguityPolicy::kAssumeUp, four));
+}
+
+TEST(ParallelDifferential, RepeatedParallelRunsAreStable) {
+  // Thread scheduling varies run to run; the output must not.
+  const auto capture =
+      ScenarioCache::global().capture(sim::test_scenario(2));
+  par::ThreadPool four(4);
+  const Outputs first =
+      run_with_pool(*capture, AmbiguityPolicy::kHoldState, four);
+  for (int rep = 0; rep < 3; ++rep) {
+    expect_identical(first,
+                     run_with_pool(*capture, AmbiguityPolicy::kHoldState, four));
+  }
+}
+
+TEST(ScenarioCacheTest, CaptureComputedOncePerKey) {
+  ScenarioCache cache;
+  // Local cache instance so global() traffic from other tests can't skew
+  // the hit/miss accounting... but hits()/misses() are process-global
+  // metrics counters, so measure deltas and compare pointers instead.
+  const auto a = cache.capture(sim::test_scenario(77));
+  const auto b = cache.capture(sim::test_scenario(77));
+  EXPECT_EQ(a.get(), b.get()) << "same params must share one capture";
+  const auto c = cache.capture(sim::test_scenario(78));
+  EXPECT_NE(a.get(), c.get()) << "different seed must not collide";
+  cache.clear();
+  const auto d = cache.capture(sim::test_scenario(77));
+  EXPECT_NE(a.get(), d.get()) << "clear() drops entries";
+  // The old shared_ptr stays valid after clear: readers are never yanked.
+  EXPECT_EQ(a->sim.events_processed, d->sim.events_processed);
+}
+
+TEST(ScenarioCacheTest, ConcurrentSameKeyRequestsShareOneComputation) {
+  ScenarioCache cache;
+  par::ThreadPool pool(4);
+  par::PoolGuard guard(&pool);
+  std::vector<std::shared_ptr<const PipelineCapture>> got(8);
+  par::parallel_for(got.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      got[i] = cache.capture(sim::test_scenario(91));
+    }
+  });
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_EQ(got[0].get(), got[i].get()) << "request " << i;
+  }
+}
+
+TEST(ScenarioCacheTest, PipelineOptionsHashSeparatesPolicies) {
+  PipelineOptions base;
+  std::uint64_t seen[4] = {};
+  int n = 0;
+  for (const AmbiguityPolicy policy : kAllPolicies) {
+    PipelineOptions o = base;
+    o.reconstruct.policy = policy;
+    seen[n++] = pipeline_options_hash(o);
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_NE(seen[i], seen[j]) << i << " vs " << j;
+    }
+  }
+  PipelineOptions changed_seed;
+  changed_seed.scenario.seed ^= 1;
+  EXPECT_NE(pipeline_options_hash(base), pipeline_options_hash(changed_seed));
+  EXPECT_EQ(pipeline_options_hash(base), pipeline_options_hash(PipelineOptions{}));
+}
+
+}  // namespace
+}  // namespace netfail::analysis

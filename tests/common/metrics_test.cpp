@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace netfail::metrics {
 namespace {
 
@@ -100,6 +103,40 @@ TEST(GlobalRegistry, IsASingleton) {
   Counter& a = global().counter("test.global.counter");
   Counter& b = global().counter("test.global.counter");
   EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, ConcurrentIncrementsLoseNothing) {
+  // The stream path and the parallel pipeline share one registry; counter
+  // bumps and histogram observations from many threads must all land.
+  Registry r;
+  Counter& c = r.counter("concurrent.counter");
+  Histogram& h = r.histogram("concurrent.hist", {10.0, 100.0, 1000.0});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, &c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        // Lookup-by-name concurrently too: the registry locks on lookup.
+        r.counter("concurrent.other").inc(2);
+        h.observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(r.counter("concurrent.other").value(),
+            2u * kThreads * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kThreads));
+  // Sum of t+1 for t in [0, kThreads), kPerThread times each.
+  EXPECT_DOUBLE_EQ(h.sum(), kPerThread * (kThreads * (kThreads + 1)) / 2.0);
+  // Every observation lands in the first bucket (all values <= 10).
+  EXPECT_EQ(h.bucket_count(0), h.count());
 }
 
 }  // namespace

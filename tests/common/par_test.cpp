@@ -1,0 +1,161 @@
+#include "src/common/par.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace netfail::par {
+namespace {
+
+TEST(DefaultThreads, EnvOverrideWins) {
+  ASSERT_EQ(setenv("NETFAIL_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_threads(), 3u);
+  ASSERT_EQ(setenv("NETFAIL_THREADS", "0", 1), 0);  // invalid: below 1
+  EXPECT_GE(default_threads(), 1u);
+  ASSERT_EQ(setenv("NETFAIL_THREADS", "garbage", 1), 0);
+  EXPECT_GE(default_threads(), 1u);
+  ASSERT_EQ(setenv("NETFAIL_THREADS", "9999", 1), 0);  // clamped
+  EXPECT_EQ(default_threads(), 256u);
+  ASSERT_EQ(unsetenv("NETFAIL_THREADS"), 0);
+  EXPECT_GE(default_threads(), 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  constexpr std::size_t kN = 100'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.for_range(kN, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SerialPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.for_range(1000, 7, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::size_t i = begin; i < end; ++i) order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossThreadCounts) {
+  const auto run = [](ThreadPool& pool) {
+    std::vector<std::uint64_t> out(5000);
+    pool.for_range(out.size(), 16, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = i * 2654435761u ^ (i << 7);
+      }
+    });
+    return out;
+  };
+  ThreadPool serial(1), two(2), four(4);
+  const auto expected = run(serial);
+  EXPECT_EQ(run(two), expected);
+  EXPECT_EQ(run(four), expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_range(10'000, 1,
+                     [&](std::size_t begin, std::size_t) {
+                       if (begin >= 5000) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<std::size_t> count{0};
+  pool.for_range(64, 1, [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(end - begin);
+  });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  PoolGuard guard(&pool);
+  parallel_for(8, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // Nested: must complete (inline) instead of deadlocking on the pool.
+      parallel_for(100, 1, [&](std::size_t b2, std::size_t e2) {
+        total.fetch_add(e2 - b2, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersShareOnePool) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int rep = 0; rep < 20; ++rep) {
+        pool.for_range(257, 8, [&](std::size_t begin, std::size_t end) {
+          total.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4u * 20u * 257u);
+}
+
+TEST(ParallelMap, PreservesInputOrder) {
+  std::vector<int> in(300);
+  std::iota(in.begin(), in.end(), 0);
+  ThreadPool pool(4);
+  PoolGuard guard(&pool);
+  const std::vector<int> out = parallel_map(in, [](int v) { return v * v; });
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(out[i], in[i] * in[i]);
+  }
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  PoolGuard guard(&pool);
+  std::atomic<std::size_t> count{0};
+  parallel_for(0, 1, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  parallel_for(1, 64, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1u);
+}
+
+TEST(PoolGuard, OverridesAndRestores) {
+  ThreadPool serial(1);
+  ThreadPool& global = ThreadPool::global();
+  {
+    PoolGuard guard(&serial);
+    EXPECT_EQ(&current_pool(), &serial);
+    {
+      PoolGuard inner(nullptr);
+      EXPECT_EQ(&current_pool(), &global);
+    }
+    EXPECT_EQ(&current_pool(), &serial);
+  }
+  EXPECT_EQ(&current_pool(), &global);
+}
+
+}  // namespace
+}  // namespace netfail::par

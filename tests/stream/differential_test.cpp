@@ -8,12 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <tuple>
 #include <vector>
 
 #include "src/analysis/flaps.hpp"
 #include "src/analysis/reconstruct.hpp"
-#include "src/config/miner.hpp"
+#include "src/analysis/scenario_cache.hpp"
 #include "src/isis/extract.hpp"
 #include "src/sim/network_sim.hpp"
 #include "src/stream/engine.hpp"
@@ -43,22 +44,17 @@ struct StreamSide {
   TrackerCounters syslog_counters;
 };
 
-struct Scenario {
-  sim::SimulationResult sim;
-  LinkCensus census;
-  TimeRange period;
-};
+// Captures come from the process-wide ScenarioCache: each seed is simulated
+// and mined once even though several tests (and the batch + stream sides)
+// read it, and the capture is shared immutably with any bench/test binary
+// code running in the same process.
+using Scenario = std::shared_ptr<const analysis::PipelineCapture>;
 
 Scenario make_scenario(const sim::ScenarioParams& params) {
-  Scenario s;
-  s.sim = sim::run_simulation(params);
-  const ConfigArchive archive = generate_archive(s.sim.topology, params.period);
-  s.census = mine_archive(archive, params.period, {}, nullptr);
-  s.period = params.period;
-  return s;
+  return analysis::ScenarioCache::global().capture(params);
 }
 
-BatchSide run_batch(const Scenario& s, AmbiguityPolicy policy) {
+BatchSide run_batch(const analysis::PipelineCapture& s, AmbiguityPolicy policy) {
   BatchSide out;
   const isis::IsisExtraction isis_ex =
       isis::extract_transitions(s.sim.listener.records(), s.census);
@@ -78,7 +74,8 @@ BatchSide run_batch(const Scenario& s, AmbiguityPolicy policy) {
   return out;
 }
 
-StreamSide run_stream(const Scenario& s, AmbiguityPolicy policy) {
+StreamSide run_stream(const analysis::PipelineCapture& s,
+                      AmbiguityPolicy policy) {
   StreamSide out;
   EngineOptions options;
   options.tracker.reconstruct.period = s.period;
@@ -212,9 +209,9 @@ TEST(StreamDifferential, SmallScenarioSeedSweep) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const Scenario s = make_scenario(sim::test_scenario(seed));
-    ASSERT_GT(s.sim.collector.size(), 0u);
-    const BatchSide batch = run_batch(s, AmbiguityPolicy::kAssumeUp);
-    const StreamSide streamed = run_stream(s, AmbiguityPolicy::kAssumeUp);
+    ASSERT_GT(s->sim.collector.size(), 0u);
+    const BatchSide batch = run_batch(*s, AmbiguityPolicy::kAssumeUp);
+    const StreamSide streamed = run_stream(*s, AmbiguityPolicy::kAssumeUp);
     ASSERT_GT(batch.isis.failures.size(), 0u);
     ASSERT_GT(batch.syslog.failures.size(), 0u);
     expect_equivalent(batch, streamed);
@@ -227,7 +224,7 @@ TEST(StreamDifferential, AllPoliciesAgree) {
        {AmbiguityPolicy::kDrop, AmbiguityPolicy::kAssumeDown,
         AmbiguityPolicy::kAssumeUp, AmbiguityPolicy::kHoldState}) {
     SCOPED_TRACE(analysis::ambiguity_policy_name(policy));
-    expect_equivalent(run_batch(s, policy), run_stream(s, policy));
+    expect_equivalent(run_batch(*s, policy), run_stream(*s, policy));
   }
 }
 
@@ -235,8 +232,8 @@ TEST(StreamDifferential, FullCenicScenario) {
   // The paper-scale run: ~70k syslog lines + the full LSP capture. The
   // streaming reconstruction must match the batch one interval-for-interval.
   const Scenario s = make_scenario(sim::cenic_scenario());
-  const BatchSide batch = run_batch(s, AmbiguityPolicy::kAssumeUp);
-  const StreamSide streamed = run_stream(s, AmbiguityPolicy::kAssumeUp);
+  const BatchSide batch = run_batch(*s, AmbiguityPolicy::kAssumeUp);
+  const StreamSide streamed = run_stream(*s, AmbiguityPolicy::kAssumeUp);
   ASSERT_GT(batch.isis.failures.size(), 100u);
   ASSERT_GT(batch.syslog.failures.size(), 100u);
   expect_equivalent(batch, streamed);
@@ -247,7 +244,7 @@ TEST(StreamDifferential, StateStaysBounded) {
   // transitions must stay far below the event count (it is bounded by the
   // number of transitions arriving within one reorder horizon).
   const Scenario s = make_scenario(sim::test_scenario(3));
-  const StreamSide streamed = run_stream(s, AmbiguityPolicy::kAssumeUp);
+  const StreamSide streamed = run_stream(*s, AmbiguityPolicy::kAssumeUp);
   const std::uint64_t total =
       streamed.isis_counters.transitions_ingested +
       streamed.syslog_counters.transitions_ingested;
