@@ -2,14 +2,60 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 
 #include "src/analysis/scenario_cache.hpp"
 #include "src/common/par.hpp"
 
+namespace {
+// Lock-free allocation counter, bumped by the replaced operator new below.
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// Counting operator new/delete, linked into every bench binary (replacing
+// a replaceable global operator is the sanctioned hook — no allocator or
+// LD_PRELOAD needed). Counts allocations only; frees are uninteresting for
+// the allocs-per-event metric.
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1)) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace netfail::bench {
+
+std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
 
 const analysis::PipelineResult& cenic_pipeline() {
   static const std::shared_ptr<const analysis::PipelineResult> result = [] {
@@ -69,9 +115,13 @@ void write_bench_json(const std::string& path,
     std::fprintf(f,
                  "%s\n    {\"name\": \"%s\", \"wall_ms\": %.3f, "
                  "\"events_per_sec\": %.1f, \"threads\": %d, "
-                 "\"speedup_vs_serial\": %.3f}",
+                 "\"speedup_vs_serial\": %.3f",
                  i == 0 ? "" : ",", e.name.c_str(), e.wall_ms,
                  e.events_per_sec, e.threads, e.speedup_vs_serial);
+    if (e.allocs_per_event >= 0) {
+      std::fprintf(f, ", \"allocs_per_event\": %.3f", e.allocs_per_event);
+    }
+    std::fputc('}', f);
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);

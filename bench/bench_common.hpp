@@ -11,6 +11,7 @@
 // google-benchmark.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,14 @@ const analysis::PipelineResult& cenic_pipeline();
 std::vector<std::shared_ptr<const analysis::PipelineResult>> run_pipelines(
     const std::vector<analysis::PipelineOptions>& options);
 
+// ---- allocation counting ----------------------------------------------------
+
+/// Global heap allocations so far (bench binaries replace operator new with
+/// a counting hook; see bench_common.cpp). Sample before and after a pass
+/// and divide the delta by the event count for allocs/event. Counts every
+/// thread's allocations, so take deltas around single-threaded sections.
+std::uint64_t alloc_count();
+
 // ---- machine-readable bench output (BENCH_*.json) ---------------------------
 
 struct BenchJsonEntry {
@@ -38,6 +47,8 @@ struct BenchJsonEntry {
   double events_per_sec = 0;
   int threads = 1;
   double speedup_vs_serial = 1.0;
+  /// Heap allocations per event for this pass; negative when not measured.
+  double allocs_per_event = -1.0;
 };
 
 /// Remove "--json <path>" / "--json=<path>" from argv (so google-benchmark

@@ -22,6 +22,22 @@ namespace {
 
 using namespace netfail;
 
+/// Samples the process allocation counter (the operator-new hook in
+/// bench_common.cpp) across a benchmark loop; report with
+/// `state.counters["allocs_per_op"]`.
+class AllocSample {
+ public:
+  AllocSample() : start_(bench::alloc_count()) {}
+  double per_op(const benchmark::State& state) const {
+    if (state.iterations() == 0) return 0;
+    return static_cast<double>(bench::alloc_count() - start_) /
+           static_cast<double>(state.iterations());
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
 isis::Lsp make_lsp(int adjacencies, int prefixes) {
   isis::Lsp lsp;
   lsp.source = OsiSystemId::from_index(1);
@@ -55,14 +71,33 @@ void BM_LspDecode(benchmark::State& state) {
   const auto bytes = make_lsp(static_cast<int>(state.range(0)),
                               static_cast<int>(state.range(0)))
                          .encode();
+  const AllocSample allocs;
   for (auto _ : state) {
     auto decoded = isis::Lsp::decode(bytes);
     benchmark::DoNotOptimize(decoded);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(bytes.size()));
+  state.counters["allocs_per_op"] = allocs.per_op(state);
 }
 BENCHMARK(BM_LspDecode)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LspDecodeInto(benchmark::State& state) {
+  // The streaming extractor's path: decode into a reused scratch Lsp, so
+  // steady state allocates nothing.
+  const auto bytes = make_lsp(static_cast<int>(state.range(0)),
+                              static_cast<int>(state.range(0)))
+                         .encode();
+  isis::Lsp scratch;
+  const AllocSample allocs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isis::Lsp::decode_into(bytes, scratch));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["allocs_per_op"] = allocs.per_op(state);
+}
+BENCHMARK(BM_LspDecodeInto)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_FletcherChecksum(benchmark::State& state) {
   std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xa5);
@@ -84,11 +119,35 @@ void BM_SyslogRender(benchmark::State& state) {
   m.interface = "GigabitEthernet0/1";
   m.neighbor = "lax-core-1";
   m.reason = "interface state down";
+  const AllocSample allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(m.render(1234));
   }
+  state.counters["allocs_per_op"] = allocs.per_op(state);
 }
 BENCHMARK(BM_SyslogRender);
+
+void BM_SyslogRenderTo(benchmark::State& state) {
+  // The simulator's path: render into a reused buffer (zero steady-state
+  // allocations).
+  syslog::Message m;
+  m.timestamp = TimePoint::from_civil(2011, 3, 14, 1, 59, 26);
+  m.reporter = "edu042-gw-1";
+  m.dialect = RouterOs::kIos;
+  m.type = syslog::MessageType::kIsisAdjChange;
+  m.dir = LinkDirection::kDown;
+  m.interface = "GigabitEthernet0/1";
+  m.neighbor = "lax-core-1";
+  m.reason = "interface state down";
+  std::string buf;
+  const AllocSample allocs;
+  for (auto _ : state) {
+    m.render_to(buf, 1234);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.counters["allocs_per_op"] = allocs.per_op(state);
+}
+BENCHMARK(BM_SyslogRenderTo);
 
 void BM_SyslogParse(benchmark::State& state) {
   syslog::Message m;
@@ -100,11 +159,13 @@ void BM_SyslogParse(benchmark::State& state) {
   m.neighbor = "lax-core-1";
   m.reason = "interface state down";
   const std::string line = m.render(1234);
+  const AllocSample allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(syslog::parse_message(line));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(line.size()));
+  state.counters["allocs_per_op"] = allocs.per_op(state);
 }
 BENCHMARK(BM_SyslogParse);
 

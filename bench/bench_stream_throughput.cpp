@@ -175,36 +175,48 @@ std::vector<bench::BenchJsonEntry> measure_json_entries() {
   const double events = static_cast<double>(c.event_count);
   const int reps = 3;
 
+  const auto stream_pass = [&] {
+    stream::EngineOptions options;
+    options.tracker.reconstruct.period = c.period;
+    stream::StreamEngine engine(c.census(), options);
+    stream::EventMux mux = stream::EventMux::over_vectors(
+        c.sim().collector.lines(), c.sim().listener.records());
+    while (auto ev = mux.next()) engine.feed(*ev);
+    engine.finish();
+    benchmark::DoNotOptimize(
+        engine.isis_tracker().counters().failures_released);
+  };
+
+  // Allocations per event, from one extra single-threaded pass of each
+  // flavor (timed passes above warm every cache, so these are steady-state).
+  const auto allocs_of = [&](const std::function<void()>& fn) {
+    const std::uint64_t before = bench::alloc_count();
+    fn();
+    return static_cast<double>(bench::alloc_count() - before) / events;
+  };
+
   par::ThreadPool serial(1);
   double serial_ms = 0;
+  double serial_allocs = 0;
   {
     par::PoolGuard guard(&serial);
     serial_ms = timed_ms([&] { benchmark::DoNotOptimize(batch_pass(c)); }, reps);
+    serial_allocs = allocs_of([&] { benchmark::DoNotOptimize(batch_pass(c)); });
   }
   const double parallel_ms =
       timed_ms([&] { benchmark::DoNotOptimize(batch_pass(c)); }, reps);
 
-  stream::EngineOptions options;
-  options.tracker.reconstruct.period = c.period;
-  const double stream_ms = timed_ms(
-      [&] {
-        stream::StreamEngine engine(c.census(), options);
-        stream::EventMux mux = stream::EventMux::over_vectors(
-            c.sim().collector.lines(), c.sim().listener.records());
-        while (auto ev = mux.next()) engine.feed(*ev);
-        engine.finish();
-        benchmark::DoNotOptimize(
-            engine.isis_tracker().counters().failures_released);
-      },
-      reps);
+  const double stream_ms = timed_ms(stream_pass, reps);
+  const double stream_allocs = allocs_of(stream_pass);
 
   const int threads = static_cast<int>(par::ThreadPool::global().threads());
   return {
       {"batch_extract_reconstruct_serial", serial_ms, 1000.0 * events / serial_ms,
-       1, 1.0},
+       1, 1.0, serial_allocs},
       {"batch_extract_reconstruct_parallel", parallel_ms,
        1000.0 * events / parallel_ms, threads, serial_ms / parallel_ms},
-      {"stream_engine", stream_ms, 1000.0 * events / stream_ms, 1, 1.0},
+      {"stream_engine", stream_ms, 1000.0 * events / stream_ms, 1, 1.0,
+       stream_allocs},
   };
 }
 

@@ -101,9 +101,9 @@ int main(int argc, char** argv) {
     std::printf("Systems unreachable during the worst failure:\n");
     std::size_t shown = 0;
     for (const OsiSystemId& sys : cut_off) {
-      const auto host = r.census.hostname_of(sys);
+      const Symbol host = r.census.hostname_of(sys);
       std::printf("  %s\n",
-                  host ? host->c_str() : sys.to_string().c_str());
+                  host.valid() ? host.c_str() : sys.to_string().c_str());
       if (++shown == 10) {
         std::printf("  ... and %zu more\n", cut_off.size() - shown);
         break;

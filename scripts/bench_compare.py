@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_pipeline.json against the committed baseline.
+
+Fails (exit 1) when any entry present in both files regresses in
+events_per_sec by more than the tolerance. Entries only in one file are
+reported but never fail the gate (new benches shouldn't block old
+baselines and vice versa). Faster-than-baseline results always pass.
+
+Usage: bench_compare.py BASELINE CURRENT [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {e["name"]: e for e in doc.get("entries", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional events/sec regression (0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base = load_entries(args.baseline)
+    cur = load_entries(args.current)
+
+    failures = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in base or name not in cur:
+            where = args.baseline if name in base else args.current
+            print(f"  [bench] {name}: only in {where} (ignored)")
+            continue
+        b = base[name]["events_per_sec"]
+        c = cur[name]["events_per_sec"]
+        if b <= 0:
+            continue
+        ratio = c / b
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"  [bench] {name}: {b:,.0f} -> {c:,.0f} ev/s "
+              f"({ratio:.2f}x baseline, {status})")
+
+    if failures:
+        print(f"[bench] FAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "
+              f"regressed more than {args.tolerance:.0%}: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"[bench] OK: no entry regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

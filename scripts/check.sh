@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Full verification sweep: tier-1 tests, then ASan+UBSan, then TSan.
+# Full verification sweep: tier-1 tests, then ASan+UBSan, then TSan, then
+# the throughput-regression gate.
 #
-#   scripts/check.sh            # all three stages
+#   scripts/check.sh            # all four stages
 #   scripts/check.sh tier1      # just the plain build + ctest
 #   scripts/check.sh asan       # just the ASan+UBSan build + ctest
 #   scripts/check.sh tsan       # just the TSan build + threaded suites
+#   scripts/check.sh bench      # events/sec vs the committed BENCH_pipeline.json
 #
 # Each stage uses its own build tree (build/, build-asan/, build-tsan/) so
 # switching sanitizers never forces a from-scratch rebuild of the others.
+#
+# The bench stage fails when any committed entry's events_per_sec regresses
+# by more than 10% (noisy/shared machines: skip it with NETFAIL_SKIP_BENCH=1,
+# or relax via NETFAIL_BENCH_TOLERANCE=0.25 for 25%).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,21 +45,36 @@ run_tsan() {
   # pipeline fan-out, the concurrent metrics/cache paths, sim determinism
   # under the pool, and the streaming engine.
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential'
+    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest'
+}
+
+run_bench() {
+  echo "== bench: events/sec vs committed BENCH_pipeline.json =="
+  if [[ "${NETFAIL_SKIP_BENCH:-0}" == "1" ]]; then
+    echo "NETFAIL_SKIP_BENCH=1 — skipping the throughput gate"
+    return 0
+  fi
+  configure_and_build build
+  ./build/bench/bench_stream_throughput --json=build/BENCH_pipeline.json \
+    --benchmark_filter='^$' >/dev/null
+  python3 scripts/bench_compare.py BENCH_pipeline.json build/BENCH_pipeline.json \
+    --tolerance "${NETFAIL_BENCH_TOLERANCE:-0.10}"
 }
 
 case "$STAGE" in
   tier1) run_tier1 ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
+  bench) run_bench ;;
   all)
     run_tier1
     run_asan
     run_tsan
+    run_bench
     echo "== all checks passed =="
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac

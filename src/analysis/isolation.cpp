@@ -7,11 +7,7 @@
 
 namespace netfail::analysis {
 
-std::string host_pair_key(std::string_view a, std::string_view b) {
-  std::string x(a), y(b);
-  if (y < x) x.swap(y);
-  return x + "|" + y;
-}
+std::uint64_t host_pair_key(Symbol a, Symbol b) { return sym::pair_key(a, b); }
 
 PairDowntime pair_downtime_from_failures(const LinkCensus& census,
                                          const std::vector<Failure>& failures) {
@@ -19,7 +15,7 @@ PairDowntime pair_downtime_from_failures(const LinkCensus& census,
   std::map<LinkId, IntervalSet> member = downtime_by_link(failures);
 
   // Group census links by host pair.
-  std::map<std::string, std::vector<LinkId>> pairs;
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> pairs;
   for (const CensusLink& l : census.links()) {
     pairs[host_pair_key(l.a.host, l.b.host)].push_back(l.id);
   }
@@ -63,10 +59,10 @@ PairDowntime pair_downtime_from_isis(
     bool down = false;
     TimePoint since;
   };
-  std::map<std::string, PairWalk> walks;
+  std::unordered_map<std::uint64_t, PairWalk> walks;
   for (const isis::IsisTransition& tr : is_reach) {
     if (!tr.multilink || tr.pair_count_after < 0) continue;
-    const std::string key = host_pair_key(tr.host_a, tr.host_b);
+    const std::uint64_t key = host_pair_key(tr.host_a, tr.host_b);
     PairWalk& w = walks[key];
     if (tr.pair_count_after == 0 && tr.dir == LinkDirection::kDown) {
       if (!w.down) {
@@ -89,9 +85,9 @@ IsolationResult compute_isolation(const LinkCensus& census,
                                   TimeRange period,
                                   const IsolationOptions& options) {
   // ---- build the hostname graph ----------------------------------------------
-  std::map<std::string, int> node_of;
-  std::vector<std::string> hostnames;
-  auto node = [&](const std::string& host) {
+  std::unordered_map<Symbol, int> node_of;
+  std::vector<Symbol> hostnames;
+  auto node = [&](Symbol host) {
     const auto [it, inserted] =
         node_of.emplace(host, static_cast<int>(hostnames.size()));
     if (inserted) hostnames.push_back(host);
@@ -103,9 +99,9 @@ IsolationResult compute_isolation(const LinkCensus& census,
     bool down = false;
   };
   std::vector<Edge> edges;
-  std::map<std::string, int> edge_of_pair;
+  std::unordered_map<std::uint64_t, int> edge_of_pair;
   for (const CensusLink& l : census.links()) {
-    const std::string key = host_pair_key(l.a.host, l.b.host);
+    const std::uint64_t key = host_pair_key(l.a.host, l.b.host);
     if (edge_of_pair.contains(key)) continue;  // one logical edge per pair
     edge_of_pair.emplace(key, static_cast<int>(edges.size()));
     edges.push_back(Edge{node(l.a.host), node(l.b.host), false});
@@ -125,12 +121,13 @@ IsolationResult compute_isolation(const LinkCensus& census,
   std::vector<bool> is_root(static_cast<std::size_t>(n), false);
   std::map<std::string, std::vector<int>> customer_nodes;
   for (int v = 0; v < n; ++v) {
-    const std::string& host = hostnames[static_cast<std::size_t>(v)];
+    const std::string_view host = hostnames[static_cast<std::size_t>(v)].view();
     const std::size_t tok = host.find(options.cpe_host_token);
-    if (tok == std::string::npos) {
+    if (tok == std::string_view::npos) {
       is_root[static_cast<std::size_t>(v)] = true;
     } else {
-      customer_nodes[host.substr(0, host.find(options.customer_separator))]
+      customer_nodes[std::string(
+                         host.substr(0, host.find(options.customer_separator)))]
           .push_back(v);
     }
   }

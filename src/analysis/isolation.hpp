@@ -9,22 +9,25 @@
 // periods during which a customer has no path to any backbone router.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/analysis/failure.hpp"
 #include "src/common/interval_set.hpp"
+#include "src/common/sym.hpp"
 #include "src/config/census.hpp"
 #include "src/isis/extract.hpp"
 
 namespace netfail::analysis {
 
-/// Downtime per logical adjacency, keyed by the unordered host-pair key
-/// "hostA|hostB" (hostA < hostB).
-using PairDowntime = std::map<std::string, IntervalSet>;
+/// Downtime per logical adjacency, keyed by the packed unordered host-pair
+/// key (sym::pair_key: equal pairs in either order map to equal keys).
+using PairDowntime = std::unordered_map<std::uint64_t, IntervalSet>;
 
-std::string host_pair_key(std::string_view a, std::string_view b);
+std::uint64_t host_pair_key(Symbol a, Symbol b);
 
 /// Logical adjacency downtime from per-member-link failures: the adjacency
 /// is down only while *all* member links are down (syslog sees members

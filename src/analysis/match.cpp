@@ -42,7 +42,7 @@ TransitionMatchCounts match_transitions(
   // a message is consumed by at most one IS-IS transition.
   struct Msg {
     TimePoint time;
-    const std::string* reporter;
+    Symbol reporter;
     bool used = false;
   };
   std::map<std::uint64_t, std::vector<Msg>> buckets;
@@ -54,7 +54,7 @@ TransitionMatchCounts match_transitions(
     if (tr.cls != syslog::MessageClass::kIsisAdjacency || !tr.link.valid()) {
       continue;
     }
-    buckets[key(tr.link, tr.dir)].push_back(Msg{tr.time, &tr.reporter});
+    buckets[key(tr.link, tr.dir)].push_back(Msg{tr.time, tr.reporter});
   }
   for (auto& [k, v] : buckets) {
     std::sort(v.begin(), v.end(),
@@ -72,12 +72,14 @@ TransitionMatchCounts match_transitions(
       const auto lo = std::lower_bound(
           v.begin(), v.end(), tr.time - options.window,
           [](const Msg& m, TimePoint t) { return m.time < t; });
-      std::set<std::string> seen;
+      // The loop breaks at two reporters, so at most one distinct reporter
+      // is ever "seen" when the dedup check runs — a single Symbol suffices.
+      Symbol seen = Symbol::invalid();
       for (auto m = lo; m != v.end() && m->time <= tr.time + options.window;
            ++m) {
-        if (m->used || seen.contains(*m->reporter)) continue;
+        if (m->used || m->reporter == seen) continue;
         m->used = true;
-        seen.insert(*m->reporter);
+        seen = m->reporter;
         if (++reporters == 2) break;
       }
     }

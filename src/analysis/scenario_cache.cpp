@@ -163,7 +163,7 @@ ScenarioCache& ScenarioCache::global() {
 
 template <typename T, typename ComputeFn>
 std::shared_ptr<const T> ScenarioCache::lookup(
-    std::map<std::uint64_t, std::shared_ptr<Slot<T>>>& table,
+    std::unordered_map<std::uint64_t, std::shared_ptr<Slot<T>>>& table,
     std::uint64_t key, const ComputeFn& compute) {
   std::shared_ptr<Slot<T>> slot;
   {

@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "src/analysis/pipeline.hpp"
 
@@ -39,6 +39,14 @@ std::uint64_t pipeline_options_hash(const PipelineOptions& options);
 
 class ScenarioCache {
  public:
+  ScenarioCache() {
+    // A process touches a handful of scenarios; sized so the common case
+    // never rehashes (the tables are keyed by pre-mixed 64-bit hashes, so
+    // iteration order is irrelevant — entries are only ever looked up).
+    captures_.reserve(16);
+    pipelines_.reserve(16);
+  }
+
   static ScenarioCache& global();
 
   /// Simulation + census for these parameters, computed at most once.
@@ -66,12 +74,14 @@ class ScenarioCache {
 
   template <typename T, typename ComputeFn>
   std::shared_ptr<const T> lookup(
-      std::map<std::uint64_t, std::shared_ptr<Slot<T>>>& table,
+      std::unordered_map<std::uint64_t, std::shared_ptr<Slot<T>>>& table,
       std::uint64_t key, const ComputeFn& compute);
 
   mutable std::mutex mu_;
-  std::map<std::uint64_t, std::shared_ptr<Slot<PipelineCapture>>> captures_;
-  std::map<std::uint64_t, std::shared_ptr<Slot<PipelineResult>>> pipelines_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot<PipelineCapture>>>
+      captures_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot<PipelineResult>>>
+      pipelines_;
 };
 
 }  // namespace netfail::analysis

@@ -21,7 +21,7 @@ ConfigArchive generate_archive(const Topology& topo, TimeRange period,
                            params.mean_revision_interval.seconds_f() / 4));
     if (t >= period.end) t = period.begin;  // guarantee one snapshot per router
     while (t < period.end) {
-      archive.add(ConfigFile{r.hostname, t, render_config(topo, r.id, t)});
+      archive.add(ConfigFile{r.hostname.str(), t, render_config(topo, r.id, t)});
       t += Duration::from_seconds_f(
           rng.exponential(params.mean_revision_interval.seconds_f()));
     }

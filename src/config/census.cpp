@@ -6,25 +6,20 @@
 
 namespace netfail {
 
-std::string LinkCensus::host_pair_key(std::string_view h1, std::string_view h2) {
-  std::string a(h1), b(h2);
-  if (b < a) a.swap(b);
-  return a + "|" + b;
-}
-
 LinkId LinkCensus::add_link(CensusEndpoint e1, CensusEndpoint e2,
                             Ipv4Prefix subnet, TimeRange lifetime,
                             RouterClass cls) {
   NETFAIL_ASSERT(subnet.length() == 31, "census links use /31 subnets");
-  // Canonical endpoint order.
-  const std::string k1 = e1.host + ":" + e1.iface;
-  const std::string k2 = e2.host + ":" + e2.iface;
+  // Canonical endpoint order (lexicographic on "host:iface").
+  const std::string k1 = e1.host.str() + ":" + e1.iface.str();
+  const std::string k2 = e2.host.str() + ":" + e2.iface.str();
   if (k2 < k1) std::swap(e1, e2);
 
   const LinkId id{static_cast<std::uint32_t>(links_.size())};
   CensusLink l;
   l.id = id;
-  l.name = make_link_name(e1.host, e1.iface, e2.host, e2.iface);
+  l.name = make_link_name(e1.host.view(), e1.iface.view(), e2.host.view(),
+                          e2.iface.view());
   l.a = e1;
   l.b = e2;
   l.subnet = subnet;
@@ -34,15 +29,15 @@ LinkId LinkCensus::add_link(CensusEndpoint e1, CensusEndpoint e2,
   NETFAIL_ASSERT(!by_subnet_.contains(subnet), "duplicate census subnet");
   by_name_.emplace(l.name, id);
   by_subnet_.emplace(subnet, id);
-  by_interface_.emplace(l.a.host + ":" + l.a.iface, id);
-  by_interface_.emplace(l.b.host + ":" + l.b.iface, id);
-  by_host_pair_[host_pair_key(l.a.host, l.b.host)].push_back(id);
+  by_interface_.emplace(iface_key(l.a.host, l.a.iface), id);
+  by_interface_.emplace(iface_key(l.b.host, l.b.iface), id);
+  by_host_pair_[sym::pair_key(l.a.host, l.b.host)].push_back(id);
   links_.push_back(std::move(l));
   return id;
 }
 
-void LinkCensus::set_hostname(const OsiSystemId& system_id, std::string hostname) {
-  hostname_of_[system_id] = std::move(hostname);
+void LinkCensus::set_hostname(const OsiSystemId& system_id, Symbol hostname) {
+  hostname_of_[system_id] = hostname;
 }
 
 void LinkCensus::finalize() {
@@ -71,24 +66,29 @@ std::optional<LinkId> LinkCensus::find_by_subnet(const Ipv4Prefix& subnet) const
   return it->second;
 }
 
-std::optional<LinkId> LinkCensus::find_by_interface(std::string_view host,
-                                                    std::string_view iface) const {
-  auto it = by_interface_.find(std::string(host) + ":" + std::string(iface));
+std::optional<LinkId> LinkCensus::find_by_interface(Symbol host,
+                                                    Symbol iface) const {
+  if (!host.valid() || !iface.valid()) return std::nullopt;
+  auto it = by_interface_.find(iface_key(host, iface));
   if (it == by_interface_.end()) return std::nullopt;
   return it->second;
 }
 
-std::vector<LinkId> LinkCensus::find_between_hosts(std::string_view host1,
-                                                   std::string_view host2) const {
-  auto it = by_host_pair_.find(host_pair_key(host1, host2));
-  if (it == by_host_pair_.end()) return {};
+namespace {
+const std::vector<LinkId> kNoLinks;
+}  // namespace
+
+const std::vector<LinkId>& LinkCensus::find_between_hosts(Symbol host1,
+                                                          Symbol host2) const {
+  if (!host1.valid() || !host2.valid()) return kNoLinks;
+  auto it = by_host_pair_.find(sym::pair_key(host1, host2));
+  if (it == by_host_pair_.end()) return kNoLinks;
   return it->second;
 }
 
-std::optional<std::string> LinkCensus::hostname_of(
-    const OsiSystemId& system_id) const {
+Symbol LinkCensus::hostname_of(const OsiSystemId& system_id) const {
   auto it = hostname_of_.find(system_id);
-  if (it == hostname_of_.end()) return std::nullopt;
+  if (it == hostname_of_.end()) return Symbol::invalid();
   return it->second;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/ids.hpp"
+#include "src/common/sym.hpp"
 #include "src/common/time.hpp"
 #include "src/topology/ipv4.hpp"
 #include "src/topology/osi.hpp"
@@ -20,8 +21,8 @@
 namespace netfail {
 
 struct CensusEndpoint {
-  std::string host;
-  std::string iface;
+  Symbol host;
+  Symbol iface;
   Ipv4Address address;
 };
 
@@ -44,7 +45,7 @@ class LinkCensus {
   LinkId add_link(CensusEndpoint e1, CensusEndpoint e2, Ipv4Prefix subnet,
                   TimeRange lifetime, RouterClass cls);
 
-  void set_hostname(const OsiSystemId& system_id, std::string hostname);
+  void set_hostname(const OsiSystemId& system_id, Symbol hostname);
 
   /// Recompute the multilink flags; call once after all links are added.
   void finalize();
@@ -56,25 +57,31 @@ class LinkCensus {
 
   std::optional<LinkId> find_by_name(std::string_view name) const;
   std::optional<LinkId> find_by_subnet(const Ipv4Prefix& subnet) const;
-  std::optional<LinkId> find_by_interface(std::string_view host,
-                                          std::string_view iface) const;
+  std::optional<LinkId> find_by_interface(Symbol host, Symbol iface) const;
   /// All links between two hosts (order-insensitive); >1 means multi-link.
-  std::vector<LinkId> find_between_hosts(std::string_view host1,
-                                         std::string_view host2) const;
-  std::optional<std::string> hostname_of(const OsiSystemId& system_id) const;
+  /// Returns a reference into the census (empty vector for unknown pairs);
+  /// valid until the next add_link.
+  const std::vector<LinkId>& find_between_hosts(Symbol host1,
+                                                Symbol host2) const;
+  /// Hostname symbol for a system id; the invalid symbol when unknown.
+  Symbol hostname_of(const OsiSystemId& system_id) const;
 
   std::size_t count(RouterClass cls) const;
   std::size_t multilink_member_count() const;
 
  private:
-  static std::string host_pair_key(std::string_view h1, std::string_view h2);
+  /// Directional (host, iface) packed into one 64-bit key.
+  static std::uint64_t iface_key(Symbol host, Symbol iface) {
+    return (static_cast<std::uint64_t>(host.value()) << 32) | iface.value();
+  }
 
   std::vector<CensusLink> links_;
   std::unordered_map<std::string, LinkId> by_name_;
   std::unordered_map<Ipv4Prefix, LinkId> by_subnet_;
-  std::unordered_map<std::string, LinkId> by_interface_;  // "host:iface"
-  std::unordered_map<std::string, std::vector<LinkId>> by_host_pair_;
-  std::unordered_map<OsiSystemId, std::string> hostname_of_;
+  std::unordered_map<std::uint64_t, LinkId> by_interface_;  // iface_key
+  // sym::pair_key(hostA, hostB) -> links, lexicographically normalized.
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> by_host_pair_;
+  std::unordered_map<OsiSystemId, Symbol> hostname_of_;
 };
 
 /// Build the census straight from a topology (bypassing the config-mining

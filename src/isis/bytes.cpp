@@ -42,6 +42,19 @@ Result<std::vector<std::uint8_t>> ByteReader::bytes(std::size_t n) {
   return out;
 }
 
+Result<std::span<const std::uint8_t>> ByteReader::view(std::size_t n) {
+  if (Status s = need(n); !s) return s.error();
+  std::span<const std::uint8_t> out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::skip(std::size_t n) {
+  if (Status s = need(n); !s) return s;
+  pos_ += n;
+  return Status::ok_status();
+}
+
 Result<std::string> ByteReader::string(std::size_t n) {
   if (Status s = need(n); !s) return s.error();
   std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);

@@ -67,6 +67,11 @@ class ByteReader {
   Result<std::uint32_t> u32();
   /// Read exactly n bytes.
   Result<std::vector<std::uint8_t>> bytes(std::size_t n);
+  /// Non-owning view of the next n bytes; valid as long as the underlying
+  /// buffer. The allocation-free read for hot decode paths.
+  Result<std::span<const std::uint8_t>> view(std::size_t n);
+  /// Advance past n bytes without materializing them.
+  Status skip(std::size_t n);
   Result<std::string> string(std::size_t n);
   /// Sub-reader over the next n bytes (for TLV bodies); advances this reader.
   Result<ByteReader> sub(std::size_t n);

@@ -9,11 +9,6 @@
 namespace netfail::isis {
 namespace {
 
-std::pair<std::string, std::string> ordered(std::string a, std::string b) {
-  if (b < a) a.swap(b);
-  return {std::move(a), std::move(b)};
-}
-
 struct IsisMetrics {
   metrics::Counter& lsps = metrics::global().counter("isis.extract.lsps");
   metrics::Counter& decode_failures =
@@ -23,16 +18,24 @@ struct IsisMetrics {
       metrics::global().counter("isis.extract.transitions");
 };
 
-IsisMetrics& isis_metrics() {
-  static IsisMetrics m;
-  return m;
+// Namespace-scope so the per-LSP hot path carries no static-init guard.
+IsisMetrics g_isis_metrics;
+
+IsisMetrics& isis_metrics() { return g_isis_metrics; }
+
+/// Count for `neighbor` in a sorted (neighbor, count) vector; 0 if absent.
+int count_of(const std::vector<std::pair<OsiSystemId, int>>& counts,
+             const OsiSystemId& neighbor) {
+  const auto it = std::lower_bound(
+      counts.begin(), counts.end(), neighbor,
+      [](const auto& entry, const OsiSystemId& key) { return entry.first < key; });
+  return (it != counts.end() && it->first == neighbor) ? it->second : 0;
 }
 
 }  // namespace
 
 void StreamingExtractor::emit_is_transition(TimePoint t, LinkDirection dir,
-                                            const std::string& host_a,
-                                            const std::string& host_b,
+                                            Symbol host_a, Symbol host_b,
                                             int count_after,
                                             std::vector<IsisTransition>& out) {
   IsisTransition tr;
@@ -42,7 +45,7 @@ void StreamingExtractor::emit_is_transition(TimePoint t, LinkDirection dir,
   tr.host_a = host_a;
   tr.host_b = host_b;
   tr.pair_count_after = count_after;
-  const std::vector<LinkId> candidates =
+  const std::vector<LinkId>& candidates =
       census_->find_between_hosts(host_a, host_b);
   if (candidates.empty()) {
     ++stats_.unknown_host_pairs;
@@ -54,28 +57,28 @@ void StreamingExtractor::emit_is_transition(TimePoint t, LinkDirection dir,
   } else {
     tr.link = candidates.front();
   }
-  out.push_back(std::move(tr));
+  out.push_back(tr);
 }
 
-void StreamingExtractor::update_pair(TimePoint t, const std::string& from,
-                                     const std::string& to, int new_count,
-                                     bool from_is_baseline,
+void StreamingExtractor::update_pair(TimePoint t, Symbol from, Symbol to,
+                                     int new_count, bool from_is_baseline,
                                      std::vector<IsisTransition>& out) {
-  const auto key = ordered(from, to);
-  PairState& p = pairs_[key];
-  int& mine = (from == key.first) ? p.count_ab : p.count_ba;
+  // Normalized lexicographically on the underlying hostnames (NOT symbol
+  // ids), so emitted (host_a, host_b) ordering matches the string era.
+  const auto [first, second] = sym::ordered(from, to);
+  PairState& p = pairs_[sym::pair_key(from, to)];
+  int& mine = (from == first) ? p.count_ab : p.count_ba;
   mine = new_count;
   const int now = std::min(p.count_ab, p.count_ba);
   if (p.active && !from_is_baseline) {
     while (p.last_min > now) {
       --p.last_min;
-      emit_is_transition(t, LinkDirection::kDown, key.first, key.second,
-                         p.last_min, out);
+      emit_is_transition(t, LinkDirection::kDown, first, second, p.last_min,
+                         out);
     }
     while (p.last_min < now) {
       ++p.last_min;
-      emit_is_transition(t, LinkDirection::kUp, key.first, key.second,
-                         p.last_min, out);
+      emit_is_transition(t, LinkDirection::kUp, first, second, p.last_min, out);
     }
   } else {
     p.last_min = now;
@@ -90,8 +93,7 @@ void StreamingExtractor::update_pair(TimePoint t, const std::string& from,
 void StreamingExtractor::feed(const LspRecord& rec,
                               std::vector<IsisTransition>& out) {
   const std::size_t out_before = out.size();
-  Result<Lsp> decoded = Lsp::decode(rec.bytes);
-  if (!decoded) {
+  if (Status decoded = Lsp::decode_into(rec.bytes, scratch_lsp_); !decoded) {
     if (decoded.error().code == ErrorCode::kChecksumMismatch) {
       ++stats_.checksum_failures;
     } else {
@@ -100,7 +102,7 @@ void StreamingExtractor::feed(const LspRecord& rec,
     isis_metrics().decode_failures.inc();
     return;
   }
-  const Lsp& lsp = *decoded;
+  const Lsp& lsp = scratch_lsp_;
   ++stats_.lsps_processed;
   isis_metrics().lsps.inc();
 
@@ -119,10 +121,8 @@ void StreamingExtractor::feed(const LspRecord& rec,
 
   // Hostname resolution: prefer the dynamic-hostname TLV, fall back to the
   // config-mined mapping.
-  std::string hostname = lsp.hostname;
-  if (hostname.empty()) {
-    hostname = census_->hostname_of(lsp.source).value_or("");
-  }
+  Symbol hostname = lsp.hostname.empty() ? census_->hostname_of(lsp.source)
+                                         : Symbol(lsp.hostname);
   if (hostname.empty()) {
     // Cannot name this source; its adjacencies are unresolvable.
     ++stats_.unknown_host_pairs;
@@ -131,43 +131,56 @@ void StreamingExtractor::feed(const LspRecord& rec,
   src.hostname = hostname;
 
   // ---- Diff IS reachability. ---------------------------------------------
-  std::map<OsiSystemId, int> new_counts;
+  // (neighbor, count) sorted by neighbor, built in reused scratch storage.
+  scratch_counts_.clear();
   if (!purged) {
-    for (const IsReachEntry& e : lsp.is_reach) ++new_counts[e.neighbor];
+    for (const IsReachEntry& e : lsp.is_reach) {
+      scratch_counts_.emplace_back(e.neighbor, 1);
+    }
+    std::sort(scratch_counts_.begin(), scratch_counts_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < scratch_counts_.size(); ++r) {
+      if (w > 0 && scratch_counts_[w - 1].first == scratch_counts_[r].first) {
+        ++scratch_counts_[w - 1].second;
+      } else {
+        scratch_counts_[w++] = scratch_counts_[r];
+      }
+    }
+    scratch_counts_.resize(w);
   }
 
   const bool first_lsp = !src.initialized;
-  // Removed or decreased neighbors.
+  // Removed or decreased neighbors (in sorted-neighbor order, like the old
+  // std::map walk, so emission order is unchanged).
   for (const auto& [neighbor, old_count] : src.adjacency_count) {
-    const auto it = new_counts.find(neighbor);
-    const int now = (it == new_counts.end()) ? 0 : it->second;
+    const int now = count_of(scratch_counts_, neighbor);
     if (now < old_count) {
-      const std::string nbr_host =
-          census_->hostname_of(neighbor).value_or(neighbor.to_string());
+      Symbol nbr_host = census_->hostname_of(neighbor);
+      if (!nbr_host.valid()) nbr_host = Symbol(neighbor.to_string());
       update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
     }
   }
   // Added or increased neighbors.
-  for (const auto& [neighbor, now] : new_counts) {
-    const auto it = src.adjacency_count.find(neighbor);
-    const int before = (it == src.adjacency_count.end()) ? 0 : it->second;
+  for (const auto& [neighbor, now] : scratch_counts_) {
+    const int before = count_of(src.adjacency_count, neighbor);
     if (now > before) {
-      const std::string nbr_host =
-          census_->hostname_of(neighbor).value_or(neighbor.to_string());
+      Symbol nbr_host = census_->hostname_of(neighbor);
+      if (!nbr_host.valid()) nbr_host = Symbol(neighbor.to_string());
       update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
     }
   }
-  src.adjacency_count = std::move(new_counts);
+  src.adjacency_count = scratch_counts_;  // copy; reuses src's capacity
 
   // ---- Diff IP reachability. ---------------------------------------------
-  std::vector<Ipv4Prefix> new_prefixes;
+  scratch_prefixes_.clear();
   if (!purged) {
-    new_prefixes.reserve(lsp.ip_reach.size());
     for (const IpReachEntry& e : lsp.ip_reach) {
-      if (e.prefix.length() == 31) new_prefixes.push_back(e.prefix);
+      if (e.prefix.length() == 31) scratch_prefixes_.push_back(e.prefix);
     }
-    std::sort(new_prefixes.begin(), new_prefixes.end());
+    std::sort(scratch_prefixes_.begin(), scratch_prefixes_.end());
   }
+  const std::vector<Ipv4Prefix>& new_prefixes = scratch_prefixes_;
 
   auto emit_ip_transition = [&](Ipv4Prefix prefix, LinkDirection dir) {
     IsisTransition tr;
@@ -183,7 +196,7 @@ void StreamingExtractor::feed(const LspRecord& rec,
     const CensusLink& cl = census_->link(*link);
     tr.host_a = cl.a.host;
     tr.host_b = cl.b.host;
-    out.push_back(std::move(tr));
+    out.push_back(tr);
   };
 
   // Withdrawn prefixes: advertiser count drops; reaching zero is a DOWN.
@@ -203,7 +216,7 @@ void StreamingExtractor::feed(const LspRecord& rec,
       }
     }
   }
-  src.prefixes = std::move(new_prefixes);
+  src.prefixes = new_prefixes;  // copy; reuses src's capacity
   src.initialized = true;
   initialized_hosts_.insert(hostname);
   isis_metrics().transitions.inc(out.size() - out_before);

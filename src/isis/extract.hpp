@@ -10,16 +10,18 @@
 // member link and are flagged instead (the paper omits them, sect. 3.4).
 #pragma once
 
-#include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "src/common/events.hpp"
 #include "src/common/ids.hpp"
+#include "src/common/sym.hpp"
 #include "src/config/census.hpp"
 #include "src/isis/listener.hpp"
+#include "src/isis/pdu.hpp"
 #include "src/topology/ipv4.hpp"
 #include "src/topology/osi.hpp"
 
@@ -41,9 +43,9 @@ struct IsisTransition {
   /// adjacency (IS reach cannot tell members apart) or an unknown pair.
   LinkId link;
   bool multilink = false;
-  /// Host pair, for diagnostics and multi-link accounting.
-  std::string host_a;
-  std::string host_b;
+  /// Host pair, for diagnostics and multi-link accounting (interned).
+  Symbol host_a;
+  Symbol host_b;
   /// IS-reach only: the bidirectional adjacency count after this change.
   /// Lets consumers reconstruct the *logical* adjacency state of multi-link
   /// pairs (0 = the whole adjacency is down) even though the member link is
@@ -98,8 +100,11 @@ class StreamingExtractor {
   /// Everything remembered about one LSP source between packets.
   struct SourceState {
     std::uint32_t sequence = 0;
-    std::string hostname;
-    std::map<OsiSystemId, int> adjacency_count;  // neighbor -> up adjacencies
+    Symbol hostname;
+    /// neighbor -> up adjacencies, sorted by neighbor. A sorted vector
+    /// rather than a map: diffing walks it in order anyway, and assigning
+    /// the new counts reuses capacity instead of re-allocating nodes.
+    std::vector<std::pair<OsiSystemId, int>> adjacency_count;
     std::vector<Ipv4Prefix> prefixes;            // sorted
     bool initialized = false;                    // first LSP sets the baseline
   };
@@ -114,19 +119,24 @@ class StreamingExtractor {
     int last_min = 0;
   };
 
-  void emit_is_transition(TimePoint t, LinkDirection dir,
-                          const std::string& host_a, const std::string& host_b,
-                          int count_after, std::vector<IsisTransition>& out);
-  void update_pair(TimePoint t, const std::string& from, const std::string& to,
-                   int new_count, bool from_is_baseline,
-                   std::vector<IsisTransition>& out);
+  void emit_is_transition(TimePoint t, LinkDirection dir, Symbol host_a,
+                          Symbol host_b, int count_after,
+                          std::vector<IsisTransition>& out);
+  void update_pair(TimePoint t, Symbol from, Symbol to, int new_count,
+                   bool from_is_baseline, std::vector<IsisTransition>& out);
 
   const LinkCensus* census_ = nullptr;
   ExtractionStats stats_;
-  std::map<OsiSystemId, SourceState> sources_;
-  std::map<std::pair<std::string, std::string>, PairState> pairs_;
-  std::set<std::string> initialized_hosts_;
-  std::map<Ipv4Prefix, int> prefix_advertisers_;
+  // Lookup-only tables (never iterated), so unordered + symbol keys is safe:
+  // emission order is fully determined by the sorted per-source diffs.
+  std::unordered_map<OsiSystemId, SourceState> sources_;
+  std::unordered_map<std::uint64_t, PairState> pairs_;  // sym::pair_key
+  std::unordered_set<Symbol> initialized_hosts_;
+  std::unordered_map<Ipv4Prefix, int> prefix_advertisers_;
+  // Per-feed scratch (reused so steady-state feeds allocate nothing).
+  Lsp scratch_lsp_;
+  std::vector<std::pair<OsiSystemId, int>> scratch_counts_;
+  std::vector<Ipv4Prefix> scratch_prefixes_;
 };
 
 }  // namespace netfail::isis

@@ -57,7 +57,9 @@ Result<std::uint8_t> read_common_header(ByteReader& r) {
 }
 
 Result<OsiSystemId> read_system_id(ByteReader& r) {
-  Result<std::vector<std::uint8_t>> raw = r.bytes(6);
+  // view(), not bytes(): this runs once per IS-reach entry, and a
+  // heap-backed vector here dominated the whole decode cost.
+  Result<std::span<const std::uint8_t>> raw = r.view(6);
   if (!raw) return raw.error();
   std::array<std::uint8_t, 6> arr{};
   std::copy(raw->begin(), raw->end(), arr.begin());
@@ -155,6 +157,22 @@ std::vector<std::uint8_t> Lsp::encode() const {
 }
 
 Result<Lsp> Lsp::decode(std::span<const std::uint8_t> data) {
+  Lsp lsp;
+  if (Status s = decode_into(data, lsp); !s) return s.error();
+  return lsp;
+}
+
+Status Lsp::decode_into(std::span<const std::uint8_t> data, Lsp& lsp) {
+  // Reset the output while keeping its heap storage for reuse.
+  lsp.source = OsiSystemId{};
+  lsp.pseudonode = 0;
+  lsp.fragment = 0;
+  lsp.sequence = 1;
+  lsp.remaining_lifetime = 1199;
+  lsp.hostname.clear();
+  lsp.is_reach.clear();
+  lsp.ip_reach.clear();
+
   // Checksum first: a corrupted LSP must never reach the analysis.
   if (data.size() < kLspChecksumOffset + 2) {
     return make_error(ErrorCode::kTruncated, "LSP shorter than fixed header");
@@ -172,7 +190,6 @@ Result<Lsp> Lsp::decode(std::span<const std::uint8_t> data) {
                       strformat("not an L2 LSP: pdu type %u", *type));
   }
 
-  Lsp lsp;
   Result<std::uint16_t> pdu_len = r.u16();
   if (!pdu_len) return pdu_len.error();
   if (*pdu_len != data.size()) {
@@ -207,12 +224,15 @@ Result<Lsp> Lsp::decode(std::span<const std::uint8_t> data) {
 
     switch (*tlv_type) {
       case kTlvDynamicHostname: {
-        Result<std::string> name = body->string(body->remaining());
+        Result<std::span<const std::uint8_t>> name =
+            body->view(body->remaining());
         if (!name) return name.error();
-        lsp.hostname = *name;
+        lsp.hostname.assign(reinterpret_cast<const char*>(name->data()),
+                            name->size());
         break;
       }
       case kTlvExtendedIsReach: {
+        lsp.is_reach.reserve(lsp.is_reach.size() + *tlv_len / 11);
         while (!body->done()) {
           IsReachEntry e;
           Result<OsiSystemId> nbr = read_system_id(*body);
@@ -226,14 +246,13 @@ Result<Lsp> Lsp::decode(std::span<const std::uint8_t> data) {
           e.metric = *metric;
           Result<std::uint8_t> sub_len = body->u8();
           if (!sub_len) return sub_len.error();
-          if (Result<std::vector<std::uint8_t>> sub = body->bytes(*sub_len); !sub) {
-            return sub.error();
-          }
+          if (Status sub = body->skip(*sub_len); !sub) return sub;
           lsp.is_reach.push_back(e);
         }
         break;
       }
       case kTlvExtendedIpReach: {
+        lsp.ip_reach.reserve(lsp.ip_reach.size() + *tlv_len / 5);
         while (!body->done()) {
           IpReachEntry e;
           Result<std::uint32_t> metric = body->u32();
@@ -256,10 +275,7 @@ Result<Lsp> Lsp::decode(std::span<const std::uint8_t> data) {
           if (*control & 0x40) {  // sub-TLVs present
             Result<std::uint8_t> sub_len = body->u8();
             if (!sub_len) return sub_len.error();
-            if (Result<std::vector<std::uint8_t>> sub = body->bytes(*sub_len);
-                !sub) {
-              return sub.error();
-            }
+            if (Status sub = body->skip(*sub_len); !sub) return sub;
           }
           lsp.ip_reach.push_back(e);
         }
@@ -269,7 +285,7 @@ Result<Lsp> Lsp::decode(std::span<const std::uint8_t> data) {
         break;  // unknown TLVs are skipped, as the standard requires
     }
   }
-  return lsp;
+  return Status::ok_status();
 }
 
 std::vector<std::uint8_t> PointToPointHello::encode() const {

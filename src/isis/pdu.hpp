@@ -65,6 +65,10 @@ struct Lsp {
   std::vector<std::uint8_t> encode() const;
   /// Parses and verifies the Fletcher checksum.
   static Result<Lsp> decode(std::span<const std::uint8_t> data);
+  /// Allocation-lean decode into an existing Lsp: `out` is reset and its
+  /// hostname/is_reach/ip_reach storage reused, so a caller decoding a
+  /// stream through one scratch Lsp allocates O(1) amortized per packet.
+  static Status decode_into(std::span<const std::uint8_t> data, Lsp& out);
 
   bool operator==(const Lsp&) const = default;
 };

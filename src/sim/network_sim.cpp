@@ -22,9 +22,9 @@ struct RouterSim {
   Duration clock_skew;
   unsigned syslog_seq = 0;
 
-  RouterSim(OsiSystemId id, std::string hostname, Duration min_interval,
+  RouterSim(OsiSystemId id, Symbol hostname, Duration min_interval,
             Duration skew)
-      : originator(id, std::move(hostname)), throttle(min_interval),
+      : originator(id, hostname.str()), throttle(min_interval),
         clock_skew(skew) {}
 };
 
@@ -69,6 +69,7 @@ class Simulation {
   syslog::LossyChannel channel_;
   EventQueue queue_;
   std::vector<std::unique_ptr<RouterSim>> routers_;
+  std::string syslog_line_;  // reused render buffer
   bool suppress_syslog_ = false;
 };
 
@@ -140,7 +141,7 @@ void Simulation::setup_blackouts() {
                                     params_.period.end)};
     if (window.empty()) continue;
     channel_.add_blackout(r.hostname, window);
-    result_.truth.add_syslog_blackout(r.hostname, window);
+    result_.truth.add_syslog_blackout(r.hostname.str(), window);
   }
 }
 
@@ -214,11 +215,13 @@ void Simulation::send_syslog(RouterId reporter, TimePoint t,
       m.neighbor = topo().router(is_a ? l.router_b : l.router_a).hostname;
       m.reason = reason;
     }
-    const std::string line = m.render(++rs.syslog_seq);
+    // Render into the reused buffer: only lines that actually transmit pay
+    // for a heap copy (into the delivery closure); drops allocate nothing.
+    m.render_to(syslog_line_, ++rs.syslog_seq);
     if (channel_.transmit(r.hostname, now)) {
       const TimePoint arrival =
           now + Duration::millis(1) + jitter(params_.syslog_net_delay_max);
-      queue_.push(arrival, [this, line](TimePoint at) {
+      queue_.push(arrival, [this, line = syslog_line_](TimePoint at) {
         result_.collector.receive(at, line);
       });
     }

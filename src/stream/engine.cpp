@@ -14,10 +14,10 @@ struct EngineMetrics {
       metrics::global().counter("stream.engine.lsp_events");
 };
 
-EngineMetrics& engine_metrics() {
-  static EngineMetrics m;
-  return m;
-}
+// Namespace-scope so the per-event hot path carries no static-init guard.
+EngineMetrics g_engine_metrics;
+
+EngineMetrics& engine_metrics() { return g_engine_metrics; }
 
 TrackerOptions tracker_options_for(const EngineOptions& options,
                                    analysis::Source source) {

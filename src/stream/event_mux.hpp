@@ -12,12 +12,16 @@
 // Sources are pull callbacks, so the mux works equally over in-memory
 // vectors (see `over_vectors`), file readers, or live sockets, and holds
 // O(1) state: one pending event per source.
+//
+// Events are *borrowed*, not owned: a StreamEvent points into the storage
+// the source returned (zero copies on the per-event path). For a callback
+// source that reuses a buffer, the event is valid until the next call to
+// next(); for `over_vectors` it stays valid as long as the vectors do.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <variant>
 #include <vector>
 
 #include "src/common/time.hpp"
@@ -28,19 +32,18 @@ namespace netfail::stream {
 
 enum class EventKind { kSyslogLine, kLsp };
 
+/// A non-owning view of one merged event (see lifetime note above).
+/// Exactly one of the two payload pointers is set.
 struct StreamEvent {
   TimePoint time;  // arrival timestamp at the event's collector
-  std::variant<syslog::ReceivedLine, isis::LspRecord> payload;
+  const syslog::ReceivedLine* line_ptr = nullptr;
+  const isis::LspRecord* lsp_ptr = nullptr;
 
   EventKind kind() const {
-    return payload.index() == 0 ? EventKind::kSyslogLine : EventKind::kLsp;
+    return line_ptr != nullptr ? EventKind::kSyslogLine : EventKind::kLsp;
   }
-  const syslog::ReceivedLine& line() const {
-    return std::get<syslog::ReceivedLine>(payload);
-  }
-  const isis::LspRecord& lsp() const {
-    return std::get<isis::LspRecord>(payload);
-  }
+  const syslog::ReceivedLine& line() const { return *line_ptr; }
+  const isis::LspRecord& lsp() const { return *lsp_ptr; }
 };
 
 struct MuxStats {
@@ -51,8 +54,11 @@ struct MuxStats {
 
 class EventMux {
  public:
-  using SyslogSource = std::function<std::optional<syslog::ReceivedLine>()>;
-  using LspSource = std::function<std::optional<isis::LspRecord>()>;
+  /// Pull callbacks: return the next record, or nullptr when exhausted.
+  /// The pointee must stay valid until the callback is invoked again (a
+  /// reused buffer is fine; the mux never holds more than the lookahead).
+  using SyslogSource = std::function<const syslog::ReceivedLine*()>;
+  using LspSource = std::function<const isis::LspRecord*()>;
 
   /// Either source may be null (single-source streaming).
   EventMux(SyslogSource syslog_source, LspSource lsp_source);
@@ -64,7 +70,7 @@ class EventMux {
   const MuxStats& stats() const { return stats_; }
 
   /// Convenience: mux over in-memory captures (e.g. a loaded bundle). The
-  /// vectors must outlive the mux.
+  /// vectors must outlive the mux and any events it returned.
   static EventMux over_vectors(const std::vector<syslog::ReceivedLine>& lines,
                                const std::vector<isis::LspRecord>& records);
 
@@ -74,8 +80,12 @@ class EventMux {
 
   SyslogSource syslog_source_;
   LspSource lsp_source_;
-  std::optional<syslog::ReceivedLine> pending_line_;
-  std::optional<isis::LspRecord> pending_lsp_;
+  // Lookahead, borrowed from the sources. Refills are deferred to the next
+  // next() call so a handed-out event is never invalidated by its own pull.
+  const syslog::ReceivedLine* pending_line_ = nullptr;
+  const isis::LspRecord* pending_lsp_ = nullptr;
+  bool need_refill_syslog_ = true;
+  bool need_refill_lsp_ = true;
   TimePoint last_syslog_;
   TimePoint last_lsp_;
   bool have_last_syslog_ = false;

@@ -20,10 +20,10 @@ struct TrackerMetrics {
       metrics::global().counter("stream.tracker.links_evicted");
 };
 
-TrackerMetrics& tracker_metrics() {
-  static TrackerMetrics m;
-  return m;
-}
+// Namespace-scope so the per-transition hot path carries no static-init guard.
+TrackerMetrics g_tracker_metrics;
+
+TrackerMetrics& tracker_metrics() { return g_tracker_metrics; }
 
 constexpr TimePoint time_max() {
   return TimePoint::from_unix_millis(std::numeric_limits<std::int64_t>::max());

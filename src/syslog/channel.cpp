@@ -4,16 +4,16 @@
 
 namespace netfail::syslog {
 
-void LossyChannel::add_blackout(const std::string& reporter, TimeRange window) {
+void LossyChannel::add_blackout(Symbol reporter, TimeRange window) {
   blackouts_[reporter].add(window);
 }
 
-const IntervalSet* LossyChannel::blackouts_of(const std::string& reporter) const {
+const IntervalSet* LossyChannel::blackouts_of(Symbol reporter) const {
   auto it = blackouts_.find(reporter);
   return it == blackouts_.end() ? nullptr : &it->second;
 }
 
-void LossyChannel::set_extra_loss(const std::string& reporter, double p) {
+void LossyChannel::set_extra_loss(Symbol reporter, double p) {
   state_[reporter].extra_loss = p;
 }
 
@@ -24,7 +24,7 @@ void LossyChannel::age_out(ReporterState& state, TimePoint t) {
   }
 }
 
-double LossyChannel::current_run_onset(const std::string& reporter,
+double LossyChannel::current_run_onset(Symbol reporter,
                                        TimePoint t) {
   ReporterState& state = state_[reporter];
   age_out(state, t);
@@ -33,12 +33,12 @@ double LossyChannel::current_run_onset(const std::string& reporter,
   return std::min(p, params_.max_run_onset);
 }
 
-bool LossyChannel::in_drop_run(const std::string& reporter, TimePoint t) const {
+bool LossyChannel::in_drop_run(Symbol reporter, TimePoint t) const {
   const auto it = state_.find(reporter);
   return it != state_.end() && t < it->second.run_until;
 }
 
-bool LossyChannel::transmit(const std::string& reporter, TimePoint t) {
+bool LossyChannel::transmit(Symbol reporter, TimePoint t) {
   ++sent_;
   ReporterState& state = state_[reporter];
   age_out(state, t);

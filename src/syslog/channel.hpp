@@ -21,6 +21,7 @@
 
 #include "src/common/interval_set.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/sym.hpp"
 #include "src/common/time.hpp"
 
 namespace netfail::syslog {
@@ -43,23 +44,23 @@ class LossyChannel {
       : params_(params), rng_(seed) {}
 
   /// Declare a per-router blackout window: everything sent inside is lost.
-  void add_blackout(const std::string& reporter, TimeRange window);
-  const IntervalSet* blackouts_of(const std::string& reporter) const;
+  void add_blackout(Symbol reporter, TimeRange window);
+  const IntervalSet* blackouts_of(Symbol reporter) const;
 
   /// Additional independent loss for one reporter (some routers simply log
   /// worse — small CPE boxes with busy CPUs).
-  void set_extra_loss(const std::string& reporter, double p);
+  void set_extra_loss(Symbol reporter, double p);
 
   /// Decide whether the message a `reporter` sends at `t` survives the trip.
   /// Must be called in nondecreasing time order per reporter.
-  bool transmit(const std::string& reporter, TimePoint t);
+  bool transmit(Symbol reporter, TimePoint t);
 
   /// Probability that the next message from `reporter` at `t` would start a
   /// drop run (excluding base loss and an already-active run); exposed for
   /// tests and diagnostics.
-  double current_run_onset(const std::string& reporter, TimePoint t);
+  double current_run_onset(Symbol reporter, TimePoint t);
   /// True when the reporter is inside an active drop run at `t`.
-  bool in_drop_run(const std::string& reporter, TimePoint t) const;
+  bool in_drop_run(Symbol reporter, TimePoint t) const;
 
   std::size_t sent_count() const { return sent_; }
   std::size_t lost_count() const { return lost_; }
@@ -75,8 +76,8 @@ class LossyChannel {
 
   ChannelParams params_;
   Rng rng_;
-  std::unordered_map<std::string, ReporterState> state_;
-  std::unordered_map<std::string, IntervalSet> blackouts_;
+  std::unordered_map<Symbol, ReporterState> state_;
+  std::unordered_map<Symbol, IntervalSet> blackouts_;
   std::size_t sent_ = 0;
   std::size_t lost_ = 0;
 };

@@ -7,13 +7,23 @@
 #include "src/common/metrics.hpp"
 
 namespace netfail::syslog {
+namespace {
+
+// Namespace-scope (not function-local static): receive() is the hottest
+// entry point, and a function-local static would re-check its init guard on
+// every call.
+struct CollectorMetrics {
+  metrics::Counter& received =
+      metrics::global().counter("syslog.collector.lines");
+};
+CollectorMetrics g_collector_metrics;
+
+}  // namespace
 
 void Collector::receive(TimePoint t, std::string line) {
   NETFAIL_ASSERT(lines_.empty() || lines_.back().received_at <= t,
                  "collector lines must arrive in time order");
-  static metrics::Counter& received =
-      metrics::global().counter("syslog.collector.lines");
-  received.inc();
+  g_collector_metrics.received.inc();
   lines_.push_back(ReceivedLine{t, std::move(line)});
 }
 

@@ -15,10 +15,10 @@ struct SyslogMetrics {
       metrics::global().counter("syslog.extract.transitions");
 };
 
-SyslogMetrics& syslog_metrics() {
-  static SyslogMetrics m;
-  return m;
-}
+// Namespace-scope so the per-line hot path carries no static-init guard.
+SyslogMetrics g_syslog_metrics;
+
+SyslogMetrics& syslog_metrics() { return g_syslog_metrics; }
 
 }  // namespace
 
@@ -37,7 +37,7 @@ std::optional<SyslogTransition> extract_line(const ReceivedLine& rec,
     }
     return std::nullopt;
   }
-  const Message& m = *parsed;
+  Message& m = *parsed;
 
   SyslogTransition tr;
   tr.time = resolve_year(m.timestamp, rec.received_at);
@@ -45,7 +45,7 @@ std::optional<SyslogTransition> extract_line(const ReceivedLine& rec,
   tr.cls = classify(m.type);
   tr.type = m.type;
   tr.reporter = m.reporter;
-  tr.reason = m.reason;
+  tr.reason = std::move(m.reason);
   const std::optional<LinkId> link =
       census.find_by_interface(m.reporter, m.interface);
   if (!link) {

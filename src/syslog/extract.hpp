@@ -24,7 +24,7 @@ struct SyslogTransition {
   MessageClass cls = MessageClass::kIsisAdjacency;
   MessageType type = MessageType::kIsisAdjChange;
   LinkId link;  // resolved census link; invalid when resolution failed
-  std::string reporter;
+  Symbol reporter;
   std::string reason;
 };
 

@@ -1,6 +1,6 @@
 #include "src/syslog/message.hpp"
 
-#include <algorithm>
+#include <cstdio>
 
 #include "src/common/strfmt.hpp"
 
@@ -17,66 +17,130 @@ int priority_for(MessageType t) {
   return 23 * 8 + 6;
 }
 
-std::string render_body_ios(const Message& m) {
-  switch (m.type) {
-    case MessageType::kIsisAdjChange:
-      return strformat("%%CLNS-5-ADJCHANGE: ISIS: Adjacency to %s (%s) %s, %s",
-                       m.neighbor.c_str(), m.interface.c_str(),
-                       m.dir == LinkDirection::kUp ? "Up" : "Down",
-                       m.reason.c_str());
-    case MessageType::kLinkUpDown:
-      return strformat("%%LINK-3-UPDOWN: Interface %s, changed state to %s",
-                       m.interface.c_str(),
-                       m.dir == LinkDirection::kUp ? "up" : "down");
-    case MessageType::kLineProtoUpDown:
-      return strformat(
-          "%%LINEPROTO-5-UPDOWN: Line protocol on Interface %s, changed "
-          "state to %s",
-          m.interface.c_str(), m.dir == LinkDirection::kUp ? "up" : "down");
-  }
-  return {};
+/// snprintf straight onto the end of `out` (the pieces here are all far
+/// smaller than the stack buffer).
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[96];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
 }
 
-std::string render_body_iosxr(const Message& m) {
+void append_body_ios(std::string& out, const Message& m) {
   switch (m.type) {
     case MessageType::kIsisAdjChange:
-      return strformat(
-          "%%ROUTING-ISIS-4-ADJCHANGE : Adjacency to %s (%s) (L2) %s, %s",
-          m.neighbor.c_str(), m.interface.c_str(),
-          m.dir == LinkDirection::kUp ? "Up" : "Down", m.reason.c_str());
+      out.append("%CLNS-5-ADJCHANGE: ISIS: Adjacency to ");
+      out.append(m.neighbor.view());
+      out.append(" (");
+      out.append(m.interface.view());
+      out.append(") ");
+      out.append(m.dir == LinkDirection::kUp ? "Up" : "Down");
+      out.append(", ");
+      out.append(m.reason);
+      return;
     case MessageType::kLinkUpDown:
-      return strformat(
-          "%%PKT_INFRA-LINK-3-UPDOWN : Interface %s, changed state to %s",
-          m.interface.c_str(), m.dir == LinkDirection::kUp ? "Up" : "Down");
+      out.append("%LINK-3-UPDOWN: Interface ");
+      out.append(m.interface.view());
+      out.append(", changed state to ");
+      out.append(m.dir == LinkDirection::kUp ? "up" : "down");
+      return;
     case MessageType::kLineProtoUpDown:
-      return strformat(
-          "%%PKT_INFRA-LINEPROTO-5-UPDOWN : Line protocol on Interface %s, "
-          "changed state to %s",
-          m.interface.c_str(), m.dir == LinkDirection::kUp ? "Up" : "Down");
+      out.append("%LINEPROTO-5-UPDOWN: Line protocol on Interface ");
+      out.append(m.interface.view());
+      out.append(", changed state to ");
+      out.append(m.dir == LinkDirection::kUp ? "up" : "down");
+      return;
   }
-  return {};
+}
+
+void append_body_iosxr(std::string& out, const Message& m) {
+  switch (m.type) {
+    case MessageType::kIsisAdjChange:
+      out.append("%ROUTING-ISIS-4-ADJCHANGE : Adjacency to ");
+      out.append(m.neighbor.view());
+      out.append(" (");
+      out.append(m.interface.view());
+      out.append(") (L2) ");
+      out.append(m.dir == LinkDirection::kUp ? "Up" : "Down");
+      out.append(", ");
+      out.append(m.reason);
+      return;
+    case MessageType::kLinkUpDown:
+      out.append("%PKT_INFRA-LINK-3-UPDOWN : Interface ");
+      out.append(m.interface.view());
+      out.append(", changed state to ");
+      out.append(m.dir == LinkDirection::kUp ? "Up" : "Down");
+      return;
+    case MessageType::kLineProtoUpDown:
+      out.append("%PKT_INFRA-LINEPROTO-5-UPDOWN : Line protocol on Interface ");
+      out.append(m.interface.view());
+      out.append(", changed state to ");
+      out.append(m.dir == LinkDirection::kUp ? "Up" : "Down");
+      return;
+  }
 }
 
 }  // namespace
 
-std::string Message::render(unsigned sequence_number) const {
-  const std::string header = strformat(
-      "<%d>%s %s ", priority_for(type), timestamp.to_syslog_string().c_str(),
-      reporter.c_str());
+void Message::render_to(std::string& out, unsigned sequence_number) const {
+  out.clear();
+  const CivilTime c = to_civil(timestamp);
+  // "<PRI>Mmm dd hh:mm:ss hostname " (RFC 3164; day space-padded).
+  appendf(out, "<%d>%s %2d %02d:%02d:%02d ", priority_for(type),
+          month_abbrev(c.month), c.day, c.hour, c.minute, c.second);
+  out.append(reporter.view());
+  out.push_back(' ');
   if (dialect == RouterOs::kIosXr) {
     // IOS-XR: "node: process[pid]: %MNEMONIC : text".
-    return header +
-           strformat("RP/0/RSP0/CPU0:isis[%u]: ", 1000 + sequence_number % 10) +
-           render_body_iosxr(*this);
+    appendf(out, "RP/0/RSP0/CPU0:isis[%u]: ", 1000 + sequence_number % 10);
+    append_body_iosxr(out, *this);
+    return;
   }
   // Classic IOS: "seq: *timestamp: %MNEMONIC: text".
-  const CivilTime c = to_civil(timestamp);
-  const std::string inner_ts =
-      strformat("*%s %2d %02d:%02d:%02d.%03d", month_abbrev(c.month), c.day,
-                c.hour, c.minute, c.second, c.millisecond);
-  return header + strformat("%u: %s: ", sequence_number, inner_ts.c_str()) +
-         render_body_ios(*this);
+  appendf(out, "%u: *%s %2d %02d:%02d:%02d.%03d: ", sequence_number,
+          month_abbrev(c.month), c.day, c.hour, c.minute, c.second,
+          c.millisecond);
+  append_body_ios(out, *this);
 }
+
+std::string Message::render(unsigned sequence_number) const {
+  std::string out;
+  render_to(out, sequence_number);
+  return out;
+}
+
+namespace {
+
+/// Consume a run of spaces then a decimal integer from `s`. Mirrors the
+/// leniency of sscanf's "%d" so hand-written test lines keep parsing.
+bool take_int(std::string_view& s, int& out) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  if (s.empty() || s.front() < '0' || s.front() > '9') return false;
+  int v = 0;
+  while (!s.empty() && s.front() >= '0' && s.front() <= '9') {
+    v = v * 10 + (s.front() - '0');
+    s.remove_prefix(1);
+  }
+  out = v;
+  return true;
+}
+
+bool take_char(std::string_view& s, char c) {
+  if (s.empty() || s.front() != c) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+Result<LinkDirection> parse_direction(std::string_view s) {
+  if (s == "Up" || s == "up") return LinkDirection::kUp;
+  if (s == "Down" || s == "down") return LinkDirection::kDown;
+  return make_error(ErrorCode::kParseError,
+                    "bad direction '" + std::string(s) + "'");
+}
+
+}  // namespace
 
 Result<Message> parse_message(std::string_view line) {
   Message m;
@@ -95,7 +159,7 @@ Result<Message> parse_message(std::string_view line) {
   if (rest.size() < 16) {
     return make_error(ErrorCode::kTruncated, "line too short for timestamp");
   }
-  const std::string mon(rest.substr(0, 3));
+  const std::string_view mon = rest.substr(0, 3);
   int month = 0;
   for (int i = 1; i <= 12; ++i) {
     if (mon == month_abbrev(i)) {
@@ -104,11 +168,13 @@ Result<Message> parse_message(std::string_view line) {
     }
   }
   if (month == 0) {
-    return make_error(ErrorCode::kParseError, "bad month '" + mon + "'");
+    return make_error(ErrorCode::kParseError,
+                      "bad month '" + std::string(mon) + "'");
   }
   int day = 0, hh = 0, mm = 0, ss = 0;
-  if (std::sscanf(std::string(rest.substr(3, 13)).c_str(), "%d %d:%d:%d", &day,
-                  &hh, &mm, &ss) != 4) {
+  std::string_view ts = rest.substr(3, 13);
+  if (!take_int(ts, day) || !take_int(ts, hh) || !take_char(ts, ':') ||
+      !take_int(ts, mm) || !take_char(ts, ':') || !take_int(ts, ss)) {
     return make_error(ErrorCode::kParseError, "bad timestamp");
   }
   // RFC 3164 timestamps carry no year; the collector assigns one from the
@@ -126,7 +192,7 @@ Result<Message> parse_message(std::string_view line) {
   if (host_end == std::string_view::npos) {
     return make_error(ErrorCode::kTruncated, "missing hostname");
   }
-  m.reporter = std::string(rest.substr(0, host_end));
+  m.reporter = rest.substr(0, host_end);
   rest = rest.substr(host_end + 1);
 
   // -- locate the %FAC-SEV-MNEMONIC token ---------------------------------------
@@ -139,20 +205,13 @@ Result<Message> parse_message(std::string_view line) {
   if (colon == std::string_view::npos) {
     return make_error(ErrorCode::kParseError, "mnemonic not terminated");
   }
-  std::string mnemonic(trim(body.substr(1, colon - 1)));
+  const std::string_view mnemonic = trim(body.substr(1, colon - 1));
   std::string_view text = trim(body.substr(colon + 1));
 
   m.dialect = mnemonic.starts_with("ROUTING-ISIS") ||
                       mnemonic.starts_with("PKT_INFRA")
                   ? RouterOs::kIosXr
                   : RouterOs::kIos;
-
-  auto parse_direction = [&](std::string_view s) -> Result<LinkDirection> {
-    if (s == "Up" || s == "up") return LinkDirection::kUp;
-    if (s == "Down" || s == "down") return LinkDirection::kDown;
-    return make_error(ErrorCode::kParseError,
-                      "bad direction '" + std::string(s) + "'");
-  };
 
   if (mnemonic == "CLNS-5-ADJCHANGE" || mnemonic == "ROUTING-ISIS-4-ADJCHANGE") {
     m.type = MessageType::kIsisAdjChange;
@@ -166,14 +225,14 @@ Result<Message> parse_message(std::string_view line) {
     if (sp == std::string_view::npos) {
       return make_error(ErrorCode::kTruncated, "ADJCHANGE truncated");
     }
-    m.neighbor = std::string(tail.substr(0, sp));
+    m.neighbor = tail.substr(0, sp);
     const std::size_t open = tail.find('(');
     const std::size_t close = tail.find(')');
     if (open == std::string_view::npos || close == std::string_view::npos ||
         close < open) {
       return make_error(ErrorCode::kParseError, "ADJCHANGE without interface");
     }
-    m.interface = std::string(tail.substr(open + 1, close - open - 1));
+    m.interface = tail.substr(open + 1, close - open - 1);
     std::string_view after = trim(tail.substr(close + 1));
     if (after.starts_with("(L2)")) after = trim(after.substr(4));
     const std::size_t comma = after.find(',');
@@ -203,7 +262,7 @@ Result<Message> parse_message(std::string_view line) {
     if (comma == std::string_view::npos) {
       return make_error(ErrorCode::kTruncated, "UPDOWN truncated");
     }
-    m.interface = std::string(tail.substr(0, comma));
+    m.interface = tail.substr(0, comma);
     const std::size_t state = tail.find("changed state to ");
     if (state == std::string_view::npos) {
       return make_error(ErrorCode::kParseError, "UPDOWN without state");
@@ -214,7 +273,8 @@ Result<Message> parse_message(std::string_view line) {
     return m;
   }
 
-  return make_error(ErrorCode::kNotFound, "unhandled mnemonic " + mnemonic);
+  return make_error(ErrorCode::kNotFound,
+                    "unhandled mnemonic " + std::string(mnemonic));
 }
 
 }  // namespace netfail::syslog

@@ -14,6 +14,7 @@
 
 #include "src/common/events.hpp"
 #include "src/common/result.hpp"
+#include "src/common/sym.hpp"
 #include "src/common/time.hpp"
 #include "src/topology/topology.hpp"
 
@@ -39,21 +40,28 @@ inline const char* message_class_name(MessageClass c) {
 
 struct Message {
   TimePoint timestamp;       // when the router generated the message
-  std::string reporter;      // hostname of the originating router
+  Symbol reporter;           // hostname of the originating router (interned)
   RouterOs dialect = RouterOs::kIos;
   MessageType type = MessageType::kIsisAdjChange;
   LinkDirection dir = LinkDirection::kDown;
-  std::string interface;     // local interface the event refers to
-  std::string neighbor;      // adjacency messages: far-end hostname
+  Symbol interface;          // local interface the event refers to (interned)
+  Symbol neighbor;           // adjacency messages: far-end hostname (interned)
   std::string reason;        // adjacency messages: free-text reason
 
   /// Render the full RFC 3164 line, e.g.
   /// "<189>Oct 20 04:11:17 edu042-gw-1 ...: %CLNS-5-ADJCHANGE: ISIS: ...".
   std::string render(unsigned sequence_number) const;
+
+  /// Allocation-lean render: clears `out` and writes the same bytes as
+  /// render() into it. Callers that reuse `out` across events amortize its
+  /// capacity, so the render->transmit round trip allocates O(1) per event.
+  void render_to(std::string& out, unsigned sequence_number) const;
 };
 
-/// Parse a raw syslog line back into structure. Lines that are valid syslog
-/// but not one of the message types above return kNotFound; garbled lines
+/// Parse a raw syslog line back into structure. Zero-copy: tokenizes the
+/// line as string_views and resolves names straight into interned Symbols;
+/// only the free-text `reason` is copied. Lines that are valid syslog but
+/// not one of the message types above return kNotFound; garbled lines
 /// return kParseError.
 Result<Message> parse_message(std::string_view line);
 

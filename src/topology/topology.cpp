@@ -16,11 +16,12 @@ std::string make_link_name(std::string_view host_a, std::string_view if_a,
 
 RouterId Topology::add_router(std::string hostname, RouterClass cls,
                               RouterOs os, CustomerId customer) {
-  NETFAIL_ASSERT(!by_hostname_.contains(hostname), "duplicate hostname");
+  const Symbol host(hostname);
+  NETFAIL_ASSERT(!by_hostname_.contains(host), "duplicate hostname");
   const RouterId id{static_cast<std::uint32_t>(routers_.size())};
   Router r;
   r.id = id;
-  r.hostname = std::move(hostname);
+  r.hostname = host;
   r.cls = cls;
   r.os = os;
   r.system_id = OsiSystemId::from_index(id.value());
@@ -66,8 +67,10 @@ LinkId Topology::add_link(RouterId a, std::string if_name_a, RouterId b,
   NETFAIL_ASSERT(!by_subnet_.contains(subnet), "subnet already in use");
 
   // Canonicalize endpoint order by (hostname, interface name).
-  const std::string ea = routers_[a.index()].hostname + ":" + if_name_a;
-  const std::string eb = routers_[b.index()].hostname + ":" + if_name_b;
+  const std::string ea =
+      routers_[a.index()].hostname.str() + ":" + if_name_a;
+  const std::string eb =
+      routers_[b.index()].hostname.str() + ":" + if_name_b;
   if (eb < ea) {
     std::swap(a, b);
     std::swap(if_name_a, if_name_b);
@@ -140,7 +143,10 @@ std::size_t Topology::link_count(RouterClass cls) const {
 }
 
 std::optional<RouterId> Topology::find_router(std::string_view hostname) const {
-  auto it = by_hostname_.find(std::string(hostname));
+  // sym::find never grows the table, so lookups of unknown names stay cheap.
+  const Symbol host = sym::find(hostname);
+  if (!host.valid()) return std::nullopt;
+  auto it = by_hostname_.find(host);
   if (it == by_hostname_.end()) return std::nullopt;
   return it->second;
 }
@@ -177,10 +183,16 @@ std::vector<LinkId> Topology::links_between(RouterId a, RouterId b) const {
 std::string Topology::link_name(LinkId id) const {
   const Link& l = link(id);
   // Endpoints are already canonically ordered by add_link.
-  return routers_[l.router_a.index()].hostname + ":" +
-         interfaces_[l.if_a.index()].name + "|" +
-         routers_[l.router_b.index()].hostname + ":" +
-         interfaces_[l.if_b.index()].name;
+  std::string out;
+  out.reserve(64);
+  out.append(routers_[l.router_a.index()].hostname.view());
+  out.push_back(':');
+  out.append(interfaces_[l.if_a.index()].name.view());
+  out.push_back('|');
+  out.append(routers_[l.router_b.index()].hostname.view());
+  out.push_back(':');
+  out.append(interfaces_[l.if_b.index()].name.view());
+  return out;
 }
 
 RouterId Topology::link_peer(LinkId id, RouterId from) const {

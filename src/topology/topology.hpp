@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/ids.hpp"
+#include "src/common/sym.hpp"
 #include "src/common/time.hpp"
 #include "src/topology/ipv4.hpp"
 #include "src/topology/osi.hpp"
@@ -34,14 +35,14 @@ enum class RouterOs { kIos, kIosXr };
 struct Interface {
   InterfaceId id;
   RouterId router;
-  std::string name;      // e.g. "TenGigE0/1/0/3"
+  Symbol name;           // e.g. "TenGigE0/1/0/3" (interned)
   Ipv4Address address;   // one side of the link's /31
   LinkId link;
 };
 
 struct Router {
   RouterId id;
-  std::string hostname;  // e.g. "lax-core-1"
+  Symbol hostname;       // e.g. "lax-core-1" (interned)
   RouterClass cls = RouterClass::kCore;
   RouterOs os = RouterOs::kIos;
   OsiSystemId system_id;
@@ -144,7 +145,7 @@ class Topology {
   std::vector<Customer> customers_;
   std::vector<std::vector<LinkId>> groups_;
   std::vector<std::vector<std::pair<RouterId, LinkId>>> adjacency_;
-  std::unordered_map<std::string, RouterId> by_hostname_;
+  std::unordered_map<Symbol, RouterId> by_hostname_;
   std::unordered_map<OsiSystemId, RouterId> by_system_id_;
   std::unordered_map<Ipv4Prefix, LinkId> by_subnet_;
 };

@@ -174,8 +174,12 @@ TEST_F(IsolationTest, OpenEndedPairDowntimeClampedToPeriod) {
 }
 
 TEST(HostPairKey, Canonical) {
-  EXPECT_EQ(host_pair_key("b", "a"), "a|b");
-  EXPECT_EQ(host_pair_key("a", "b"), "a|b");
+  // Order-insensitive, and keyed on string order (not intern order): "a"
+  // is interned after "b" here, yet still sorts first in the packed key.
+  EXPECT_EQ(host_pair_key("b", "a"), host_pair_key("a", "b"));
+  const Symbol a("a"), b("b");
+  EXPECT_EQ(host_pair_key(b, a),
+            (static_cast<std::uint64_t>(a.value()) << 32) | b.value());
 }
 
 }  // namespace

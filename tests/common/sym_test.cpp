@@ -1,0 +1,119 @@
+#include "src/common/sym.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace netfail::sym {
+namespace {
+
+TEST(SymTest, DedupSameIdForEqualStrings) {
+  const Symbol a("lax-core-1");
+  const Symbol b(std::string("lax-core-1"));
+  const Symbol c(std::string_view("lax-core-1"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a.value(), c.value());
+  const Symbol other("lax-core-2");
+  EXPECT_NE(a.value(), other.value());
+}
+
+TEST(SymTest, InvalidSymbol) {
+  const Symbol s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.view(), "");
+  EXPECT_STREQ(s.c_str(), "");
+  EXPECT_EQ(s, Symbol::invalid());
+  EXPECT_NE(s, Symbol(""));  // "" is a real (valid) symbol, id 0
+}
+
+TEST(SymTest, EmptyStringIsIdZero) {
+  const Symbol e("");
+  EXPECT_TRUE(e.valid());
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.value(), 0u);
+}
+
+TEST(SymTest, RoundTrip) {
+  const std::string name = "TenGigE0/1/0/3";
+  const Symbol s(name);
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.view(), name);
+  EXPECT_EQ(s.str(), name);
+  EXPECT_STREQ(s.c_str(), name.c_str());
+  EXPECT_EQ(s, name);
+  EXPECT_EQ(s, name.c_str());
+  EXPECT_EQ(s, std::string_view(name));
+}
+
+TEST(SymTest, FindDoesNotIntern) {
+  const std::size_t before = table_size();
+  EXPECT_FALSE(find("sym-test-name-that-is-never-interned").valid());
+  EXPECT_EQ(table_size(), before);
+  const Symbol s("sym-test-find-hit");
+  EXPECT_EQ(find("sym-test-find-hit"), s);
+}
+
+TEST(SymTest, LexOrderIsStringOrderNotIdOrder) {
+  // Intern in reverse lexicographic order so id order disagrees.
+  const Symbol z("zzz-sym-order");
+  const Symbol a("aaa-sym-order");
+  EXPECT_GT(a.value(), z.value());
+  EXPECT_TRUE(lex_less(a, z));
+  EXPECT_FALSE(lex_less(z, a));
+  const auto [lo, hi] = ordered(z, a);
+  EXPECT_EQ(lo, a);
+  EXPECT_EQ(hi, z);
+  EXPECT_EQ(pair_key(a, z), pair_key(z, a));
+  EXPECT_NE(pair_key(a, z), pair_key(a, a));
+}
+
+TEST(SymTest, StressTenThousandNames) {
+  std::vector<Symbol> syms;
+  syms.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    syms.push_back(Symbol("stress-" + std::to_string(i)));
+  }
+  // Forces several index rehashes; every earlier symbol must still resolve.
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_EQ(syms[static_cast<std::size_t>(i)].view(),
+              "stress-" + std::to_string(i));
+    EXPECT_EQ(Symbol("stress-" + std::to_string(i)), syms[static_cast<std::size_t>(i)]);
+  }
+}
+
+// Exercised under TSan via scripts/check.sh tsan: concurrent interning of an
+// overlapping name set plus lock-free lookups must race-freely agree on ids.
+TEST(SymConcurrencyTest, ConcurrentInternAndLookup) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 2'000;
+  std::vector<std::vector<std::uint32_t>> ids(
+      kThreads, std::vector<std::uint32_t>(kNames));
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &ids] {
+      for (int i = 0; i < kNames; ++i) {
+        // All threads intern the same names, interleaved with reads.
+        const std::string name = "conc-" + std::to_string(i);
+        const Symbol s(name);
+        ids[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] = s.value();
+        EXPECT_EQ(s.view(), name);
+        if (i > 0) {
+          EXPECT_TRUE(find("conc-" + std::to_string(i - 1)).valid());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(t)], ids[0]) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace netfail::sym

@@ -65,7 +65,7 @@ TEST_F(CensusTest, ClassCounts) {
 
 TEST_F(CensusTest, HostnameMapping) {
   EXPECT_EQ(census_.hostname_of(OsiSystemId::from_index(1)), "a-core-1");
-  EXPECT_EQ(census_.hostname_of(OsiSystemId::from_index(99)), std::nullopt);
+  EXPECT_FALSE(census_.hostname_of(OsiSystemId::from_index(99)).valid());
 }
 
 TEST_F(CensusTest, CanonicalEndpointOrder) {

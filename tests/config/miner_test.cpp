@@ -134,9 +134,9 @@ TEST_F(MineArchiveTest, CensusMatchesTopologyGroundTruth) {
 TEST_F(MineArchiveTest, SystemIdsRecovered) {
   const LinkCensus census = mine_archive(archive_, period_);
   for (const Router& r : topo_.routers()) {
-    const auto host = census.hostname_of(r.system_id);
-    ASSERT_TRUE(host.has_value()) << r.hostname;
-    EXPECT_EQ(*host, r.hostname);
+    const Symbol host = census.hostname_of(r.system_id);
+    ASSERT_TRUE(host.valid()) << r.hostname;
+    EXPECT_EQ(host, r.hostname);
   }
 }
 

@@ -120,11 +120,11 @@ TEST_F(RoutingIntegration, DatabaseTracksFailureAndRecovery) {
       if (lsp->hostname != link.a.host && lsp->hostname != link.b.host) {
         continue;
       }
-      const std::string& other =
+      const Symbol other =
           lsp->hostname == link.a.host ? link.b.host : link.a.host;
       for (const isis::IsReachEntry& e : lsp->is_reach) {
-        const auto host = result().census.hostname_of(e.neighbor);
-        if (host && *host == other) {
+        const Symbol host = result().census.hostname_of(e.neighbor);
+        if (host.valid() && host == other) {
           ++directions;
           break;
         }
