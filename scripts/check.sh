@@ -43,9 +43,11 @@ run_tsan() {
   configure_and_build build-tsan -DNETFAIL_TSAN=ON -DNETFAIL_SANITIZE=OFF
   # The suites that actually exercise threads: the pool itself, the parallel
   # pipeline fan-out, the concurrent metrics/cache paths, sim determinism
-  # under the pool, and the streaming engine.
+  # under the pool, the streaming engine, and the socket ingest path (IO +
+  # consumer threads; the net suites skip themselves where the sandbox
+  # forbids sockets).
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest'
+    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest|BoundedMpsc|EventLoop|NetGateway'
 }
 
 run_bench() {
@@ -58,6 +60,13 @@ run_bench() {
   ./build/bench/bench_stream_throughput --json=build/BENCH_pipeline.json \
     --benchmark_filter='^$' >/dev/null
   python3 scripts/bench_compare.py BENCH_pipeline.json build/BENCH_pipeline.json \
+    --tolerance "${NETFAIL_BENCH_TOLERANCE:-0.10}"
+  # Socket ingest throughput. The bench self-skips (and writes no entries)
+  # where the sandbox forbids sockets; bench_compare ignores entries present
+  # on only one side, so the gate degrades gracefully there.
+  ./build/bench/bench_net_ingest --json=build/BENCH_net.json \
+    --benchmark_filter='^$' >/dev/null
+  python3 scripts/bench_compare.py BENCH_pipeline.json build/BENCH_net.json \
     --tolerance "${NETFAIL_BENCH_TOLERANCE:-0.10}"
 }
 

@@ -1,5 +1,9 @@
 #include "src/common/flags.hpp"
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
 namespace netfail::flags {
 namespace {
 
@@ -67,6 +71,54 @@ Parsed parse_flags(int argc, char** argv, int first,
   std::vector<std::string> args;
   for (int i = first; i < argc; ++i) args.emplace_back(argv[i]);
   return parse_flags(args, specs);
+}
+
+Result<std::uint16_t> parse_port(const std::string& flag,
+                                 const std::string& value) {
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+  // strtoul is lenient (leading whitespace, '+', '-' wraparound); a port is
+  // strictly a run of decimal digits.
+  if (value.empty() || *end != '\0' ||
+      !std::isdigit(static_cast<unsigned char>(value.front())) || n < 1 ||
+      n > 65535) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "flag " + flag + " expects a port (1-65535), got '" +
+                          value + "'");
+  }
+  return static_cast<std::uint16_t>(n);
+}
+
+Result<double> parse_probability(const std::string& flag,
+                                 const std::string& value) {
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  // Reject strtod's extras (whitespace, sign prefixes, nan/inf): a
+  // probability literal starts with a digit or a dot and is finite.
+  if (value.empty() || *end != '\0' ||
+      !(std::isdigit(static_cast<unsigned char>(value.front())) ||
+        value.front() == '.') ||
+      !std::isfinite(p) || p < 0.0 || p > 1.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "flag " + flag + " expects a probability in [0,1], got '" +
+                          value + "'");
+  }
+  return p;
+}
+
+Result<double> parse_nonneg_real(const std::string& flag,
+                                 const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || *end != '\0' ||
+      !(std::isdigit(static_cast<unsigned char>(value.front())) ||
+        value.front() == '.') ||
+      !std::isfinite(v) || v < 0.0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "flag " + flag + " expects a non-negative number, got '" +
+                          value + "'");
+  }
+  return v;
 }
 
 }  // namespace netfail::flags

@@ -7,11 +7,14 @@
 // the caller can print usage and exit non-zero.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
+
+#include "src/common/result.hpp"
 
 namespace netfail::flags {
 
@@ -46,5 +49,22 @@ Parsed parse_flags(const std::vector<std::string>& args,
 /// Convenience for main(): parses argv[first..argc).
 Parsed parse_flags(int argc, char** argv, int first,
                    const std::vector<FlagSpec>& specs);
+
+// Strict typed value parsers for subcommand mains. The whole string must
+// parse and fall in range; the error message names the offending flag so
+// the caller can print it verbatim before the usage text.
+
+/// A TCP/UDP port: decimal, 1..65535 (0 would mean "kernel picks", which a
+/// user pointing two processes at each other never wants).
+Result<std::uint16_t> parse_port(const std::string& flag,
+                                 const std::string& value);
+
+/// A probability: decimal float in [0, 1].
+Result<double> parse_probability(const std::string& flag,
+                                 const std::string& value);
+
+/// A non-negative decimal float (rates, scale factors).
+Result<double> parse_nonneg_real(const std::string& flag,
+                                 const std::string& value);
 
 }  // namespace netfail::flags

@@ -89,6 +89,13 @@ Counter& Registry::counter(const std::string& name) {
   return *slot;
 }
 
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> upper_bounds) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -104,6 +111,12 @@ std::string Registry::render_text() const {
     out += name;
     out += ' ';
     out += std::to_string(c->value());
+    out += '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name;
+    out += ' ';
+    out += std::to_string(g->value());
     out += '\n';
   }
   for (const auto& [name, h] : histograms_) {
@@ -135,6 +148,13 @@ std::string Registry::render_json() const {
     first = false;
     out += '"' + name + "\":" + std::to_string(c->value());
   }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(g->value());
+  }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
@@ -162,6 +182,7 @@ std::string Registry::render_json() const {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 

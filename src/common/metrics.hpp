@@ -36,6 +36,29 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// A point-in-time signed level (queue depth, active connections): unlike a
+/// Counter it goes both ways, and a snapshot shows the *current* level, not
+/// a cumulative total. All operations are relaxed atomics, so producers and
+/// a consumer on different threads can track one level without a lock.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// set(max(current, v)), for high-water marks shared across threads.
+  void set_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// A histogram with fixed bucket upper bounds chosen at creation. Buckets
 /// are *not* cumulative: counts_[i] holds observations v with
 /// bounds_[i-1] < v <= bounds_[i]; one final overflow bucket catches the
@@ -85,6 +108,7 @@ std::vector<double> exponential_bounds(double first, double factor, std::size_t 
 class Registry {
  public:
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   /// Bounds are fixed on first creation; later calls with the same name
   /// return the existing histogram and ignore `upper_bounds`.
   Histogram& histogram(const std::string& name,
@@ -101,6 +125,7 @@ class Registry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -3,7 +3,6 @@
 #include <fstream>
 #include <ostream>
 
-#include "src/syslog/message.hpp"
 
 namespace netfail::io {
 
@@ -31,7 +30,9 @@ Result<syslog::Collector> read_syslog_file(std::istream& in,
   SyslogReadStats local;
   SyslogReadStats& st = stats ? *stats : local;
   syslog::Collector collector;
-  TimePoint cursor = capture_start;
+  // The same arrival reconstruction the live UDP receiver applies, so a
+  // capture file and its zero-loss replay load identically.
+  syslog::ArrivalCursor cursor(capture_start);
 
   std::string line;
   while (std::getline(in, line)) {
@@ -41,17 +42,10 @@ Result<syslog::Collector> read_syslog_file(std::istream& in,
       continue;
     }
     ++st.lines;
-    // Arrival-time reconstruction: use the message's own timestamp resolved
-    // against the moving cursor; unparsable lines inherit the cursor.
-    TimePoint arrival = cursor;
-    if (const Result<syslog::Message> m = syslog::parse_message(line)) {
-      arrival = syslog::resolve_year(m->timestamp, cursor);
-    } else {
-      ++st.unparsable;
-    }
-    if (arrival < cursor) arrival = cursor;  // keep the collector monotonic
+    bool parsable = false;
+    const TimePoint arrival = cursor.arrival_of(line, &parsable);
+    if (!parsable) ++st.unparsable;
     collector.receive(arrival, line);
-    cursor = arrival;
   }
   return collector;
 }

@@ -1,0 +1,393 @@
+#include "src/net/gateway.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include "src/common/assert.hpp"
+#include "src/common/metrics.hpp"
+#include "src/syslog/collector.hpp"
+
+namespace netfail::net {
+namespace {
+
+// recvmmsg batch geometry. RFC 3164 caps a packet at 1024 bytes; 2 KiB per
+// slot leaves room for the simulator's longest rendered lines, and 64 slots
+// amortize the syscall enough to clear the ingest throughput target on one
+// core.
+constexpr int kRecvBatch = 64;
+constexpr std::size_t kMaxDatagram = 2048;
+
+// How many items the consumer moves out of a queue per lock acquisition.
+constexpr std::size_t kDrainBatch = 256;
+
+}  // namespace
+
+IngestGateway::IngestGateway(const LinkCensus& census, GatewayOptions options)
+    : census_(&census),
+      options_(std::move(options)),
+      syslog_queue_(ws_, options_.syslog_queue_capacity,
+                    &metrics::global().gauge("net.syslog_queue.depth"),
+                    &metrics::global().gauge("net.syslog_queue.peak")),
+      lsp_queue_(ws_, options_.lsp_queue_capacity,
+                 &metrics::global().gauge("net.lsp_queue.depth"),
+                 &metrics::global().gauge("net.lsp_queue.peak")),
+      engine_(std::make_unique<stream::StreamEngine>(census, options_.engine)) {
+  high_watermark_ = options_.lsp_high_watermark != 0
+                        ? options_.lsp_high_watermark
+                        : options_.lsp_queue_capacity * 3 / 4;
+  low_watermark_ = options_.lsp_low_watermark != 0
+                       ? options_.lsp_low_watermark
+                       : options_.lsp_queue_capacity / 4;
+  NETFAIL_ASSERT(low_watermark_ < high_watermark_ &&
+                     high_watermark_ <= options_.lsp_queue_capacity,
+                 "lsp watermarks must satisfy low < high <= capacity");
+  if (options_.engine_setup) options_.engine_setup(*engine_);
+}
+
+IngestGateway::~IngestGateway() { stop(); }
+
+Status IngestGateway::start() {
+  NETFAIL_ASSERT(!running_ && !stopped_, "gateway started twice");
+  auto udp = udp_bind(options_.bind_host, options_.syslog_port);
+  if (!udp) return Status(udp.error());
+  auto listener = tcp_listen(options_.bind_host, options_.lsp_port, 16);
+  if (!listener) return Status(listener.error());
+  udp_ = std::move(*udp);
+  listener_ = std::move(*listener);
+
+  (void)set_recv_buffer(udp_, options_.recv_buffer_bytes);
+  if (Status st = set_nonblocking(udp_); !st.ok()) return st;
+  if (Status st = set_nonblocking(listener_); !st.ok()) return st;
+
+  auto sport = local_port(udp_);
+  if (!sport) return Status(sport.error());
+  auto lport = local_port(listener_);
+  if (!lport) return Status(lport.error());
+  syslog_port_ = *sport;
+  lsp_port_ = *lport;
+
+  loop_.add(udp_.get(), [this](short) { on_udp_readable(); });
+  loop_.add(listener_.get(), [this](short) { on_accept(); });
+  loop_.set_on_wake([this] { maybe_resume_connections(); });
+
+  io_ = std::thread(&IngestGateway::io_thread, this);
+  consumer_ = std::thread(&IngestGateway::consumer_thread, this);
+  running_ = true;
+  return Status::ok_status();
+}
+
+void IngestGateway::io_thread() { loop_.run(); }
+
+void IngestGateway::on_udp_readable() {
+  mmsghdr msgs[kRecvBatch];
+  iovec iovs[kRecvBatch];
+  static thread_local std::vector<std::uint8_t> bufs(kRecvBatch * kMaxDatagram);
+  for (;;) {
+    std::memset(msgs, 0, sizeof(msgs));
+    for (int i = 0; i < kRecvBatch; ++i) {
+      iovs[i].iov_base = bufs.data() + static_cast<std::size_t>(i) * kMaxDatagram;
+      iovs[i].iov_len = kMaxDatagram;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int n = ::recvmmsg(udp_.get(), msgs, kRecvBatch, 0, nullptr);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained
+    }
+    // Peel markers out (rare, end-of-replay only), then hand the rest to
+    // the queue as one batch: a single lock + notify per recvmmsg sweep
+    // instead of per datagram.
+    std::string lines[kRecvBatch];
+    std::size_t count = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::string_view payload(
+          reinterpret_cast<const char*>(iovs[i].iov_base), msgs[i].msg_len);
+      if (payload == kReplayEndMarker) {
+        ++counters_.end_markers;
+        {
+          std::lock_guard<std::mutex> lock(ws_.mu);
+          ++markers_seen_;
+        }
+        ws_.cv.notify_all();
+        continue;
+      }
+      lines[count++] = std::string(payload);
+    }
+    counters_.syslog_datagrams += count;
+    const std::size_t taken = syslog_queue_.try_push_batch(lines, count);
+    counters_.syslog_enqueued += taken;
+    counters_.syslog_queue_drops += count - taken;
+    if (n < kRecvBatch) return;
+  }
+}
+
+void IngestGateway::on_accept() {
+  for (;;) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (or transient accept error): wait for next event
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = Fd(fd);
+    (void)set_nonblocking(conn->fd);
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    ++counters_.connections_accepted;
+    loop_.add(fd, [this, raw](short revents) {
+      on_connection_readable(*raw, revents);
+    });
+    {
+      std::lock_guard<std::mutex> lock(ws_.mu);
+      ++conns_accepted_;
+      ++conns_open_;
+    }
+    ws_.cv.notify_all();
+  }
+}
+
+void IngestGateway::on_connection_readable(Connection& conn, short /*revents*/) {
+  bool closed = false;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd.get(), buf, sizeof(buf));
+    if (n > 0) {
+      conn.decoder.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      extract_frames(conn);
+      // Paused: leave further bytes in the socket buffer so TCP flow
+      // control reaches the sender. Corrupt: no point reading more.
+      if (conn.paused || conn.decoder.corrupt()) break;
+      continue;
+    }
+    if (n == 0) {
+      closed = true;  // orderly FIN
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    closed = true;  // ECONNRESET et al. — the fault injector's abortive close
+    break;
+  }
+  if (conn.decoder.corrupt()) {
+    ++counters_.lsp_corrupt_streams;
+    closed = true;
+  }
+  if (closed) close_connection(conn.fd.get());
+}
+
+void IngestGateway::extract_frames(Connection& conn) {
+  for (;;) {
+    if (lsp_queue_.above_high_watermark(high_watermark_)) {
+      if (!conn.paused) {
+        conn.paused = true;
+        ++counters_.backpressure_pauses;
+        paused_conns_.fetch_add(1, std::memory_order_relaxed);
+        loop_.set_want_read(conn.fd.get(), false);
+      }
+      return;
+    }
+    const auto payload = conn.decoder.next();
+    if (!payload) return;
+    ++counters_.lsp_frames;
+    auto record = decode_lsp_payload(*payload);
+    if (!record) {
+      ++counters_.lsp_decode_errors;
+      continue;
+    }
+    // Cannot overflow: occupancy is re-checked against the high watermark
+    // before every push, so the only refusal is a closed (shutting down)
+    // queue — then the rest of the stream is moot anyway.
+    if (!lsp_queue_.try_push(std::move(*record))) return;
+  }
+}
+
+void IngestGateway::close_connection(int fd) {
+  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+    Connection& conn = **it;
+    if (conn.fd.get() != fd) continue;
+    if (conn.decoder.corrupt()) {
+      (void)conn.decoder.reset();
+    } else if (conn.decoder.buffered() > 0) {
+      ++counters_.lsp_torn_tails;  // connection cut mid-frame
+    }
+    if (conn.paused) paused_conns_.fetch_sub(1, std::memory_order_relaxed);
+    loop_.remove(fd);
+    ++counters_.connections_closed;
+    connections_.erase(it);
+    {
+      std::lock_guard<std::mutex> lock(ws_.mu);
+      --conns_open_;
+    }
+    ws_.cv.notify_all();
+    return;
+  }
+}
+
+void IngestGateway::maybe_resume_connections() {
+  if (paused_conns_.load(std::memory_order_relaxed) == 0) return;
+  if (!lsp_queue_.below_low_watermark(low_watermark_)) return;
+  // Drain each paused connection's decoder backlog first; only re-arm the
+  // socket if that did not immediately push us back above the watermark.
+  std::vector<int> dead;
+  for (auto& conn : connections_) {
+    if (!conn->paused) continue;
+    conn->paused = false;
+    paused_conns_.fetch_sub(1, std::memory_order_relaxed);
+    extract_frames(*conn);
+    if (conn->decoder.corrupt()) {
+      ++counters_.lsp_corrupt_streams;
+      dead.push_back(conn->fd.get());
+      continue;
+    }
+    if (!conn->paused) loop_.set_want_read(conn->fd.get(), true);
+  }
+  for (const int fd : dead) close_connection(fd);
+}
+
+void IngestGateway::consumer_thread() {
+  syslog::ArrivalCursor cursor(options_.capture_start);
+  TimePoint last_lsp_arrival;
+  bool have_lsp = false;
+  std::uint64_t out_of_order = 0;
+  std::vector<std::string> lines;
+  std::vector<isis::LspRecord> records;
+  lines.reserve(kDrainBatch);
+  records.reserve(kDrainBatch);
+
+  metrics::Counter& fed_syslog =
+      metrics::global().counter("net.consumer.syslog_fed");
+  metrics::Counter& fed_lsp = metrics::global().counter("net.consumer.lsp_fed");
+
+  std::unique_lock<std::mutex> lock(ws_.mu);
+  for (;;) {
+    lines.clear();
+    records.clear();
+    while (lines.size() < kDrainBatch && !syslog_queue_.empty_locked()) {
+      lines.push_back(syslog_queue_.pop_locked());
+    }
+    while (records.size() < kDrainBatch && !lsp_queue_.empty_locked()) {
+      records.push_back(lsp_queue_.pop_locked());
+    }
+    if (lines.empty() && records.empty()) {
+      if (syslog_queue_.closed_locked() && lsp_queue_.closed_locked()) break;
+      consumer_idle_ = true;
+      ws_.cv.notify_all();  // wait_replay_complete() watchers
+      ws_.cv.wait(lock);
+      consumer_idle_ = false;
+      continue;
+    }
+    lock.unlock();
+
+    for (std::string& line : lines) {
+      syslog::ReceivedLine rec;
+      rec.received_at = cursor.arrival_of(line);
+      rec.line = std::move(line);
+      engine_->feed_syslog(rec);
+      fed_syslog.inc();
+      if (options_.consumer_slowdown.count() > 0) {
+        std::this_thread::sleep_for(options_.consumer_slowdown);
+      }
+    }
+    for (isis::LspRecord& record : records) {
+      // Per-source monotonic guard, mirroring EventMux's out-of-order drop
+      // policy. Never fires on an in-order replay; protects the trackers
+      // when reconnect races interleave old frames behind new ones.
+      if (have_lsp && record.received_at < last_lsp_arrival) {
+        ++out_of_order;
+        continue;
+      }
+      last_lsp_arrival = record.received_at;
+      have_lsp = true;
+      engine_->feed_lsp(record);
+      fed_lsp.inc();
+      if (options_.consumer_slowdown.count() > 0) {
+        std::this_thread::sleep_for(options_.consumer_slowdown);
+      }
+    }
+
+    // We may just have drained below the low watermark: nudge the IO loop
+    // so paused connections resume reading.
+    if (paused_conns_.load(std::memory_order_relaxed) > 0 &&
+        lsp_queue_.below_low_watermark(low_watermark_)) {
+      loop_.wake();
+    }
+    lock.lock();
+  }
+  lock.unlock();
+
+  counters_.lsp_out_of_order = out_of_order;  // consumer-owned field
+  final_checkpoint_ = engine_->checkpoint();
+  engine_->finish();
+}
+
+bool IngestGateway::wait_replay_complete(std::chrono::milliseconds timeout,
+                                         std::uint64_t min_connections) {
+  std::unique_lock<std::mutex> lock(ws_.mu);
+  return ws_.cv.wait_for(lock, timeout, [&] {
+    return markers_seen_ > 0 && conns_accepted_ >= min_connections &&
+           conns_open_ == 0 && syslog_queue_.empty_locked() &&
+           lsp_queue_.empty_locked() && consumer_idle_;
+  });
+}
+
+void IngestGateway::request_stop() { loop_.stop(); }
+
+void IngestGateway::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (!running_) return;
+
+  loop_.stop();
+  io_.join();
+  // Connections still open at shutdown: account their partial tails the
+  // same way a mid-frame cut is accounted.
+  for (const auto& conn : connections_) {
+    if (!conn->decoder.corrupt() && conn->decoder.buffered() > 0) {
+      ++counters_.lsp_torn_tails;
+    }
+  }
+  // No producers remain: close the queues and let the consumer drain
+  // whatever is buffered through the engine before checkpointing.
+  syslog_queue_.close();
+  lsp_queue_.close();
+  consumer_.join();
+
+  connections_.clear();
+  udp_.reset();
+  listener_.reset();
+  running_ = false;
+
+  metrics::Registry& m = metrics::global();
+  m.counter("net.syslog.datagrams").inc(counters_.syslog_datagrams);
+  m.counter("net.syslog.queue_drops").inc(counters_.syslog_queue_drops);
+  m.counter("net.lsp.frames").inc(counters_.lsp_frames);
+  m.counter("net.lsp.torn_tails").inc(counters_.lsp_torn_tails);
+  m.counter("net.lsp.out_of_order").inc(counters_.lsp_out_of_order);
+  m.counter("net.connections.accepted").inc(counters_.connections_accepted);
+  m.counter("net.backpressure.pauses").inc(counters_.backpressure_pauses);
+}
+
+stream::StreamEngine& IngestGateway::engine() {
+  NETFAIL_ASSERT(engine_ != nullptr, "gateway engine accessed before start");
+  return *engine_;
+}
+
+const stream::StreamEngine& IngestGateway::engine() const {
+  NETFAIL_ASSERT(engine_ != nullptr, "gateway engine accessed before start");
+  return *engine_;
+}
+
+const stream::Checkpoint& IngestGateway::final_checkpoint() const {
+  NETFAIL_ASSERT(stopped_, "final checkpoint is taken during stop()");
+  return final_checkpoint_;
+}
+
+GatewayCounters IngestGateway::counters() const { return counters_; }
+
+}  // namespace netfail::net

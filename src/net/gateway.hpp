@@ -1,0 +1,193 @@
+// net::IngestGateway — the socket front end of the streaming analysis
+// engine: the paper's two collection artifacts as live network services.
+//
+//   - UDP syslog receiver: one RFC 3164 datagram per message, exactly the
+//     transport real routers use (paper sect. 3.3). UDP does not ack and
+//     the gateway does not block: when the bounded ingest queue is full the
+//     datagram is dropped and *counted* — the collector-side bias the
+//     syslogd availability literature warns about becomes a first-class
+//     metric instead of a silent skew.
+//   - TCP LSP feed: length-prefixed frames (net::Frame) carrying arrival
+//     timestamp + raw IS-IS PDU bytes, the live analogue of an NFC1
+//     capture. TCP is the reliable source, so it is *never* dropped:
+//     above the queue's high watermark the gateway stops reading the
+//     socket and lets TCP flow control push back to the sender; reading
+//     resumes below the low watermark.
+//
+// One IO thread runs the poll loop and fills two bounded MPSC queues; one
+// consumer thread drains them into a stream::StreamEngine, reconstructing
+// syslog arrival times with the same ArrivalCursor the batch file reader
+// uses — which is why a zero-loss replay of a capture bundle yields
+// analysis output byte-identical to the batch pipeline over the same
+// files. Shutdown (stop(), or request_stop() from a SIGINT handler) stops
+// the IO loop, drains both queues through the engine, and snapshots a
+// final Checkpoint before finish().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/config/census.hpp"
+#include "src/net/event_loop.hpp"
+#include "src/net/frame.hpp"
+#include "src/net/queue.hpp"
+#include "src/net/socket.hpp"
+#include "src/stream/engine.hpp"
+
+namespace netfail::net {
+
+/// A replay sender marks end-of-stream with this out-of-band datagram (it
+/// can never parse as a syslog message). Sent multiply because UDP.
+inline constexpr std::string_view kReplayEndMarker = "<netfail:replay-end>";
+
+struct GatewayOptions {
+  /// Loopback by default: tests and CI sandboxes never open a visible port.
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t syslog_port = 0;  // 0 = ephemeral, read back via accessor
+  std::uint16_t lsp_port = 0;
+
+  std::size_t syslog_queue_capacity = 1 << 16;
+  std::size_t lsp_queue_capacity = 1 << 16;
+  /// 0 = derive: high = 3/4 capacity, low = 1/4 capacity.
+  std::size_t lsp_high_watermark = 0;
+  std::size_t lsp_low_watermark = 0;
+
+  int recv_buffer_bytes = 4 << 20;
+
+  /// Anchors syslog arrival-time reconstruction (the bundle's period
+  /// begin, same as the batch reader's capture_start).
+  TimePoint capture_start;
+  stream::EngineOptions engine;
+
+  /// Invoked on the freshly constructed engine, before any thread exists —
+  /// the race-free place to install tracker callbacks (which then run on
+  /// the consumer thread).
+  std::function<void(stream::StreamEngine&)> engine_setup;
+
+  /// Artificial per-event consumer stall (wall-clock, not simulation
+  /// time). Test/fault-injection knob: a deliberately slow consumer is how
+  /// the backpressure path is exercised deterministically on a fast
+  /// machine.
+  std::chrono::microseconds consumer_slowdown{0};
+};
+
+/// Post-stop accounting snapshot. Exact: every datagram and frame the
+/// kernel handed us lands in exactly one of these buckets.
+struct GatewayCounters {
+  std::uint64_t syslog_datagrams = 0;    // received, excluding end markers
+  std::uint64_t syslog_enqueued = 0;
+  std::uint64_t syslog_queue_drops = 0;  // bounded-queue overflow
+  std::uint64_t end_markers = 0;
+
+  std::uint64_t lsp_frames = 0;          // complete frames decoded
+  std::uint64_t lsp_decode_errors = 0;   // frame payload not a valid record
+  std::uint64_t lsp_torn_tails = 0;      // connections cut mid-frame
+  std::uint64_t lsp_corrupt_streams = 0; // framing violation, conn dropped
+  std::uint64_t lsp_out_of_order = 0;    // arrival time-travel, event dropped
+
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t backpressure_pauses = 0; // pause transitions, not duration
+};
+
+class IngestGateway {
+ public:
+  IngestGateway(const LinkCensus& census, GatewayOptions options);
+  ~IngestGateway();
+
+  IngestGateway(const IngestGateway&) = delete;
+  IngestGateway& operator=(const IngestGateway&) = delete;
+
+  /// Bind both sockets and spawn the IO + consumer threads. Fails (with no
+  /// threads spawned) when a socket cannot be created or bound — e.g. a
+  /// sandbox that forbids sockets; callers should surface, not crash.
+  Status start();
+
+  std::uint16_t syslog_port() const { return syslog_port_; }
+  std::uint16_t lsp_port() const { return lsp_port_; }
+  bool running() const { return running_; }
+
+  /// Block until a replay finished cleanly: at least one end marker seen,
+  /// at least `min_connections` LSP connections accepted and all of them
+  /// closed again, both queues drained, consumer idle. False on timeout
+  /// (wall clock). `min_connections` guards the race where the end marker
+  /// datagram is dispatched before the TCP accept it raced with.
+  bool wait_replay_complete(std::chrono::milliseconds timeout,
+                            std::uint64_t min_connections = 0);
+
+  /// Async-signal-safe stop request (the CLI SIGINT handler calls this):
+  /// flags the IO loop; the owner must still call stop() to join+drain.
+  void request_stop();
+
+  /// Full shutdown: stop IO, close queues, drain the consumer through the
+  /// engine, snapshot the final Checkpoint, finish the trackers.
+  /// Idempotent.
+  void stop();
+
+  // ---- results, valid after stop() -----------------------------------------
+  stream::StreamEngine& engine();
+  const stream::StreamEngine& engine() const;
+  /// Engine state as of the last event drained, before finish().
+  const stream::Checkpoint& final_checkpoint() const;
+  GatewayCounters counters() const;
+
+ private:
+  struct Connection {
+    Fd fd;
+    FrameDecoder decoder;
+    bool paused = false;
+  };
+
+  void io_thread();
+  void consumer_thread();
+  void on_udp_readable();
+  void on_accept();
+  void on_connection_readable(Connection& conn, short revents);
+  void extract_frames(Connection& conn);
+  void close_connection(int fd);
+  void maybe_resume_connections();
+
+  const LinkCensus* census_;
+  GatewayOptions options_;
+  std::size_t high_watermark_ = 0;
+  std::size_t low_watermark_ = 0;
+
+  Fd udp_;
+  Fd listener_;
+  std::uint16_t syslog_port_ = 0;
+  std::uint16_t lsp_port_ = 0;
+
+  EventLoop loop_;
+  WaitSet ws_;
+  BoundedMpsc<std::string> syslog_queue_;
+  BoundedMpsc<isis::LspRecord> lsp_queue_;
+
+  std::unique_ptr<stream::StreamEngine> engine_;
+  stream::Checkpoint final_checkpoint_;
+
+  std::vector<std::unique_ptr<Connection>> connections_;  // IO thread only
+  GatewayCounters counters_;  // fields owned per-thread; snapshot after join
+  /// How many connections are read-paused; the consumer polls this to know
+  /// whether draining below the low watermark warrants a loop wakeup.
+  std::atomic<int> paused_conns_{0};
+
+  // Replay-completion state, guarded by ws_.mu (events are rare).
+  std::uint64_t markers_seen_ = 0;
+  std::uint64_t conns_open_ = 0;
+  std::uint64_t conns_accepted_ = 0;
+  bool consumer_idle_ = false;
+
+  std::thread io_;
+  std::thread consumer_;
+  bool running_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace netfail::net

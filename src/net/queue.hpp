@@ -1,0 +1,140 @@
+// Bounded MPSC queues with a shared wait-set.
+//
+// The ingest gateway runs one IO thread (producers: the UDP receiver and
+// the TCP feed) and one consumer thread (the StreamEngine). Each feed gets
+// its own bounded queue, but the consumer must sleep on "either queue has
+// work" — so queues are constructed over a shared WaitSet whose single
+// mutex covers every queue attached to it. One mutex for a handful of
+// queues is deliberate: operations are a push_back/pop_front under a lock,
+// contention is two threads, and the single condition variable makes the
+// multi-queue wait race-free by construction (no lost wakeups across
+// queues). Measured well above the 200k msgs/sec ingest target.
+//
+// Overload policy is the caller's choice per push:
+//   - try_push: refuse when full (the UDP feed counts a drop — datagram
+//     transports lose, they do not block);
+//   - watermark checks (above_high_watermark / below_low_watermark) let the
+//     TCP feed stop reading its socket instead, pushing back through TCP
+//     flow control to the sender.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/common/assert.hpp"
+#include "src/common/metrics.hpp"
+
+namespace netfail::net {
+
+/// The mutex + condition variable shared by every queue of one gateway.
+/// All queue operations lock `mu`; `cv` is notified on every push, close,
+/// and watermark-relevant pop.
+struct WaitSet {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+template <typename T>
+class BoundedMpsc {
+ public:
+  /// `depth`/`peak` (optional) are updated under the queue lock so metric
+  /// snapshots never show an impossible level.
+  BoundedMpsc(WaitSet& waitset, std::size_t capacity,
+              metrics::Gauge* depth = nullptr, metrics::Gauge* peak = nullptr)
+      : ws_(waitset), capacity_(capacity), depth_(depth), peak_(peak) {
+    NETFAIL_ASSERT(capacity > 0, "queue capacity must be positive");
+  }
+
+  /// Enqueue unless full or closed; returns whether the item was taken.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(ws_.mu);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      note_depth_locked();
+    }
+    ws_.cv.notify_all();
+    return true;
+  }
+
+  /// Batch form of try_push: one lock + one notify for a whole recvmmsg
+  /// sweep. Items [0, taken) are consumed from `items`; the rest were
+  /// refused (full/closed) and remain valid. Returns `taken`.
+  std::size_t try_push_batch(T* items, std::size_t count) {
+    std::size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(ws_.mu);
+      if (!closed_) {
+        while (taken < count && items_.size() < capacity_) {
+          items_.push_back(std::move(items[taken]));
+          ++taken;
+        }
+        note_depth_locked();
+      }
+    }
+    if (taken > 0) ws_.cv.notify_all();
+    return taken;
+  }
+
+  /// No new items after close; the consumer still drains what is buffered.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(ws_.mu);
+      closed_ = true;
+    }
+    ws_.cv.notify_all();
+  }
+
+  /// Consumer side, caller holds ws_.mu (the gateway's merge loop inspects
+  /// several queues under one lock).
+  bool empty_locked() const { return items_.empty(); }
+  bool closed_locked() const { return closed_; }
+  /// Drained: closed and nothing left to pop.
+  bool done_locked() const { return closed_ && items_.empty(); }
+  const T& front_locked() const { return items_.front(); }
+  T pop_locked() {
+    T item = std::move(items_.front());
+    items_.pop_front();
+    if (depth_ != nullptr) depth_->set(static_cast<std::int64_t>(items_.size()));
+    return item;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(ws_.mu);
+    return items_.size();
+  }
+
+  // Watermark checks for producer-side backpressure (TCP pause/resume).
+  bool above_high_watermark(std::size_t high) const {
+    std::lock_guard<std::mutex> lock(ws_.mu);
+    return items_.size() >= high;
+  }
+  bool below_low_watermark(std::size_t low) const {
+    std::lock_guard<std::mutex> lock(ws_.mu);
+    return items_.size() <= low;
+  }
+
+ private:
+  void note_depth_locked() {
+    if (depth_ != nullptr) {
+      const auto n = static_cast<std::int64_t>(items_.size());
+      depth_->set(n);
+      if (peak_ != nullptr) peak_->set_max(n);
+    } else if (peak_ != nullptr) {
+      peak_->set_max(static_cast<std::int64_t>(items_.size()));
+    }
+  }
+
+  WaitSet& ws_;
+  std::size_t capacity_;
+  metrics::Gauge* depth_;
+  metrics::Gauge* peak_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace netfail::net

@@ -5,6 +5,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/metrics.hpp"
+#include "src/syslog/message.hpp"
 
 namespace netfail::syslog {
 namespace {
@@ -48,6 +49,19 @@ TimePoint resolve_year(TimePoint parsed, TimePoint received) {
     }
   }
   return best;
+}
+
+TimePoint ArrivalCursor::arrival_of(std::string_view line, bool* parsable) {
+  TimePoint arrival = cursor_;
+  bool ok = false;
+  if (const Result<Message> m = parse_message(line)) {
+    arrival = resolve_year(m->timestamp, cursor_);
+    ok = true;
+  }
+  if (parsable != nullptr) *parsable = ok;
+  if (arrival < cursor_) arrival = cursor_;  // keep arrival order monotonic
+  cursor_ = arrival;
+  return arrival;
 }
 
 }  // namespace netfail::syslog

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/time.hpp"
@@ -33,5 +34,26 @@ class Collector {
 /// Resolve a year-less RFC 3164 timestamp against the collector's arrival
 /// time: pick the year that brings the message time closest to arrival.
 TimePoint resolve_year(TimePoint parsed, TimePoint received);
+
+/// Arrival-time reconstruction for raw syslog lines that carry no arrival
+/// timestamp of their own (a flat capture file, a UDP datagram): each
+/// line's arrival is its own message timestamp year-resolved against a
+/// moving cursor and clamped monotonic; unparsable lines inherit the
+/// cursor. Both the file reader and the live UDP receiver use this, so a
+/// replayed capture reconstructs byte-identical arrival times to the batch
+/// load of the same file.
+class ArrivalCursor {
+ public:
+  explicit ArrivalCursor(TimePoint capture_start) : cursor_(capture_start) {}
+
+  /// Arrival time for the next line, advancing the cursor. `parsable` (when
+  /// non-null) reports whether the line yielded a usable timestamp.
+  TimePoint arrival_of(std::string_view line, bool* parsable = nullptr);
+
+  TimePoint cursor() const { return cursor_; }
+
+ private:
+  TimePoint cursor_;
+};
 
 }  // namespace netfail::syslog

@@ -16,13 +16,27 @@
 //       state incrementally in bounded memory, print rolling per-link
 //       stats, and end with a metrics snapshot.
 //
+//   netfail serve --dir DIR --syslog-port N --lsp-port N [--policy P] ...
+//       Run the live ingest gateway: a UDP syslog receiver and a TCP LSP
+//       feed draining into the online engine. The bundle supplies the link
+//       census and analysis period. Runs until SIGINT (drains, prints the
+//       final reconstruction) or until a replay signals completion.
+//
+//   netfail replay --dir DIR --target HOST --syslog-port N --lsp-port N
+//                  [--rate MSGS_PER_SEC] [--loss P] [--duplicate P]
+//                  [--reorder P] [--resets N] [--seed N]
+//       Stream a bundle at a serve instance over real sockets, optionally
+//       through the wire-level fault injector.
+//
 // The bundle format is exactly what a real deployment can produce: a
 // syslog archive, a PyRT-style LSP capture, a RANCID-style config archive,
 // and ticket/outage exports.
 //
 // Unrecognized flags are an error (usage + exit 2), not a silent no-op.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -43,6 +57,8 @@
 #include "src/io/lsp_capture.hpp"
 #include "src/io/syslog_file.hpp"
 #include "src/io/ticket_file.hpp"
+#include "src/net/gateway.hpp"
+#include "src/net/replay.hpp"
 #include "src/stream/engine.hpp"
 #include "src/stream/event_mux.hpp"
 
@@ -60,7 +76,13 @@ int usage() {
       "hold-state]\n"
       "  netfail stream --dir DIR [--policy P] [--horizon SECS] "
       "[--max-links N]\n"
-      "                 [--report-every N] [--json-metrics]\n");
+      "                 [--report-every N] [--json-metrics]\n"
+      "  netfail serve --dir DIR --syslog-port N --lsp-port N [--policy P]\n"
+      "                [--horizon SECS] [--max-links N] [--host ADDR]\n"
+      "  netfail replay --dir DIR --target HOST --syslog-port N "
+      "--lsp-port N\n"
+      "                 [--rate MSGS_PER_SEC] [--loss P] [--duplicate P]\n"
+      "                 [--reorder P] [--resets N] [--seed N]\n");
   return 2;
 }
 
@@ -507,6 +529,230 @@ int cmd_stream(int argc, char** argv) {
   return 0;
 }
 
+// ---- serve -------------------------------------------------------------------
+
+net::IngestGateway* g_serve_gateway = nullptr;
+std::atomic<bool> g_interrupted{false};
+
+void handle_sigint(int) {
+  g_interrupted.store(true, std::memory_order_release);
+  if (g_serve_gateway != nullptr) g_serve_gateway->request_stop();
+}
+
+int cmd_serve(int argc, char** argv) {
+  flags::Parsed args;
+  if (!parse_or_usage(argc, argv,
+                      {{"--dir", true},
+                       {"--syslog-port", true},
+                       {"--lsp-port", true},
+                       {"--host", true},
+                       {"--policy", true},
+                       {"--horizon", true},
+                       {"--max-links", true}},
+                      args)) {
+    return usage();
+  }
+  const auto dir_arg = args.value("--dir");
+  const auto sport_arg = args.value("--syslog-port");
+  const auto lport_arg = args.value("--lsp-port");
+  if (!dir_arg || !sport_arg || !lport_arg) {
+    std::fprintf(stderr,
+                 "netfail: serve requires --dir, --syslog-port, --lsp-port\n");
+    return usage();
+  }
+
+  net::GatewayOptions options;
+  const auto sport = flags::parse_port("--syslog-port", *sport_arg);
+  const auto lport = flags::parse_port("--lsp-port", *lport_arg);
+  if (!sport || !lport) {
+    std::fprintf(stderr, "netfail: %s\n",
+                 (sport ? lport.error() : sport.error()).to_string().c_str());
+    return usage();
+  }
+  options.syslog_port = *sport;
+  options.lsp_port = *lport;
+  if (const auto host = args.value("--host")) options.bind_host = *host;
+  if (const auto p = args.value("--policy")) {
+    if (!parse_policy(*p, options.engine.tracker.reconstruct.policy)) {
+      return usage();
+    }
+  }
+  if (const auto h = args.value("--horizon")) {
+    std::uint64_t secs = 0;
+    if (!parse_number("--horizon", *h, secs)) return usage();
+    options.engine.tracker.reorder_horizon =
+        Duration::seconds(static_cast<std::int64_t>(secs));
+  }
+  if (const auto m = args.value("--max-links")) {
+    std::uint64_t cap = 0;
+    if (!parse_number("--max-links", *m, cap)) return usage();
+    options.engine.tracker.max_tracked_links = static_cast<std::size_t>(cap);
+  }
+
+  Bundle bundle;
+  if (!load_bundle(fs::path(*dir_arg), bundle)) return 1;
+  options.capture_start = bundle.period.begin;
+  options.engine.tracker.reconstruct.period = bundle.period;
+
+  net::IngestGateway gateway(bundle.census, options);
+  if (Status st = gateway.start(); !st.ok()) {
+    std::fprintf(stderr, "netfail: cannot start gateway: %s\n",
+                 st.error().to_string().c_str());
+    return 1;
+  }
+  g_serve_gateway = &gateway;
+  std::signal(SIGINT, handle_sigint);
+  std::fprintf(stderr,
+               "listening: syslog udp://%s:%u, lsp tcp://%s:%u "
+               "(SIGINT drains and prints the reconstruction)\n",
+               options.bind_host.c_str(), gateway.syslog_port(),
+               options.bind_host.c_str(), gateway.lsp_port());
+
+  for (;;) {
+    if (gateway.wait_replay_complete(std::chrono::milliseconds(250))) break;
+    if (g_interrupted.load(std::memory_order_acquire)) break;
+  }
+  std::signal(SIGINT, SIG_DFL);
+  gateway.stop();
+  g_serve_gateway = nullptr;
+
+  const net::GatewayCounters c = gateway.counters();
+  std::printf(
+      "\ningested %llu syslog datagrams (%llu enqueued, %llu dropped at the "
+      "queue) and %llu LSP frames\n"
+      "connections: %llu accepted, %llu closed; backpressure pauses: %llu; "
+      "torn frame tails: %llu\n",
+      static_cast<unsigned long long>(c.syslog_datagrams),
+      static_cast<unsigned long long>(c.syslog_enqueued),
+      static_cast<unsigned long long>(c.syslog_queue_drops),
+      static_cast<unsigned long long>(c.lsp_frames),
+      static_cast<unsigned long long>(c.connections_accepted),
+      static_cast<unsigned long long>(c.connections_closed),
+      static_cast<unsigned long long>(c.backpressure_pauses),
+      static_cast<unsigned long long>(c.lsp_torn_tails));
+  const stream::StreamEngine& engine = gateway.engine();
+  std::printf(
+      "final checkpoint at %s after %llu events\n"
+      "IS-IS reconstruction: %llu failures, %.1f h downtime | syslog "
+      "reconstruction: %llu failures, %.1f h downtime\n",
+      gateway.final_checkpoint().high_water().to_string().c_str(),
+      static_cast<unsigned long long>(
+          gateway.final_checkpoint().events_ingested()),
+      static_cast<unsigned long long>(
+          engine.isis_tracker().counters().failures_released),
+      engine.isis_tracker().total_downtime().hours_f(),
+      static_cast<unsigned long long>(
+          engine.syslog_tracker().counters().failures_released),
+      engine.syslog_tracker().total_downtime().hours_f());
+  return 0;
+}
+
+// ---- replay ------------------------------------------------------------------
+
+int cmd_replay(int argc, char** argv) {
+  flags::Parsed args;
+  if (!parse_or_usage(argc, argv,
+                      {{"--dir", true},
+                       {"--target", true},
+                       {"--syslog-port", true},
+                       {"--lsp-port", true},
+                       {"--rate", true},
+                       {"--loss", true},
+                       {"--duplicate", true},
+                       {"--reorder", true},
+                       {"--resets", true},
+                       {"--seed", true}},
+                      args)) {
+    return usage();
+  }
+  const auto dir_arg = args.value("--dir");
+  const auto target = args.value("--target");
+  const auto sport_arg = args.value("--syslog-port");
+  const auto lport_arg = args.value("--lsp-port");
+  if (!dir_arg || !target || !sport_arg || !lport_arg) {
+    std::fprintf(
+        stderr,
+        "netfail: replay requires --dir, --target, --syslog-port, "
+        "--lsp-port\n");
+    return usage();
+  }
+
+  net::ReplayOptions options;
+  options.target_host = *target;
+  const auto sport = flags::parse_port("--syslog-port", *sport_arg);
+  const auto lport = flags::parse_port("--lsp-port", *lport_arg);
+  if (!sport || !lport) {
+    std::fprintf(stderr, "netfail: %s\n",
+                 (sport ? lport.error() : sport.error()).to_string().c_str());
+    return usage();
+  }
+  options.syslog_port = *sport;
+  options.lsp_port = *lport;
+  if (const auto r = args.value("--rate")) {
+    const auto rate = flags::parse_nonneg_real("--rate", *r);
+    if (!rate) {
+      std::fprintf(stderr, "netfail: %s\n", rate.error().to_string().c_str());
+      return usage();
+    }
+    options.rate = *rate;
+  }
+  const struct {
+    const char* flag;
+    double* out;
+  } probs[] = {{"--loss", &options.faults.udp_loss},
+               {"--duplicate", &options.faults.udp_duplicate},
+               {"--reorder", &options.faults.udp_reorder}};
+  for (const auto& pf : probs) {
+    if (const auto v = args.value(pf.flag)) {
+      const auto p = flags::parse_probability(pf.flag, *v);
+      if (!p) {
+        std::fprintf(stderr, "netfail: %s\n", p.error().to_string().c_str());
+        return usage();
+      }
+      *pf.out = *p;
+    }
+  }
+  if (const auto v = args.value("--resets")) {
+    std::uint64_t n = 0;
+    if (!parse_number("--resets", *v, n)) return usage();
+    options.faults.tcp_resets = static_cast<std::uint32_t>(n);
+  }
+  if (const auto v = args.value("--seed")) {
+    if (!parse_number("--seed", *v, options.faults.seed)) return usage();
+  }
+
+  Bundle bundle;
+  if (!load_bundle(fs::path(*dir_arg), bundle)) return 1;
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point started = Clock::now();
+  const auto stats = net::replay_capture(bundle.collector.lines(),
+                                         bundle.records, options);
+  if (!stats) {
+    std::fprintf(stderr, "netfail: replay failed: %s\n",
+                 stats.error().to_string().c_str());
+    return 1;
+  }
+  const double secs = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - started)
+                          .count() /
+                      1e6;
+  const std::uint64_t total = stats->syslog_sent + stats->lsp_frames_sent;
+  std::printf(
+      "replayed %llu datagrams + %llu LSP frames in %.2f s (%.0f msgs/s)\n"
+      "injected: %llu lost, %llu duplicated, %llu reordered, %llu TCP "
+      "resets (%llu reconnects)\n",
+      static_cast<unsigned long long>(stats->syslog_sent),
+      static_cast<unsigned long long>(stats->lsp_frames_sent), secs,
+      secs > 0 ? static_cast<double>(total) / secs : 0.0,
+      static_cast<unsigned long long>(stats->syslog_lost),
+      static_cast<unsigned long long>(stats->syslog_duplicated),
+      static_cast<unsigned long long>(stats->syslog_reordered),
+      static_cast<unsigned long long>(stats->tcp_resets),
+      static_cast<unsigned long long>(stats->reconnects));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -514,5 +760,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(argc, argv);
   if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
   if (std::strcmp(argv[1], "stream") == 0) return cmd_stream(argc, argv);
+  if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
+  if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
   return usage();
 }

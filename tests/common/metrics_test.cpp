@@ -58,6 +58,24 @@ TEST(ExponentialBounds, GeometricSeries) {
   EXPECT_DOUBLE_EQ(b[4], 256.0);
 }
 
+TEST(Gauge, GoesBothWaysAndSets) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  g.sub(7);  // levels are signed: a miscounted release goes negative, not UB
+  EXPECT_EQ(g.value(), -4);
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.set_max(17);  // no-op: below current
+  EXPECT_EQ(g.value(), 42);
+  g.set_max(99);
+  EXPECT_EQ(g.value(), 99);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
 TEST(Registry, SameNameSameMetric) {
   Registry r;
   Counter& a = r.counter("x.y");
@@ -65,6 +83,10 @@ TEST(Registry, SameNameSameMetric) {
   EXPECT_EQ(&a, &b);
   a.inc();
   EXPECT_EQ(b.value(), 1u);
+
+  Gauge& g1 = r.gauge("depth");
+  Gauge& g2 = r.gauge("depth");
+  EXPECT_EQ(&g1, &g2);
 
   Histogram& h1 = r.histogram("h", {1.0, 2.0});
   Histogram& h2 = r.histogram("h", {99.0});  // bounds fixed on first creation
@@ -75,15 +97,19 @@ TEST(Registry, SameNameSameMetric) {
 TEST(Registry, RendersTextAndJson) {
   Registry r;
   r.counter("events.total").inc(7);
+  r.gauge("queue.depth").set(-3);
   r.histogram("latency", {1.0, 10.0}).observe(3.0);
 
   const std::string text = r.render_text();
   EXPECT_NE(text.find("events.total 7"), std::string::npos);
+  EXPECT_NE(text.find("queue.depth -3"), std::string::npos);
   EXPECT_NE(text.find("latency"), std::string::npos);
 
   const std::string json = r.render_json();
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"events.total\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\":-3"), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"latency\""), std::string::npos);
 }
@@ -92,9 +118,11 @@ TEST(Registry, ResetZeroesButKeepsNames) {
   Registry r;
   Counter& c = r.counter("a");
   c.inc(5);
+  r.gauge("g").set(9);
   r.histogram("h", {1.0}).observe(0.5);
   r.reset();
   EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(r.gauge("g").value(), 0);
   EXPECT_EQ(r.histogram("h", {}).count(), 0u);
   EXPECT_NE(r.render_text().find("a 0"), std::string::npos);
 }
@@ -137,6 +165,33 @@ TEST(Registry, ConcurrentIncrementsLoseNothing) {
   EXPECT_DOUBLE_EQ(h.sum(), kPerThread * (kThreads * (kThreads + 1)) / 2.0);
   // Every observation lands in the first bucket (all values <= 10).
   EXPECT_EQ(h.bucket_count(0), h.count());
+}
+
+TEST(Registry, ConcurrentGaugeBalancesToZero) {
+  // The ingest gateway's producers add on push while the consumer subs on
+  // pop, and both race with registry lookups; paired add/sub from many
+  // threads must balance exactly and the high-water mark must be sane.
+  Registry r;
+  Gauge& depth = r.gauge("concurrent.depth");
+  Gauge& peak = r.gauge("concurrent.peak");
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, &depth, &peak] {
+      for (int i = 0; i < kPerThread; ++i) {
+        depth.add();
+        peak.set_max(depth.value());
+        r.gauge("concurrent.depth").sub();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(depth.value(), 0);
+  EXPECT_GE(peak.value(), 1);
+  EXPECT_LE(peak.value(), kThreads);
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+// Strict flag validation for the serve/replay verbs, two ways:
+//
+//   - the flags:: validators directly (unit level, every rejection class);
+//   - the installed `netfail` binary as a subprocess (NETFAIL_CLI_BIN is
+//     injected by CMake): a bad port or a missing required flag must print
+//     usage and exit 2 *before* any bundle is loaded or socket opened —
+//     same contract the collector verb already honors.
+//
+// Plus the NETFAIL_ASSERT death test in the collector_test style: a
+// zero-capacity ingest queue is a programming error, not a config error.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/common/flags.hpp"
+#include "src/common/metrics.hpp"
+#include "src/net/queue.hpp"
+
+namespace netfail {
+namespace {
+
+TEST(FlagValidation, ParsePortAcceptsTheFullRange) {
+  EXPECT_EQ(*flags::parse_port("--syslog-port", "1"), 1);
+  EXPECT_EQ(*flags::parse_port("--syslog-port", "5140"), 5140);
+  EXPECT_EQ(*flags::parse_port("--syslog-port", "65535"), 65535);
+}
+
+TEST(FlagValidation, ParsePortRejectsEverythingElse) {
+  EXPECT_FALSE(flags::parse_port("--p", "0").ok());      // reserved
+  EXPECT_FALSE(flags::parse_port("--p", "65536").ok());  // overflow
+  EXPECT_FALSE(flags::parse_port("--p", "99999").ok());
+  EXPECT_FALSE(flags::parse_port("--p", "-1").ok());
+  EXPECT_FALSE(flags::parse_port("--p", "").ok());
+  EXPECT_FALSE(flags::parse_port("--p", "80x").ok());  // trailing junk
+  EXPECT_FALSE(flags::parse_port("--p", " 80").ok());
+  EXPECT_FALSE(flags::parse_port("--p", "0x50").ok());
+}
+
+TEST(FlagValidation, ParseProbabilityIsClosedUnitInterval) {
+  EXPECT_DOUBLE_EQ(*flags::parse_probability("--loss", "0"), 0.0);
+  EXPECT_DOUBLE_EQ(*flags::parse_probability("--loss", "0.05"), 0.05);
+  EXPECT_DOUBLE_EQ(*flags::parse_probability("--loss", "1"), 1.0);
+  EXPECT_FALSE(flags::parse_probability("--loss", "1.5").ok());
+  EXPECT_FALSE(flags::parse_probability("--loss", "-0.1").ok());
+  EXPECT_FALSE(flags::parse_probability("--loss", "nan").ok());
+  EXPECT_FALSE(flags::parse_probability("--loss", "5%").ok());
+}
+
+TEST(FlagValidation, ParseNonnegRealRejectsNegativesAndJunk) {
+  EXPECT_DOUBLE_EQ(*flags::parse_nonneg_real("--rate", "0"), 0.0);
+  EXPECT_DOUBLE_EQ(*flags::parse_nonneg_real("--rate", "250000"), 250000.0);
+  EXPECT_FALSE(flags::parse_nonneg_real("--rate", "-1").ok());
+  EXPECT_FALSE(flags::parse_nonneg_real("--rate", "fast").ok());
+  EXPECT_FALSE(flags::parse_nonneg_real("--rate", "inf").ok());
+}
+
+#ifdef NETFAIL_CLI_BIN
+/// Exit status of `netfail <args>` with output discarded.
+int cli_exit(const std::string& args) {
+  const std::string cmd =
+      std::string(NETFAIL_CLI_BIN) + " " + args + " >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(CliValidation, ServeRejectsBadPortsBeforeTouchingTheBundle) {
+  // --dir intentionally nonexistent: exit 2 proves validation fired first
+  // (a bundle-load failure would exit 1).
+  EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=99999 "
+                     "--lsp-port=5141"),
+            2);
+  EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=0 "
+                     "--lsp-port=5141"),
+            2);
+  EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=bogus "
+                     "--lsp-port=5141"),
+            2);
+}
+
+TEST(CliValidation, ServeRequiresItsFlags) {
+  EXPECT_EQ(cli_exit("serve"), 2);
+  EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=5140"), 2);
+}
+
+TEST(CliValidation, ReplayRejectsBadFaultParameters) {
+  const std::string base =
+      "replay --dir=/nonexistent --target=127.0.0.1 --syslog-port=5140 "
+      "--lsp-port=5141 ";
+  EXPECT_EQ(cli_exit(base + "--loss=1.5"), 2);
+  EXPECT_EQ(cli_exit(base + "--rate=-3"), 2);
+  EXPECT_EQ(cli_exit(base + "--seed=banana"), 2);
+}
+
+TEST(CliValidation, ReplayRequiresATarget) {
+  EXPECT_EQ(cli_exit("replay --dir=/nonexistent --syslog-port=5140 "
+                     "--lsp-port=5141"),
+            2);
+}
+
+TEST(CliValidation, UnknownFlagIsRejected) {
+  EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=5140 "
+                     "--lsp-port=5141 --frobnicate=yes"),
+            2);
+}
+#endif  // NETFAIL_CLI_BIN
+
+using QueueDeathTest = ::testing::Test;
+
+TEST(QueueDeathTest, ZeroCapacityQueueDies) {
+  net::WaitSet ws;
+  EXPECT_DEATH(net::BoundedMpsc<int>(ws, 0), "capacity must be positive");
+}
+
+}  // namespace
+}  // namespace netfail

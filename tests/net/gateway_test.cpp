@@ -1,0 +1,360 @@
+// Loopback round-trips through the full socket path: replay a simulated
+// CENIC capture bundle at an IngestGateway over real UDP/TCP and check the
+// online analysis against the batch pipeline over the same files.
+//
+//   - zero faults: the reconstruction must be interval-identical to batch
+//     (same failures, same FSM counters) — a served stream and a capture
+//     file are interchangeable observations;
+//   - seeded UDP loss: exactly accounted, deterministic, and visible as
+//     the paper's headline asymmetry (syslog misses failures the LSP feed
+//     keeps);
+//   - a slow consumer: TCP backpressure pauses instead of dropping;
+//   - connection resets: torn frames are counted, never crash the feed;
+//   - SIGINT-style stop: buffered events drain through the engine before
+//     the final checkpoint.
+//
+// Every test skips gracefully when the sandbox forbids sockets.
+#include "src/net/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/analysis/reconstruct.hpp"
+#include "src/analysis/scenario_cache.hpp"
+#include "src/isis/extract.hpp"
+#include "src/net/replay.hpp"
+#include "src/net/socket.hpp"
+#include "src/sim/network_sim.hpp"
+#include "src/syslog/extract.hpp"
+
+namespace netfail::net {
+namespace {
+
+using Scenario = std::shared_ptr<const analysis::PipelineCapture>;
+
+Scenario scenario(std::uint64_t seed) {
+  return analysis::ScenarioCache::global().capture(sim::test_scenario(seed));
+}
+
+auto failure_key(const analysis::Failure& f) {
+  return std::make_tuple(f.link, f.span.begin, f.span.end, f.source);
+}
+
+std::vector<analysis::Failure> sorted(std::vector<analysis::Failure> v) {
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return failure_key(a) < failure_key(b);
+  });
+  return v;
+}
+
+/// Failures released by each tracker, collected race-free via the
+/// pre-start engine_setup hook (callbacks run on the consumer thread; we
+/// read after stop()).
+struct Collected {
+  std::vector<analysis::Failure> isis;
+  std::vector<analysis::Failure> syslog;
+};
+
+GatewayOptions gateway_options(const analysis::PipelineCapture& s,
+                               Collected* out) {
+  GatewayOptions o;
+  o.capture_start = s.period.begin;
+  o.engine.tracker.reconstruct.period = s.period;
+  if (out != nullptr) {
+    o.engine_setup = [out](stream::StreamEngine& e) {
+      e.isis_tracker().on_failure = [out](const analysis::Failure& f) {
+        out->isis.push_back(f);
+      };
+      e.syslog_tracker().on_failure = [out](const analysis::Failure& f) {
+        out->syslog.push_back(f);
+      };
+    };
+  }
+  return o;
+}
+
+ReplayOptions replay_options(const IngestGateway& gw, double rate) {
+  ReplayOptions r;
+  r.syslog_port = gw.syslog_port();
+  r.lsp_port = gw.lsp_port();
+  r.rate = rate;
+  return r;
+}
+
+/// The batch pipeline's failure lists over the same capture.
+struct BatchSide {
+  std::vector<analysis::Failure> isis;
+  std::vector<analysis::Failure> syslog;
+  analysis::Reconstruction isis_recon;
+  analysis::Reconstruction syslog_recon;
+};
+
+BatchSide run_batch(const analysis::PipelineCapture& s) {
+  BatchSide out;
+  const isis::IsisExtraction isis_ex =
+      isis::extract_transitions(s.sim.listener.records(), s.census);
+  const syslog::SyslogExtraction syslog_ex =
+      syslog::extract_transitions(s.sim.collector, s.census);
+  analysis::ReconstructOptions opts;
+  opts.period = s.period;
+  out.isis_recon = analysis::reconstruct_from_isis(isis_ex.is_reach, opts);
+  out.syslog_recon =
+      analysis::reconstruct_from_syslog(syslog_ex.transitions, opts);
+  out.isis = out.isis_recon.failures;
+  out.syslog = out.syslog_recon.failures;
+  return out;
+}
+
+// UDP pacing for the exactness-sensitive tests: slow enough that the
+// single-core kernel never overflows the 4 MB receive buffer (which would
+// turn an exact-accounting test flaky), fast enough to finish in seconds.
+constexpr double kPacedRate = 20000.0;
+
+TEST(NetGateway, ZeroFaultReplayMatchesBatch) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(1);
+  ASSERT_GT(s->sim.collector.size(), 0u);
+  const BatchSide batch = run_batch(*s);
+  ASSERT_GT(batch.isis.size(), 0u);
+  ASSERT_GT(batch.syslog.size(), 0u);
+
+  Collected got;
+  IngestGateway gw(s->census, gateway_options(*s, &got));
+  ASSERT_TRUE(gw.start().ok());
+  const auto stats = replay_capture(s->sim.collector.lines(),
+                                    s->sim.listener.records(),
+                                    replay_options(gw, kPacedRate));
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  ASSERT_TRUE(gw.wait_replay_complete(std::chrono::seconds(60), 1));
+  gw.stop();
+
+  // Transport exactness: nothing lost, duplicated, or reordered anywhere.
+  const GatewayCounters c = gw.counters();
+  EXPECT_EQ(stats->syslog_sent, s->sim.collector.size());
+  EXPECT_EQ(c.syslog_datagrams, stats->syslog_sent);
+  EXPECT_EQ(c.syslog_queue_drops, 0u);
+  EXPECT_EQ(c.syslog_enqueued, c.syslog_datagrams);
+  EXPECT_EQ(c.lsp_frames, s->sim.listener.records().size());
+  EXPECT_EQ(c.lsp_decode_errors, 0u);
+  EXPECT_EQ(c.lsp_torn_tails, 0u);
+  EXPECT_EQ(c.lsp_out_of_order, 0u);
+  EXPECT_EQ(c.connections_accepted, 1u);
+  EXPECT_EQ(c.connections_closed, 1u);
+
+  // Analysis identity: the engine saw exactly the batch event stream.
+  const stream::StreamEngine& engine = gw.engine();
+  EXPECT_EQ(engine.syslog_events(), s->sim.collector.size());
+  EXPECT_EQ(engine.lsp_events(), s->sim.listener.records().size());
+
+  const auto batch_isis = sorted(batch.isis);
+  const auto batch_syslog = sorted(batch.syslog);
+  const auto live_isis = sorted(got.isis);
+  const auto live_syslog = sorted(got.syslog);
+  ASSERT_EQ(batch_isis.size(), live_isis.size());
+  ASSERT_EQ(batch_syslog.size(), live_syslog.size());
+  for (std::size_t i = 0; i < batch_isis.size(); ++i) {
+    EXPECT_EQ(failure_key(batch_isis[i]), failure_key(live_isis[i])) << i;
+  }
+  for (std::size_t i = 0; i < batch_syslog.size(); ++i) {
+    EXPECT_EQ(failure_key(batch_syslog[i]), failure_key(live_syslog[i])) << i;
+  }
+
+  // FSM counters agree exactly with the batch reconstruction.
+  EXPECT_EQ(engine.isis_tracker().counters().double_downs,
+            batch.isis_recon.double_downs);
+  EXPECT_EQ(engine.isis_tracker().counters().double_ups,
+            batch.isis_recon.double_ups);
+  EXPECT_EQ(engine.syslog_tracker().counters().double_downs,
+            batch.syslog_recon.double_downs);
+  EXPECT_EQ(engine.syslog_tracker().counters().double_ups,
+            batch.syslog_recon.double_ups);
+
+  // The final checkpoint is the engine as of the last drained event.
+  EXPECT_EQ(gw.final_checkpoint().events_ingested(),
+            engine.events_ingested());
+}
+
+struct LossRun {
+  GatewayCounters counters;
+  ReplayStats stats;
+  std::uint64_t syslog_events = 0;
+  std::uint64_t lsp_events = 0;
+  std::size_t isis_failures = 0;
+  std::size_t syslog_failures = 0;
+};
+
+LossRun run_with_loss(const analysis::PipelineCapture& s, double loss,
+                      std::uint64_t seed) {
+  Collected got;
+  IngestGateway gw(s.census, gateway_options(s, &got));
+  EXPECT_TRUE(gw.start().ok());
+  ReplayOptions r = replay_options(gw, kPacedRate);
+  r.faults.udp_loss = loss;
+  r.faults.seed = seed;
+  const auto stats =
+      replay_capture(s.sim.collector.lines(), s.sim.listener.records(), r);
+  EXPECT_TRUE(stats.ok());
+  EXPECT_TRUE(gw.wait_replay_complete(std::chrono::seconds(60), 1));
+  gw.stop();
+  LossRun out;
+  out.counters = gw.counters();
+  out.stats = *stats;
+  out.syslog_events = gw.engine().syslog_events();
+  out.lsp_events = gw.engine().lsp_events();
+  out.isis_failures = got.isis.size();
+  out.syslog_failures = got.syslog.size();
+  return out;
+}
+
+TEST(NetGateway, SeededUdpLossIsExactAndDeterministic) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(2);
+  const std::size_t lines = s->sim.collector.size();
+  ASSERT_GT(lines, 200u);
+
+  const LossRun a = run_with_loss(*s, 0.05, 42);
+  // Injector arithmetic is exact: every line was either written or counted
+  // lost, and every written datagram reached the gateway (paced loopback).
+  EXPECT_EQ(a.stats.syslog_sent + a.stats.syslog_lost, lines);
+  EXPECT_GT(a.stats.syslog_lost, 0u);
+  EXPECT_EQ(a.counters.syslog_datagrams, a.stats.syslog_sent);
+  EXPECT_EQ(a.counters.syslog_enqueued + a.counters.syslog_queue_drops,
+            a.counters.syslog_datagrams);
+  EXPECT_EQ(a.counters.syslog_queue_drops, 0u);
+  EXPECT_EQ(a.syslog_events, a.counters.syslog_enqueued);
+  // The LSP feed rides TCP: untouched by UDP loss.
+  EXPECT_EQ(a.lsp_events, s->sim.listener.records().size());
+
+  // The paper's asymmetry, live: 5% extra syslog loss on top of the
+  // simulated collection loss leaves strictly fewer syslog-derived
+  // failures than the lossless LSP feed finds.
+  ASSERT_GT(a.isis_failures, 0u);
+  EXPECT_LT(a.syslog_failures, a.isis_failures);
+
+  // Same seed, same everything.
+  const LossRun b = run_with_loss(*s, 0.05, 42);
+  EXPECT_EQ(b.stats.syslog_lost, a.stats.syslog_lost);
+  EXPECT_EQ(b.counters.syslog_datagrams, a.counters.syslog_datagrams);
+  EXPECT_EQ(b.syslog_events, a.syslog_events);
+  EXPECT_EQ(b.isis_failures, a.isis_failures);
+  EXPECT_EQ(b.syslog_failures, a.syslog_failures);
+}
+
+TEST(NetGateway, BackpressurePausesTcpInsteadOfDropping) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(3);
+  const std::size_t n_records = s->sim.listener.records().size();
+  ASSERT_GT(n_records, 300u);
+
+  GatewayOptions o = gateway_options(*s, nullptr);
+  o.lsp_queue_capacity = 64;
+  o.lsp_high_watermark = 48;
+  o.lsp_low_watermark = 16;
+  o.consumer_slowdown = std::chrono::microseconds(100);
+  IngestGateway gw(s->census, o);
+  ASSERT_TRUE(gw.start().ok());
+
+  // LSP feed only: an unpaced TCP blast against a deliberately slow
+  // consumer with a 64-deep queue must hit the high watermark.
+  const std::vector<syslog::ReceivedLine> no_lines;
+  const auto stats = replay_capture(no_lines, s->sim.listener.records(),
+                                    replay_options(gw, 0.0));
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  ASSERT_TRUE(gw.wait_replay_complete(std::chrono::seconds(120), 1));
+  gw.stop();
+
+  const GatewayCounters c = gw.counters();
+  EXPECT_GE(c.backpressure_pauses, 1u);
+  // Backpressure, not loss: every frame sent arrives and feeds the engine.
+  EXPECT_EQ(stats->lsp_frames_sent, n_records);
+  EXPECT_EQ(c.lsp_frames, n_records);
+  EXPECT_EQ(c.lsp_torn_tails, 0u);
+  EXPECT_EQ(c.lsp_decode_errors, 0u);
+  EXPECT_EQ(c.lsp_out_of_order, 0u);
+  EXPECT_EQ(gw.engine().lsp_events(), n_records);
+}
+
+TEST(NetGateway, TcpResetsAreSurvivedAndAccounted) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(4);
+  const std::size_t n_records = s->sim.listener.records().size();
+  ASSERT_GT(n_records, 100u);
+
+  IngestGateway gw(s->census, gateway_options(*s, nullptr));
+  ASSERT_TRUE(gw.start().ok());
+  ReplayOptions r = replay_options(gw, 0.0);
+  r.faults.tcp_resets = 3;
+  r.faults.seed = 7;
+  const std::vector<syslog::ReceivedLine> no_lines;
+  const auto stats =
+      replay_capture(no_lines, s->sim.listener.records(), r);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  ASSERT_TRUE(gw.wait_replay_complete(std::chrono::seconds(60),
+                                      1 + stats->reconnects));
+  gw.stop();
+
+  const GatewayCounters c = gw.counters();
+  EXPECT_EQ(stats->tcp_resets, 3u);
+  EXPECT_EQ(stats->reconnects, 3u);
+  EXPECT_EQ(c.connections_accepted, 4u);
+  EXPECT_EQ(c.connections_closed, 4u);
+  // An RST may cut the stream at any byte: frames can vanish or tear, but
+  // whatever survives decodes and everything is accounted.
+  EXPECT_LE(c.lsp_frames, stats->lsp_frames_sent);
+  EXPECT_LE(c.lsp_torn_tails, 3u);
+  EXPECT_EQ(c.lsp_decode_errors, 0u);
+  EXPECT_EQ(gw.engine().lsp_events(),
+            c.lsp_frames - c.lsp_out_of_order);
+}
+
+TEST(NetGateway, StopDrainsBufferedEventsBeforeCheckpoint) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(5);
+  ASSERT_GT(s->sim.collector.size(), 400u);
+
+  GatewayOptions o = gateway_options(*s, nullptr);
+  // A consumer ~50x slower than the sender guarantees the syslog queue is
+  // deep when stop() arrives — the drain path must still feed every
+  // enqueued event through the engine before the final checkpoint.
+  o.consumer_slowdown = std::chrono::microseconds(500);
+  IngestGateway gw(s->census, o);
+  ASSERT_TRUE(gw.start().ok());
+
+  std::vector<syslog::ReceivedLine> lines(
+      s->sim.collector.lines().begin(),
+      s->sim.collector.lines().begin() + 400);
+  const std::vector<isis::LspRecord> no_records;
+  const auto stats =
+      replay_capture(lines, no_records, replay_options(gw, kPacedRate));
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  // Let the last datagrams land in the gateway queue, then pull the plug
+  // the way the CLI's SIGINT handler does.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  gw.request_stop();
+  gw.stop();
+
+  const GatewayCounters c = gw.counters();
+  EXPECT_EQ(c.syslog_datagrams, 400u);
+  EXPECT_EQ(c.syslog_enqueued, 400u);
+  // The whole buffered backlog drained through the engine.
+  EXPECT_EQ(gw.engine().syslog_events(), c.syslog_enqueued);
+  EXPECT_EQ(gw.final_checkpoint().events_ingested(),
+            gw.engine().events_ingested());
+}
+
+TEST(NetGateway, StartFailsCleanlyOnUnusableAddress) {
+  const Scenario s = scenario(1);
+  GatewayOptions o = gateway_options(*s, nullptr);
+  o.bind_host = "not-an-address";
+  IngestGateway gw(s->census, o);
+  EXPECT_FALSE(gw.start().ok());
+  gw.stop();  // no threads were spawned; stop is a harmless no-op
+}
+
+}  // namespace
+}  // namespace netfail::net
