@@ -450,16 +450,20 @@ int cmd_stream(int argc, char** argv) {
     engine.feed(*ev);
     const Clock::time_point t1 = Clock::now();
     latency.observe(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
         1e3);
     ++window_events;
     if (engine.events_ingested() % report_every == 0) {
       const double secs =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              t1 - window_start)
-              .count() /
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  t1 - window_start)
+                  .count()) /
           1e6;
-      print_rolling(engine, bundle, secs > 0 ? window_events / secs : 0);
+      print_rolling(engine, bundle,
+                    secs > 0 ? static_cast<double>(window_events) / secs : 0);
       window_start = t1;
       window_events = 0;
     }
@@ -467,9 +471,10 @@ int cmd_stream(int argc, char** argv) {
   engine.finish();
 
   const double total_secs =
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                            started)
-          .count() /
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                started)
+              .count()) /
       1e6;
 
   // ---- final per-link table ---------------------------------------------------
@@ -478,7 +483,9 @@ int cmd_stream(int argc, char** argv) {
               static_cast<unsigned long long>(engine.events_ingested()),
               static_cast<unsigned long long>(engine.syslog_events()),
               static_cast<unsigned long long>(engine.lsp_events()), total_secs,
-              total_secs > 0 ? engine.events_ingested() / total_secs : 0,
+              total_secs > 0
+                  ? static_cast<double>(engine.events_ingested()) / total_secs
+                  : 0,
               static_cast<unsigned long long>(
                   mux.stats().out_of_order_dropped));
 
@@ -733,10 +740,11 @@ int cmd_replay(int argc, char** argv) {
                  stats.error().to_string().c_str());
     return 1;
   }
-  const double secs = std::chrono::duration_cast<std::chrono::microseconds>(
-                          Clock::now() - started)
-                          .count() /
-                      1e6;
+  const double secs =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - started)
+                              .count()) /
+      1e6;
   const std::uint64_t total = stats->syslog_sent + stats->lsp_frames_sent;
   std::printf(
       "replayed %llu datagrams + %llu LSP frames in %.2f s (%.0f msgs/s)\n"

@@ -75,7 +75,7 @@ TEST(Checkpoint, ResumeReproducesUninterruptedRun) {
   for (const double frac : {0.25, 0.5, 0.9}) {
     SCOPED_TRACE("cut at " + std::to_string(frac));
     const std::size_t cut =
-        static_cast<std::size_t>(c.events.size() * frac);
+        static_cast<std::size_t>(static_cast<double>(c.events.size()) * frac);
     Collected resumed_out;
     Checkpoint cp;
     {
