@@ -157,7 +157,7 @@ std::uint64_t pipeline_options_hash(const PipelineOptions& options) {
 }
 
 ScenarioCache& ScenarioCache::global() {
-  static ScenarioCache* cache = new ScenarioCache;  // reachable, never torn down
+  static ScenarioCache* cache = new ScenarioCache;  // netfail-lint: allow(naked-new) reachable, never torn down
   return *cache;
 }
 
@@ -167,14 +167,14 @@ std::shared_ptr<const T> ScenarioCache::lookup(
     std::uint64_t key, const ComputeFn& compute) {
   std::shared_ptr<Slot<T>> slot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     std::shared_ptr<Slot<T>>& entry = table[key];
     if (!entry) entry = std::make_shared<Slot<T>>();
     slot = entry;
   }
   // Compute under the slot lock: a concurrent request for the same key
   // waits here and then reuses the value; other keys are unaffected.
-  std::lock_guard<std::mutex> lock(slot->mu);
+  sync::MutexLock lock(slot->mu);
   if (slot->value) {
     metrics::global().counter("cache.scenario.hits").inc();
     return slot->value;
@@ -202,7 +202,7 @@ std::shared_ptr<const PipelineResult> ScenarioCache::pipeline(
 }
 
 void ScenarioCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   captures_.clear();
   pipelines_.clear();
 }

@@ -18,10 +18,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/analysis/pipeline.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace netfail::analysis {
 
@@ -68,8 +69,8 @@ class ScenarioCache {
  private:
   template <typename T>
   struct Slot {
-    std::mutex mu;  // held while computing, so duplicates wait, not re-run
-    std::shared_ptr<const T> value;
+    sync::Mutex mu;  // held while computing, so duplicates wait, not re-run
+    std::shared_ptr<const T> value NETFAIL_GUARDED_BY(mu);
   };
 
   template <typename T, typename ComputeFn>
@@ -77,11 +78,13 @@ class ScenarioCache {
       std::unordered_map<std::uint64_t, std::shared_ptr<Slot<T>>>& table,
       std::uint64_t key, const ComputeFn& compute);
 
-  mutable std::mutex mu_;
+  // Lock order: mu_ (table lookup) strictly before any Slot::mu (compute);
+  // mu_ is never held across a compute, so distinct keys never serialize.
+  mutable sync::Mutex mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Slot<PipelineCapture>>>
-      captures_;
+      captures_ NETFAIL_GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, std::shared_ptr<Slot<PipelineResult>>>
-      pipelines_;
+      pipelines_ NETFAIL_GUARDED_BY(mu_);
 };
 
 }  // namespace netfail::analysis

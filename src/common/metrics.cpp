@@ -83,14 +83,14 @@ std::vector<double> exponential_bounds(double first, double factor,
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -98,14 +98,14 @@ Gauge& Registry::gauge(const std::string& name) {
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return *slot;
 }
 
 std::string Registry::render_text() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += name;
@@ -140,7 +140,7 @@ std::string Registry::render_text() const {
 }
 
 std::string Registry::render_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -180,14 +180,14 @@ std::string Registry::render_json() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 Registry& global() {
-  static Registry* r = new Registry;  // leaked: outlives all static users
+  static Registry* r = new Registry;  // netfail-lint: allow(naked-new) leaked: outlives all static users
   return *r;
 }
 

@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace netfail::metrics {
 
@@ -123,10 +125,16 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // The mutex guards the maps only; the Counter/Gauge/Histogram objects the
+  // map values point to are internally atomic and are mutated lock-free by
+  // their holders after lookup.
+  mutable sync::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      NETFAIL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      NETFAIL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      NETFAIL_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry the library components report into.

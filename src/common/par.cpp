@@ -30,8 +30,8 @@ struct Chunk {
 /// can still scan it safely after the caller returned.
 struct ThreadPool::Job {
   struct Shard {
-    std::mutex mu;
-    std::deque<Chunk> chunks;
+    sync::Mutex mu;
+    std::deque<Chunk> chunks NETFAIL_GUARDED_BY(mu);
   };
 
   explicit Job(std::size_t shard_count) : shards(shard_count) {}
@@ -40,12 +40,12 @@ struct ThreadPool::Job {
   std::deque<Shard> shards;  // deque: Shard is immovable (mutex)
 
   std::atomic<std::size_t> pending{0};  // chunks whose body has not finished
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  sync::Mutex done_mu;  // handshake only: pending is the actual state
+  sync::CondVar done_cv;
 
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr error;
+  sync::Mutex error_mu;
+  std::exception_ptr error NETFAIL_GUARDED_BY(error_mu);
 };
 
 std::size_t default_threads() {
@@ -70,7 +70,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -80,7 +80,7 @@ ThreadPool::~ThreadPool() {
 ThreadPool& ThreadPool::global() {
   // Leaked so the pointer stays reachable (no LSan report) and workers are
   // never joined during static destruction.
-  static ThreadPool* pool = new ThreadPool();
+  static ThreadPool* pool = new ThreadPool();  // netfail-lint: allow(naked-new) intentionally leaked process-wide singleton
   return *pool;
 }
 
@@ -89,10 +89,13 @@ void ThreadPool::worker_loop(std::size_t shard_index) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stopping_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      // Explicit wait loop (not a lambda predicate): the analysis cannot see
+      // a capability held inside a lambda body.
+      sync::UniqueLock lock(mu_);
+      while (!stopping_ &&
+             (job_ == nullptr || generation_ == seen_generation)) {
+        work_cv_.wait(lock);
+      }
       if (stopping_) return;
       job = job_;
       seen_generation = generation_;
@@ -111,7 +114,7 @@ void ThreadPool::drain(Job& job, std::size_t home_shard) {
     bool got = false;
     {
       Job::Shard& own = job.shards[home_shard];
-      std::lock_guard<std::mutex> lock(own.mu);
+      sync::MutexLock lock(own.mu);
       if (!own.chunks.empty()) {
         chunk = own.chunks.back();
         own.chunks.pop_back();
@@ -120,7 +123,7 @@ void ThreadPool::drain(Job& job, std::size_t home_shard) {
     }
     for (std::size_t off = 1; !got && off < shard_count; ++off) {
       Job::Shard& victim = job.shards[(home_shard + off) % shard_count];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      sync::MutexLock lock(victim.mu);
       if (!victim.chunks.empty()) {
         chunk = victim.chunks.front();
         victim.chunks.pop_front();
@@ -134,7 +137,7 @@ void ThreadPool::drain(Job& job, std::size_t home_shard) {
       try {
         (*job.body)(chunk.begin, chunk.end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(job.error_mu);
+        sync::MutexLock lock(job.error_mu);
         if (!job.error) {
           job.error = std::current_exception();
           job.failed.store(true, std::memory_order_relaxed);
@@ -142,7 +145,7 @@ void ThreadPool::drain(Job& job, std::size_t home_shard) {
       }
     }
     if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(job.done_mu);
+      sync::MutexLock lock(job.done_mu);
       job.done_cv.notify_all();
     }
   }
@@ -163,7 +166,7 @@ void ThreadPool::for_range(std::size_t n, std::size_t grain,
   if (chunk_size < grain) chunk_size = grain;
   const std::size_t chunk_count = (n + chunk_size - 1) / chunk_size;
 
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  sync::MutexLock submit_lock(submit_mu_);
   metrics::global().counter("par.jobs").inc();
 
   auto job = std::make_shared<Job>(participants_);
@@ -171,15 +174,19 @@ void ThreadPool::for_range(std::size_t n, std::size_t grain,
   job->pending.store(chunk_count, std::memory_order_relaxed);
   // Contiguous runs of chunks per shard: participant p starts near its own
   // slice of the index space, which keeps per-link merges cache-friendly.
+  // No worker has seen the job yet, so its shard deques are ours alone —
+  // but lock anyway: the analysis has no "pre-publication" concept, and an
+  // uncontended lock costs nothing next to the simulation behind it.
   for (std::size_t c = 0; c < chunk_count; ++c) {
     const std::size_t begin = c * chunk_size;
     const std::size_t end = begin + chunk_size < n ? begin + chunk_size : n;
-    job->shards[c * participants_ / chunk_count].chunks.push_back(
-        Chunk{begin, end});
+    Job::Shard& shard = job->shards[c * participants_ / chunk_count];
+    sync::MutexLock lock(shard.mu);
+    shard.chunks.push_back(Chunk{begin, end});
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     job_ = job;
     ++generation_;
   }
@@ -190,16 +197,21 @@ void ThreadPool::for_range(std::size_t n, std::size_t grain,
   t_in_parallel_region = false;
 
   {
-    std::unique_lock<std::mutex> lock(job->done_mu);
-    job->done_cv.wait(lock, [&] {
-      return job->pending.load(std::memory_order_acquire) == 0;
-    });
+    sync::UniqueLock lock(job->done_mu);
+    while (job->pending.load(std::memory_order_acquire) != 0) {
+      job->done_cv.wait(lock);
+    }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (job_ == job) job_ = nullptr;
   }
-  if (job->error) std::rethrow_exception(job->error);
+  {
+    // Workers are done with this job (pending hit 0 with acq_rel ordering),
+    // but the analysis still wants the error lock held for the read.
+    sync::MutexLock lock(job->error_mu);
+    if (job->error) std::rethrow_exception(job->error);
+  }
 }
 
 ThreadPool& current_pool() {

@@ -25,14 +25,15 @@
 // which is also what makes the results thread-count independent.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace netfail::par {
 
@@ -72,13 +73,14 @@ class ThreadPool {
   std::size_t participants_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;                  // guards job_/generation_/stopping_
-  std::condition_variable work_cv_;
-  std::shared_ptr<Job> job_;
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
+  sync::Mutex mu_;
+  sync::CondVar work_cv_;
+  std::shared_ptr<Job> job_ NETFAIL_GUARDED_BY(mu_);
+  std::uint64_t generation_ NETFAIL_GUARDED_BY(mu_) = 0;
+  bool stopping_ NETFAIL_GUARDED_BY(mu_) = false;
 
-  std::mutex submit_mu_;  // one fork/join region at a time per pool
+  sync::Mutex submit_mu_ NETFAIL_ACQUIRED_BEFORE(mu_);  // one fork/join
+                                                        // region at a time
 };
 
 /// The pool used by the free functions below. Defaults to

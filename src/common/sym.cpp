@@ -3,10 +3,11 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/common/assert.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace netfail::sym {
 namespace {
@@ -52,7 +53,7 @@ class NameTable {
     const std::uint32_t found = probe(index_.load(std::memory_order_acquire), hash, s);
     if (found != kEmptySlot) return found;
 
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     // Re-probe under the lock: another writer may have inserted `s`.
     Index* idx = index_.load(std::memory_order_relaxed);
     const std::uint32_t again = probe(idx, hash, s);
@@ -122,7 +123,8 @@ class NameTable {
   /// Writer-only (mutex held): copy the bytes into the arena and publish the
   /// entry for `id`. The release store of the index slot (or of size_, for
   /// view()-by-id readers) orders these writes for readers.
-  void store_entry(std::uint32_t id, std::string_view s) {
+  void store_entry(std::uint32_t id, std::string_view s)
+      NETFAIL_REQUIRES(mu_) {
     if (arena_.empty() || arena_used_ + s.size() + 1 > arena_.back().size) {
       const std::size_t cap = std::max(kArenaChunk, s.size() + 1);
       arena_.push_back(Chunk{std::unique_ptr<char[]>(new char[cap]), cap});
@@ -154,7 +156,7 @@ class NameTable {
 
   /// Writer-only: double the index. The old generation is retired, never
   /// freed, so concurrent readers mid-probe stay valid.
-  Index* grow(Index* old) {
+  Index* grow(Index* old) NETFAIL_REQUIRES(mu_) {
     auto next = std::make_unique<Index>((old->mask + 1) * 2);
     const std::uint32_t n = size_.load(std::memory_order_relaxed);
     for (std::uint32_t id = 0; id < n; ++id) {
@@ -172,13 +174,16 @@ class NameTable {
     std::size_t size;
   };
 
-  std::mutex mu_;
+  // index_/size_/blocks_ are written under mu_ but read lock-free via the
+  // acquire/release publication protocol described in sym.hpp — atomics,
+  // not GUARDED_BY, is the honest annotation for them.
+  sync::Mutex mu_;
   std::atomic<Index*> index_;
   std::atomic<std::uint32_t> size_{0};
   std::atomic<Entry*> blocks_[kMaxBlocks];
-  std::vector<Chunk> arena_;        // writer-only bookkeeping
-  std::size_t arena_used_ = 0;      // bytes used in arena_.back()
-  std::vector<std::unique_ptr<Index>> retired_;
+  std::vector<Chunk> arena_ NETFAIL_GUARDED_BY(mu_);   // writer bookkeeping
+  std::size_t arena_used_ NETFAIL_GUARDED_BY(mu_) = 0; // used in arena_.back()
+  std::vector<std::unique_ptr<Index>> retired_ NETFAIL_GUARDED_BY(mu_);
 };
 
 }  // namespace

@@ -1,0 +1,116 @@
+// netfail::sync — std synchronization primitives with thread-safety
+// capability attributes attached.
+//
+// Clang's -Wthread-safety analysis only follows lock/unlock operations that
+// carry the capability attributes, and libstdc++'s std::mutex carries none.
+// These wrappers forward every operation inline to the underlying std type
+// (zero runtime cost, identical semantics) while giving the analysis the
+// attribute surface it needs:
+//
+//   sync::Mutex      — std::mutex,            a NETFAIL_CAPABILITY
+//   sync::MutexLock  — std::lock_guard,       a NETFAIL_SCOPED_CAPABILITY
+//   sync::UniqueLock — std::unique_lock,      a relockable scoped capability
+//   sync::CondVar    — std::condition_variable over a sync::UniqueLock
+//
+// Predicate waits: prefer an explicit `while (!cond) cv.wait(lock);` loop in
+// the annotated function over passing a lambda predicate — the analysis
+// treats a lambda body as a separate unannotated function and cannot see
+// that the capability is held inside it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.hpp"
+
+namespace netfail::sync {
+
+class CondVar;
+
+/// A std::mutex that the thread-safety analysis understands.
+class NETFAIL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NETFAIL_ACQUIRE() { mu_.lock(); }
+  void unlock() NETFAIL_RELEASE() { mu_.unlock(); }
+  bool try_lock() NETFAIL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a sync::Mutex: acquires on construction, releases on
+/// destruction, no manual unlock.
+class NETFAIL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NETFAIL_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() NETFAIL_RELEASE() {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+/// std::unique_lock over a sync::Mutex: supports mid-scope unlock/relock and
+/// condition-variable waits. Must be locked at destruction or explicitly
+/// unlocked — the analysis tracks the state across lock()/unlock() pairs.
+class NETFAIL_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) NETFAIL_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() NETFAIL_RELEASE() {}
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() NETFAIL_ACQUIRE() { lock_.lock(); }
+  void unlock() NETFAIL_RELEASE() { lock_.unlock(); }
+  bool owns_lock() const { return lock_.owns_lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable waiting on a sync::UniqueLock. The capability is
+/// held before and after every wait (the internal unlock/relock inside the
+/// std wait is invisible to callers, exactly like std::condition_variable).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace netfail::sync

@@ -1,0 +1,85 @@
+// Portable spellings of Clang's -Wthread-safety capability attributes.
+//
+// The concurrency layer's locking invariants (which mutex guards which
+// field, which methods require a lock already held) are documented with
+// these macros and *checked at compile time* under Clang with
+// -Wthread-safety (the NETFAIL_THREAD_SAFETY CMake option turns the
+// warnings into errors). Under GCC/MSVC every macro expands to nothing, so
+// the annotations cost nothing where the analysis is unavailable.
+//
+// Use the sync::Mutex / sync::MutexLock / sync::UniqueLock / sync::CondVar
+// wrappers from src/common/sync.hpp rather than raw std primitives: the
+// analysis only understands lock/unlock operations that carry these
+// attributes, and the std types carry none on libstdc++.
+//
+// Attribute reference:
+//   https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__)
+#define NETFAIL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NETFAIL_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a capability (e.g. a mutex): NETFAIL_CAPABILITY("mutex").
+#define NETFAIL_CAPABILITY(x) NETFAIL_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (lock_guard/unique_lock analogues).
+#define NETFAIL_SCOPED_CAPABILITY NETFAIL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field annotation: reads and writes require holding `x`.
+#define NETFAIL_GUARDED_BY(x) NETFAIL_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field annotation: the *pointed-to* data requires holding `x`.
+#define NETFAIL_PT_GUARDED_BY(x) NETFAIL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define NETFAIL_ACQUIRED_BEFORE(...) \
+  NETFAIL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NETFAIL_ACQUIRED_AFTER(...) \
+  NETFAIL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function annotation: the caller must hold the capability on entry (and
+/// still holds it on exit). The `_locked()` method family uses this.
+#define NETFAIL_REQUIRES(...) \
+  NETFAIL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NETFAIL_REQUIRES_SHARED(...) \
+  NETFAIL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability (not held on entry, held on
+/// exit). With no argument on a member of a capability/scoped type, refers
+/// to the object itself.
+#define NETFAIL_ACQUIRE(...) \
+  NETFAIL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NETFAIL_ACQUIRE_SHARED(...) \
+  NETFAIL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function annotation: releases the capability (held on entry).
+#define NETFAIL_RELEASE(...) \
+  NETFAIL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NETFAIL_RELEASE_SHARED(...) \
+  NETFAIL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the return value equals
+/// the first macro argument: NETFAIL_TRY_ACQUIRE(true).
+#define NETFAIL_TRY_ACQUIRE(...) \
+  NETFAIL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: the caller must NOT hold the capability (prevents
+/// self-deadlock on non-recursive mutexes).
+#define NETFAIL_EXCLUDES(...) NETFAIL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assertion that the capability is held (runtime-checked elsewhere); tells
+/// the analysis to assume it from here on.
+#define NETFAIL_ASSERT_CAPABILITY(x) \
+  NETFAIL_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function annotation: returns a reference to the named capability.
+#define NETFAIL_RETURN_CAPABILITY(x) NETFAIL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (e.g. lock-free
+/// publication protocols). Use sparingly and leave a comment saying why.
+#define NETFAIL_NO_THREAD_SAFETY_ANALYSIS \
+  NETFAIL_THREAD_ANNOTATION(no_thread_safety_analysis)

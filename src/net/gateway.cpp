@@ -10,6 +10,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/metrics.hpp"
+#include "src/common/sync.hpp"
 #include "src/syslog/collector.hpp"
 
 namespace netfail::net {
@@ -111,7 +112,7 @@ void IngestGateway::on_udp_readable() {
       if (payload == kReplayEndMarker) {
         ++counters_.end_markers;
         {
-          std::lock_guard<std::mutex> lock(ws_.mu);
+          sync::MutexLock lock(ws_.mu);
           ++markers_seen_;
         }
         ws_.cv.notify_all();
@@ -144,7 +145,7 @@ void IngestGateway::on_accept() {
       on_connection_readable(*raw, revents);
     });
     {
-      std::lock_guard<std::mutex> lock(ws_.mu);
+      sync::MutexLock lock(ws_.mu);
       ++conns_accepted_;
       ++conns_open_;
     }
@@ -221,7 +222,7 @@ void IngestGateway::close_connection(int fd) {
     ++counters_.connections_closed;
     connections_.erase(it);
     {
-      std::lock_guard<std::mutex> lock(ws_.mu);
+      sync::MutexLock lock(ws_.mu);
       --conns_open_;
     }
     ws_.cv.notify_all();
@@ -264,7 +265,7 @@ void IngestGateway::consumer_thread() {
       metrics::global().counter("net.consumer.syslog_fed");
   metrics::Counter& fed_lsp = metrics::global().counter("net.consumer.lsp_fed");
 
-  std::unique_lock<std::mutex> lock(ws_.mu);
+  sync::UniqueLock lock(ws_.mu);
   for (;;) {
     lines.clear();
     records.clear();
@@ -328,12 +329,22 @@ void IngestGateway::consumer_thread() {
 
 bool IngestGateway::wait_replay_complete(std::chrono::milliseconds timeout,
                                          std::uint64_t min_connections) {
-  std::unique_lock<std::mutex> lock(ws_.mu);
-  return ws_.cv.wait_for(lock, timeout, [&] {
-    return markers_seen_ > 0 && conns_accepted_ >= min_connections &&
-           conns_open_ == 0 && syslog_queue_.empty_locked() &&
-           lsp_queue_.empty_locked() && consumer_idle_;
-  });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Explicit deadline loop (not a lambda predicate): the thread-safety
+  // analysis cannot see a capability held inside a lambda body.
+  sync::UniqueLock lock(ws_.mu);
+  for (;;) {
+    const bool complete = markers_seen_ > 0 &&
+                          conns_accepted_ >= min_connections &&
+                          conns_open_ == 0 && syslog_queue_.empty_locked() &&
+                          lsp_queue_.empty_locked() && consumer_idle_;
+    if (complete) return true;
+    if (ws_.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return markers_seen_ > 0 && conns_accepted_ >= min_connections &&
+             conns_open_ == 0 && syslog_queue_.empty_locked() &&
+             lsp_queue_.empty_locked() && consumer_idle_;
+    }
+  }
 }
 
 void IngestGateway::request_stop() { loop_.stop(); }

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
 #include "src/config/census.hpp"
 #include "src/net/event_loop.hpp"
 #include "src/net/frame.hpp"
@@ -178,11 +179,12 @@ class IngestGateway {
   /// whether draining below the low watermark warrants a loop wakeup.
   std::atomic<int> paused_conns_{0};
 
-  // Replay-completion state, guarded by ws_.mu (events are rare).
-  std::uint64_t markers_seen_ = 0;
-  std::uint64_t conns_open_ = 0;
-  std::uint64_t conns_accepted_ = 0;
-  bool consumer_idle_ = false;
+  // Replay-completion state (events are rare, so sharing the queues' wait
+  // set costs nothing and lets wait_replay_complete() sleep on one cv).
+  std::uint64_t markers_seen_ NETFAIL_GUARDED_BY(ws_.mu) = 0;
+  std::uint64_t conns_open_ NETFAIL_GUARDED_BY(ws_.mu) = 0;
+  std::uint64_t conns_accepted_ NETFAIL_GUARDED_BY(ws_.mu) = 0;
+  bool consumer_idle_ NETFAIL_GUARDED_BY(ws_.mu) = false;
 
   std::thread io_;
   std::thread consumer_;

@@ -18,15 +18,15 @@
 //     flow control to the sender.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "src/common/assert.hpp"
 #include "src/common/metrics.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
 
 namespace netfail::net {
 
@@ -34,8 +34,8 @@ namespace netfail::net {
 /// All queue operations lock `mu`; `cv` is notified on every push, close,
 /// and watermark-relevant pop.
 struct WaitSet {
-  std::mutex mu;
-  std::condition_variable cv;
+  sync::Mutex mu;
+  sync::CondVar cv;
 };
 
 template <typename T>
@@ -52,7 +52,7 @@ class BoundedMpsc {
   /// Enqueue unless full or closed; returns whether the item was taken.
   bool try_push(T item) {
     {
-      std::lock_guard<std::mutex> lock(ws_.mu);
+      sync::MutexLock lock(ws_.mu);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       note_depth_locked();
@@ -67,7 +67,7 @@ class BoundedMpsc {
   std::size_t try_push_batch(T* items, std::size_t count) {
     std::size_t taken = 0;
     {
-      std::lock_guard<std::mutex> lock(ws_.mu);
+      sync::MutexLock lock(ws_.mu);
       if (!closed_) {
         while (taken < count && items_.size() < capacity_) {
           items_.push_back(std::move(items[taken]));
@@ -83,7 +83,7 @@ class BoundedMpsc {
   /// No new items after close; the consumer still drains what is buffered.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(ws_.mu);
+      sync::MutexLock lock(ws_.mu);
       closed_ = true;
     }
     ws_.cv.notify_all();
@@ -91,12 +91,16 @@ class BoundedMpsc {
 
   /// Consumer side, caller holds ws_.mu (the gateway's merge loop inspects
   /// several queues under one lock).
-  bool empty_locked() const { return items_.empty(); }
-  bool closed_locked() const { return closed_; }
+  bool empty_locked() const NETFAIL_REQUIRES(ws_.mu) { return items_.empty(); }
+  bool closed_locked() const NETFAIL_REQUIRES(ws_.mu) { return closed_; }
   /// Drained: closed and nothing left to pop.
-  bool done_locked() const { return closed_ && items_.empty(); }
-  const T& front_locked() const { return items_.front(); }
-  T pop_locked() {
+  bool done_locked() const NETFAIL_REQUIRES(ws_.mu) {
+    return closed_ && items_.empty();
+  }
+  const T& front_locked() const NETFAIL_REQUIRES(ws_.mu) {
+    return items_.front();
+  }
+  T pop_locked() NETFAIL_REQUIRES(ws_.mu) {
     T item = std::move(items_.front());
     items_.pop_front();
     if (depth_ != nullptr) depth_->set(static_cast<std::int64_t>(items_.size()));
@@ -104,22 +108,22 @@ class BoundedMpsc {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(ws_.mu);
+    sync::MutexLock lock(ws_.mu);
     return items_.size();
   }
 
   // Watermark checks for producer-side backpressure (TCP pause/resume).
   bool above_high_watermark(std::size_t high) const {
-    std::lock_guard<std::mutex> lock(ws_.mu);
+    sync::MutexLock lock(ws_.mu);
     return items_.size() >= high;
   }
   bool below_low_watermark(std::size_t low) const {
-    std::lock_guard<std::mutex> lock(ws_.mu);
+    sync::MutexLock lock(ws_.mu);
     return items_.size() <= low;
   }
 
  private:
-  void note_depth_locked() {
+  void note_depth_locked() NETFAIL_REQUIRES(ws_.mu) {
     if (depth_ != nullptr) {
       const auto n = static_cast<std::int64_t>(items_.size());
       depth_->set(n);
@@ -133,8 +137,8 @@ class BoundedMpsc {
   std::size_t capacity_;
   metrics::Gauge* depth_;
   metrics::Gauge* peak_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ NETFAIL_GUARDED_BY(ws_.mu);
+  bool closed_ NETFAIL_GUARDED_BY(ws_.mu) = false;
 };
 
 }  // namespace netfail::net

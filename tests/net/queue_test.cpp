@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/metrics.hpp"
+#include "src/common/sync.hpp"
 
 namespace netfail::net {
 namespace {
@@ -25,7 +26,7 @@ TEST(BoundedMpsc, RefusesWhenFull) {
   EXPECT_EQ(q.size(), 3u);
 
   {
-    std::lock_guard<std::mutex> lock(ws.mu);
+    sync::MutexLock lock(ws.mu);
     EXPECT_EQ(q.pop_locked(), 1);
   }
   EXPECT_TRUE(q.try_push(4));  // space again
@@ -38,7 +39,7 @@ TEST(BoundedMpsc, CloseStopsIntakeButDrains) {
   EXPECT_TRUE(q.try_push("b"));
   q.close();
   EXPECT_FALSE(q.try_push("c"));  // closed
-  std::lock_guard<std::mutex> lock(ws.mu);
+  sync::MutexLock lock(ws.mu);
   EXPECT_TRUE(q.closed_locked());
   EXPECT_FALSE(q.done_locked());  // still has buffered items
   EXPECT_EQ(q.pop_locked(), "a");
@@ -55,7 +56,7 @@ TEST(BoundedMpsc, WatermarksTrackOccupancy) {
   EXPECT_TRUE(q.above_high_watermark(12));
   EXPECT_FALSE(q.below_low_watermark(4));
   {
-    std::lock_guard<std::mutex> lock(ws.mu);
+    sync::MutexLock lock(ws.mu);
     for (int i = 0; i < 8; ++i) (void)q.pop_locked();
   }
   EXPECT_FALSE(q.above_high_watermark(12));
@@ -71,7 +72,7 @@ TEST(BoundedMpsc, DepthAndPeakGaugesFollowTheQueue) {
   EXPECT_EQ(depth.value(), 5);
   EXPECT_EQ(peak.value(), 5);
   {
-    std::lock_guard<std::mutex> lock(ws.mu);
+    sync::MutexLock lock(ws.mu);
     (void)q.pop_locked();
     (void)q.pop_locked();
   }
@@ -90,7 +91,7 @@ TEST(BoundedMpsc, TwoProducersOneConsumerLosesNothing) {
   std::uint64_t consumed_sum = 0;
   std::uint64_t consumed_count = 0;
   std::thread consumer([&] {
-    std::unique_lock<std::mutex> lock(ws.mu);
+    sync::UniqueLock lock(ws.mu);
     for (;;) {
       if (!q.empty_locked()) {
         consumed_sum += q.pop_locked();
