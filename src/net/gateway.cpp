@@ -399,6 +399,11 @@ const stream::Checkpoint& IngestGateway::final_checkpoint() const {
   return final_checkpoint_;
 }
 
-GatewayCounters IngestGateway::counters() const { return counters_; }
+GatewayCounters IngestGateway::counters() const {
+  // counters_ fields are written from the io and consumer threads with no
+  // lock; the snapshot is only coherent once both have joined.
+  NETFAIL_ASSERT(!running_, "counters() is a post-stop() snapshot");
+  return counters_;
+}
 
 }  // namespace netfail::net
