@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full verification sweep: tier-1 tests, then ASan+UBSan, then TSan, then
-# the throughput-regression gate.
+# Full verification sweep: static analysis first (fail fast), then tier-1
+# tests, then ASan+UBSan, then TSan.
 #
-#   scripts/check.sh            # all four stages
+#   scripts/check.sh            # lint, tier1, asan, tsan
+#   scripts/check.sh lint       # repo linter (+ clang-tidy where installed)
 #   scripts/check.sh tier1      # just the plain build + ctest
 #   scripts/check.sh asan       # just the ASan+UBSan build + ctest
 #   scripts/check.sh tsan       # just the TSan build + threaded suites
@@ -10,6 +11,11 @@
 #
 # Each stage uses its own build tree (build/, build-asan/, build-tsan/) so
 # switching sanitizers never forces a from-scratch rebuild of the others.
+# Every build runs with the warning wall (-Wshadow -Wconversion -Werror via
+# NETFAIL_WERROR=ON) and, under Clang, -Werror=thread-safety.
+#
+# The lint stage needs no build at all for the repo linter; clang-tidy runs
+# only when installed, over the tier-1 tree's compile_commands.json.
 #
 # The bench stage fails when any committed entry's events_per_sec regresses
 # by more than 10% (noisy/shared machines: skip it with NETFAIL_SKIP_BENCH=1,
@@ -22,8 +28,26 @@ STAGE="${1:-all}"
 
 configure_and_build() {
   local dir="$1"; shift
-  cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" >/dev/null
+  cmake -S . -B "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DNETFAIL_WERROR=ON "$@" >/dev/null
   cmake --build "$dir" -j "$JOBS"
+}
+
+run_lint() {
+  echo "== lint: linter self-test + repo invariants + clang-tidy =="
+  python3 scripts/test_netfail_lint.py
+  python3 scripts/netfail_lint.py src tests bench
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # Reuse (or produce) the tier-1 tree's compile_commands.json.
+    if [[ ! -f build/compile_commands.json ]]; then
+      cmake -S . -B build -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DNETFAIL_WERROR=ON >/dev/null
+    fi
+    mapfile -t tidy_sources < <(find src -name '*.cpp' | sort)
+    clang-tidy -p build --quiet "${tidy_sources[@]}"
+  else
+    echo "clang-tidy not installed — skipping (netfail_lint still gates)"
+  fi
 }
 
 run_tier1() {
@@ -71,19 +95,21 @@ run_bench() {
 }
 
 case "$STAGE" in
+  lint) run_lint ;;
   tier1) run_tier1 ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
   bench) run_bench ;;
   all)
+    run_lint
     run_tier1
     run_asan
     run_tsan
-    run_bench
-    echo "== all checks passed =="
+    echo "== all checks passed (run 'scripts/check.sh bench' for the =="
+    echo "== throughput-regression gate; it wants a quiet machine)   =="
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench|all]" >&2
+    echo "usage: $0 [lint|tier1|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,443 @@
+#!/usr/bin/env python3
+"""netfail_lint — repo-specific invariant linter (dependency-free).
+
+Enforces machine-checkable rules the codebase relies on but the compiler
+cannot express:
+
+  determinism         No wall-clock or non-seeded randomness primitives in
+                      src/sim, src/analysis, src/stream: rand()/srand(),
+                      std::random_device, time(nullptr), clock(), and
+                      std::chrono::system_clock::now(). The parallel
+                      differential guarantee (byte-identical output for any
+                      thread count / seed) dies the moment an analysis path
+                      reads ambient entropy; use netfail::rng / simulated
+                      TimePoints instead.
+  hot-path-string-map No std::string-keyed std::unordered_map in hot-path
+                      dirs. PR-3 moved all hot lookups to Symbol/u64 keys;
+                      a string-keyed hash map re-introduces a per-lookup
+                      hash of the bytes and per-insert allocations.
+  hot-path-iostream   No <iostream>/<sstream>/std::*stringstream in
+                      hot-path dirs: iostreams allocate and lock; the
+                      hot paths format with strfmt/snprintf into reused
+                      buffers. (src/io and src/tools are cold and exempt.)
+  naked-new           No naked new/delete expressions outside the bench
+                      counting-allocator harness: ownership lives in
+                      containers and smart pointers. Intentionally leaked
+                      process-wide singletons carry an inline allow with the
+                      reason.
+  todo-owner          Every TODO carries an owner tag: TODO(name).
+  include-guard       Every header uses `#pragma once` (the repo's guard
+                      idiom); classic #ifndef guards flag as inconsistent.
+
+Suppressions:
+  - inline, same line (or the line above, for multi-line statements):
+        // netfail-lint: allow(rule) reason...
+  - file/line scoped, checked in at scripts/lint_suppressions.txt:
+        rule path[:line] reason...
+    A suppression without a reason is itself an error.
+
+Exit status: 0 clean, 1 violations found, 2 usage/config error.
+Usage: netfail_lint.py [--root DIR] [--suppressions FILE] [paths...]
+Paths default to `src tests bench`, relative to --root (repo root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# Directory scoping, relative to the repo root (forward slashes).
+DETERMINISM_DIRS = ("src/sim", "src/analysis", "src/stream")
+HOT_PATH_DIRS = (
+    "src/analysis",
+    "src/common",
+    "src/isis",
+    "src/net",
+    "src/sim",
+    "src/stream",
+    "src/syslog",
+)
+# The counting operator new/delete harness the `naked-new` rule exists to
+# protect: the only place allowed to spell allocation primitives.
+ALLOC_HARNESS_FILES = ("bench/bench_common.cpp",)
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
+
+ALLOW_RE = re.compile(r"netfail-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+@dataclass
+class Violation:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Suppression:
+    rule: str
+    path: str
+    line: int | None  # None = whole file
+    reason: str
+    used: bool = False
+
+    def matches(self, v: Violation) -> bool:
+        return (
+            self.rule == v.rule
+            and self.path == v.path
+            and (self.line is None or self.line == v.line)
+        )
+
+
+@dataclass
+class FileText:
+    """One source file in the three views the rules need."""
+
+    rel_path: str
+    raw_lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)  # comments/strings blanked
+    allow: dict[int, set[str]] = field(default_factory=dict)  # line -> rules
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string literals, and char literals, preserving
+    line structure so reported line numbers match the raw file. Handles //,
+    /* */, "..." with escapes, '...', and R"delim(...)delim" raw strings."""
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue  # newline handled next iteration
+        if c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2  # skip */
+            continue
+        if c == "R" and nxt == '"':
+            # Raw string: R"delim( ... )delim"
+            m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
+            if m:
+                closer = ")" + m.group(1) + '"'
+                end = text.find(closer, i + m.end())
+                if end == -1:
+                    end = n
+                else:
+                    end += len(closer)
+                out.extend("\n" for ch in text[i:end] if ch == "\n")
+                i = end
+                continue
+        if c == '"':
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            out.append('""')
+            continue
+        if c == "'":
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            out.append("''")
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def load_file(root: str, rel_path: str) -> FileText:
+    with open(os.path.join(root, rel_path), encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    ft = FileText(rel_path=rel_path)
+    ft.raw_lines = raw.splitlines()
+    ft.code_lines = strip_comments_and_strings(raw).splitlines()
+    # Pad so both views always have the same length.
+    while len(ft.code_lines) < len(ft.raw_lines):
+        ft.code_lines.append("")
+    for lineno, line in enumerate(ft.raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            ft.allow.setdefault(lineno, set()).update(rules)
+            # An allow comment above a statement covers the next line too
+            # (attribute-style placement for multi-line statements).
+            ft.allow.setdefault(lineno + 1, set()).update(rules)
+    return ft
+
+
+def in_dirs(rel_path: str, dirs: tuple[str, ...]) -> bool:
+    return any(rel_path.startswith(d + "/") for d in dirs)
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each takes a FileText and yields Violations.
+
+DETERMINISM_PATTERNS = (
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand() (ambient RNG)"),
+    (re.compile(r"std::random_device"), "std::random_device (ambient entropy)"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:nullptr|NULL|0)\s*\)"),
+     "time(nullptr) (wall clock)"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "clock() (wall clock)"),
+    (re.compile(r"system_clock::now\s*\(\s*\)"),
+     "std::chrono::system_clock::now() (wall clock)"),
+)
+
+
+def rule_determinism(ft: FileText):
+    if not in_dirs(ft.rel_path, DETERMINISM_DIRS):
+        return
+    for lineno, line in enumerate(ft.code_lines, start=1):
+        for pattern, what in DETERMINISM_PATTERNS:
+            if pattern.search(line):
+                yield Violation(
+                    ft.rel_path, lineno, "determinism",
+                    f"{what} breaks the byte-identical differential "
+                    "guarantee; use netfail::rng / simulated time",
+                )
+
+
+STRING_MAP_RE = re.compile(r"unordered_map\s*<\s*(?:std::)?string\b")
+IOSTREAM_INCLUDE_RE = re.compile(r'#\s*include\s*<(iostream|sstream)>')
+SSTREAM_USE_RE = re.compile(r"std::\s*(o|i)?stringstream")
+
+
+def rule_hot_path(ft: FileText):
+    if not in_dirs(ft.rel_path, HOT_PATH_DIRS):
+        return
+    for lineno, line in enumerate(ft.code_lines, start=1):
+        if STRING_MAP_RE.search(line):
+            yield Violation(
+                ft.rel_path, lineno, "hot-path-string-map",
+                "std::string-keyed unordered_map on a hot path: key by "
+                "sym::Symbol / sym::pair_key (see DESIGN.md §7)",
+            )
+        if IOSTREAM_INCLUDE_RE.search(line) or SSTREAM_USE_RE.search(line):
+            yield Violation(
+                ft.rel_path, lineno, "hot-path-iostream",
+                "iostream/stringstream on a hot path allocates and locks: "
+                "format with strfmt/snprintf into a reused buffer",
+            )
+
+
+NEW_DELETE_RE = re.compile(r"(?<![\w:])(new|delete)(?![\w:])")
+OPERATOR_NEW_RE = re.compile(r"operator\s+(new|delete)(\s*\[\s*\])?")
+EQUALS_DELETE_RE = re.compile(r"=\s*delete\b")
+
+
+def rule_naked_new(ft: FileText):
+    if ft.rel_path in ALLOC_HARNESS_FILES:
+        return
+    for lineno, line in enumerate(ft.code_lines, start=1):
+        # Blank the legal spellings, then look for what is left.
+        cleaned = OPERATOR_NEW_RE.sub(" ", line)
+        cleaned = EQUALS_DELETE_RE.sub(" ", cleaned)
+        m = NEW_DELETE_RE.search(cleaned)
+        if m:
+            yield Violation(
+                ft.rel_path, lineno, "naked-new",
+                f"naked `{m.group(1)}`: ownership belongs in containers or "
+                "smart pointers (bench alloc harness excepted)",
+            )
+
+
+TODO_RE = re.compile(r"\bTODO\b")
+TODO_OWNER_RE = re.compile(r"\bTODO\(\w[\w.-]*\)")
+
+
+def rule_todo_owner(ft: FileText):
+    for lineno, line in enumerate(ft.raw_lines, start=1):
+        if TODO_RE.search(line) and not TODO_OWNER_RE.search(line):
+            yield Violation(
+                ft.rel_path, lineno, "todo-owner",
+                "TODO without an owner tag: write TODO(name): ...",
+            )
+
+
+IFNDEF_GUARD_RE = re.compile(r"#\s*ifndef\s+\w+_(H|HPP|H_|HPP_)\b")
+
+
+def rule_include_guard(ft: FileText):
+    if not ft.rel_path.endswith((".hpp", ".h")):
+        return
+    for lineno, line in enumerate(ft.code_lines, start=1):
+        if "#pragma once" in line:
+            return
+    # No pragma once anywhere: point at an #ifndef guard if one exists
+    # (inconsistent idiom), else at line 1 (unguarded).
+    for lineno, line in enumerate(ft.code_lines, start=1):
+        if IFNDEF_GUARD_RE.search(line):
+            yield Violation(
+                ft.rel_path, lineno, "include-guard",
+                "#ifndef-style include guard: this repo uses #pragma once",
+            )
+            return
+    yield Violation(
+        ft.rel_path, 1, "include-guard",
+        "header without #pragma once",
+    )
+
+
+RULES = (
+    rule_determinism,
+    rule_hot_path,
+    rule_naked_new,
+    rule_todo_owner,
+    rule_include_guard,
+)
+RULE_NAMES = (
+    "determinism",
+    "hot-path-string-map",
+    "hot-path-iostream",
+    "naked-new",
+    "todo-owner",
+    "include-guard",
+)
+
+# ---------------------------------------------------------------------------
+
+
+def parse_suppressions(path: str) -> tuple[list[Suppression], list[str]]:
+    """Returns (suppressions, config_errors)."""
+    sups: list[Suppression] = []
+    errors: list[str] = []
+    if not os.path.exists(path):
+        return sups, errors
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                errors.append(
+                    f"{path}:{lineno}: suppression needs `rule path reason...`"
+                    " — a reason is mandatory")
+                continue
+            rule, target, reason = parts
+            if rule not in RULE_NAMES:
+                errors.append(f"{path}:{lineno}: unknown rule '{rule}'")
+                continue
+            target_line: int | None = None
+            if ":" in target:
+                target, line_str = target.rsplit(":", 1)
+                try:
+                    target_line = int(line_str)
+                except ValueError:
+                    errors.append(
+                        f"{path}:{lineno}: bad line number '{line_str}'")
+                    continue
+            sups.append(Suppression(rule, target, target_line, reason))
+    return sups, errors
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    rels: list[str] = []
+    for p in paths:
+        full = os.path.join(root, p)
+        if os.path.isfile(full):
+            rels.append(os.path.relpath(full, root).replace(os.sep, "/"))
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            # Never descend into build trees or fixtures-for-the-linter-tests.
+            dirnames[:] = [d for d in dirnames
+                           if not d.startswith("build") and d != "fixtures"]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    rels.append(rel.replace(os.sep, "/"))
+    return rels
+
+
+def lint_tree(root: str, paths: list[str],
+              suppressions: list[Suppression]) -> tuple[list[Violation], int]:
+    """Returns (unsuppressed violations, files scanned)."""
+    violations: list[Violation] = []
+    files = collect_files(root, paths)
+    for rel in files:
+        ft = load_file(root, rel)
+        for rule in RULES:
+            for v in rule(ft):
+                if v.rule in ft.allow.get(v.line, set()):
+                    continue
+                sup = next((s for s in suppressions if s.matches(v)), None)
+                if sup is not None:
+                    sup.used = True
+                    continue
+                violations.append(v)
+    return violations, len(files)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="netfail_lint.py",
+        description="netfail repo-invariant linter (see module docstring)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--suppressions", default=None,
+                        help="suppression file (default: "
+                             "scripts/lint_suppressions.txt under --root)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories, relative to --root "
+                             "(default: src tests bench)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("\n".join(RULE_NAMES))
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    sup_path = args.suppressions or os.path.join(
+        root, "scripts", "lint_suppressions.txt")
+    paths = args.paths or ["src", "tests", "bench"]
+    for p in paths:
+        if not os.path.exists(os.path.join(root, p)):
+            print(f"netfail_lint: no such path under {root}: {p}",
+                  file=sys.stderr)
+            return 2
+
+    suppressions, config_errors = parse_suppressions(sup_path)
+    if config_errors:
+        print("\n".join(config_errors), file=sys.stderr)
+        return 2
+
+    violations, scanned = lint_tree(root, paths, suppressions)
+    for v in violations:
+        print(v.render())
+    for s in suppressions:
+        if not s.used:
+            print(f"note: unused suppression: {s.rule} {s.path}"
+                  f"{':' + str(s.line) if s.line else ''} ({s.reason})",
+                  file=sys.stderr)
+    if violations:
+        print(f"netfail_lint: {len(violations)} violation(s) in "
+              f"{scanned} file(s)", file=sys.stderr)
+        return 1
+    print(f"netfail_lint: clean ({scanned} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/netfail_lint.py.
+
+Drives the linter as a module over the checked-in fixture tree at
+tests/lint/fixtures/tree (a miniature repo layout with one file per
+pass/fail case) plus a handful of in-memory cases for the comment/string
+stripper and the suppression parser. Run directly or via ctest
+(LintSelfTest). Exits nonzero on failure.
+"""
+
+import io
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import netfail_lint  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_ROOT = os.path.join(REPO_ROOT, "tests", "lint", "fixtures", "tree")
+
+
+def run_rules(rel_path):
+    """All violations (pre-suppression) the rule set yields for one file."""
+    ft = netfail_lint.load_file(FIXTURE_ROOT, rel_path)
+    out = []
+    for rule in netfail_lint.RULES:
+        out.extend(rule(ft))
+    return out
+
+
+def lint_fixture(paths, suppressions=()):
+    vs, _ = netfail_lint.lint_tree(FIXTURE_ROOT, list(paths),
+                                   list(suppressions))
+    return vs
+
+
+class DeterminismRule(unittest.TestCase):
+    def test_flags_every_entropy_primitive(self):
+        got = {(v.rule, v.line) for v in run_rules("src/sim/bad_rand.cpp")}
+        self.assertEqual(
+            got,
+            {("determinism", 5),   # rand()
+             ("determinism", 6),   # srand()
+             ("determinism", 7),   # time(nullptr)
+             ("determinism", 8),   # clock()
+             ("determinism", 10),  # std::random_device
+             ("determinism", 14)}, # system_clock::now()
+        )
+
+    def test_comments_strings_and_lookalikes_pass(self):
+        self.assertEqual(run_rules("src/sim/ok_rng.cpp"), [])
+
+    def test_scoped_to_determinism_dirs(self):
+        # The same tokens in src/io would not flag (cold dir, different
+        # rules apply): simulate by relocating the fixture text.
+        ft = netfail_lint.load_file(FIXTURE_ROOT, "src/sim/bad_rand.cpp")
+        ft.rel_path = "src/io/bad_rand.cpp"
+        self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
+
+
+class HotPathRules(unittest.TestCase):
+    def test_flags_string_map_and_iostream_in_hot_dir(self):
+        rules = [v.rule for v in run_rules("src/analysis/bad_hot.cpp")]
+        self.assertIn("hot-path-string-map", rules)
+        self.assertIn("hot-path-iostream", rules)
+        # <sstream> include and the ostringstream use both flag.
+        self.assertEqual(rules.count("hot-path-iostream"), 2)
+
+    def test_cold_dirs_exempt(self):
+        self.assertEqual(run_rules("src/io/ok_cold.cpp"), [])
+
+
+class NakedNewRule(unittest.TestCase):
+    def test_flags_new_and_delete_expressions(self):
+        got = {(v.rule, v.line) for v in run_rules("src/common/bad_new.cpp")}
+        self.assertEqual(
+            got,
+            {("naked-new", 8),   # new Widget()
+             ("naked-new", 9)},  # delete w  — NOT the `= delete` lines or
+        )                        # the "new adjacency" string literal
+
+    def test_alloc_harness_exempt(self):
+        self.assertEqual(lint_fixture(["bench"]), [])
+
+    def test_inline_allow_silences(self):
+        self.assertEqual(lint_fixture(["src/common/ok_allow.cpp"]), [])
+
+
+class TodoOwnerRule(unittest.TestCase):
+    def test_owner_tag_required(self):
+        got = [(v.rule, v.line) for v in run_rules("src/common/todo.cpp")]
+        self.assertEqual(got, [("todo-owner", 1)])
+
+
+class IncludeGuardRule(unittest.TestCase):
+    def test_missing_guard_flags_line_one(self):
+        got = [(v.rule, v.line) for v in run_rules("src/common/no_guard.hpp")]
+        self.assertEqual(got, [("include-guard", 1)])
+
+    def test_ifndef_guard_flags_as_inconsistent(self):
+        got = [(v.rule, v.line)
+               for v in run_rules("src/common/ifndef_guard.hpp")]
+        self.assertEqual(got, [("include-guard", 2)])
+
+    def test_pragma_once_passes(self):
+        self.assertEqual(run_rules("src/common/good.hpp"), [])
+
+
+class Suppressions(unittest.TestCase):
+    def test_file_scoped_suppression_absorbs_violation(self):
+        sups, errs = netfail_lint.parse_suppressions(
+            os.path.join(FIXTURE_ROOT, "scripts", "lint_suppressions.txt"))
+        self.assertEqual(errs, [])
+        vs = lint_fixture(["src/sim/suppressed_rand.cpp"], sups)
+        self.assertEqual(vs, [])
+        self.assertTrue(sups[0].used)
+
+    def test_without_suppression_the_same_file_fails(self):
+        vs = lint_fixture(["src/sim/suppressed_rand.cpp"])
+        self.assertEqual([v.rule for v in vs], ["determinism"])
+
+    def test_reasonless_suppression_is_a_config_error(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write("determinism src/sim/x.cpp\n")
+            path = f.name
+        try:
+            _, errs = netfail_lint.parse_suppressions(path)
+            self.assertEqual(len(errs), 1)
+            self.assertIn("reason is mandatory", errs[0])
+        finally:
+            os.unlink(path)
+
+    def test_unknown_rule_is_a_config_error(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write("no-such-rule src/sim/x.cpp because reasons\n")
+            path = f.name
+        try:
+            _, errs = netfail_lint.parse_suppressions(path)
+            self.assertEqual(len(errs), 1)
+            self.assertIn("unknown rule", errs[0])
+        finally:
+            os.unlink(path)
+
+    def test_line_scoped_suppression_matches_only_that_line(self):
+        sup = netfail_lint.Suppression("determinism",
+                                       "src/sim/suppressed_rand.cpp", 3, "r")
+        vs = lint_fixture(["src/sim/suppressed_rand.cpp"], [sup])
+        self.assertEqual(vs, [])
+        wrong = netfail_lint.Suppression("determinism",
+                                         "src/sim/suppressed_rand.cpp", 99,
+                                         "r")
+        vs = lint_fixture(["src/sim/suppressed_rand.cpp"], [wrong])
+        self.assertEqual(len(vs), 1)
+
+
+class Stripper(unittest.TestCase):
+    def test_line_numbers_survive_block_comments(self):
+        text = "a\n/* x\n y */b\nc\n"
+        self.assertEqual(netfail_lint.strip_comments_and_strings(text),
+                         "a\n\nb\nc\n")
+
+    def test_raw_strings_blanked(self):
+        text = 'auto s = R"(rand() delete new)"; int x;\n'
+        stripped = netfail_lint.strip_comments_and_strings(text)
+        self.assertNotIn("rand", stripped)
+        self.assertIn("int x;", stripped)
+
+    def test_escaped_quotes(self):
+        text = 'const char* s = "a\\"new\\"b"; delete p;\n'
+        stripped = netfail_lint.strip_comments_and_strings(text)
+        self.assertNotIn("new", stripped)
+        self.assertIn("delete p;", stripped)
+
+
+class MainEntry(unittest.TestCase):
+    def run_main(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = netfail_lint.main(argv)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_violations_exit_1_with_per_line_reports(self):
+        code, out, _ = self.run_main(
+            ["--root", FIXTURE_ROOT, "src/sim/bad_rand.cpp"])
+        self.assertEqual(code, 1)
+        self.assertIn("src/sim/bad_rand.cpp:5: determinism", out)
+
+    def test_clean_tree_exits_0(self):
+        code, out, err = self.run_main(
+            ["--root", FIXTURE_ROOT, "src/common/good.hpp"])
+        self.assertEqual(code, 0, (out, err))
+
+    def test_missing_path_exits_2(self):
+        code, _, err = self.run_main(["--root", FIXTURE_ROOT, "no/such/dir"])
+        self.assertEqual(code, 2)
+        self.assertIn("no such path", err)
+
+    def test_real_repo_tree_is_clean(self):
+        # The acceptance gate: the actual repo passes its own linter.
+        code, out, err = self.run_main(["--root", REPO_ROOT])
+        self.assertEqual(code, 0, (out, err))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,6 @@
+// Fixture: the counting-allocator harness is the one legal home of raw
+// allocation primitives.
+#include <cstdlib>
+#include <new>
+void* operator new(std::size_t size) { return std::malloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }

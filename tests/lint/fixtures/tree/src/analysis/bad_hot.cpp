@@ -1,0 +1,10 @@
+// Fixture: hot-path allocation violations in src/analysis.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> by_name;
+std::string render(int v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}

@@ -1,0 +1,9 @@
+// Fixture: naked allocation; and spellings that must NOT flag.
+struct Widget {
+  Widget() = default;
+  Widget(const Widget&) = delete;             // = delete is not a delete-expr
+  Widget& operator=(const Widget&) = delete;
+};
+const char* label() { return "new adjacency"; }  // string, not a new-expr
+Widget* make() { return new Widget(); }
+void unmake(Widget* w) { delete w; }

@@ -1,0 +1,3 @@
+// Fixture: the repo's guard idiom.
+#pragma once
+int good();

@@ -1,0 +1,5 @@
+// Fixture: classic #ifndef guard, inconsistent with the repo idiom.
+#ifndef NETFAIL_FIXTURE_IFNDEF_GUARD_HPP_
+#define NETFAIL_FIXTURE_IFNDEF_GUARD_HPP_
+int ifndef_guard();
+#endif

@@ -1,0 +1,2 @@
+// Fixture: header with no guard at all.
+int no_guard();

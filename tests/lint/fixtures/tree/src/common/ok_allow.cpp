@@ -1,0 +1,6 @@
+// Fixture: inline allow silences the rule on that line (and the next).
+struct Pool {};
+Pool& global_pool() {
+  static Pool* p = new Pool();  // netfail-lint: allow(naked-new) leaked singleton
+  return *p;
+}

@@ -1,0 +1,4 @@
+// TODO: this one has no owner and must flag.
+// TODO(alice): this one is fine.
+// TODO(bob-2): owner tags may carry dots and dashes.
+int todo_fixture() { return 0; }

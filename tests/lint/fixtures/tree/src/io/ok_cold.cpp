@@ -1,0 +1,10 @@
+// Fixture: src/io is a cold directory; iostream use is allowed there.
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> cold_index;
+std::string cold_render(int v) {
+  std::stringstream ss;
+  ss << v;
+  return ss.str();
+}

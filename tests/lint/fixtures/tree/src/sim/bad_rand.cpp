@@ -1,0 +1,15 @@
+// Fixture: every determinism violation the linter must reject in src/sim.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+int bad_rand() { return rand(); }
+void bad_srand() { srand(42); }
+long bad_time() { return time(nullptr); }
+long bad_clock() { return clock(); }
+unsigned bad_device() {
+  std::random_device rd;
+  return rd();
+}
+long long bad_wall() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// Fixture: mentions of forbidden names in comments and strings are fine:
+// rand(), time(nullptr), std::random_device.
+#include <string>
+const char* describe() { return "uses rand() and system_clock::now()"; }
+int seeded(unsigned long long seed) { return static_cast<int>(seed % 7); }
+// A seeded engine is fine; only ambient entropy is banned.
+int strand_is_not_srand(int strand) { return strand; }

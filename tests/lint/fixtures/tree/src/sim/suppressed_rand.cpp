@@ -1,0 +1,3 @@
+// Fixture: violation covered by the fixture suppression file.
+#include <cstdlib>
+int suppressed() { return rand(); }

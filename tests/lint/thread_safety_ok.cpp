@@ -1,0 +1,42 @@
+// Positive control for ThreadSafetySmoke: the locked twin of
+// thread_safety_violation.cpp. Must compile clean under
+// -Wthread-safety -Werror=thread-safety.
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void bump() {
+    netfail::sync::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  long value() const {
+    netfail::sync::MutexLock lock(mu_);
+    return value_;
+  }
+
+  long value_locked() const NETFAIL_REQUIRES(mu_) { return value_; }
+
+  long relock_dance() {
+    netfail::sync::UniqueLock lock(mu_);
+    const long before = value_;
+    lock.unlock();
+    lock.lock();
+    return value_ - before;
+  }
+
+ private:
+  mutable netfail::sync::Mutex mu_;
+  long value_ NETFAIL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter c;
+  c.bump();
+  return c.value() == 1 && c.relock_dance() == 0 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Seeded violation for ThreadSafetySmoke: identical to the ok twin except
+// bump() forgets the lock. MUST fail to compile under Clang with
+// -Werror=thread-safety — if it ever compiles, the annotation plumbing is
+// broken (macros expanding to nothing under Clang, wrapper losing its
+// capability attributes, ...).
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
+
+namespace {
+
+class GuardedCounter {
+ public:
+  void bump() {
+    ++value_;  // unguarded write to a NETFAIL_GUARDED_BY(mu_) field
+  }
+
+  long value() const {
+    netfail::sync::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable netfail::sync::Mutex mu_;
+  long value_ NETFAIL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  GuardedCounter c;
+  c.bump();
+  return c.value() == 1 ? 0 : 1;
+}
