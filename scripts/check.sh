@@ -71,7 +71,7 @@ run_tsan() {
   # consumer threads; the net suites skip themselves where the sandbox
   # forbids sockets).
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest|BoundedMpsc|EventLoop|NetGateway'
+    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest|BoundedMpsc|EventLoop|NetGateway|AlertSink|DetectDifferential'
 }
 
 run_bench() {
@@ -91,6 +91,13 @@ run_bench() {
   ./build/bench/bench_net_ingest --json=build/BENCH_net.json \
     --benchmark_filter='^$' >/dev/null
   python3 scripts/bench_compare.py BENCH_pipeline.json build/BENCH_net.json \
+    --tolerance "${NETFAIL_BENCH_TOLERANCE:-0.10}"
+  # Online-detection overhead: the detect-on stream pass must hold its
+  # committed events/sec (and the entry records allocs/event + the on/off
+  # throughput ratio alongside it).
+  ./build/bench/bench_detect --json=build/BENCH_detect.json \
+    --benchmark_filter='^$' >/dev/null
+  python3 scripts/bench_compare.py BENCH_pipeline.json build/BENCH_detect.json \
     --tolerance "${NETFAIL_BENCH_TOLERANCE:-0.10}"
 }
 

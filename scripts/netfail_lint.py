@@ -50,10 +50,11 @@ import sys
 from dataclasses import dataclass, field
 
 # Directory scoping, relative to the repo root (forward slashes).
-DETERMINISM_DIRS = ("src/sim", "src/analysis", "src/stream")
+DETERMINISM_DIRS = ("src/sim", "src/analysis", "src/detect", "src/stream")
 HOT_PATH_DIRS = (
     "src/analysis",
     "src/common",
+    "src/detect",
     "src/isis",
     "src/net",
     "src/sim",

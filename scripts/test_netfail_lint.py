@@ -73,6 +73,28 @@ class HotPathRules(unittest.TestCase):
         self.assertEqual(run_rules("src/io/ok_cold.cpp"), [])
 
 
+class DetectRoster(unittest.TestCase):
+    """src/detect joined both dir rosters with the online detection stage;
+    prove the rules actually fire there (a roster typo would silently
+    un-lint the whole subsystem)."""
+
+    def test_detect_is_a_determinism_dir(self):
+        rules = [v.rule for v in run_rules("src/detect/bad_detect.cpp")]
+        self.assertIn("determinism", rules)  # rand()
+
+    def test_detect_is_a_hot_path_dir(self):
+        rules = [v.rule for v in run_rules("src/detect/bad_detect.cpp")]
+        self.assertIn("hot-path-string-map", rules)
+        # <sstream> include and the ostringstream use both flag.
+        self.assertEqual(rules.count("hot-path-iostream"), 2)
+
+    def test_same_text_passes_in_a_cold_dir(self):
+        ft = netfail_lint.load_file(FIXTURE_ROOT, "src/detect/bad_detect.cpp")
+        ft.rel_path = "src/io/bad_detect.cpp"
+        self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
+        self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
+
+
 class NakedNewRule(unittest.TestCase):
     def test_flags_new_and_delete_expressions(self):
         got = {(v.rule, v.line) for v in run_rules("src/common/bad_new.cpp")}

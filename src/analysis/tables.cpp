@@ -352,4 +352,58 @@ std::string render_figure1(const Table5Data& d) {
   return out;
 }
 
+// ---- Detection scores ------------------------------------------------------------
+
+namespace {
+
+std::string slice_row(const detect::SliceScore& s) {
+  const double r = s.considered == 0
+                       ? 1.0
+                       : static_cast<double>(s.detected) /
+                             static_cast<double>(s.considered);
+  return strformat("%llu / %llu (%.4f)",
+                   static_cast<unsigned long long>(s.detected),
+                   static_cast<unsigned long long>(s.considered), r);
+}
+
+}  // namespace
+
+std::string render_detection_scores(const detect::ScoreReport& r) {
+  TextTable tt("Online detection vs injected ground truth");
+  tt.set_align(1, TextTable::Align::kLeft);
+  tt.add_row({"Alerts",
+              strformat("%llu (hard-down %llu, flap-cusum %llu, drift %llu)",
+                        static_cast<unsigned long long>(r.alerts_total),
+                        static_cast<unsigned long long>(r.alerts_hard_down),
+                        static_cast<unsigned long long>(r.alerts_flap_cusum),
+                        static_cast<unsigned long long>(
+                            r.alerts_template_drift))});
+  tt.add_row({"Precision",
+              strformat("%.4f (%llu / %llu matched)", r.precision(),
+                        static_cast<unsigned long long>(r.alerts_matched),
+                        static_cast<unsigned long long>(r.alerts_total))});
+  tt.add_row({"Recall",
+              strformat("%.4f (%llu / %llu hard failures, %llu in listener "
+                        "gaps excluded)",
+                        r.recall(),
+                        static_cast<unsigned long long>(r.failures_detected),
+                        static_cast<unsigned long long>(r.failures_considered),
+                        static_cast<unsigned long long>(r.failures_excluded))});
+  tt.add_rule();
+  tt.add_row({"Media failures", slice_row(r.media)});
+  tt.add_row({"Protocol failures", slice_row(r.protocol)});
+  tt.add_row({"Flap-episode failures", slice_row(r.flapping)});
+  tt.add_row({"Ticketed outages",
+              strformat("%s, %llu corroborated", slice_row(r.ticketed).c_str(),
+                        static_cast<unsigned long long>(
+                            r.tickets_corroborated))});
+  tt.add_rule();
+  tt.add_row({"Lead time",
+              strformat("mean %.1f min, median %.1f min (%llu samples)",
+                        r.lead_mean().seconds_f() / 60.0,
+                        r.lead_median.seconds_f() / 60.0,
+                        static_cast<unsigned long long>(r.lead_samples))});
+  return tt.render();
+}
+
 }  // namespace netfail::analysis

@@ -12,6 +12,7 @@
 #include "src/analysis/linkstats.hpp"
 #include "src/analysis/pipeline.hpp"
 #include "src/common/table.hpp"
+#include "src/detect/scorer.hpp"
 #include "src/stats/ks_test.hpp"
 
 namespace netfail::analysis {
@@ -79,5 +80,9 @@ std::string render_table7(const Table7Data& d);
 
 // ---- Figure 1: CPE cumulative distributions ------------------------------------------------
 std::string render_figure1(const Table5Data& d);
+
+// ---- Detection scores (not in the paper; scores netfail::detect against ---------------------
+// ---- the simulator's injected ground truth) -------------------------------------------------
+std::string render_detection_scores(const detect::ScoreReport& r);
 
 }  // namespace netfail::analysis

@@ -67,4 +67,9 @@ Result<double> parse_probability(const std::string& flag,
 Result<double> parse_nonneg_real(const std::string& flag,
                                  const std::string& value);
 
+/// A strictly positive decimal float (smoothing weights, thresholds —
+/// knobs where zero would divide by zero or disable the math silently).
+Result<double> parse_positive_real(const std::string& flag,
+                                   const std::string& value);
+
 }  // namespace netfail::flags

@@ -1,0 +1,81 @@
+// detect::LinkAlert / detect::AlertSink — the output side of the online
+// anomaly detection stage.
+//
+// The detector emits timestamped per-link alerts; the sink is the one
+// place they land. It is thread-safe (the gateway's consumer thread
+// appends while a display thread snapshots) and copyable (a stream
+// Checkpoint is a deep copy of the whole engine, alerts included), and it
+// mirrors every append into the process-wide metrics registry so a
+// `netfail serve` metrics snapshot shows alert counts without touching
+// engine internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/events.hpp"
+#include "src/common/ids.hpp"
+#include "src/common/sym.hpp"
+#include "src/common/sync.hpp"
+#include "src/common/thread_annotations.hpp"
+#include "src/common/time.hpp"
+
+namespace netfail::detect {
+
+enum class AlertKind {
+  /// An IS-IS adjacency DOWN was observed: the link is hard-down right now.
+  kHardDown,
+  /// The CUSUM statistic over syslog inter-failure gaps crossed its
+  /// threshold: the link is failing anomalously often.
+  kFlapCusum,
+  /// A syslog template's per-window frequency jumped far above its
+  /// baseline: message-pattern drift on this link.
+  kTemplateDrift,
+};
+
+inline const char* alert_kind_name(AlertKind k) {
+  switch (k) {
+    case AlertKind::kHardDown: return "hard-down";
+    case AlertKind::kFlapCusum: return "flap-cusum";
+    case AlertKind::kTemplateDrift: return "template-drift";
+  }
+  return "?";
+}
+
+struct LinkAlert {
+  LinkId link;
+  TimePoint time;  // event time the alert fired at (simulated clock)
+  AlertKind kind = AlertKind::kHardDown;
+  /// Detector score at fire time: CUSUM statistic, drift ratio, or 0 for
+  /// hard-down (the observation is the evidence).
+  double score = 0.0;
+  /// The drifting template for kTemplateDrift; invalid otherwise.
+  Symbol template_id;
+};
+
+/// Thread-safe append-only alert log. The detector (engine thread) appends;
+/// any thread may snapshot. Copyable so Checkpoint's engine deep-copy
+/// carries the alert history; the `on_alert` callback survives copies the
+/// same way LinkTracker callbacks do.
+class AlertSink {
+ public:
+  AlertSink() = default;
+  AlertSink(const AlertSink& other);
+  AlertSink& operator=(const AlertSink& other);
+
+  /// Invoked synchronously on every emit(), after the alert is recorded.
+  std::function<void(const LinkAlert&)> on_alert;
+
+  void emit(const LinkAlert& alert);
+
+  std::uint64_t size() const;
+  /// All alerts so far, emission order.
+  std::vector<LinkAlert> snapshot() const;
+
+ private:
+  mutable sync::Mutex mu_;
+  std::vector<LinkAlert> alerts_ NETFAIL_GUARDED_BY(mu_);
+};
+
+}  // namespace netfail::detect

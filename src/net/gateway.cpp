@@ -399,6 +399,11 @@ const stream::Checkpoint& IngestGateway::final_checkpoint() const {
   return final_checkpoint_;
 }
 
+std::uint64_t IngestGateway::final_alerts() const {
+  NETFAIL_ASSERT(stopped_, "final_alerts() is a post-stop() snapshot");
+  return final_checkpoint_.alerts_emitted();
+}
+
 GatewayCounters IngestGateway::counters() const {
   // counters_ fields are written from the io and consumer threads with no
   // lock; the snapshot is only coherent once both have joined.

@@ -137,6 +137,11 @@ class IngestGateway {
   const stream::StreamEngine& engine() const;
   /// Engine state as of the last event drained, before finish().
   const stream::Checkpoint& final_checkpoint() const;
+  /// Alerts the detection stage had emitted by the final checkpoint (0
+  /// with detection disabled). Like counters(), this is a post-stop()
+  /// snapshot: the consumer thread feeds the detector, so the count is
+  /// only coherent after the drain completes.
+  std::uint64_t final_alerts() const;
   GatewayCounters counters() const;
 
  private:

@@ -33,7 +33,8 @@ StreamEngine::StreamEngine(const LinkCensus& census, EngineOptions options)
       options_(options),
       isis_extractor_(&census),
       isis_tracker_(tracker_options_for(options, analysis::Source::kIsis)),
-      syslog_tracker_(tracker_options_for(options, analysis::Source::kSyslog)) {}
+      syslog_tracker_(tracker_options_for(options, analysis::Source::kSyslog)),
+      detector_(options.detect) {}
 
 void StreamEngine::feed(const StreamEvent& ev) {
   if (ev.kind() == EventKind::kSyslogLine) {
@@ -53,6 +54,9 @@ void StreamEngine::feed_syslog(const syslog::ReceivedLine& rec) {
   const std::optional<syslog::SyslogTransition> tr =
       syslog::extract_line(rec, *census_, syslog_stats_);
   if (!tr) return;
+  // The detector sees every extracted transition, media class included —
+  // the template-frequency counters cover all tracked message shapes.
+  if (detector_.enabled()) detector_.observe_syslog(*tr, rec.received_at);
   // Same filter as reconstruct_from_syslog: adjacency-class messages on
   // census-resolved links.
   if (tr->cls != syslog::MessageClass::kIsisAdjacency) return;
@@ -75,6 +79,7 @@ void StreamEngine::feed_lsp(const isis::LspRecord& rec) {
     // transitions only (multi-link pairs excluded).
     if (tr.field != isis::ReachabilityField::kIsReach) continue;
     if (!tr.link.valid() || tr.multilink) continue;
+    if (detector_.enabled()) detector_.observe_isis(tr.link, tr.time, tr.dir);
     isis_tracker_.ingest(analysis::RawTransition{tr.link, tr.time, tr.dir},
                          rec.received_at);
   }
@@ -84,6 +89,7 @@ void StreamEngine::finish() {
   if (finished_) return;
   isis_tracker_.finish();
   syslog_tracker_.finish();
+  detector_.finish();
   finished_ = true;
 }
 
@@ -92,6 +98,7 @@ Checkpoint StreamEngine::checkpoint() const {
   cp.state_ = std::make_shared<const StreamEngine>(*this);
   cp.high_water_ = high_water_;
   cp.events_ = events_;
+  cp.alerts_ = detector_.alerts_emitted();
   return cp;
 }
 

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "src/config/census.hpp"
+#include "src/detect/detector.hpp"
 #include "src/isis/extract.hpp"
 #include "src/stream/event_mux.hpp"
 #include "src/stream/link_tracker.hpp"
@@ -30,6 +31,9 @@ struct EngineOptions {
   /// Tracker configuration, shared by both source trackers (the engine
   /// overrides `source` per tracker).
   TrackerOptions tracker;
+  /// Online anomaly detection stage (off by default; a disabled detector
+  /// costs one branch per extracted transition).
+  detect::DetectorOptions detect;
 };
 
 class StreamEngine;
@@ -37,16 +41,25 @@ class StreamEngine;
 /// A resumable snapshot of a StreamEngine. Opaque value: copy it, ship it,
 /// resume from it via StreamEngine::resume(). The census is referenced,
 /// not captured; resuming against a different census is undefined.
+///
+/// Detector state rides in the deep copy like every other engine member:
+/// the per-link CUSUM statistics, the open drift window, and the full
+/// alert log are all captured, so a resumed engine emits exactly the
+/// alerts an uninterrupted run would have emitted from this point on.
 class Checkpoint {
  public:
   TimePoint high_water() const { return high_water_; }
   std::uint64_t events_ingested() const { return events_; }
+  /// Alerts the detector stage had emitted by snapshot time (0 with
+  /// detection disabled).
+  std::uint64_t alerts_emitted() const { return alerts_; }
 
  private:
   friend class StreamEngine;
   std::shared_ptr<const StreamEngine> state_;  // deep copy at snapshot time
   TimePoint high_water_;
   std::uint64_t events_ = 0;
+  std::uint64_t alerts_ = 0;
 };
 
 class StreamEngine {
@@ -72,6 +85,10 @@ class StreamEngine {
   const LinkTracker& isis_tracker() const { return isis_tracker_; }
   const LinkTracker& syslog_tracker() const { return syslog_tracker_; }
 
+  // -- the online anomaly detection stage ---------------------------------------
+  detect::LinkDetector& detector() { return detector_; }
+  const detect::LinkDetector& detector() const { return detector_; }
+
   const syslog::SyslogExtractionStats& syslog_stats() const {
     return syslog_stats_;
   }
@@ -91,6 +108,7 @@ class StreamEngine {
   syslog::SyslogExtractionStats syslog_stats_;
   LinkTracker isis_tracker_;
   LinkTracker syslog_tracker_;
+  detect::LinkDetector detector_;
   std::vector<isis::IsisTransition> scratch_;
   std::uint64_t events_ = 0;
   std::uint64_t syslog_events_ = 0;

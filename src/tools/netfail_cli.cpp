@@ -41,6 +41,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <unordered_map>
 
 #include "src/analysis/ambiguous.hpp"
 #include "src/analysis/availability.hpp"
@@ -76,9 +77,13 @@ int usage() {
       "hold-state]\n"
       "  netfail stream --dir DIR [--policy P] [--horizon SECS] "
       "[--max-links N]\n"
-      "                 [--report-every N] [--json-metrics]\n"
+      "                 [--report-every N] [--json-metrics] [--detect]\n"
+      "                 [--ewma-alpha A] [--cusum-threshold T] "
+      "[--drift-window MIN]\n"
       "  netfail serve --dir DIR --syslog-port N --lsp-port N [--policy P]\n"
       "                [--horizon SECS] [--max-links N] [--host ADDR]\n"
+      "                [--detect] [--ewma-alpha A] [--cusum-threshold T]\n"
+      "                [--drift-window MIN]\n"
       "  netfail replay --dir DIR --target HOST --syslog-port N "
       "--lsp-port N\n"
       "                 [--rate MSGS_PER_SEC] [--loss P] [--duplicate P]\n"
@@ -116,6 +121,84 @@ bool parse_number(const char* flag, const std::string& value,
     return false;
   }
   return true;
+}
+
+/// Parse the shared --detect knob flags (stream and serve) into the
+/// detector options. Errors print the problem; the caller exits 2.
+bool parse_detect_flags(const flags::Parsed& args,
+                        detect::DetectorOptions& detect) {
+  detect.enabled = args.has("--detect");
+  if (const auto a = args.value("--ewma-alpha")) {
+    const auto v = flags::parse_positive_real("--ewma-alpha", *a);
+    if (!v) {
+      std::fprintf(stderr, "netfail: %s\n", v.error().to_string().c_str());
+      return false;
+    }
+    if (*v > 1.0) {
+      std::fprintf(stderr,
+                   "netfail: flag --ewma-alpha expects a weight in (0,1], "
+                   "got '%s'\n",
+                   a->c_str());
+      return false;
+    }
+    detect.ewma_alpha = *v;
+  }
+  if (const auto t = args.value("--cusum-threshold")) {
+    const auto v = flags::parse_positive_real("--cusum-threshold", *t);
+    if (!v) {
+      std::fprintf(stderr, "netfail: %s\n", v.error().to_string().c_str());
+      return false;
+    }
+    detect.cusum_threshold = *v;
+  }
+  if (const auto w = args.value("--drift-window")) {
+    const auto v = flags::parse_positive_real("--drift-window", *w);
+    if (!v) {
+      std::fprintf(stderr, "netfail: %s\n", v.error().to_string().c_str());
+      return false;
+    }
+    detect.drift_window =
+        Duration::millis(static_cast<std::int64_t>(*v * 60000.0 + 0.5));
+  }
+  return true;
+}
+
+/// Post-run alert summary for --detect. Capture bundles carry no ground
+/// truth, so the CLI reports the alert stream itself; precision/recall
+/// scoring against injected failures lives in bench_detect and the tests.
+void print_alert_summary(const detect::LinkDetector& detector,
+                         const LinkCensus& census) {
+  const std::vector<detect::LinkAlert> alerts = detector.sink().snapshot();
+  std::uint64_t by_kind[3] = {0, 0, 0};
+  std::unordered_map<LinkId, std::size_t> per_link;
+  for (const detect::LinkAlert& a : alerts) {
+    ++by_kind[static_cast<int>(a.kind)];
+    ++per_link[a.link];
+  }
+  std::printf(
+      "\ndetection: %zu alerts (%llu hard-down, %llu flap-cusum, %llu "
+      "template-drift) over %llu syslog + %llu IS-IS observations\n",
+      alerts.size(),
+      static_cast<unsigned long long>(
+          by_kind[static_cast<int>(detect::AlertKind::kHardDown)]),
+      static_cast<unsigned long long>(
+          by_kind[static_cast<int>(detect::AlertKind::kFlapCusum)]),
+      static_cast<unsigned long long>(
+          by_kind[static_cast<int>(detect::AlertKind::kTemplateDrift)]),
+      static_cast<unsigned long long>(detector.counters().syslog_observed),
+      static_cast<unsigned long long>(detector.counters().isis_observed));
+
+  std::vector<std::pair<LinkId, std::size_t>> worst(per_link.begin(),
+                                                    per_link.end());
+  std::sort(worst.begin(), worst.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  const std::size_t top = std::min<std::size_t>(5, worst.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    std::printf("    %-44s %zu alerts\n",
+                census.link(worst[i].first).name.c_str(), worst[i].second);
+  }
 }
 
 bool parse_policy(const std::string& p, analysis::AmbiguityPolicy& policy) {
@@ -401,7 +484,11 @@ int cmd_stream(int argc, char** argv) {
                        {"--horizon", true},
                        {"--max-links", true},
                        {"--report-every", true},
-                       {"--json-metrics", false}},
+                       {"--json-metrics", false},
+                       {"--detect", false},
+                       {"--ewma-alpha", true},
+                       {"--cusum-threshold", true},
+                       {"--drift-window", true}},
                       args)) {
     return usage();
   }
@@ -409,6 +496,7 @@ int cmd_stream(int argc, char** argv) {
   if (!dir_arg) return usage();
 
   stream::EngineOptions options;
+  if (!parse_detect_flags(args, options.detect)) return usage();
   if (const auto p = args.value("--policy")) {
     if (!parse_policy(*p, options.tracker.reconstruct.policy)) return usage();
   }
@@ -529,6 +617,10 @@ int cmd_stream(int argc, char** argv) {
     std::printf("%s", table.render().c_str());
   }
 
+  if (options.detect.enabled) {
+    print_alert_summary(engine.detector(), bundle.census);
+  }
+
   std::printf("\n==== metrics snapshot ====\n%s",
               args.has("--json-metrics")
                   ? (metrics::global().render_json() + "\n").c_str()
@@ -555,7 +647,11 @@ int cmd_serve(int argc, char** argv) {
                        {"--host", true},
                        {"--policy", true},
                        {"--horizon", true},
-                       {"--max-links", true}},
+                       {"--max-links", true},
+                       {"--detect", false},
+                       {"--ewma-alpha", true},
+                       {"--cusum-threshold", true},
+                       {"--drift-window", true}},
                       args)) {
     return usage();
   }
@@ -569,6 +665,7 @@ int cmd_serve(int argc, char** argv) {
   }
 
   net::GatewayOptions options;
+  if (!parse_detect_flags(args, options.engine.detect)) return usage();
   const auto sport = flags::parse_port("--syslog-port", *sport_arg);
   const auto lport = flags::parse_port("--lsp-port", *lport_arg);
   if (!sport || !lport) {
@@ -651,6 +748,11 @@ int cmd_serve(int argc, char** argv) {
       static_cast<unsigned long long>(
           engine.syslog_tracker().counters().failures_released),
       engine.syslog_tracker().total_downtime().hours_f());
+  if (options.engine.detect.enabled) {
+    std::printf("alerts at final checkpoint: %llu\n",
+                static_cast<unsigned long long>(gateway.final_alerts()));
+    print_alert_summary(engine.detector(), bundle.census);
+  }
   return 0;
 }
 

@@ -1,0 +1,14 @@
+// Fixture: src/detect is in BOTH rosters — determinism (a detector that
+// reads the wall clock is nondeterministic) and hot-path (it runs on the
+// per-event stream path).
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, double> baseline_by_template;
+int jitter() { return rand(); }
+std::string render_alert(int score) {
+  std::ostringstream os;
+  os << score;
+  return os.str();
+}

@@ -55,6 +55,20 @@ TEST(FlagValidation, ParseNonnegRealRejectsNegativesAndJunk) {
   EXPECT_FALSE(flags::parse_nonneg_real("--rate", "inf").ok());
 }
 
+TEST(FlagValidation, ParsePositiveRealExcludesZero) {
+  EXPECT_DOUBLE_EQ(*flags::parse_positive_real("--ewma-alpha", "0.3"), 0.3);
+  EXPECT_DOUBLE_EQ(*flags::parse_positive_real("--cusum-threshold", "3"), 3.0);
+  EXPECT_DOUBLE_EQ(*flags::parse_positive_real("--t", ".5"), 0.5);
+  EXPECT_FALSE(flags::parse_positive_real("--t", "0").ok());
+  EXPECT_FALSE(flags::parse_positive_real("--t", "0.0").ok());
+  EXPECT_FALSE(flags::parse_positive_real("--t", "-0.5").ok());
+  EXPECT_FALSE(flags::parse_positive_real("--t", "nan").ok());
+  EXPECT_FALSE(flags::parse_positive_real("--t", "inf").ok());
+  EXPECT_FALSE(flags::parse_positive_real("--t", "3x").ok());
+  EXPECT_FALSE(flags::parse_positive_real("--t", " 3").ok());
+  EXPECT_FALSE(flags::parse_positive_real("--t", "").ok());
+}
+
 #ifdef NETFAIL_CLI_BIN
 /// Exit status of `netfail <args>` with output discarded.
 int cli_exit(const std::string& args) {
@@ -95,6 +109,25 @@ TEST(CliValidation, ReplayRejectsBadFaultParameters) {
 TEST(CliValidation, ReplayRequiresATarget) {
   EXPECT_EQ(cli_exit("replay --dir=/nonexistent --syslog-port=5140 "
                      "--lsp-port=5141"),
+            2);
+}
+
+TEST(CliValidation, StreamRejectsBadDetectorKnobsBeforeTouchingTheBundle) {
+  const std::string base = "stream --dir=/nonexistent --detect ";
+  EXPECT_EQ(cli_exit(base + "--ewma-alpha=0"), 2);
+  EXPECT_EQ(cli_exit(base + "--ewma-alpha=1.5"), 2);  // weight must be <= 1
+  EXPECT_EQ(cli_exit(base + "--ewma-alpha=smooth"), 2);
+  EXPECT_EQ(cli_exit(base + "--cusum-threshold=0"), 2);
+  EXPECT_EQ(cli_exit(base + "--cusum-threshold=-3"), 2);
+  EXPECT_EQ(cli_exit(base + "--cusum-threshold=nan"), 2);
+  EXPECT_EQ(cli_exit(base + "--drift-window=0"), 2);
+  // Valid knobs get past validation and fail on the bundle instead.
+  EXPECT_EQ(cli_exit(base + "--ewma-alpha=0.4 --cusum-threshold=2.5"), 1);
+}
+
+TEST(CliValidation, ServeRejectsBadDetectorKnobs) {
+  EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=5140 "
+                     "--lsp-port=5141 --detect --cusum-threshold=zero"),
             2);
 }
 

@@ -30,6 +30,7 @@
 #include "src/net/replay.hpp"
 #include "src/net/socket.hpp"
 #include "src/sim/network_sim.hpp"
+#include "src/stream/event_mux.hpp"
 #include "src/syslog/extract.hpp"
 
 namespace netfail::net {
@@ -177,6 +178,78 @@ TEST(NetGateway, ZeroFaultReplayMatchesBatch) {
   // The final checkpoint is the engine as of the last drained event.
   EXPECT_EQ(gw.final_checkpoint().events_ingested(),
             engine.events_ingested());
+}
+
+TEST(NetGateway, DetectionAlertsMatchInProcessStream) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(2);
+
+  // In-process reference: the same capture through EventMux.
+  stream::EngineOptions eo;
+  eo.tracker.reconstruct.period = s->period;
+  eo.detect.enabled = true;
+  stream::StreamEngine ref(s->census, eo);
+  stream::EventMux mux = stream::EventMux::over_vectors(
+      s->sim.collector.lines(), s->sim.listener.records());
+  while (std::optional<stream::StreamEvent> ev = mux.next()) ref.feed(*ev);
+  ref.finish();
+  ASSERT_GT(ref.detector().alerts_emitted(), 0u);
+
+  GatewayOptions o = gateway_options(*s, nullptr);
+  o.engine.detect.enabled = true;
+  IngestGateway gw(s->census, o);
+  ASSERT_TRUE(gw.start().ok());
+  const auto stats = replay_capture(s->sim.collector.lines(),
+                                    s->sim.listener.records(),
+                                    replay_options(gw, kPacedRate));
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  ASSERT_TRUE(gw.wait_replay_complete(std::chrono::seconds(60), 1));
+  gw.stop();
+
+  // final_alerts() is the checkpoint's count, readable only post-stop().
+  // The checkpoint precedes the finish() that closes the last drift
+  // window, so it may trail the detector's final total.
+  EXPECT_EQ(gw.final_alerts(), gw.final_checkpoint().alerts_emitted());
+  EXPECT_LE(gw.final_alerts(), gw.engine().detector().alerts_emitted());
+
+  // Hard-down and flap-cusum alerts fire on message time, which the wire
+  // format carries in full, so the served stream reproduces them exactly
+  // (the two feed queues interleave differently, so emission order is
+  // compared canonically). Drift windows roll on *arrival* time, which
+  // the wire reconstructs at second resolution from the line timestamps
+  // while the in-memory capture carries subsecond stamps — a window
+  // boundary can shift an event, so drift alerts match only in volume.
+  auto key = [](const detect::LinkAlert& a) {
+    return std::make_tuple(a.link.value(), a.time.unix_millis(),
+                           static_cast<int>(a.kind), a.score,
+                           a.template_id.value());
+  };
+  auto message_time_driven = [](const std::vector<detect::LinkAlert>& v) {
+    std::vector<detect::LinkAlert> out;
+    for (const detect::LinkAlert& a : v) {
+      if (a.kind != detect::AlertKind::kTemplateDrift) out.push_back(a);
+    }
+    return out;
+  };
+  const std::vector<detect::LinkAlert> ref_all =
+      ref.detector().sink().snapshot();
+  const std::vector<detect::LinkAlert> srv_all =
+      gw.engine().detector().sink().snapshot();
+  std::vector<detect::LinkAlert> want = message_time_driven(ref_all);
+  std::vector<detect::LinkAlert> got = message_time_driven(srv_all);
+  ASSERT_EQ(want.size(), got.size());
+  std::sort(want.begin(), want.end(),
+            [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  std::sort(got.begin(), got.end(),
+            [&](const auto& a, const auto& b) { return key(a) < key(b); });
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(key(want[i]), key(got[i])) << "alert " << i;
+  }
+  const std::size_t ref_drift = ref_all.size() - want.size();
+  const std::size_t srv_drift = srv_all.size() - got.size();
+  EXPECT_GT(srv_drift, 0u);
+  EXPECT_NEAR(static_cast<double>(srv_drift), static_cast<double>(ref_drift),
+              0.05 * static_cast<double>(ref_drift) + 2.0);
 }
 
 struct LossRun {
