@@ -99,6 +99,25 @@ std::string take_json_flag(int* argc, char** argv) {
   return path;
 }
 
+int take_repeat_flag(int* argc, char** argv, int fallback) {
+  int reps = fallback;
+  if (const char* env = std::getenv("NETFAIL_BENCH_REPEAT")) {
+    if (const int v = std::atoi(env); v > 0) reps = v;
+  }
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    if (std::strcmp(argv[r], "--repeat") == 0 && r + 1 < *argc) {
+      reps = std::atoi(argv[++r]);
+    } else if (std::strncmp(argv[r], "--repeat=", 9) == 0) {
+      reps = std::atoi(argv[r] + 9);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return reps < 1 ? 1 : reps;
+}
+
 void write_bench_json(const std::string& path,
                       const std::vector<BenchJsonEntry>& entries) {
   if (path.empty()) return;
@@ -132,6 +151,9 @@ void write_bench_json(const std::string& path,
 int table_bench_main(int argc, char** argv, const std::string& table_text,
                      const std::vector<BenchJsonEntry>& entries) {
   const std::string json_path = take_json_flag(&argc, argv);
+  // Entries arrive pre-measured; strip --repeat anyway so every bench
+  // binary accepts the flag (callers that retime pull it before this).
+  take_repeat_flag(&argc, argv);
   std::printf("%s\n", table_text.c_str());
   std::fflush(stdout);
   write_bench_json(json_path, entries);

@@ -55,6 +55,13 @@ struct BenchJsonEntry {
 /// never sees it) and return the path, or "" when absent.
 std::string take_json_flag(int* argc, char** argv);
 
+/// Remove "--repeat <N>" / "--repeat=<N>" from argv and return N — the
+/// best-of sample count for the self-timed JSON entries (each wall_ms is
+/// the minimum over N passes, which rejects scheduler noise on shared
+/// boxes). Falls back to the NETFAIL_BENCH_REPEAT environment variable,
+/// then to `fallback`; values below 1 clamp to 1.
+int take_repeat_flag(int* argc, char** argv, int fallback = 3);
+
 /// Write the entries as a JSON document at `path` (no-op for empty path).
 void write_bench_json(const std::string& path,
                       const std::vector<BenchJsonEntry>& entries);

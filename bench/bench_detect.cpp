@@ -129,10 +129,9 @@ double timed_ms(const std::function<void()>& fn, int reps) {
 /// detector enabled (events/sec + allocs/event) next to the detector-off
 /// pass it is compared against. `speedup_vs_serial` records on/off relative
 /// throughput, so the <= 15% overhead budget reads directly as >= 0.85.
-std::vector<bench::BenchJsonEntry> measure_json_entries() {
+std::vector<bench::BenchJsonEntry> measure_json_entries(int reps) {
   const Capture& c = capture();
   const double events = static_cast<double>(c.event_count);
-  const int reps = 3;
 
   const auto pass = [&](bool detect) {
     const stream::StreamEngine engine = stream_pass(c, detect);
@@ -166,6 +165,7 @@ std::string score_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int reps = netfail::bench::take_repeat_flag(&argc, argv);
   return netfail::bench::table_bench_main(argc, argv, score_table(),
-                                          measure_json_entries());
+                                          measure_json_entries(reps));
 }

@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 #include "src/analysis/reconstruct.hpp"
 #include "src/analysis/scenario_cache.hpp"
+#include "src/common/columns.hpp"
 #include "src/common/par.hpp"
 #include "src/config/miner.hpp"
 #include "src/isis/extract.hpp"
@@ -167,13 +168,49 @@ double timed_ms(const std::function<void()>& fn, int reps) {
   return best;
 }
 
+/// One columnar extract+reconstruct pass (DESIGN.md §13): SoA batches from
+/// both extractors, reconstructed via the index-permutation walk. Output is
+/// byte-identical to batch_pass (tests/analysis/columns_test.cpp).
+std::size_t columnar_pass(const Capture& c, EventColumns& isis_cols,
+                          EventColumns& syslog_cols) {
+  analysis::ReconstructOptions opts;
+  opts.period = c.period;
+  isis_cols.clear();
+  syslog_cols.clear();
+  isis::ExtractionStats isis_stats;
+  syslog::SyslogExtractionStats syslog_stats;
+  isis::extract_columns(c.sim().listener.records(), c.census(), isis_cols,
+                        isis_stats);
+  syslog::extract_columns(c.sim().collector, c.census(), syslog_cols,
+                          syslog_stats);
+  const analysis::Reconstruction isis_recon =
+      analysis::reconstruct_from_isis_columns(isis_cols, opts);
+  const analysis::Reconstruction syslog_recon =
+      analysis::reconstruct_from_syslog_columns(syslog_cols, opts);
+  return isis_recon.failures.size() + syslog_recon.failures.size();
+}
+
+void BM_BatchExtractReconstructColumnar(benchmark::State& state) {
+  const Capture& c = capture();
+  EventColumns isis_cols, syslog_cols;
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    failures = columnar_pass(c, isis_cols, syslog_cols);
+    benchmark::DoNotOptimize(failures);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.event_count));
+  state.counters["failures"] =
+      benchmark::Counter(static_cast<double>(failures));
+}
+BENCHMARK(BM_BatchExtractReconstructColumnar)->Unit(benchmark::kMillisecond);
+
 /// Self-timed entries for BENCH_pipeline.json: the batch pipeline pass with
 /// the pool forced serial, the same pass on the global pool (speedup is the
-/// ratio), and one streaming-engine pass.
-std::vector<bench::BenchJsonEntry> measure_json_entries() {
+/// ratio), the columnar pass, and one streaming-engine pass.
+std::vector<bench::BenchJsonEntry> measure_json_entries(int reps) {
   const Capture& c = capture();
   const double events = static_cast<double>(c.event_count);
-  const int reps = 3;
 
   const auto stream_pass = [&] {
     stream::EngineOptions options;
@@ -198,10 +235,18 @@ std::vector<bench::BenchJsonEntry> measure_json_entries() {
   par::ThreadPool serial(1);
   double serial_ms = 0;
   double serial_allocs = 0;
+  double columnar_ms = 0;
+  double columnar_allocs = 0;
+  EventColumns isis_cols, syslog_cols;
+  const auto col_pass = [&] {
+    benchmark::DoNotOptimize(columnar_pass(c, isis_cols, syslog_cols));
+  };
   {
     par::PoolGuard guard(&serial);
     serial_ms = timed_ms([&] { benchmark::DoNotOptimize(batch_pass(c)); }, reps);
     serial_allocs = allocs_of([&] { benchmark::DoNotOptimize(batch_pass(c)); });
+    columnar_ms = timed_ms(col_pass, reps);
+    columnar_allocs = allocs_of(col_pass);
   }
   const double parallel_ms =
       timed_ms([&] { benchmark::DoNotOptimize(batch_pass(c)); }, reps);
@@ -215,6 +260,9 @@ std::vector<bench::BenchJsonEntry> measure_json_entries() {
        1, 1.0, serial_allocs},
       {"batch_extract_reconstruct_parallel", parallel_ms,
        1000.0 * events / parallel_ms, threads, serial_ms / parallel_ms},
+      {"batch_extract_reconstruct_columnar", columnar_ms,
+       1000.0 * events / columnar_ms, 1, serial_ms / columnar_ms,
+       columnar_allocs},
       {"stream_engine", stream_ms, 1000.0 * events / stream_ms, 1, 1.0,
        stream_allocs},
   };
@@ -223,9 +271,10 @@ std::vector<bench::BenchJsonEntry> measure_json_entries() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int reps = netfail::bench::take_repeat_flag(&argc, argv);
   const std::string json_path = netfail::bench::take_json_flag(&argc, argv);
   if (!json_path.empty()) {
-    netfail::bench::write_bench_json(json_path, measure_json_entries());
+    netfail::bench::write_bench_json(json_path, measure_json_entries(reps));
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

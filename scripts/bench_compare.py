@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_pipeline.json against the committed baseline.
 
-Fails (exit 1) when any entry present in both files regresses in
-events_per_sec by more than the tolerance. Entries only in one file are
-reported but never fail the gate (new benches shouldn't block old
-baselines and vice versa). Faster-than-baseline results always pass.
+Two gates, both per-entry over the names present in BOTH files:
+
+  * events_per_sec may not regress by more than --tolerance (fractional;
+    faster-than-baseline always passes).
+  * allocs_per_event may not grow by more than --alloc-tolerance (absolute;
+    allocation rates sit near zero, so a fractional gate would be all noise
+    there). Entries that don't measure allocations (value absent or
+    negative) are exempt.
+
+Entries only in one file are reported but never fail the gate (new benches
+shouldn't block old baselines and vice versa).
 
 Usage: bench_compare.py BASELINE CURRENT [--tolerance 0.10]
+                                         [--alloc-tolerance 0.05]
 """
 
 import argparse
@@ -20,22 +28,21 @@ def load_entries(path):
     return {e["name"]: e for e in doc.get("entries", [])}
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--tolerance", type=float, default=0.10,
-                    help="allowed fractional events/sec regression (0.10 = 10%%)")
-    args = ap.parse_args()
+def has_allocs(entry):
+    """Whether this entry measured allocations (negative means "not measured",
+    mirroring BenchJsonEntry.allocs_per_event)."""
+    return entry.get("allocs_per_event", -1.0) >= 0.0
 
-    base = load_entries(args.baseline)
-    cur = load_entries(args.current)
 
+def compare(base, cur, tolerance, alloc_tolerance, out=None, err=None):
+    """Diff two entry dicts; returns the process exit code (0 ok, 1 fail)."""
+    out = sys.stdout if out is None else out  # resolved late so callers can
+    err = sys.stderr if err is None else err  # redirect the process streams
     failures = []
     for name in sorted(set(base) | set(cur)):
         if name not in base or name not in cur:
-            where = args.baseline if name in base else args.current
-            print(f"  [bench] {name}: only in {where} (ignored)")
+            where = "baseline" if name in base else "current"
+            print(f"  [bench] {name}: only in {where} (ignored)", file=out)
             continue
         b = base[name]["events_per_sec"]
         c = cur[name]["events_per_sec"]
@@ -43,19 +50,47 @@ def main():
             continue
         ratio = c / b
         status = "ok"
-        if ratio < 1.0 - args.tolerance:
+        if ratio < 1.0 - tolerance:
             status = "REGRESSION"
             failures.append(name)
         print(f"  [bench] {name}: {b:,.0f} -> {c:,.0f} ev/s "
-              f"({ratio:.2f}x baseline, {status})")
+              f"({ratio:.2f}x baseline, {status})", file=out)
+
+        if has_allocs(base[name]) and has_allocs(cur[name]):
+            ba = base[name]["allocs_per_event"]
+            ca = cur[name]["allocs_per_event"]
+            delta = ca - ba
+            astatus = "ok"
+            if delta > alloc_tolerance:
+                astatus = "ALLOC REGRESSION"
+                failures.append(f"{name}[allocs]")
+            print(f"  [bench] {name}: allocs/event {ba:.3f} -> {ca:.3f} "
+                  f"({delta:+.3f}, {astatus})", file=out)
 
     if failures:
-        print(f"[bench] FAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "
-              f"regressed more than {args.tolerance:.0%}: {', '.join(failures)}",
-              file=sys.stderr)
+        print(f"[bench] FAIL: {len(failures)} "
+              f"entr{'y' if len(failures) == 1 else 'ies'} regressed "
+              f"(>{tolerance:.0%} ev/s or >+{alloc_tolerance:.2f} "
+              f"allocs/event): {', '.join(failures)}",
+              file=err)
         return 1
-    print(f"[bench] OK: no entry regressed more than {args.tolerance:.0%}")
+    print(f"[bench] OK: no entry regressed more than {tolerance:.0%} ev/s "
+          f"or +{alloc_tolerance:.2f} allocs/event", file=out)
     return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional events/sec regression (0.10 = 10%%)")
+    ap.add_argument("--alloc-tolerance", type=float, default=0.05,
+                    help="allowed absolute allocs/event increase")
+    args = ap.parse_args(argv)
+
+    return compare(load_entries(args.baseline), load_entries(args.current),
+                   args.tolerance, args.alloc_tolerance)
 
 
 if __name__ == "__main__":

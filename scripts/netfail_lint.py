@@ -50,7 +50,13 @@ import sys
 from dataclasses import dataclass, field
 
 # Directory scoping, relative to the repo root (forward slashes).
-DETERMINISM_DIRS = ("src/sim", "src/analysis", "src/detect", "src/stream")
+DETERMINISM_DIRS = (
+    "src/sim",
+    "src/analysis",
+    "src/detect",
+    "src/stream",
+    "src/syslog",  # both parser backends must stay bit-identical
+)
 HOT_PATH_DIRS = (
     "src/analysis",
     "src/common",

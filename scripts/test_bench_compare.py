@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py.
+
+Exercises both gates — fractional events/sec and absolute allocs/event —
+plus the ignore rules (entries on one side only, unmeasured allocations).
+Run directly or via ctest (BenchCompareSelfTest). Exits nonzero on failure.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def entry(name, ev_s, allocs=None):
+    e = {"name": name, "wall_ms": 100.0, "events_per_sec": ev_s,
+         "threads": 1, "speedup_vs_serial": 1.0}
+    if allocs is not None:
+        e["allocs_per_event"] = allocs
+    return e
+
+
+def run_compare(base_entries, cur_entries, **kwargs):
+    base = {e["name"]: e for e in base_entries}
+    cur = {e["name"]: e for e in cur_entries}
+    out, err = io.StringIO(), io.StringIO()
+    code = bench_compare.compare(base, cur,
+                                 kwargs.get("tolerance", 0.10),
+                                 kwargs.get("alloc_tolerance", 0.05),
+                                 out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
+class EventsPerSecGate(unittest.TestCase):
+    def test_within_tolerance_passes(self):
+        code, out, _ = run_compare([entry("a", 1000.0)], [entry("a", 950.0)])
+        self.assertEqual(code, 0)
+        self.assertIn("ok", out)
+
+    def test_regression_fails(self):
+        code, out, err = run_compare([entry("a", 1000.0)],
+                                     [entry("a", 800.0)])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("a", err)
+
+    def test_improvement_always_passes(self):
+        code, _, _ = run_compare([entry("a", 1000.0)], [entry("a", 5000.0)])
+        self.assertEqual(code, 0)
+
+    def test_one_sided_entries_ignored(self):
+        code, out, _ = run_compare(
+            [entry("old_only", 1000.0)], [entry("new_only", 10.0)])
+        self.assertEqual(code, 0)
+        self.assertIn("only in baseline (ignored)", out)
+        self.assertIn("only in current (ignored)", out)
+
+
+class AllocsPerEventGate(unittest.TestCase):
+    def test_within_tolerance_passes(self):
+        code, _, _ = run_compare([entry("a", 1000.0, allocs=0.15)],
+                                 [entry("a", 1000.0, allocs=0.18)])
+        self.assertEqual(code, 0)
+
+    def test_absolute_growth_fails(self):
+        code, out, err = run_compare([entry("a", 1000.0, allocs=0.15)],
+                                     [entry("a", 1000.0, allocs=0.30)])
+        self.assertEqual(code, 1)
+        self.assertIn("ALLOC REGRESSION", out)
+        self.assertIn("a[allocs]", err)
+
+    def test_reduction_passes(self):
+        code, _, _ = run_compare([entry("a", 1000.0, allocs=0.30)],
+                                 [entry("a", 1000.0, allocs=0.05)])
+        self.assertEqual(code, 0)
+
+    def test_unmeasured_side_is_exempt(self):
+        # Negative (the C++ "not measured" sentinel) and absent both exempt.
+        code, _, _ = run_compare([entry("a", 1000.0, allocs=-1.0)],
+                                 [entry("a", 1000.0, allocs=9.9)])
+        self.assertEqual(code, 0)
+        code, _, _ = run_compare([entry("a", 1000.0)],
+                                 [entry("a", 1000.0, allocs=9.9)])
+        self.assertEqual(code, 0)
+
+    def test_both_gates_report_independently(self):
+        # One entry trips both gates; both failures must be named.
+        code, _, err = run_compare([entry("a", 1000.0, allocs=0.1)],
+                                   [entry("a", 500.0, allocs=0.9)])
+        self.assertEqual(code, 1)
+        self.assertIn("a", err)
+        self.assertIn("a[allocs]", err)
+
+
+class MainEntryPoint(unittest.TestCase):
+    def test_end_to_end_over_files(self):
+        with tempfile.TemporaryDirectory() as d:
+            base = os.path.join(d, "base.json")
+            cur = os.path.join(d, "cur.json")
+            with open(base, "w") as f:
+                json.dump({"entries": [entry("a", 1000.0, allocs=0.15)]}, f)
+            with open(cur, "w") as f:
+                json.dump({"entries": [entry("a", 990.0, allocs=0.16)]}, f)
+            out = io.StringIO()
+            from contextlib import redirect_stdout
+            with redirect_stdout(out):
+                code = bench_compare.main([base, cur])
+            self.assertEqual(code, 0)
+            self.assertIn("allocs/event", out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

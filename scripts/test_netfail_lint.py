@@ -60,6 +60,16 @@ class DeterminismRule(unittest.TestCase):
         ft.rel_path = "src/io/bad_rand.cpp"
         self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
 
+    def test_syslog_is_a_determinism_dir(self):
+        # The parser backends are differentially tested (byte-identical
+        # Result<Message>), so src/syslog rides the determinism roster.
+        self.assertIn("src/syslog", netfail_lint.DETERMINISM_DIRS)
+        got = {(v.rule, v.line) for v in run_rules("src/syslog/bad_time.cpp")}
+        self.assertEqual(got, {("determinism", 4)})  # time(nullptr)
+
+    def test_syslog_lookalikes_pass(self):
+        self.assertEqual(run_rules("src/syslog/ok_parse.cpp"), [])
+
 
 class HotPathRules(unittest.TestCase):
     def test_flags_string_map_and_iostream_in_hot_dir(self):

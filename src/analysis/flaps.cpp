@@ -1,7 +1,10 @@
 #include "src/analysis/flaps.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <iterator>
+#include <numeric>
+#include <unordered_map>
 
 #include "src/common/par.hpp"
 
@@ -12,32 +15,43 @@ FlapAnalysis detect_flaps(std::vector<Failure>& failures,
   FlapAnalysis out;
   out.total_failures = failures.size();
 
-  // Group indices per link, chronological.
-  std::map<LinkId, std::vector<std::size_t>> by_link;
+  // Group indices per link, chronological — columnar-style grouping:
+  // first-seen buckets behind a flat hash, iterated through a sorted slot
+  // permutation. Same per-link index lists and the same link iteration
+  // order as the old std::map walk, without a node allocation per link.
+  std::vector<LinkId> bucket_link;
+  std::vector<std::vector<std::size_t>> buckets;
+  std::unordered_map<LinkId, std::uint32_t> slot_of;
   for (std::size_t i = 0; i < failures.size(); ++i) {
-    by_link[failures[i].link].push_back(i);
+    const auto [it, inserted] = slot_of.try_emplace(
+        failures[i].link, static_cast<std::uint32_t>(buckets.size()));
+    if (inserted) {
+      bucket_link.push_back(failures[i].link);
+      buckets.emplace_back();
+    }
+    buckets[it->second].push_back(i);
   }
+  std::vector<std::uint32_t> order(buckets.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return bucket_link[a] < bucket_link[b];
+  });
 
   // Links shard across the pool: each link's episode detection touches only
   // its own index set (so the in_flap_episode writes are disjoint) and
-  // appends to a per-link local, merged afterwards in map (= link) order so
-  // the result is identical to the serial walk for any thread count.
+  // appends to a per-link local, merged afterwards in link order so the
+  // result is identical to the serial walk for any thread count.
   struct PerLink {
     std::vector<FlapEpisode> episodes;
     IntervalSet ranges;
     std::size_t failures_in_episodes = 0;
   };
-  std::vector<std::map<LinkId, std::vector<std::size_t>>::iterator> groups;
-  groups.reserve(by_link.size());
-  for (auto it = by_link.begin(); it != by_link.end(); ++it) {
-    groups.push_back(it);
-  }
-  std::vector<PerLink> locals(groups.size());
+  std::vector<PerLink> locals(order.size());
 
-  par::parallel_for(groups.size(), 4, [&](std::size_t lo, std::size_t hi) {
+  par::parallel_for(order.size(), 4, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t li = lo; li < hi; ++li) {
-      const LinkId link = groups[li]->first;
-      std::vector<std::size_t>& idx = groups[li]->second;
+      const LinkId link = bucket_link[order[li]];
+      std::vector<std::size_t>& idx = buckets[order[li]];
       PerLink& local = locals[li];
       std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
         return failures[a].span.begin < failures[b].span.begin;
@@ -71,12 +85,12 @@ FlapAnalysis detect_flaps(std::vector<Failure>& failures,
     }
   });
 
-  for (std::size_t li = 0; li < groups.size(); ++li) {
+  for (std::size_t li = 0; li < order.size(); ++li) {
     PerLink& local = locals[li];
     if (local.episodes.empty()) continue;
     std::move(local.episodes.begin(), local.episodes.end(),
               std::back_inserter(out.episodes));
-    out.flap_ranges[groups[li]->first] = std::move(local.ranges);
+    out.flap_ranges[bucket_link[order[li]]] = std::move(local.ranges);
     out.failures_in_episodes += local.failures_in_episodes;
   }
   return out;

@@ -1,30 +1,33 @@
 #include "src/analysis/reconstruct.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <iterator>
 
 #include "src/analysis/link_walker.hpp"
 #include "src/common/par.hpp"
 
 namespace netfail::analysis {
+namespace {
 
-Reconstruction reconstruct(std::vector<RawTransition> transitions,
-                           const ReconstructOptions& options) {
-  std::stable_sort(transitions.begin(), transitions.end(),
-                   [](const RawTransition& a, const RawTransition& b) {
-                     if (a.link != b.link) return a.link < b.link;
-                     return a.time < b.time;
-                   });
-
+/// Shared core of the AoS and columnar reconstructions: walk `n` positions,
+/// already sorted by (link, time), through per-link FSMs. `link_at(k)` names
+/// the link at position k and `feed_at(walker, k)` feeds its (time, dir).
+/// Links shard across the pool into per-link local sinks merged in link
+/// order, so the result is byte-identical to the serial walk for any thread
+/// count (and identical between the two data layouts, which the columnar
+/// differential tests assert).
+template <typename LinkAt, typename FeedAt>
+Reconstruction walk_sorted(std::size_t n, const ReconstructOptions& options,
+                           const LinkAt& link_at, const FeedAt& feed_at) {
   // Index the contiguous per-link ranges of the sorted stream.
   struct LinkRange {
     std::size_t begin, end;
   };
   std::vector<LinkRange> links;
-  for (std::size_t i = 0; i < transitions.size();) {
+  for (std::size_t i = 0; i < n;) {
     std::size_t j = i;
-    while (j < transitions.size() && transitions[j].link == transitions[i].link)
-      ++j;
+    while (j < n && link_at(j) == link_at(i)) ++j;
     links.push_back(LinkRange{i, j});
     i = j;
   }
@@ -32,18 +35,17 @@ Reconstruction reconstruct(std::vector<RawTransition> transitions,
   // Each link's FSM is independent, so links shard across the pool. Every
   // link walks into its own Reconstruction: appending locally keeps the
   // kDrop retraction safe (the back of the local failure vector is always
-  // this link's most recent failure), and merging the locals in link order
-  // reproduces the serial append order exactly, for any thread count.
+  // this link's most recent failure).
   std::vector<Reconstruction> locals(links.size());
   par::parallel_for(links.size(), 4, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t li = lo; li < hi; ++li) {
       const LinkRange r = links[li];
       Reconstruction& local = locals[li];
       LinkWalker::State state;
-      LinkWalker walker(transitions[r.begin].link, options, local,
-                        local.failures, local.ambiguous, state);
+      LinkWalker walker(link_at(r.begin), options, local, local.failures,
+                        local.ambiguous, state);
       for (std::size_t k = r.begin; k < r.end; ++k) {
-        walker.feed(transitions[k].time, transitions[k].dir);
+        feed_at(walker, k);
       }
       walker.finish();
     }
@@ -77,6 +79,52 @@ Reconstruction reconstruct(std::vector<RawTransition> transitions,
   return out;
 }
 
+}  // namespace
+
+Reconstruction reconstruct(std::vector<RawTransition> transitions,
+                           const ReconstructOptions& options) {
+  std::stable_sort(transitions.begin(), transitions.end(),
+                   [](const RawTransition& a, const RawTransition& b) {
+                     if (a.link != b.link) return a.link < b.link;
+                     return a.time < b.time;
+                   });
+  return walk_sorted(
+      transitions.size(), options,
+      [&](std::size_t k) { return transitions[k].link; },
+      [&](LinkWalker& walker, std::size_t k) {
+        walker.feed(transitions[k].time, transitions[k].dir);
+      });
+}
+
+Reconstruction reconstruct_columns(const EventColumns& cols,
+                                   const ReconstructOptions& options,
+                                   std::uint8_t tag_mask,
+                                   std::uint8_t tag_want) {
+  // Sort a permutation of the eligible rows instead of materializing AoS
+  // structs: the comparator touches only the link and time columns. A
+  // stable sort over the same keys in the same row order yields the exact
+  // permutation the AoS stable_sort produces, so the FSMs see identical
+  // feeds.
+  std::vector<std::uint32_t> idx;
+  idx.reserve(cols.size());
+  for (std::uint32_t i = 0; i < cols.size(); ++i) {
+    if (!cols.link[i].valid()) continue;
+    if ((cols.tag[i] & tag_mask) != tag_want) continue;
+    idx.push_back(i);
+  }
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (cols.link[a] != cols.link[b])
+                       return cols.link[a] < cols.link[b];
+                     return cols.time_ms[a] < cols.time_ms[b];
+                   });
+  return walk_sorted(
+      idx.size(), options, [&](std::size_t k) { return cols.link[idx[k]]; },
+      [&](LinkWalker& walker, std::size_t k) {
+        walker.feed(cols.time(idx[k]), cols.dir(idx[k]));
+      });
+}
+
 Reconstruction reconstruct_from_syslog(
     const std::vector<syslog::SyslogTransition>& transitions,
     const ReconstructOptions& options) {
@@ -92,6 +140,16 @@ Reconstruction reconstruct_from_syslog(
   return r;
 }
 
+Reconstruction reconstruct_from_syslog_columns(const EventColumns& cols,
+                                               const ReconstructOptions& options) {
+  // Adjacency-class rows are exactly those whose type bits are zero
+  // (MessageType::kIsisAdjChange; see syslog::columns_tag).
+  Reconstruction r =
+      reconstruct_columns(cols, options, syslog::kColumnsTypeMask, 0);
+  for (Failure& f : r.failures) f.source = Source::kSyslog;
+  return r;
+}
+
 Reconstruction reconstruct_from_isis(
     const std::vector<isis::IsisTransition>& transitions,
     const ReconstructOptions& options) {
@@ -102,6 +160,15 @@ Reconstruction reconstruct_from_isis(
     raw.push_back(RawTransition{tr.link, tr.time, tr.dir});
   }
   Reconstruction r = reconstruct(std::move(raw), options);
+  for (Failure& f : r.failures) f.source = Source::kIsis;
+  return r;
+}
+
+Reconstruction reconstruct_from_isis_columns(const EventColumns& cols,
+                                             const ReconstructOptions& options) {
+  // isis::extract_columns appends only reconstruction-eligible rows, so no
+  // tag filter is needed.
+  Reconstruction r = reconstruct_columns(cols, options);
   for (Failure& f : r.failures) f.source = Source::kIsis;
   return r;
 }

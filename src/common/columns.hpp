@@ -1,0 +1,98 @@
+// EventColumns — the columnar (SoA) batch representation of link
+// transitions (DESIGN.md §13).
+//
+// The AoS transition structs (`syslog::SyslogTransition`,
+// `isis::IsisTransition`, `analysis::RawTransition`) are what the
+// per-event streaming path wants; the batch analysis passes want the
+// opposite layout: one contiguous array per field, so sorting touches
+// 12-byte (link, time) pairs instead of 40+ byte structs and the
+// reconstruction FSM walk streams through cache lines of timestamps and
+// tags. A row is (time, link, reporter, tag); the rare free-text `reason`
+// strings live in a row-indexed side table so the hot columns stay
+// fixed-width and string-free — free text is deliberately NOT interned
+// (the symbol table must stay bounded by names, not message text).
+//
+// Tag layout: bit 0 is the link direction (set = UP) for every producer;
+// bits 1..7 are producer-defined (the syslog extractor stores the message
+// type there, see src/syslog/extract.hpp). Consumers that only need
+// (link, time, dir) — the reconstruction — work on any producer's batch.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/events.hpp"
+#include "src/common/ids.hpp"
+#include "src/common/sym.hpp"
+#include "src/common/time.hpp"
+
+namespace netfail {
+
+struct EventColumns {
+  /// Tag bit 0: link direction, set for UP.
+  static constexpr std::uint8_t kTagUp = 0x01;
+
+  std::vector<std::int64_t> time_ms;   // TimePoint::unix_millis
+  std::vector<LinkId> link;            // invalid when resolution failed
+  std::vector<Symbol> reporter;        // interned originator hostname
+  std::vector<std::uint8_t> tag;       // bit 0 dir; rest producer-defined
+  /// Side table for rare free-text payloads, (row, text) with rows strictly
+  /// increasing (append order). Most rows have no entry.
+  std::vector<std::pair<std::uint32_t, std::string>> reason;
+
+  std::size_t size() const { return time_ms.size(); }
+  bool empty() const { return time_ms.empty(); }
+
+  void clear() {
+    time_ms.clear();
+    link.clear();
+    reporter.clear();
+    tag.clear();
+    reason.clear();
+  }
+
+  void reserve(std::size_t n) {
+    time_ms.reserve(n);
+    link.reserve(n);
+    reporter.reserve(n);
+    tag.reserve(n);
+  }
+
+  /// Append one row; returns its index (for `set_reason`).
+  std::uint32_t push_back(TimePoint t, LinkId l, Symbol rep, std::uint8_t tg) {
+    time_ms.push_back(t.unix_millis());
+    link.push_back(l);
+    reporter.push_back(rep);
+    tag.push_back(tg);
+    return static_cast<std::uint32_t>(time_ms.size() - 1);
+  }
+
+  /// Attach free text to the most recently appended rows. Rows must be
+  /// passed in increasing order (natural when called right after
+  /// push_back), keeping the side table sorted for lookup.
+  void set_reason(std::uint32_t row, std::string text) {
+    reason.emplace_back(row, std::move(text));
+  }
+
+  /// The side-table text for `row`; empty view when none was attached.
+  std::string_view reason_for(std::uint32_t row) const {
+    const auto it = std::lower_bound(
+        reason.begin(), reason.end(), row,
+        [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+    return (it != reason.end() && it->first == row) ? std::string_view(it->second)
+                                                    : std::string_view();
+  }
+
+  TimePoint time(std::size_t i) const {
+    return TimePoint::from_unix_millis(time_ms[i]);
+  }
+  LinkDirection dir(std::size_t i) const {
+    return (tag[i] & kTagUp) != 0 ? LinkDirection::kUp : LinkDirection::kDown;
+  }
+};
+
+}  // namespace netfail

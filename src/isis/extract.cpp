@@ -120,14 +120,23 @@ void StreamingExtractor::feed(const LspRecord& rec,
   if (purged) ++stats_.purges;
 
   // Hostname resolution: prefer the dynamic-hostname TLV, fall back to the
-  // config-mined mapping.
-  Symbol hostname = lsp.hostname.empty() ? census_->hostname_of(lsp.source)
-                                         : Symbol(lsp.hostname);
+  // config-mined mapping. Refreshes re-advertise the same hostname, so the
+  // cached symbol from the previous LSP usually answers without touching the
+  // interner's hash table.
+  Symbol hostname;
+  if (lsp.hostname.empty()) {
+    hostname = census_->hostname_of(lsp.source);
+  } else if (src.hostname.valid() && src.hostname == lsp.hostname) {
+    hostname = src.hostname;
+  } else {
+    hostname = Symbol(lsp.hostname);
+  }
   if (hostname.empty()) {
     // Cannot name this source; its adjacencies are unresolvable.
     ++stats_.unknown_host_pairs;
     return;
   }
+  const bool hostname_changed = !(src.hostname == hostname);
   src.hostname = hostname;
 
   // ---- Diff IS reachability. ---------------------------------------------
@@ -151,26 +160,31 @@ void StreamingExtractor::feed(const LspRecord& rec,
   }
 
   const bool first_lsp = !src.initialized;
-  // Removed or decreased neighbors (in sorted-neighbor order, like the old
-  // std::map walk, so emission order is unchanged).
-  for (const auto& [neighbor, old_count] : src.adjacency_count) {
-    const int now = count_of(scratch_counts_, neighbor);
-    if (now < old_count) {
-      Symbol nbr_host = census_->hostname_of(neighbor);
-      if (!nbr_host.valid()) nbr_host = Symbol(neighbor.to_string());
-      update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
+  // Refresh fast path: most LSPs re-advertise an unchanged adjacency set
+  // (the protocol refreshes every ~15 min), so an O(n) equality check skips
+  // both diff walks and the copy-back in the steady state.
+  if (scratch_counts_ != src.adjacency_count) {
+    // Removed or decreased neighbors (in sorted-neighbor order, like the old
+    // std::map walk, so emission order is unchanged).
+    for (const auto& [neighbor, old_count] : src.adjacency_count) {
+      const int now = count_of(scratch_counts_, neighbor);
+      if (now < old_count) {
+        Symbol nbr_host = census_->hostname_of(neighbor);
+        if (!nbr_host.valid()) nbr_host = Symbol(neighbor.to_string());
+        update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
+      }
     }
-  }
-  // Added or increased neighbors.
-  for (const auto& [neighbor, now] : scratch_counts_) {
-    const int before = count_of(src.adjacency_count, neighbor);
-    if (now > before) {
-      Symbol nbr_host = census_->hostname_of(neighbor);
-      if (!nbr_host.valid()) nbr_host = Symbol(neighbor.to_string());
-      update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
+    // Added or increased neighbors.
+    for (const auto& [neighbor, now] : scratch_counts_) {
+      const int before = count_of(src.adjacency_count, neighbor);
+      if (now > before) {
+        Symbol nbr_host = census_->hostname_of(neighbor);
+        if (!nbr_host.valid()) nbr_host = Symbol(neighbor.to_string());
+        update_pair(rec.received_at, hostname, nbr_host, now, first_lsp, out);
+      }
     }
+    src.adjacency_count = scratch_counts_;  // copy; reuses src's capacity
   }
-  src.adjacency_count = scratch_counts_;  // copy; reuses src's capacity
 
   // ---- Diff IP reachability. ---------------------------------------------
   scratch_prefixes_.clear();
@@ -199,27 +213,52 @@ void StreamingExtractor::feed(const LspRecord& rec,
     out.push_back(tr);
   };
 
-  // Withdrawn prefixes: advertiser count drops; reaching zero is a DOWN.
-  for (const Ipv4Prefix& p : src.prefixes) {
-    if (!std::binary_search(new_prefixes.begin(), new_prefixes.end(), p)) {
-      if (--prefix_advertisers_[p] == 0) {
-        emit_ip_transition(p, LinkDirection::kDown);
+  // Same refresh fast path as the adjacency diff: identical prefix sets
+  // imply both walks are no-ops, so skip them and the copy-back.
+  if (new_prefixes != src.prefixes) {
+    // Withdrawn prefixes: advertiser count drops; reaching zero is a DOWN.
+    for (const Ipv4Prefix& p : src.prefixes) {
+      if (!std::binary_search(new_prefixes.begin(), new_prefixes.end(), p)) {
+        if (--prefix_advertisers_[p] == 0) {
+          emit_ip_transition(p, LinkDirection::kDown);
+        }
       }
     }
-  }
-  // Newly advertised prefixes: count rises; leaving zero is an UP (but the
-  // first LSP from a source only sets baselines).
-  for (const Ipv4Prefix& p : new_prefixes) {
-    if (!std::binary_search(src.prefixes.begin(), src.prefixes.end(), p)) {
-      if (prefix_advertisers_[p]++ == 0 && !first_lsp) {
-        emit_ip_transition(p, LinkDirection::kUp);
+    // Newly advertised prefixes: count rises; leaving zero is an UP (but the
+    // first LSP from a source only sets baselines).
+    for (const Ipv4Prefix& p : new_prefixes) {
+      if (!std::binary_search(src.prefixes.begin(), src.prefixes.end(), p)) {
+        if (prefix_advertisers_[p]++ == 0 && !first_lsp) {
+          emit_ip_transition(p, LinkDirection::kUp);
+        }
       }
     }
+    src.prefixes = new_prefixes;  // copy; reuses src's capacity
   }
-  src.prefixes = new_prefixes;  // copy; reuses src's capacity
   src.initialized = true;
-  initialized_hosts_.insert(hostname);
+  // The hostname set only ever grows; re-inserting the same symbol on every
+  // refresh is a wasted hash probe.
+  if (first_lsp || hostname_changed) initialized_hosts_.insert(hostname);
   isis_metrics().transitions.inc(out.size() - out_before);
+}
+
+void extract_columns(const std::vector<LspRecord>& records,
+                     const LinkCensus& census, EventColumns& out,
+                     ExtractionStats& stats) {
+  StreamingExtractor extractor(&census);
+  std::vector<IsisTransition> emitted;
+  for (const LspRecord& rec : records) {
+    emitted.clear();
+    extractor.feed(rec, emitted);
+    for (const IsisTransition& tr : emitted) {
+      if (tr.field != ReachabilityField::kIsReach) continue;
+      if (!tr.link.valid() || tr.multilink) continue;
+      out.push_back(tr.time, tr.link, tr.host_a,
+                    tr.dir == LinkDirection::kUp ? EventColumns::kTagUp
+                                                 : std::uint8_t{0});
+    }
+  }
+  stats = extractor.stats();
 }
 
 IsisExtraction extract_transitions(const std::vector<LspRecord>& records,

@@ -182,100 +182,133 @@ Status Lsp::decode_into(std::span<const std::uint8_t> data, Lsp& lsp) {
     return make_error(ErrorCode::kChecksumMismatch, "LSP checksum invalid");
   }
 
-  ByteReader r(data);
-  Result<std::uint8_t> type = read_common_header(r);
-  if (!type) return type.error();
-  if (*type != kPduTypeLspL2) {
+  // The decode below runs once per received LSP — tens of millions of times
+  // in a long capture — so it reads through a raw cursor with one bounds
+  // check per fixed-size field group instead of a Result per octet. Errors
+  // are constructed only on the (cold) malformed-input paths, with the same
+  // codes the ByteReader-based decoder produced.
+  const std::uint8_t* p = data.data();
+  const std::uint8_t* const end = p + data.size();
+
+  // Common 8-byte header. The size was established above (>= 26 bytes).
+  if (p[0] != kProtocolDiscriminator) {
     return make_error(ErrorCode::kParseError,
-                      strformat("not an L2 LSP: pdu type %u", *type));
+                      strformat("bad protocol discriminator 0x%02x", p[0]));
+  }
+  if (p[3] != 0 && p[3] != 6) {
+    return make_error(ErrorCode::kParseError, "unsupported ID length");
+  }
+  const std::uint8_t type = p[4] & 0x1f;
+  if (type != kPduTypeLspL2) {
+    return make_error(ErrorCode::kParseError,
+                      strformat("not an L2 LSP: pdu type %u", type));
   }
 
-  Result<std::uint16_t> pdu_len = r.u16();
-  if (!pdu_len) return pdu_len.error();
-  if (*pdu_len != data.size()) {
+  // Fixed LSP header: PDU length, lifetime, LSP ID, sequence, checksum,
+  // flags (offsets 8..26).
+  const std::uint16_t pdu_len =
+      static_cast<std::uint16_t>((std::uint16_t{p[8]} << 8) | p[9]);
+  if (pdu_len != data.size()) {
     return make_error(ErrorCode::kParseError, "PDU length field mismatch");
   }
-  Result<std::uint16_t> lifetime = r.u16();
-  if (!lifetime) return lifetime.error();
-  lsp.remaining_lifetime = *lifetime;
-  Result<OsiSystemId> src = read_system_id(r);
-  if (!src) return src.error();
-  lsp.source = *src;
-  Result<std::uint8_t> pn = r.u8();
-  if (!pn) return pn.error();
-  lsp.pseudonode = *pn;
-  Result<std::uint8_t> frag = r.u8();
-  if (!frag) return frag.error();
-  lsp.fragment = *frag;
-  Result<std::uint32_t> seq = r.u32();
-  if (!seq) return seq.error();
-  lsp.sequence = *seq;
-  if (Result<std::uint16_t> ck = r.u16(); !ck) return ck.error();  // checksum
-  if (Result<std::uint8_t> flags = r.u8(); !flags) return flags.error();
+  lsp.remaining_lifetime =
+      static_cast<std::uint16_t>((std::uint16_t{p[10]} << 8) | p[11]);
+  std::array<std::uint8_t, 6> src{};
+  std::copy(p + 12, p + 18, src.begin());
+  lsp.source = OsiSystemId{src};
+  lsp.pseudonode = p[18];
+  lsp.fragment = p[19];
+  lsp.sequence = (std::uint32_t{p[20]} << 24) | (std::uint32_t{p[21]} << 16) |
+                 (std::uint32_t{p[22]} << 8) | p[23];
+  // p[24..25] checksum (verified above), p[26] flags.
+  if (data.size() < 27) {
+    return make_error(ErrorCode::kTruncated, "need 1 bytes, have 0");
+  }
+  p += 27;
 
   // TLVs.
-  while (!r.done()) {
-    Result<std::uint8_t> tlv_type = r.u8();
-    if (!tlv_type) return tlv_type.error();
-    Result<std::uint8_t> tlv_len = r.u8();
-    if (!tlv_len) return tlv_len.error();
-    Result<ByteReader> body = r.sub(*tlv_len);
-    if (!body) return body.error();
+  while (p < end) {
+    if (end - p < 2) {
+      return make_error(ErrorCode::kTruncated, "need 1 bytes, have 0");
+    }
+    const std::uint8_t tlv_type = p[0];
+    const std::uint8_t tlv_len = p[1];
+    p += 2;
+    if (end - p < tlv_len) {
+      return make_error(ErrorCode::kTruncated,
+                        "need " + std::to_string(tlv_len) + " bytes, have " +
+                            std::to_string(end - p));
+    }
+    const std::uint8_t* b = p;
+    const std::uint8_t* const bend = p + tlv_len;
+    p = bend;
 
-    switch (*tlv_type) {
-      case kTlvDynamicHostname: {
-        Result<std::span<const std::uint8_t>> name =
-            body->view(body->remaining());
-        if (!name) return name.error();
-        lsp.hostname.assign(reinterpret_cast<const char*>(name->data()),
-                            name->size());
+    switch (tlv_type) {
+      case kTlvDynamicHostname:
+        lsp.hostname.assign(reinterpret_cast<const char*>(b),
+                            static_cast<std::size_t>(tlv_len));
         break;
-      }
       case kTlvExtendedIsReach: {
-        lsp.is_reach.reserve(lsp.is_reach.size() + *tlv_len / 11);
-        while (!body->done()) {
+        lsp.is_reach.reserve(lsp.is_reach.size() + tlv_len / 11);
+        while (b < bend) {
+          // Fixed part: 6-byte neighbor, pseudonode, 24-bit metric, sub-TLV
+          // length — 11 bytes checked at once.
+          if (bend - b < 11) {
+            return make_error(ErrorCode::kTruncated, "truncated IS-reach entry");
+          }
           IsReachEntry e;
-          Result<OsiSystemId> nbr = read_system_id(*body);
-          if (!nbr) return nbr.error();
-          e.neighbor = *nbr;
-          Result<std::uint8_t> pnode = body->u8();
-          if (!pnode) return pnode.error();
-          e.pseudonode = *pnode;
-          Result<std::uint32_t> metric = body->u24();
-          if (!metric) return metric.error();
-          e.metric = *metric;
-          Result<std::uint8_t> sub_len = body->u8();
-          if (!sub_len) return sub_len.error();
-          if (Status sub = body->skip(*sub_len); !sub) return sub;
+          std::array<std::uint8_t, 6> nbr{};
+          std::copy(b, b + 6, nbr.begin());
+          e.neighbor = OsiSystemId{nbr};
+          e.pseudonode = b[6];
+          e.metric = (std::uint32_t{b[7]} << 16) | (std::uint32_t{b[8]} << 8) |
+                     b[9];
+          const std::uint8_t sub_len = b[10];
+          b += 11;
+          if (bend - b < sub_len) {
+            return make_error(ErrorCode::kTruncated, "truncated IS-reach sub-TLVs");
+          }
+          b += sub_len;
           lsp.is_reach.push_back(e);
         }
         break;
       }
       case kTlvExtendedIpReach: {
-        lsp.ip_reach.reserve(lsp.ip_reach.size() + *tlv_len / 5);
-        while (!body->done()) {
+        lsp.ip_reach.reserve(lsp.ip_reach.size() + tlv_len / 5);
+        while (b < bend) {
+          // Fixed part: 32-bit metric + control byte.
+          if (bend - b < 5) {
+            return make_error(ErrorCode::kTruncated, "truncated IP-reach entry");
+          }
           IpReachEntry e;
-          Result<std::uint32_t> metric = body->u32();
-          if (!metric) return metric.error();
-          e.metric = *metric;
-          Result<std::uint8_t> control = body->u8();
-          if (!control) return control.error();
-          const int plen = *control & 0x3f;
+          e.metric = (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+                     (std::uint32_t{b[2]} << 8) | b[3];
+          const std::uint8_t control = b[4];
+          b += 5;
+          const int plen = control & 0x3f;
           if (plen > 32) {
             return make_error(ErrorCode::kParseError, "bad prefix length");
           }
           const int nbytes = (plen + 7) / 8;
-          std::uint32_t net = 0;
-          for (int b = 0; b < nbytes; ++b) {
-            Result<std::uint8_t> octet = body->u8();
-            if (!octet) return octet.error();
-            net |= std::uint32_t{*octet} << (24 - 8 * b);
+          if (bend - b < nbytes) {
+            return make_error(ErrorCode::kTruncated, "truncated IP-reach prefix");
           }
+          std::uint32_t net = 0;
+          for (int i = 0; i < nbytes; ++i) {
+            net |= std::uint32_t{b[i]} << (24 - 8 * i);
+          }
+          b += nbytes;
           e.prefix = Ipv4Prefix{Ipv4Address{net}, plen};
-          if (*control & 0x40) {  // sub-TLVs present
-            Result<std::uint8_t> sub_len = body->u8();
-            if (!sub_len) return sub_len.error();
-            if (Status sub = body->skip(*sub_len); !sub) return sub;
+          if (control & 0x40) {  // sub-TLVs present
+            if (bend - b < 1) {
+              return make_error(ErrorCode::kTruncated, "truncated IP-reach sub-TLVs");
+            }
+            const std::uint8_t sub_len = *b;
+            ++b;
+            if (bend - b < sub_len) {
+              return make_error(ErrorCode::kTruncated, "truncated IP-reach sub-TLVs");
+            }
+            b += sub_len;
           }
           lsp.ip_reach.push_back(e);
         }

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/common/strfmt.hpp"
+#include "src/syslog/tokenizer.hpp"
 
 namespace netfail::syslog {
 namespace {
@@ -143,6 +144,15 @@ Result<LinkDirection> parse_direction(std::string_view s) {
 }  // namespace
 
 Result<Message> parse_message(std::string_view line) {
+  return parser_backend() == ParserBackend::kFast ? parse_message_fast(line)
+                                                  : parse_message_scalar(line);
+}
+
+// The byte-at-a-time reference parser. The memchr/SWAR tokenizer
+// (src/syslog/tokenizer.cpp) must stay bit-identical to this on every
+// input — including error code and message — which the differential fuzz
+// suite enforces. Change them together.
+Result<Message> parse_message_scalar(std::string_view line) {
   Message m;
 
   // -- priority ---------------------------------------------------------------
@@ -175,6 +185,11 @@ Result<Message> parse_message(std::string_view line) {
   std::string_view ts = rest.substr(3, 13);
   if (!take_int(ts, day) || !take_int(ts, hh) || !take_char(ts, ':') ||
       !take_int(ts, mm) || !take_char(ts, ':') || !take_int(ts, ss)) {
+    return make_error(ErrorCode::kParseError, "bad timestamp");
+  }
+  // Reject days from_civil cannot represent; out-of-range hh/mm/ss merely
+  // roll over arithmetically and need no check to stay deterministic.
+  if (day < 1 || day > 31) {
     return make_error(ErrorCode::kParseError, "bad timestamp");
   }
   // RFC 3164 timestamps carry no year; the collector assigns one from the

@@ -1,0 +1,48 @@
+// Fast syslog tokenizer: memchr-driven field cuts + branch-light (SWAR)
+// integer and timestamp decoding for the six template shapes the study
+// consumes (DESIGN.md §13).
+//
+// Two interchangeable parser backends exist:
+//   - kFast   (this file): cuts fields with memchr, decodes the fixed-width
+//     RFC 3164 timestamp by loading the digit block and subtracting '0' in
+//     parallel, and dispatches mnemonics by (length, memcmp) instead of a
+//     chain of string compares. Falls back to the lenient scalar field walk
+//     only for irregular spacing, so accepted inputs and parsed values are
+//     bit-identical to the reference.
+//   - kScalar (src/syslog/message.cpp): the original byte-at-a-time
+//     reference implementation, kept as the differential oracle.
+//
+// `syslog::parse_message` dispatches on the process-wide backend; the fuzz
+// suite (tests/syslog/tokenizer_fuzz_test.cpp) asserts both backends return
+// identical Result<Message> — including error code and message — on
+// rendered, mutated, truncated, and garbage input.
+#pragma once
+
+#include <string_view>
+
+#include "src/common/result.hpp"
+#include "src/syslog/message.hpp"
+
+namespace netfail::syslog {
+
+enum class ParserBackend {
+  kFast,    // memchr/SWAR tokenizer (default)
+  kScalar,  // byte-at-a-time reference parser
+};
+
+/// Process-wide parser selection. Reads are relaxed-atomic: flip it in test
+/// setup or main(), not concurrently with parsing. Compile with
+/// -DNETFAIL_SYSLOG_SCALAR_PARSER to default to the reference parser.
+ParserBackend parser_backend();
+void set_parser_backend(ParserBackend b);
+
+/// The memchr/SWAR tokenizer. Identical contract to `parse_message` —
+/// same accepted lines, same Message fields, same error code + message on
+/// every rejected line.
+Result<Message> parse_message_fast(std::string_view line);
+
+/// The reference byte-at-a-time parser (always available regardless of the
+/// selected backend).
+Result<Message> parse_message_scalar(std::string_view line);
+
+}  // namespace netfail::syslog

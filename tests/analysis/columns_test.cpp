@@ -1,0 +1,235 @@
+// The columnar batch pipeline's acceptance gate: EventColumns extraction
+// and reconstruction must be *byte-identical* to the AoS pipeline — every
+// row against its SyslogTransition/IsisTransition counterpart, every
+// Failure, AmbiguousSegment, and FSM counter, across seeds and all four
+// ambiguity policies. The columnar path is a layout change, not a
+// semantics change; any divergence here means the permutation sort or the
+// tag encoding broke that contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/flaps.hpp"
+#include "src/analysis/reconstruct.hpp"
+#include "src/analysis/scenario_cache.hpp"
+#include "src/common/columns.hpp"
+#include "src/isis/extract.hpp"
+#include "src/sim/network_sim.hpp"
+#include "src/syslog/extract.hpp"
+
+namespace netfail::analysis {
+namespace {
+
+constexpr AmbiguityPolicy kAllPolicies[] = {
+    AmbiguityPolicy::kDrop, AmbiguityPolicy::kAssumeDown,
+    AmbiguityPolicy::kAssumeUp, AmbiguityPolicy::kHoldState};
+
+TimePoint at(std::int64_t s) { return TimePoint::from_unix_seconds(s); }
+
+// ---- EventColumns unit behaviour --------------------------------------------
+
+TEST(EventColumns, RowsAndTagsRoundTrip) {
+  EventColumns cols;
+  EXPECT_TRUE(cols.empty());
+  const std::uint32_t r0 =
+      cols.push_back(at(100), LinkId{7}, Symbol("router-a"),
+                     EventColumns::kTagUp);
+  const std::uint32_t r1 =
+      cols.push_back(at(200), LinkId{9}, Symbol("router-b"), 0);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(r1, 1u);
+  EXPECT_EQ(cols.time(0), at(100));
+  EXPECT_EQ(cols.dir(0), LinkDirection::kUp);
+  EXPECT_EQ(cols.dir(1), LinkDirection::kDown);
+  EXPECT_EQ(cols.link[1], LinkId{9});
+  EXPECT_EQ(cols.reporter[0], Symbol("router-a"));
+}
+
+TEST(EventColumns, ReasonSideTableIsSparse) {
+  EventColumns cols;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    cols.push_back(at(i), LinkId{i}, Symbol("r"), 0);
+  }
+  cols.set_reason(3, "holding time expired");
+  cols.set_reason(7, "interface state change");
+  EXPECT_EQ(cols.reason_for(3), "holding time expired");
+  EXPECT_EQ(cols.reason_for(7), "interface state change");
+  EXPECT_EQ(cols.reason_for(0), "");
+  EXPECT_EQ(cols.reason_for(9), "");
+  EXPECT_EQ(cols.reason.size(), 2u);  // side table, not a per-row column
+
+  cols.clear();
+  EXPECT_TRUE(cols.empty());
+  EXPECT_TRUE(cols.reason.empty());
+}
+
+TEST(EventColumns, SyslogTagPacksTypeAndDirection) {
+  using syslog::columns_tag;
+  for (const syslog::MessageType t :
+       {syslog::MessageType::kIsisAdjChange, syslog::MessageType::kLinkUpDown,
+        syslog::MessageType::kLineProtoUpDown}) {
+    for (const LinkDirection d : {LinkDirection::kDown, LinkDirection::kUp}) {
+      const std::uint8_t tag = columns_tag(t, d);
+      EXPECT_EQ(syslog::columns_tag_type(tag), t);
+      EXPECT_EQ(syslog::columns_tag_class(tag), syslog::classify(t));
+      EXPECT_EQ((tag & EventColumns::kTagUp) != 0, d == LinkDirection::kUp);
+    }
+  }
+}
+
+// ---- extraction equivalence: row i == transition i --------------------------
+
+TEST(ColumnarExtraction, SyslogRowsMatchAosTransitions) {
+  const auto capture =
+      ScenarioCache::global().capture(sim::test_scenario(/*seed=*/3));
+  const syslog::SyslogExtraction aos =
+      syslog::extract_transitions(capture->sim.collector, capture->census);
+
+  EventColumns cols;
+  syslog::SyslogExtractionStats stats;
+  syslog::extract_columns(capture->sim.collector, capture->census, cols, stats);
+
+  EXPECT_EQ(stats.lines_seen, aos.stats.lines_seen);
+  EXPECT_EQ(stats.parse_failures, aos.stats.parse_failures);
+  EXPECT_EQ(stats.irrelevant_lines, aos.stats.irrelevant_lines);
+  EXPECT_EQ(stats.unresolved_links, aos.stats.unresolved_links);
+
+  ASSERT_EQ(cols.size(), aos.transitions.size());
+  for (std::uint32_t i = 0; i < cols.size(); ++i) {
+    const syslog::SyslogTransition& tr = aos.transitions[i];
+    ASSERT_EQ(cols.time(i), tr.time) << "row " << i;
+    ASSERT_EQ(cols.link[i], tr.link) << "row " << i;
+    ASSERT_EQ(cols.reporter[i], tr.reporter) << "row " << i;
+    ASSERT_EQ(cols.dir(i), tr.dir) << "row " << i;
+    ASSERT_EQ(syslog::columns_tag_type(cols.tag[i]), tr.type) << "row " << i;
+    ASSERT_EQ(syslog::columns_tag_class(cols.tag[i]), tr.cls) << "row " << i;
+    ASSERT_EQ(cols.reason_for(i), tr.reason) << "row " << i;
+  }
+}
+
+TEST(ColumnarExtraction, IsisRowsMatchEligibleAosTransitions) {
+  const auto capture =
+      ScenarioCache::global().capture(sim::test_scenario(/*seed=*/3));
+  const isis::IsisExtraction aos =
+      isis::extract_transitions(capture->sim.listener.records(), capture->census);
+
+  EventColumns cols;
+  isis::ExtractionStats stats;
+  isis::extract_columns(capture->sim.listener.records(), capture->census, cols,
+                        stats);
+
+  EXPECT_EQ(stats.lsps_processed, aos.stats.lsps_processed);
+  EXPECT_EQ(stats.stale_lsps, aos.stats.stale_lsps);
+  EXPECT_EQ(stats.unknown_host_pairs, aos.stats.unknown_host_pairs);
+  EXPECT_EQ(stats.multilink_transitions, aos.stats.multilink_transitions);
+
+  // Columns carry exactly the reconstruction-eligible IS-reach rows.
+  std::vector<const isis::IsisTransition*> eligible;
+  for (const isis::IsisTransition& tr : aos.is_reach) {
+    if (tr.link.valid() && !tr.multilink) eligible.push_back(&tr);
+  }
+  ASSERT_EQ(cols.size(), eligible.size());
+  for (std::uint32_t i = 0; i < cols.size(); ++i) {
+    ASSERT_EQ(cols.time(i), eligible[i]->time) << "row " << i;
+    ASSERT_EQ(cols.link[i], eligible[i]->link) << "row " << i;
+    ASSERT_EQ(cols.reporter[i], eligible[i]->host_a) << "row " << i;
+    ASSERT_EQ(cols.dir(i), eligible[i]->dir) << "row " << i;
+  }
+}
+
+// ---- reconstruction equivalence ---------------------------------------------
+
+void expect_reconstructions_identical(const Reconstruction& aos,
+                                      const Reconstruction& col,
+                                      const char* label) {
+  ASSERT_EQ(aos.failures.size(), col.failures.size()) << label;
+  for (std::size_t i = 0; i < aos.failures.size(); ++i) {
+    const Failure& a = aos.failures[i];
+    const Failure& b = col.failures[i];
+    ASSERT_EQ(a.link, b.link) << label << " failure " << i;
+    ASSERT_EQ(a.span.begin, b.span.begin) << label << " failure " << i;
+    ASSERT_EQ(a.span.end, b.span.end) << label << " failure " << i;
+    ASSERT_EQ(a.source, b.source) << label << " failure " << i;
+    ASSERT_EQ(a.in_flap_episode, b.in_flap_episode) << label << " f " << i;
+  }
+  ASSERT_EQ(aos.ambiguous.size(), col.ambiguous.size()) << label;
+  for (std::size_t i = 0; i < aos.ambiguous.size(); ++i) {
+    const AmbiguousSegment& a = aos.ambiguous[i];
+    const AmbiguousSegment& b = col.ambiguous[i];
+    ASSERT_EQ(a.link, b.link) << label << " ambiguous " << i;
+    ASSERT_EQ(a.repeated_dir, b.repeated_dir) << label << " ambiguous " << i;
+    ASSERT_EQ(a.first_message, b.first_message) << label << " ambiguous " << i;
+    ASSERT_EQ(a.second_message, b.second_message) << label << " amb " << i;
+  }
+  EXPECT_EQ(aos.double_downs, col.double_downs) << label;
+  EXPECT_EQ(aos.double_ups, col.double_ups) << label;
+  EXPECT_EQ(aos.merged_duplicates, col.merged_duplicates) << label;
+  EXPECT_EQ(aos.unterminated, col.unterminated) << label;
+}
+
+void expect_flaps_identical(const FlapAnalysis& aos, const FlapAnalysis& col,
+                            const char* label) {
+  ASSERT_EQ(aos.episodes.size(), col.episodes.size()) << label;
+  for (std::size_t i = 0; i < aos.episodes.size(); ++i) {
+    const FlapEpisode& a = aos.episodes[i];
+    const FlapEpisode& b = col.episodes[i];
+    ASSERT_EQ(a.link, b.link) << label << " episode " << i;
+    ASSERT_EQ(a.span.begin, b.span.begin) << label << " episode " << i;
+    ASSERT_EQ(a.span.end, b.span.end) << label << " episode " << i;
+    ASSERT_EQ(a.failure_count, b.failure_count) << label << " episode " << i;
+  }
+  EXPECT_EQ(aos.flap_ranges.size(), col.flap_ranges.size()) << label;
+  EXPECT_EQ(aos.failures_in_episodes, col.failures_in_episodes) << label;
+  EXPECT_EQ(aos.total_failures, col.total_failures) << label;
+}
+
+TEST(ColumnarReconstruction, ByteIdenticalAcrossSeedsAndPolicies) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto capture = ScenarioCache::global().capture(sim::test_scenario(seed));
+    ASSERT_GT(capture->sim.collector.size(), 0u);
+
+    const isis::IsisExtraction isis_aos = isis::extract_transitions(
+        capture->sim.listener.records(), capture->census);
+    const syslog::SyslogExtraction syslog_aos =
+        syslog::extract_transitions(capture->sim.collector, capture->census);
+
+    EventColumns isis_cols, syslog_cols;
+    isis::ExtractionStats isis_stats;
+    syslog::SyslogExtractionStats syslog_stats;
+    isis::extract_columns(capture->sim.listener.records(), capture->census,
+                          isis_cols, isis_stats);
+    syslog::extract_columns(capture->sim.collector, capture->census,
+                            syslog_cols, syslog_stats);
+
+    for (const AmbiguityPolicy policy : kAllPolicies) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " policy " +
+                   ambiguity_policy_name(policy));
+      ReconstructOptions opts;
+      opts.period = capture->period;
+      opts.policy = policy;
+
+      Reconstruction isis_a = reconstruct_from_isis(isis_aos.is_reach, opts);
+      Reconstruction isis_c = reconstruct_from_isis_columns(isis_cols, opts);
+      Reconstruction syslog_a =
+          reconstruct_from_syslog(syslog_aos.transitions, opts);
+      Reconstruction syslog_c =
+          reconstruct_from_syslog_columns(syslog_cols, opts);
+
+      const FlapAnalysis isis_fa = detect_flaps(isis_a.failures);
+      const FlapAnalysis isis_fc = detect_flaps(isis_c.failures);
+      const FlapAnalysis syslog_fa = detect_flaps(syslog_a.failures);
+      const FlapAnalysis syslog_fc = detect_flaps(syslog_c.failures);
+
+      expect_reconstructions_identical(isis_a, isis_c, "isis");
+      expect_reconstructions_identical(syslog_a, syslog_c, "syslog");
+      expect_flaps_identical(isis_fa, isis_fc, "isis");
+      expect_flaps_identical(syslog_fa, syslog_fc, "syslog");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netfail::analysis

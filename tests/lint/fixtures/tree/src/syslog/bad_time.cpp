@@ -1,0 +1,4 @@
+// Fixture: entropy/wall-clock in src/syslog must flag — the two parser
+// backends are differentially tested and must stay bit-identical.
+#include <ctime>
+long tokenizer_stamp() { return time(nullptr); }
