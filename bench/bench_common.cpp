@@ -8,6 +8,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 
 #include "src/analysis/scenario_cache.hpp"
 #include "src/common/par.hpp"
@@ -127,8 +128,14 @@ void write_bench_json(const std::string& path,
                  path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"threads_default\": %zu,\n  \"entries\": [",
-               par::default_threads());
+  // hw_threads records the recording host's core count so the comparison
+  // script can tell "this box is smaller" from "the code got slower" when
+  // gating speedup_vs_serial.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::fprintf(f,
+               "{\n  \"threads_default\": %zu,\n  \"hw_threads\": %u,\n"
+               "  \"entries\": [",
+               par::default_threads(), hw == 0 ? 1u : hw);
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const BenchJsonEntry& e = entries[i];
     std::fprintf(f,

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a fresh BENCH_pipeline.json against the committed baseline.
 
-Two gates, both per-entry over the names present in BOTH files:
+Three gates, all per-entry over the names present in BOTH files:
 
   * events_per_sec may not regress by more than --tolerance (fractional;
     faster-than-baseline always passes).
@@ -9,6 +9,11 @@ Two gates, both per-entry over the names present in BOTH files:
     allocation rates sit near zero, so a fractional gate would be all noise
     there). Entries that don't measure allocations (value absent or
     negative) are exempt.
+  * speedup_vs_serial may not regress by more than --tolerance, but ONLY
+    when both files were recorded on hosts with the same core count (the
+    top-level hw_threads field): a 2-shard speedup measured on an 8-core
+    box is not comparable to one from a 1-core CI container. When either
+    side omits hw_threads, or they differ, the gate is skipped with a note.
 
 Entries only in one file are reported but never fail the gate (new benches
 shouldn't block old baselines and vice versa).
@@ -22,10 +27,16 @@ import json
 import sys
 
 
-def load_entries(path):
+def load_doc(path):
+    """Returns (entries-by-name, hw_threads-or-None)."""
     with open(path) as f:
         doc = json.load(f)
-    return {e["name"]: e for e in doc.get("entries", [])}
+    return ({e["name"]: e for e in doc.get("entries", [])},
+            doc.get("hw_threads"))
+
+
+def load_entries(path):
+    return load_doc(path)[0]
 
 
 def has_allocs(entry):
@@ -34,10 +45,17 @@ def has_allocs(entry):
     return entry.get("allocs_per_event", -1.0) >= 0.0
 
 
-def compare(base, cur, tolerance, alloc_tolerance, out=None, err=None):
+def compare(base, cur, tolerance, alloc_tolerance, out=None, err=None,
+            base_hw=None, cur_hw=None):
     """Diff two entry dicts; returns the process exit code (0 ok, 1 fail)."""
     out = sys.stdout if out is None else out  # resolved late so callers can
     err = sys.stderr if err is None else err  # redirect the process streams
+    gate_speedup = (base_hw is not None and cur_hw is not None
+                    and base_hw == cur_hw)
+    if not gate_speedup:
+        print(f"  [bench] hw_threads baseline={base_hw} current={cur_hw}: "
+              f"speedup_vs_serial gate skipped (hosts not comparable)",
+              file=out)
     failures = []
     for name in sorted(set(base) | set(cur)):
         if name not in base or name not in cur:
@@ -67,10 +85,22 @@ def compare(base, cur, tolerance, alloc_tolerance, out=None, err=None):
             print(f"  [bench] {name}: allocs/event {ba:.3f} -> {ca:.3f} "
                   f"({delta:+.3f}, {astatus})", file=out)
 
+        bs = base[name].get("speedup_vs_serial", 0.0)
+        cs = cur[name].get("speedup_vs_serial", 0.0)
+        if gate_speedup and bs > 0 and cs > 0:
+            sratio = cs / bs
+            sstatus = "ok"
+            if sratio < 1.0 - tolerance:
+                sstatus = "SPEEDUP REGRESSION"
+                failures.append(f"{name}[speedup]")
+            if bs != 1.0 or cs != 1.0:  # serial rows are all trivially 1.0x
+                print(f"  [bench] {name}: speedup {bs:.2f}x -> {cs:.2f}x "
+                      f"({sstatus})", file=out)
+
     if failures:
         print(f"[bench] FAIL: {len(failures)} "
               f"entr{'y' if len(failures) == 1 else 'ies'} regressed "
-              f"(>{tolerance:.0%} ev/s or >+{alloc_tolerance:.2f} "
+              f"(>{tolerance:.0%} ev/s or speedup, >+{alloc_tolerance:.2f} "
               f"allocs/event): {', '.join(failures)}",
               file=err)
         return 1
@@ -89,8 +119,10 @@ def main(argv=None):
                     help="allowed absolute allocs/event increase")
     args = ap.parse_args(argv)
 
-    return compare(load_entries(args.baseline), load_entries(args.current),
-                   args.tolerance, args.alloc_tolerance)
+    base, base_hw = load_doc(args.baseline)
+    cur, cur_hw = load_doc(args.current)
+    return compare(base, cur, args.tolerance, args.alloc_tolerance,
+                   base_hw=base_hw, cur_hw=cur_hw)
 
 
 if __name__ == "__main__":

@@ -68,11 +68,12 @@ run_tsan() {
   configure_and_build build-tsan -DNETFAIL_TSAN=ON -DNETFAIL_SANITIZE=OFF
   # The suites that actually exercise threads: the pool itself, the parallel
   # pipeline fan-out, the concurrent metrics/cache paths, sim determinism
-  # under the pool, the streaming engine, and the socket ingest path (IO +
+  # under the pool, the streaming engine, the socket ingest path (IO +
   # consumer threads; the net suites skip themselves where the sandbox
-  # forbids sockets).
+  # forbids sockets), and the sharded gateway (N IO loops x N consumer
+  # shards racing on the merge/backpressure paths).
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest|BoundedMpsc|EventLoop|NetGateway|AlertSink|DetectDifferential'
+    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest|BoundedMpsc|EventLoop|NetGateway|AlertSink|DetectDifferential|ShardedDifferential|ShardMap|ShardedGateway'
 }
 
 run_bench() {

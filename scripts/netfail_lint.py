@@ -4,14 +4,17 @@
 Enforces machine-checkable rules the codebase relies on but the compiler
 cannot express:
 
-  determinism         No wall-clock or non-seeded randomness primitives in
-                      src/sim, src/analysis, src/stream: rand()/srand(),
-                      std::random_device, time(nullptr), clock(), and
-                      std::chrono::system_clock::now(). The parallel
-                      differential guarantee (byte-identical output for any
-                      thread count / seed) dies the moment an analysis path
-                      reads ambient entropy; use netfail::rng / simulated
-                      TimePoints instead.
+  determinism         No wall-clock, non-seeded randomness, or
+                      implementation-defined hashing primitives in src/sim,
+                      src/analysis, src/stream, src/net (and the rest of
+                      DETERMINISM_DIRS): rand()/srand(), std::random_device,
+                      time(nullptr), clock(),
+                      std::chrono::system_clock::now(), and std::hash. The
+                      parallel/sharded differential guarantee
+                      (byte-identical output for any thread or shard count)
+                      dies the moment an analysis path reads ambient entropy
+                      or routes by an unspecified hash; use netfail::rng,
+                      simulated TimePoints, and stream::stable_hash64.
   hot-path-string-map No std::string-keyed std::unordered_map in hot-path
                       dirs. PR-3 moved all hot lookups to Symbol/u64 keys;
                       a string-keyed hash map re-introduces a per-lookup
@@ -56,6 +59,8 @@ DETERMINISM_DIRS = (
     "src/detect",
     "src/stream",
     "src/syslog",  # both parser backends must stay bit-identical
+    "src/net",     # sharded ingest feeds the byte-identical merge; only
+                   # steady_clock (monotonic, not banned) belongs here
 )
 HOT_PATH_DIRS = (
     "src/analysis",
@@ -206,6 +211,10 @@ DETERMINISM_PATTERNS = (
     (re.compile(r"(?<![\w:])clock\s*\(\s*\)"), "clock() (wall clock)"),
     (re.compile(r"system_clock::now\s*\(\s*\)"),
      "std::chrono::system_clock::now() (wall clock)"),
+    # Shard routing and checkpoint digests must agree across processes and
+    # standard libraries; std::hash's value is unspecified.
+    (re.compile(r"std::hash\b"),
+     "std::hash (implementation-defined; use stream::stable_hash64)"),
 )
 
 

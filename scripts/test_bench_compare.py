@@ -17,9 +17,9 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_compare  # noqa: E402
 
 
-def entry(name, ev_s, allocs=None):
+def entry(name, ev_s, allocs=None, speedup=1.0):
     e = {"name": name, "wall_ms": 100.0, "events_per_sec": ev_s,
-         "threads": 1, "speedup_vs_serial": 1.0}
+         "threads": 1, "speedup_vs_serial": speedup}
     if allocs is not None:
         e["allocs_per_event"] = allocs
     return e
@@ -32,7 +32,9 @@ def run_compare(base_entries, cur_entries, **kwargs):
     code = bench_compare.compare(base, cur,
                                  kwargs.get("tolerance", 0.10),
                                  kwargs.get("alloc_tolerance", 0.05),
-                                 out=out, err=err)
+                                 out=out, err=err,
+                                 base_hw=kwargs.get("base_hw"),
+                                 cur_hw=kwargs.get("cur_hw"))
     return code, out.getvalue(), err.getvalue()
 
 
@@ -97,21 +99,85 @@ class AllocsPerEventGate(unittest.TestCase):
         self.assertIn("a[allocs]", err)
 
 
+class SpeedupVsSerialGate(unittest.TestCase):
+    def test_same_host_regression_fails(self):
+        code, out, err = run_compare(
+            [entry("a", 1000.0, speedup=1.8)],
+            [entry("a", 1000.0, speedup=1.1)],
+            base_hw=8, cur_hw=8)
+        self.assertEqual(code, 1)
+        self.assertIn("SPEEDUP REGRESSION", out)
+        self.assertIn("a[speedup]", err)
+
+    def test_same_host_within_tolerance_passes(self):
+        code, out, _ = run_compare(
+            [entry("a", 1000.0, speedup=1.8)],
+            [entry("a", 1000.0, speedup=1.75)],
+            base_hw=8, cur_hw=8)
+        self.assertEqual(code, 0)
+        self.assertIn("speedup 1.80x -> 1.75x", out)
+
+    def test_differing_core_counts_skip_the_gate(self):
+        # A 1-core CI box can't reproduce an 8-core speedup; that is not a
+        # code regression.
+        code, out, _ = run_compare(
+            [entry("a", 1000.0, speedup=1.8)],
+            [entry("a", 1000.0, speedup=0.9)],
+            base_hw=8, cur_hw=1)
+        self.assertEqual(code, 0)
+        self.assertIn("speedup_vs_serial gate skipped", out)
+
+    def test_missing_hw_threads_skips_the_gate(self):
+        # Old baselines predate the field; treat them as not comparable.
+        code, out, _ = run_compare(
+            [entry("a", 1000.0, speedup=1.8)],
+            [entry("a", 1000.0, speedup=0.9)])
+        self.assertEqual(code, 0)
+        self.assertIn("speedup_vs_serial gate skipped", out)
+
+    def test_serial_rows_stay_quiet(self):
+        # Rows pinned at 1.0x on both sides pass without a speedup line.
+        code, out, _ = run_compare(
+            [entry("a", 1000.0)], [entry("a", 1000.0)],
+            base_hw=4, cur_hw=4)
+        self.assertEqual(code, 0)
+        self.assertNotIn("speedup 1.00x", out)
+
+
 class MainEntryPoint(unittest.TestCase):
     def test_end_to_end_over_files(self):
         with tempfile.TemporaryDirectory() as d:
             base = os.path.join(d, "base.json")
             cur = os.path.join(d, "cur.json")
             with open(base, "w") as f:
-                json.dump({"entries": [entry("a", 1000.0, allocs=0.15)]}, f)
+                json.dump({"hw_threads": 4,
+                           "entries": [entry("a", 1000.0, allocs=0.15)]}, f)
             with open(cur, "w") as f:
-                json.dump({"entries": [entry("a", 990.0, allocs=0.16)]}, f)
+                json.dump({"hw_threads": 4,
+                           "entries": [entry("a", 990.0, allocs=0.16)]}, f)
             out = io.StringIO()
             from contextlib import redirect_stdout
             with redirect_stdout(out):
                 code = bench_compare.main([base, cur])
             self.assertEqual(code, 0)
             self.assertIn("allocs/event", out.getvalue())
+
+    def test_end_to_end_skips_speedup_across_hosts(self):
+        with tempfile.TemporaryDirectory() as d:
+            base = os.path.join(d, "base.json")
+            cur = os.path.join(d, "cur.json")
+            with open(base, "w") as f:
+                json.dump({"hw_threads": 8,
+                           "entries": [entry("a", 1000.0, speedup=1.9)]}, f)
+            with open(cur, "w") as f:
+                json.dump({"hw_threads": 1,
+                           "entries": [entry("a", 1000.0, speedup=0.8)]}, f)
+            out = io.StringIO()
+            from contextlib import redirect_stdout
+            with redirect_stdout(out):
+                code = bench_compare.main([base, cur])
+            self.assertEqual(code, 0)
+            self.assertIn("speedup_vs_serial gate skipped", out.getvalue())
 
 
 if __name__ == "__main__":

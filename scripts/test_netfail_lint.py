@@ -105,6 +105,40 @@ class DetectRoster(unittest.TestCase):
         self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
 
 
+class ShardedRosters(unittest.TestCase):
+    """src/net joined both dir rosters (and std::hash joined the banned
+    determinism primitives) with the sharded gateway; prove the rules fire
+    there — a roster typo would silently un-lint the ingest path that now
+    feeds the byte-identical merge."""
+
+    def test_net_is_a_determinism_dir(self):
+        self.assertIn("src/net", netfail_lint.DETERMINISM_DIRS)
+        rules = [v.rule for v in run_rules("src/net/bad_gateway.cpp")]
+        # time(nullptr) and std::hash both flag.
+        self.assertEqual(rules.count("determinism"), 2)
+
+    def test_net_is_a_hot_path_dir(self):
+        rules = [v.rule for v in run_rules("src/net/bad_gateway.cpp")]
+        self.assertIn("hot-path-string-map", rules)
+        # <sstream> include and the ostringstream use both flag.
+        self.assertEqual(rules.count("hot-path-iostream"), 2)
+
+    def test_std_hash_routing_flags_in_stream(self):
+        got = [(v.rule, v.line) for v in run_rules("src/stream/bad_shard.cpp")]
+        self.assertEqual(got, [("determinism", 8)])  # std::hash<std::string>
+
+    def test_steady_clock_and_fnv_pass(self):
+        # Monotonic timeouts and the process-stable FNV loop are the legal
+        # spellings on the ingest path.
+        self.assertEqual(run_rules("src/net/ok_gateway.cpp"), [])
+
+    def test_same_text_passes_in_a_cold_dir(self):
+        ft = netfail_lint.load_file(FIXTURE_ROOT, "src/net/bad_gateway.cpp")
+        ft.rel_path = "src/io/bad_gateway.cpp"
+        self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
+        self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
+
+
 class NakedNewRule(unittest.TestCase):
     def test_flags_new_and_delete_expressions(self):
         got = {(v.rule, v.line) for v in run_rules("src/common/bad_new.cpp")}

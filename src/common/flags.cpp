@@ -89,6 +89,22 @@ Result<std::uint16_t> parse_port(const std::string& flag,
   return static_cast<std::uint16_t>(n);
 }
 
+Result<std::uint32_t> parse_shard_count(const std::string& flag,
+                                        const std::string& value) {
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value.c_str(), &end, 10);
+  // Same strictness as parse_port: a shard count is a bare run of decimal
+  // digits, no whitespace, no sign, no trailing junk.
+  if (value.empty() || *end != '\0' ||
+      !std::isdigit(static_cast<unsigned char>(value.front())) || n < 1 ||
+      n > 256) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "flag " + flag + " expects a shard count (1-256), got '" +
+                          value + "'");
+  }
+  return static_cast<std::uint32_t>(n);
+}
+
 Result<double> parse_probability(const std::string& flag,
                                  const std::string& value) {
   char* end = nullptr;

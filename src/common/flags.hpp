@@ -59,6 +59,12 @@ Parsed parse_flags(int argc, char** argv, int first,
 Result<std::uint16_t> parse_port(const std::string& flag,
                                  const std::string& value);
 
+/// An ingest shard count: decimal, 1..256. Zero would mean "no engine at
+/// all" and the ceiling is far above any plausible core count — the bound
+/// exists to catch a mistyped port number landing in --shards.
+Result<std::uint32_t> parse_shard_count(const std::string& flag,
+                                        const std::string& value);
+
 /// A probability: decimal float in [0, 1].
 Result<double> parse_probability(const std::string& flag,
                                  const std::string& value);

@@ -23,6 +23,9 @@ enum class ErrorCode {
   kNotFound,
   kOutOfRange,
   kInternal,
+  /// The platform/kernel lacks an optional capability (e.g. SO_REUSEPORT);
+  /// callers with a fallback path should treat this as "use the fallback".
+  kUnsupported,
 };
 
 /// Human-readable name of an ErrorCode ("parse_error", ...).
@@ -35,6 +38,7 @@ inline const char* error_code_name(ErrorCode c) {
     case ErrorCode::kNotFound: return "not_found";
     case ErrorCode::kOutOfRange: return "out_of_range";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnsupported: return "unsupported";
   }
   return "unknown";
 }

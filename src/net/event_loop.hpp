@@ -7,6 +7,9 @@
 // thread only. stop() and wake() are the two cross-thread entry points —
 // both write one byte to a self-pipe, which is async-signal-safe, so the
 // CLI's SIGINT handler may call them directly from the signal context.
+// post() is a third, mutex-protected (NOT signal-safe) cross-thread entry:
+// it hands a task to the loop thread, which is how the sharded gateway
+// distributes accepted TCP connections across shard loops.
 #pragma once
 
 #include <atomic>
@@ -14,6 +17,8 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/thread_annotations.hpp"
+#include "src/common/sync.hpp"
 #include "src/net/socket.hpp"
 
 namespace netfail::net {
@@ -46,6 +51,13 @@ class EventLoop {
   /// Cross-thread (and signal-safe): interrupt the current poll.
   void wake();
 
+  /// Cross-thread (mutex, NOT signal-safe): run `task` on the loop thread
+  /// before the next dispatch pass. Tasks run in post order and may call
+  /// add/remove/set_want_read. Tasks posted to a stopped loop run during
+  /// the final run_once pass or not at all (the poster must not rely on
+  /// them for shutdown correctness).
+  void post(std::function<void()> task);
+
   bool stopped() const;
 
  private:
@@ -56,9 +68,12 @@ class EventLoop {
   };
 
   void drain_wake_pipe();
+  void run_posted();
 
   std::vector<Entry> entries_;
   std::function<void()> on_wake_;
+  sync::Mutex posted_mu_;
+  std::vector<std::function<void()>> posted_ NETFAIL_GUARDED_BY(posted_mu_);
   Fd wake_read_;
   Fd wake_write_;
   // Written from other threads / signal handlers, read by the loop

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <span>
@@ -26,18 +27,81 @@ constexpr std::size_t kMaxDatagram = 2048;
 // How many items the consumer moves out of a queue per lock acquisition.
 constexpr std::size_t kDrainBatch = 256;
 
+// Shard 0 keeps the legacy metric names (dashboards and tests depend on
+// them, and the serial gateway *is* shard 0); other shards get a suffix.
+std::string shard_metric(const char* base, std::uint32_t shard) {
+  std::string name(base);
+  if (shard != 0) {
+    name += ".shard";
+    name += std::to_string(shard);
+  }
+  return name;
+}
+
+metrics::Gauge* shard_gauge(const char* base, std::uint32_t shard) {
+  return &metrics::global().gauge(shard_metric(base, shard));
+}
+
+// Bind `count` SO_REUSEPORT sockets sharing one UDP port; fills `out` and
+// returns the bound port. kUnsupported tells the caller to fall back to a
+// single socket; partial binds are released by `out`'s destructors.
+Result<std::uint16_t> bind_reuseport_set(const std::string& host,
+                                         std::uint16_t port,
+                                         std::uint32_t count,
+                                         std::vector<Fd>& out) {
+  auto first = udp_bind_reuseport(host, port);
+  if (!first) return first.error();
+  auto bound = local_port(*first);
+  if (!bound) return bound.error();
+  out.push_back(std::move(*first));
+  for (std::uint32_t i = 1; i < count; ++i) {
+    auto fd = udp_bind_reuseport(host, *bound);
+    if (!fd) return fd.error();
+    out.push_back(std::move(*fd));
+  }
+  return *bound;
+}
+
+void add_counters(GatewayCounters& into, const GatewayCounters& from) {
+  into.syslog_datagrams += from.syslog_datagrams;
+  into.syslog_enqueued += from.syslog_enqueued;
+  into.syslog_queue_drops += from.syslog_queue_drops;
+  into.end_markers += from.end_markers;
+  into.lsp_frames += from.lsp_frames;
+  into.lsp_decode_errors += from.lsp_decode_errors;
+  into.lsp_torn_tails += from.lsp_torn_tails;
+  into.lsp_corrupt_streams += from.lsp_corrupt_streams;
+  into.lsp_out_of_order += from.lsp_out_of_order;
+  into.connections_accepted += from.connections_accepted;
+  into.connections_closed += from.connections_closed;
+  into.backpressure_pauses += from.backpressure_pauses;
+  into.udp_sockets += from.udp_sockets;
+}
+
 }  // namespace
+
+IngestGateway::Shard::Shard(const LinkCensus& census,
+                            const GatewayOptions& options,
+                            const stream::ShardMap& map,
+                            std::uint32_t shard_index)
+    : index(shard_index),
+      syslog_queue(ws, options.syslog_queue_capacity,
+                   shard_gauge("net.syslog_queue.depth", shard_index),
+                   shard_gauge("net.syslog_queue.peak", shard_index)),
+      lsp_queue(ws, options.lsp_queue_capacity,
+                shard_gauge("net.lsp_queue.depth", shard_index),
+                shard_gauge("net.lsp_queue.peak", shard_index)) {
+  stream::EngineOptions eo = options.engine;
+  eo.partition = &map;
+  eo.shard = shard_index;
+  engine = std::make_unique<stream::StreamEngine>(census, eo);
+}
 
 IngestGateway::IngestGateway(const LinkCensus& census, GatewayOptions options)
     : census_(&census),
       options_(std::move(options)),
-      syslog_queue_(ws_, options_.syslog_queue_capacity,
-                    &metrics::global().gauge("net.syslog_queue.depth"),
-                    &metrics::global().gauge("net.syslog_queue.peak")),
-      lsp_queue_(ws_, options_.lsp_queue_capacity,
-                 &metrics::global().gauge("net.lsp_queue.depth"),
-                 &metrics::global().gauge("net.lsp_queue.peak")),
-      engine_(std::make_unique<stream::StreamEngine>(census, options_.engine)) {
+      shard_map_(census, options_.shards) {
+  NETFAIL_ASSERT(options_.shards >= 1, "gateway needs at least one shard");
   high_watermark_ = options_.lsp_high_watermark != 0
                         ? options_.lsp_high_watermark
                         : options_.lsp_queue_capacity * 3 / 4;
@@ -47,47 +111,94 @@ IngestGateway::IngestGateway(const LinkCensus& census, GatewayOptions options)
   NETFAIL_ASSERT(low_watermark_ < high_watermark_ &&
                      high_watermark_ <= options_.lsp_queue_capacity,
                  "lsp watermarks must satisfy low < high <= capacity");
-  if (options_.engine_setup) options_.engine_setup(*engine_);
+  for (std::uint32_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(census, options_, shard_map_, i));
+    loops_.push_back(std::make_unique<IoLoop>());
+    if (options_.engine_setup) options_.engine_setup(i, *shards_[i]->engine);
+  }
 }
 
 IngestGateway::~IngestGateway() { stop(); }
 
-Status IngestGateway::start() {
-  NETFAIL_ASSERT(!running_ && !stopped_, "gateway started twice");
+Status IngestGateway::bind_udp_sockets() {
+  if (options_.shards > 1 && !options_.force_single_udp_socket) {
+    std::vector<Fd> fds;
+    auto port = bind_reuseport_set(options_.bind_host, options_.syslog_port,
+                                   options_.shards, fds);
+    if (port) {
+      syslog_port_ = *port;
+      for (std::uint32_t i = 0; i < options_.shards; ++i) {
+        (void)set_recv_buffer(fds[i], options_.recv_buffer_bytes);
+        if (Status st = set_nonblocking(fds[i]); !st.ok()) return st;
+        loops_[i]->udp = std::move(fds[i]);
+        loops_[i]->io.udp_sockets = 1;
+      }
+      return Status::ok_status();
+    }
+    if (port.error().code != ErrorCode::kUnsupported) {
+      return Status(port.error());
+    }
+    // SO_REUSEPORT refused at runtime: fall through to one socket on loop 0;
+    // shard routing still happens per datagram via the hash dispatch.
+  }
   auto udp = udp_bind(options_.bind_host, options_.syslog_port);
   if (!udp) return Status(udp.error());
+  (void)set_recv_buffer(*udp, options_.recv_buffer_bytes);
+  if (Status st = set_nonblocking(*udp); !st.ok()) return st;
+  auto sport = local_port(*udp);
+  if (!sport) return Status(sport.error());
+  syslog_port_ = *sport;
+  loops_[0]->udp = std::move(*udp);
+  loops_[0]->io.udp_sockets = 1;
+  return Status::ok_status();
+}
+
+Status IngestGateway::start() {
+  NETFAIL_ASSERT(!running_ && !stopped_, "gateway started twice");
+  if (Status st = bind_udp_sockets(); !st.ok()) return st;
   auto listener = tcp_listen(options_.bind_host, options_.lsp_port, 16);
   if (!listener) return Status(listener.error());
-  udp_ = std::move(*udp);
   listener_ = std::move(*listener);
-
-  (void)set_recv_buffer(udp_, options_.recv_buffer_bytes);
-  if (Status st = set_nonblocking(udp_); !st.ok()) return st;
   if (Status st = set_nonblocking(listener_); !st.ok()) return st;
-
-  auto sport = local_port(udp_);
-  if (!sport) return Status(sport.error());
   auto lport = local_port(listener_);
   if (!lport) return Status(lport.error());
-  syslog_port_ = *sport;
   lsp_port_ = *lport;
 
-  loop_.add(udp_.get(), [this](short) { on_udp_readable(); });
-  loop_.add(listener_.get(), [this](short) { on_accept(); });
-  loop_.set_on_wake([this] { maybe_resume_connections(); });
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    IoLoop& lp = *loops_[i];
+    if (lp.udp.valid()) {
+      lp.loop.add(lp.udp.get(), [this, i](short) { on_udp_readable(i); });
+    }
+    lp.loop.set_on_wake([this, i] { maybe_resume_connections(i); });
+  }
+  loops_[0]->loop.add(listener_.get(), [this](short) { on_accept(); });
 
-  io_ = std::thread(&IngestGateway::io_thread, this);
-  consumer_ = std::thread(&IngestGateway::consumer_thread, this);
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    loops_[i]->thread = std::thread(&IngestGateway::io_thread, this, i);
+  }
+  for (auto& shard : shards_) {
+    shard->consumer =
+        std::thread(&IngestGateway::consumer_thread, this, std::ref(*shard));
+  }
   running_ = true;
   return Status::ok_status();
 }
 
-void IngestGateway::io_thread() { loop_.run(); }
+void IngestGateway::io_thread(std::size_t loop_idx) {
+  loops_[loop_idx]->loop.run();
+}
 
-void IngestGateway::on_udp_readable() {
+void IngestGateway::on_udp_readable(std::size_t loop_idx) {
+  IoLoop& lp = *loops_[loop_idx];
   mmsghdr msgs[kRecvBatch];
   iovec iovs[kRecvBatch];
   static thread_local std::vector<std::uint8_t> bufs(kRecvBatch * kMaxDatagram);
+  // Per-shard routing buckets, reused sweep to sweep: one try_push_batch
+  // (one lock + one notify) per shard per recvmmsg sweep.
+  static thread_local std::vector<std::vector<std::string>> buckets;
+  const std::uint32_t nshards = options_.shards;
+  if (buckets.size() < nshards) buckets.resize(nshards);
   for (;;) {
     std::memset(msgs, 0, sizeof(msgs));
     for (int i = 0; i < kRecvBatch; ++i) {
@@ -96,71 +207,100 @@ void IngestGateway::on_udp_readable() {
       msgs[i].msg_hdr.msg_iov = &iovs[i];
       msgs[i].msg_hdr.msg_iovlen = 1;
     }
-    const int n = ::recvmmsg(udp_.get(), msgs, kRecvBatch, 0, nullptr);
+    const int n = ::recvmmsg(lp.udp.get(), msgs, kRecvBatch, 0, nullptr);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN: drained
     }
-    // Peel markers out (rare, end-of-replay only), then hand the rest to
-    // the queue as one batch: a single lock + notify per recvmmsg sweep
-    // instead of per datagram.
-    std::string lines[kRecvBatch];
-    std::size_t count = 0;
+    // Peel markers out (rare, end-of-replay only), route the rest to the
+    // owning shard's bucket by the stable link hash, then hand each bucket
+    // to its queue as one batch. shard_of_line is the IO-thread half of
+    // the partition invariant: every event for a link lands on the shard
+    // whose engine owns that link's state.
+    for (std::uint32_t s = 0; s < nshards; ++s) buckets[s].clear();
     for (int i = 0; i < n; ++i) {
       const std::string_view payload(
           reinterpret_cast<const char*>(iovs[i].iov_base), msgs[i].msg_len);
       if (payload == kReplayEndMarker) {
-        ++counters_.end_markers;
+        ++lp.io.end_markers;
         {
-          sync::MutexLock lock(ws_.mu);
+          sync::MutexLock lock(done_mu_);
           ++markers_seen_;
         }
-        ws_.cv.notify_all();
+        done_cv_.notify_all();
         continue;
       }
-      lines[count++] = std::string(payload);
+      buckets[shard_map_.shard_of_line(payload)].emplace_back(payload);
     }
-    counters_.syslog_datagrams += count;
-    const std::size_t taken = syslog_queue_.try_push_batch(lines, count);
-    counters_.syslog_enqueued += taken;
-    counters_.syslog_queue_drops += count - taken;
+    for (std::uint32_t s = 0; s < nshards; ++s) {
+      std::vector<std::string>& bucket = buckets[s];
+      if (bucket.empty()) continue;
+      lp.io.syslog_datagrams += bucket.size();
+      const std::size_t taken =
+          shards_[s]->syslog_queue.try_push_batch(bucket.data(), bucket.size());
+      lp.io.syslog_enqueued += taken;
+      lp.io.syslog_queue_drops += bucket.size() - taken;
+    }
     if (n < kRecvBatch) return;
   }
 }
 
 void IngestGateway::on_accept() {
+  // Runs on loop 0 (the listener's loop). Accepted connections are dealt
+  // round-robin across all IO loops; the handoff is an EventLoop::post so
+  // the target loop adds the fd to its own poll set on its own thread.
   for (;;) {
     const int fd = ::accept(listener_.get(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN (or transient accept error): wait for next event
     }
-    auto conn = std::make_unique<Connection>();
+    auto conn = std::make_shared<Connection>();
     conn->fd = Fd(fd);
     (void)set_nonblocking(conn->fd);
-    Connection* raw = conn.get();
-    connections_.push_back(std::move(conn));
-    ++counters_.connections_accepted;
-    loop_.add(fd, [this, raw](short revents) {
-      on_connection_readable(*raw, revents);
-    });
+    const std::size_t target = next_conn_loop_;
+    next_conn_loop_ = (next_conn_loop_ + 1) % loops_.size();
+    conn->loop = target;
+    ++loops_[0]->io.connections_accepted;
     {
-      sync::MutexLock lock(ws_.mu);
+      sync::MutexLock lock(done_mu_);
       ++conns_accepted_;
       ++conns_open_;
     }
-    ws_.cv.notify_all();
+    done_cv_.notify_all();
+    if (target == 0) {
+      register_connection(0, std::move(conn));
+    } else {
+      loops_[target]->loop.post(
+          [this, target, c = std::move(conn)]() mutable {
+            register_connection(target, std::move(c));
+          });
+    }
   }
 }
 
-void IngestGateway::on_connection_readable(Connection& conn, short /*revents*/) {
+void IngestGateway::register_connection(std::size_t loop_idx,
+                                        std::shared_ptr<Connection> conn) {
+  IoLoop& lp = *loops_[loop_idx];
+  const int fd = conn->fd.get();
+  Connection* raw = conn.get();
+  lp.connections.push_back(std::move(conn));
+  lp.loop.add(fd, [this, loop_idx, raw](short revents) {
+    on_connection_readable(loop_idx, *raw, revents);
+  });
+}
+
+void IngestGateway::on_connection_readable(std::size_t loop_idx,
+                                           Connection& conn,
+                                           short /*revents*/) {
+  IoLoop& lp = *loops_[loop_idx];
   bool closed = false;
   std::uint8_t buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::read(conn.fd.get(), buf, sizeof(buf));
     if (n > 0) {
       conn.decoder.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
-      extract_frames(conn);
+      extract_frames(lp, conn);
       // Paused: leave further bytes in the socket buffer so TCP flow
       // control reaches the sender. Corrupt: no point reading more.
       if (conn.paused || conn.decoder.corrupt()) break;
@@ -176,82 +316,117 @@ void IngestGateway::on_connection_readable(Connection& conn, short /*revents*/) 
     break;
   }
   if (conn.decoder.corrupt()) {
-    ++counters_.lsp_corrupt_streams;
+    ++lp.io.lsp_corrupt_streams;
     closed = true;
   }
-  if (closed) close_connection(conn.fd.get());
+  if (closed) close_connection(loop_idx, conn.fd.get());
 }
 
-void IngestGateway::extract_frames(Connection& conn) {
+void IngestGateway::extract_frames(IoLoop& lp, Connection& conn) {
+  const std::uint32_t nshards = options_.shards;
   for (;;) {
-    if (lsp_queue_.above_high_watermark(high_watermark_)) {
+    if (any_lsp_queue_above_high()) {
       if (!conn.paused) {
         conn.paused = true;
-        ++counters_.backpressure_pauses;
+        ++lp.io.backpressure_pauses;
         paused_conns_.fetch_add(1, std::memory_order_relaxed);
-        loop_.set_want_read(conn.fd.get(), false);
+        lp.loop.set_want_read(conn.fd.get(), false);
       }
       return;
     }
     const auto payload = conn.decoder.next();
     if (!payload) return;
-    ++counters_.lsp_frames;
+    ++lp.io.lsp_frames;
     auto record = decode_lsp_payload(*payload);
     if (!record) {
-      ++counters_.lsp_decode_errors;
+      ++lp.io.lsp_decode_errors;
       continue;
     }
-    // Cannot overflow: occupancy is re-checked against the high watermark
-    // before every push, so the only refusal is a closed (shutting down)
-    // queue — then the rest of the stream is moot anyway.
-    if (!lsp_queue_.try_push(std::move(*record))) return;
+    // Broadcast: every shard's IS-IS extractor consumes the full LSP
+    // stream (pair state spans both endpoints of a link); the ownership
+    // filter is applied per transition inside the engine. Copy to all
+    // shards but the last, move into the last. push_wait, not try_push:
+    // TCP frames are the reliable source — the watermark check above
+    // bounds occupancy, and the blocking path only triggers when several
+    // IO loops overshoot it at once. A refusal means a closed queue
+    // (shutdown) — the rest of the stream is moot then anyway.
+    for (std::uint32_t s = 0; s + 1 < nshards; ++s) {
+      isis::LspRecord copy = *record;
+      if (!shards_[s]->lsp_queue.push_wait(std::move(copy))) return;
+    }
+    if (!shards_[nshards - 1]->lsp_queue.push_wait(std::move(*record))) {
+      return;
+    }
   }
 }
 
-void IngestGateway::close_connection(int fd) {
-  for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+void IngestGateway::close_connection(std::size_t loop_idx, int fd) {
+  IoLoop& lp = *loops_[loop_idx];
+  for (auto it = lp.connections.begin(); it != lp.connections.end(); ++it) {
     Connection& conn = **it;
     if (conn.fd.get() != fd) continue;
     if (conn.decoder.corrupt()) {
       (void)conn.decoder.reset();
     } else if (conn.decoder.buffered() > 0) {
-      ++counters_.lsp_torn_tails;  // connection cut mid-frame
+      ++lp.io.lsp_torn_tails;  // connection cut mid-frame
     }
     if (conn.paused) paused_conns_.fetch_sub(1, std::memory_order_relaxed);
-    loop_.remove(fd);
-    ++counters_.connections_closed;
-    connections_.erase(it);
+    lp.loop.remove(fd);
+    ++lp.io.connections_closed;
+    lp.connections.erase(it);
     {
-      sync::MutexLock lock(ws_.mu);
+      sync::MutexLock lock(done_mu_);
       --conns_open_;
     }
-    ws_.cv.notify_all();
+    done_cv_.notify_all();
     return;
   }
 }
 
-void IngestGateway::maybe_resume_connections() {
+bool IngestGateway::any_lsp_queue_above_high() const {
+  for (const auto& shard : shards_) {
+    if (shard->lsp_queue.above_high_watermark(high_watermark_)) return true;
+  }
+  return false;
+}
+
+bool IngestGateway::all_lsp_queues_below_low() const {
+  for (const auto& shard : shards_) {
+    if (!shard->lsp_queue.below_low_watermark(low_watermark_)) return false;
+  }
+  return true;
+}
+
+void IngestGateway::wake_all_loops() {
+  for (auto& lp : loops_) lp->loop.wake();
+}
+
+void IngestGateway::maybe_resume_connections(std::size_t loop_idx) {
+  IoLoop& lp = *loops_[loop_idx];
   if (paused_conns_.load(std::memory_order_relaxed) == 0) return;
-  if (!lsp_queue_.below_low_watermark(low_watermark_)) return;
+  // ALL shards below low, mirroring the ANY-above-high pause: a resumed
+  // connection broadcasts into every queue, so one hot shard must keep
+  // every producer paused or the slow consumer falls further behind.
+  if (!all_lsp_queues_below_low()) return;
   // Drain each paused connection's decoder backlog first; only re-arm the
   // socket if that did not immediately push us back above the watermark.
   std::vector<int> dead;
-  for (auto& conn : connections_) {
+  for (auto& conn : lp.connections) {
     if (!conn->paused) continue;
     conn->paused = false;
     paused_conns_.fetch_sub(1, std::memory_order_relaxed);
-    extract_frames(*conn);
+    extract_frames(lp, *conn);
     if (conn->decoder.corrupt()) {
-      ++counters_.lsp_corrupt_streams;
+      ++lp.io.lsp_corrupt_streams;
       dead.push_back(conn->fd.get());
       continue;
     }
-    if (!conn->paused) loop_.set_want_read(conn->fd.get(), true);
+    if (!conn->paused) lp.loop.set_want_read(conn->fd.get(), true);
   }
-  for (const int fd : dead) close_connection(fd);
+  for (const int fd : dead) close_connection(loop_idx, fd);
 }
 
-void IngestGateway::consumer_thread() {
+void IngestGateway::consumer_thread(Shard& shard) {
   syslog::ArrivalCursor cursor(options_.capture_start);
   TimePoint last_lsp_arrival;
   bool have_lsp = false;
@@ -261,26 +436,30 @@ void IngestGateway::consumer_thread() {
   lines.reserve(kDrainBatch);
   records.reserve(kDrainBatch);
 
-  metrics::Counter& fed_syslog =
-      metrics::global().counter("net.consumer.syslog_fed");
-  metrics::Counter& fed_lsp = metrics::global().counter("net.consumer.lsp_fed");
+  metrics::Counter& fed_syslog = metrics::global().counter(
+      shard_metric("net.consumer.syslog_fed", shard.index));
+  metrics::Counter& fed_lsp = metrics::global().counter(
+      shard_metric("net.consumer.lsp_fed", shard.index));
 
-  sync::UniqueLock lock(ws_.mu);
+  sync::UniqueLock lock(shard.ws.mu);
   for (;;) {
     lines.clear();
     records.clear();
-    while (lines.size() < kDrainBatch && !syslog_queue_.empty_locked()) {
-      lines.push_back(syslog_queue_.pop_locked());
+    while (lines.size() < kDrainBatch && !shard.syslog_queue.empty_locked()) {
+      lines.push_back(shard.syslog_queue.pop_locked());
     }
-    while (records.size() < kDrainBatch && !lsp_queue_.empty_locked()) {
-      records.push_back(lsp_queue_.pop_locked());
+    while (records.size() < kDrainBatch && !shard.lsp_queue.empty_locked()) {
+      records.push_back(shard.lsp_queue.pop_locked());
     }
     if (lines.empty() && records.empty()) {
-      if (syslog_queue_.closed_locked() && lsp_queue_.closed_locked()) break;
-      consumer_idle_ = true;
-      ws_.cv.notify_all();  // wait_replay_complete() watchers
-      ws_.cv.wait(lock);
-      consumer_idle_ = false;
+      if (shard.syslog_queue.closed_locked() &&
+          shard.lsp_queue.closed_locked()) {
+        break;
+      }
+      shard.consumer_idle = true;
+      shard.ws.cv.notify_all();  // producers blocked in push_wait
+      shard.ws.cv.wait(lock);
+      shard.consumer_idle = false;
       continue;
     }
     lock.unlock();
@@ -289,7 +468,7 @@ void IngestGateway::consumer_thread() {
       syslog::ReceivedLine rec;
       rec.received_at = cursor.arrival_of(line);
       rec.line = std::move(line);
-      engine_->feed_syslog(rec);
+      shard.engine->feed_syslog(rec);
       fed_syslog.inc();
       if (options_.consumer_slowdown.count() > 0) {
         std::this_thread::sleep_for(options_.consumer_slowdown);
@@ -305,74 +484,110 @@ void IngestGateway::consumer_thread() {
       }
       last_lsp_arrival = record.received_at;
       have_lsp = true;
-      engine_->feed_lsp(record);
+      shard.engine->feed_lsp(record);
       fed_lsp.inc();
       if (options_.consumer_slowdown.count() > 0) {
         std::this_thread::sleep_for(options_.consumer_slowdown);
       }
     }
 
-    // We may just have drained below the low watermark: nudge the IO loop
-    // so paused connections resume reading.
+    // We may just have drained below the low watermark: nudge every IO
+    // loop (resume requires ALL queues low, and the paused connection may
+    // live on any of them).
     if (paused_conns_.load(std::memory_order_relaxed) > 0 &&
-        lsp_queue_.below_low_watermark(low_watermark_)) {
-      loop_.wake();
+        shard.lsp_queue.below_low_watermark(low_watermark_)) {
+      wake_all_loops();
     }
     lock.lock();
   }
   lock.unlock();
 
-  counters_.lsp_out_of_order = out_of_order;  // consumer-owned field
-  final_checkpoint_ = engine_->checkpoint();
-  engine_->finish();
+  shard.lsp_out_of_order = out_of_order;  // consumer-owned field
+  shard.final_checkpoint = shard.engine->checkpoint();
+  shard.engine->finish();
+}
+
+bool IngestGateway::replay_complete(std::uint64_t min_connections) {
+  {
+    sync::MutexLock lock(done_mu_);
+    if (markers_seen_ == 0 || conns_accepted_ < min_connections ||
+        conns_open_ != 0) {
+      return false;
+    }
+  }
+  // Per-shard state under each shard's own lock — never while holding
+  // done_mu_, so there is no ordering edge between the two mutexes.
+  for (const auto& sp : shards_) {
+    Shard& shard = *sp;
+    sync::MutexLock lock(shard.ws.mu);
+    if (!shard.syslog_queue.empty_locked() || !shard.lsp_queue.empty_locked() ||
+        !shard.consumer_idle) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool IngestGateway::wait_replay_complete(std::chrono::milliseconds timeout,
                                          std::uint64_t min_connections) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
-  // Explicit deadline loop (not a lambda predicate): the thread-safety
-  // analysis cannot see a capability held inside a lambda body.
-  sync::UniqueLock lock(ws_.mu);
+  // Periodic re-check (~10ms) instead of one shared condition variable:
+  // the predicate spans done_mu_ plus every shard's wait set, and a timed
+  // poll keeps those locks strictly un-nested.
   for (;;) {
-    const bool complete = markers_seen_ > 0 &&
-                          conns_accepted_ >= min_connections &&
-                          conns_open_ == 0 && syslog_queue_.empty_locked() &&
-                          lsp_queue_.empty_locked() && consumer_idle_;
-    if (complete) return true;
-    if (ws_.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return markers_seen_ > 0 && conns_accepted_ >= min_connections &&
-             conns_open_ == 0 && syslog_queue_.empty_locked() &&
-             lsp_queue_.empty_locked() && consumer_idle_;
-    }
+    if (replay_complete(min_connections)) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return replay_complete(min_connections);
+    const auto next = std::min(deadline, now + std::chrono::milliseconds(10));
+    sync::UniqueLock lock(done_mu_);
+    (void)done_cv_.wait_until(lock, next);
   }
 }
 
-void IngestGateway::request_stop() { loop_.stop(); }
+void IngestGateway::request_stop() {
+  for (auto& lp : loops_) lp->loop.stop();
+}
 
 void IngestGateway::stop() {
   if (stopped_) return;
   stopped_ = true;
   if (!running_) return;
 
-  loop_.stop();
-  io_.join();
+  for (auto& lp : loops_) lp->loop.stop();
+  for (auto& lp : loops_) {
+    if (lp->thread.joinable()) lp->thread.join();
+  }
   // Connections still open at shutdown: account their partial tails the
   // same way a mid-frame cut is accounted.
-  for (const auto& conn : connections_) {
-    if (!conn->decoder.corrupt() && conn->decoder.buffered() > 0) {
-      ++counters_.lsp_torn_tails;
+  for (auto& lp : loops_) {
+    for (const auto& conn : lp->connections) {
+      if (!conn->decoder.corrupt() && conn->decoder.buffered() > 0) {
+        ++lp->io.lsp_torn_tails;
+      }
     }
   }
-  // No producers remain: close the queues and let the consumer drain
-  // whatever is buffered through the engine before checkpointing.
-  syslog_queue_.close();
-  lsp_queue_.close();
-  consumer_.join();
+  // No producers remain: close the queues and let each consumer drain
+  // whatever is buffered through its engine before checkpointing.
+  for (auto& shard : shards_) {
+    shard->syslog_queue.close();
+    shard->lsp_queue.close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->consumer.joinable()) shard->consumer.join();
+  }
 
-  connections_.clear();
-  udp_.reset();
+  for (auto& lp : loops_) {
+    lp->connections.clear();
+    lp->udp.reset();
+  }
   listener_.reset();
   running_ = false;
+
+  counters_ = GatewayCounters{};
+  for (const auto& lp : loops_) add_counters(counters_, lp->io);
+  for (const auto& shard : shards_) {
+    counters_.lsp_out_of_order += shard->lsp_out_of_order;
+  }
 
   metrics::Registry& m = metrics::global();
   m.counter("net.syslog.datagrams").inc(counters_.syslog_datagrams);
@@ -382,31 +597,38 @@ void IngestGateway::stop() {
   m.counter("net.lsp.out_of_order").inc(counters_.lsp_out_of_order);
   m.counter("net.connections.accepted").inc(counters_.connections_accepted);
   m.counter("net.backpressure.pauses").inc(counters_.backpressure_pauses);
+  m.counter("net.udp.sockets").inc(counters_.udp_sockets);
 }
 
-stream::StreamEngine& IngestGateway::engine() {
-  NETFAIL_ASSERT(engine_ != nullptr, "gateway engine accessed before start");
-  return *engine_;
+stream::StreamEngine& IngestGateway::engine(std::uint32_t shard) {
+  NETFAIL_ASSERT(shard < shards_.size(), "shard index out of range");
+  return *shards_[shard]->engine;
 }
 
-const stream::StreamEngine& IngestGateway::engine() const {
-  NETFAIL_ASSERT(engine_ != nullptr, "gateway engine accessed before start");
-  return *engine_;
+const stream::StreamEngine& IngestGateway::engine(std::uint32_t shard) const {
+  NETFAIL_ASSERT(shard < shards_.size(), "shard index out of range");
+  return *shards_[shard]->engine;
 }
 
-const stream::Checkpoint& IngestGateway::final_checkpoint() const {
+const stream::Checkpoint& IngestGateway::final_checkpoint(
+    std::uint32_t shard) const {
   NETFAIL_ASSERT(stopped_, "final checkpoint is taken during stop()");
-  return final_checkpoint_;
+  NETFAIL_ASSERT(shard < shards_.size(), "shard index out of range");
+  return shards_[shard]->final_checkpoint;
 }
 
 std::uint64_t IngestGateway::final_alerts() const {
   NETFAIL_ASSERT(stopped_, "final_alerts() is a post-stop() snapshot");
-  return final_checkpoint_.alerts_emitted();
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->final_checkpoint.alerts_emitted();
+  }
+  return total;
 }
 
 GatewayCounters IngestGateway::counters() const {
-  // counters_ fields are written from the io and consumer threads with no
-  // lock; the snapshot is only coherent once both have joined.
+  // Per-loop and per-shard counters are written lock-free on their owning
+  // threads; the aggregate is only coherent once all of them have joined.
   NETFAIL_ASSERT(!running_, "counters() is a post-stop() snapshot");
   return counters_;
 }

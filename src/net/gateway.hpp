@@ -14,14 +14,28 @@
 //     socket and lets TCP flow control push back to the sender; reading
 //     resumes below the low watermark.
 //
-// One IO thread runs the poll loop and fills two bounded MPSC queues; one
-// consumer thread drains them into a stream::StreamEngine, reconstructing
-// syslog arrival times with the same ArrivalCursor the batch file reader
-// uses — which is why a zero-loss replay of a capture bundle yields
-// analysis output byte-identical to the batch pipeline over the same
-// files. Shutdown (stop(), or request_stop() from a SIGINT handler) stops
-// the IO loop, drains both queues through the engine, and snapshots a
-// final Checkpoint before finish().
+// Sharded operation (`GatewayOptions::shards = N`, DESIGN.md §14): N IO
+// event loops and N analysis shards. Each shard is an independent lane —
+// bounded MPSC queues, one consumer thread, one stream::StreamEngine
+// partitioned by the stable link hash (stream::ShardMap) — so per-link
+// analysis state never crosses a thread boundary. UDP datagrams arrive on
+// per-loop SO_REUSEPORT sockets when the kernel grants them (detected at
+// start(); single-socket fallback otherwise) and are *routed* to the
+// owning shard's queue by parsing the line on the IO thread; TCP
+// connections are accepted on loop 0 and distributed round-robin across
+// loops via EventLoop::post; decoded LSP records are *broadcast* to every
+// shard (the IS-IS extractor needs both endpoints' LSPs for its pair
+// state). Backpressure pauses a connection when ANY shard's LSP queue is
+// above its high watermark and resumes when ALL are below the low one.
+// stream::merge_shard_runs folds the per-shard results into output
+// byte-identical to the serial single-shard run.
+//
+// With shards == 1 (the default) the wiring degenerates to the original
+// single-loop single-consumer gateway: a zero-loss replay of a capture
+// bundle yields analysis output byte-identical to the batch pipeline over
+// the same files. Shutdown (stop(), or request_stop() from a SIGINT
+// handler) stops the IO loops, drains all queues through the engines, and
+// snapshots a final Checkpoint per shard before finish().
 #pragma once
 
 #include <atomic>
@@ -41,6 +55,7 @@
 #include "src/net/queue.hpp"
 #include "src/net/socket.hpp"
 #include "src/stream/engine.hpp"
+#include "src/stream/sharded.hpp"
 
 namespace netfail::net {
 
@@ -54,6 +69,13 @@ struct GatewayOptions {
   std::uint16_t syslog_port = 0;  // 0 = ephemeral, read back via accessor
   std::uint16_t lsp_port = 0;
 
+  /// Number of shards (IO loops x consumer lanes). 1 = the serial gateway.
+  std::uint32_t shards = 1;
+  /// Test knob: behave as if the kernel refused SO_REUSEPORT, forcing the
+  /// single-socket + hash-dispatch fallback even for shards > 1.
+  bool force_single_udp_socket = false;
+
+  /// Per-shard queue capacities (each shard gets its own pair of queues).
   std::size_t syslog_queue_capacity = 1 << 16;
   std::size_t lsp_queue_capacity = 1 << 16;
   /// 0 = derive: high = 3/4 capacity, low = 1/4 capacity.
@@ -67,10 +89,11 @@ struct GatewayOptions {
   TimePoint capture_start;
   stream::EngineOptions engine;
 
-  /// Invoked on the freshly constructed engine, before any thread exists —
-  /// the race-free place to install tracker callbacks (which then run on
-  /// the consumer thread).
-  std::function<void(stream::StreamEngine&)> engine_setup;
+  /// Invoked on each freshly constructed shard engine, before any thread
+  /// exists — the race-free place to install tracker callbacks (which then
+  /// run on that shard's consumer thread; callbacks for different shards
+  /// run concurrently, so shared sinks must be per-shard or synchronized).
+  std::function<void(std::uint32_t shard, stream::StreamEngine&)> engine_setup;
 
   /// Artificial per-event consumer stall (wall-clock, not simulation
   /// time). Test/fault-injection knob: a deliberately slow consumer is how
@@ -80,7 +103,8 @@ struct GatewayOptions {
 };
 
 /// Post-stop accounting snapshot. Exact: every datagram and frame the
-/// kernel handed us lands in exactly one of these buckets.
+/// kernel handed us lands in exactly one of these buckets. Counts are
+/// aggregated across all IO loops and consumer lanes.
 struct GatewayCounters {
   std::uint64_t syslog_datagrams = 0;    // received, excluding end markers
   std::uint64_t syslog_enqueued = 0;
@@ -96,6 +120,10 @@ struct GatewayCounters {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
   std::uint64_t backpressure_pauses = 0; // pause transitions, not duration
+
+  /// UDP sockets actually bound: options.shards when SO_REUSEPORT was
+  /// granted, 1 in the fallback (or serial) configuration.
+  std::uint64_t udp_sockets = 0;
 };
 
 class IngestGateway {
@@ -106,7 +134,7 @@ class IngestGateway {
   IngestGateway(const IngestGateway&) = delete;
   IngestGateway& operator=(const IngestGateway&) = delete;
 
-  /// Bind both sockets and spawn the IO + consumer threads. Fails (with no
+  /// Bind the sockets and spawn the IO + consumer threads. Fails (with no
   /// threads spawned) when a socket cannot be created or bound — e.g. a
   /// sandbox that forbids sockets; callers should surface, not crash.
   Status start();
@@ -114,33 +142,43 @@ class IngestGateway {
   std::uint16_t syslog_port() const { return syslog_port_; }
   std::uint16_t lsp_port() const { return lsp_port_; }
   bool running() const { return running_; }
+  std::uint32_t shard_count() const { return options_.shards; }
+  const stream::ShardMap& shard_map() const { return shard_map_; }
 
   /// Block until a replay finished cleanly: at least one end marker seen,
   /// at least `min_connections` LSP connections accepted and all of them
-  /// closed again, both queues drained, consumer idle. False on timeout
-  /// (wall clock). `min_connections` guards the race where the end marker
-  /// datagram is dispatched before the TCP accept it raced with.
+  /// closed again, every shard's queues drained and its consumer idle.
+  /// False on timeout (wall clock). `min_connections` guards the race
+  /// where the end marker datagram is dispatched before the TCP accept it
+  /// raced with.
   bool wait_replay_complete(std::chrono::milliseconds timeout,
                             std::uint64_t min_connections = 0);
 
   /// Async-signal-safe stop request (the CLI SIGINT handler calls this):
-  /// flags the IO loop; the owner must still call stop() to join+drain.
+  /// flags the IO loops; the owner must still call stop() to join+drain.
   void request_stop();
 
-  /// Full shutdown: stop IO, close queues, drain the consumer through the
-  /// engine, snapshot the final Checkpoint, finish the trackers.
+  /// Full shutdown: stop IO, close queues, drain every consumer through
+  /// its engine, snapshot the final Checkpoints, finish the trackers.
   /// Idempotent.
   void stop();
 
   // ---- results, valid after stop() -----------------------------------------
-  stream::StreamEngine& engine();
-  const stream::StreamEngine& engine() const;
+  /// Shard 0's engine — the complete result for the serial (shards == 1)
+  /// gateway; one partition of it otherwise (see engine(shard)).
+  stream::StreamEngine& engine() { return engine(0); }
+  const stream::StreamEngine& engine() const { return engine(0); }
+  stream::StreamEngine& engine(std::uint32_t shard);
+  const stream::StreamEngine& engine(std::uint32_t shard) const;
   /// Engine state as of the last event drained, before finish().
-  const stream::Checkpoint& final_checkpoint() const;
-  /// Alerts the detection stage had emitted by the final checkpoint (0
-  /// with detection disabled). Like counters(), this is a post-stop()
-  /// snapshot: the consumer thread feeds the detector, so the count is
-  /// only coherent after the drain completes.
+  const stream::Checkpoint& final_checkpoint() const {
+    return final_checkpoint(0);
+  }
+  const stream::Checkpoint& final_checkpoint(std::uint32_t shard) const;
+  /// Alerts the detection stage had emitted by the final checkpoints,
+  /// summed across shards (0 with detection disabled). Like counters(),
+  /// this is a post-stop() snapshot: the consumer threads feed the
+  /// detectors, so the count is only coherent after the drain completes.
   std::uint64_t final_alerts() const;
   GatewayCounters counters() const;
 
@@ -149,50 +187,83 @@ class IngestGateway {
     Fd fd;
     FrameDecoder decoder;
     bool paused = false;
+    std::size_t loop = 0;  // owning IO loop index
   };
 
-  void io_thread();
-  void consumer_thread();
-  void on_udp_readable();
+  /// One IO lane: an event loop on its own thread, its UDP socket (when
+  /// bound) and the TCP connections it owns. All fields except `loop`'s
+  /// cross-thread entry points are loop-thread-only once started.
+  struct IoLoop {
+    EventLoop loop;
+    std::thread thread;
+    Fd udp;
+    std::vector<std::shared_ptr<Connection>> connections;
+    GatewayCounters io;  // this loop's share; summed after join
+  };
+
+  /// One analysis lane: queues + consumer thread + partitioned engine.
+  struct Shard {
+    Shard(const LinkCensus& census, const GatewayOptions& options,
+          const stream::ShardMap& map, std::uint32_t shard_index);
+
+    std::uint32_t index = 0;
+    WaitSet ws;
+    BoundedMpsc<std::string> syslog_queue;
+    BoundedMpsc<isis::LspRecord> lsp_queue;
+    std::unique_ptr<stream::StreamEngine> engine;
+    stream::Checkpoint final_checkpoint;
+    std::thread consumer;
+    std::uint64_t lsp_out_of_order = 0;  // consumer-owned
+    bool consumer_idle NETFAIL_GUARDED_BY(ws.mu) = false;
+  };
+
+  Status bind_udp_sockets();
+  void io_thread(std::size_t loop_idx);
+  void consumer_thread(Shard& shard);
+  void on_udp_readable(std::size_t loop_idx);
   void on_accept();
-  void on_connection_readable(Connection& conn, short revents);
-  void extract_frames(Connection& conn);
-  void close_connection(int fd);
-  void maybe_resume_connections();
+  void register_connection(std::size_t loop_idx,
+                           std::shared_ptr<Connection> conn);
+  void on_connection_readable(std::size_t loop_idx, Connection& conn,
+                              short revents);
+  void extract_frames(IoLoop& lp, Connection& conn);
+  void close_connection(std::size_t loop_idx, int fd);
+  void maybe_resume_connections(std::size_t loop_idx);
+  bool any_lsp_queue_above_high() const;
+  bool all_lsp_queues_below_low() const;
+  void wake_all_loops();
+  bool replay_complete(std::uint64_t min_connections);
 
   const LinkCensus* census_;
   GatewayOptions options_;
   std::size_t high_watermark_ = 0;
   std::size_t low_watermark_ = 0;
 
-  Fd udp_;
+  stream::ShardMap shard_map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+
   Fd listener_;
   std::uint16_t syslog_port_ = 0;
   std::uint16_t lsp_port_ = 0;
 
-  EventLoop loop_;
-  WaitSet ws_;
-  BoundedMpsc<std::string> syslog_queue_;
-  BoundedMpsc<isis::LspRecord> lsp_queue_;
-
-  std::unique_ptr<stream::StreamEngine> engine_;
-  stream::Checkpoint final_checkpoint_;
-
-  std::vector<std::unique_ptr<Connection>> connections_;  // IO thread only
-  GatewayCounters counters_;  // fields owned per-thread; snapshot after join
-  /// How many connections are read-paused; the consumer polls this to know
-  /// whether draining below the low watermark warrants a loop wakeup.
+  GatewayCounters counters_;  // aggregated during stop()
+  /// How many connections are read-paused (any loop); consumers poll this
+  /// to know whether draining below the low watermark warrants a wakeup.
   std::atomic<int> paused_conns_{0};
+  /// Round-robin cursor for TCP accept distribution (loop 0 only).
+  std::size_t next_conn_loop_ = 0;
 
-  // Replay-completion state (events are rare, so sharing the queues' wait
-  // set costs nothing and lets wait_replay_complete() sleep on one cv).
-  std::uint64_t markers_seen_ NETFAIL_GUARDED_BY(ws_.mu) = 0;
-  std::uint64_t conns_open_ NETFAIL_GUARDED_BY(ws_.mu) = 0;
-  std::uint64_t conns_accepted_ NETFAIL_GUARDED_BY(ws_.mu) = 0;
-  bool consumer_idle_ NETFAIL_GUARDED_BY(ws_.mu) = false;
+  // Replay-completion state. Its own wait set: producers on any IO loop
+  // update it, the watcher sleeps on it, and per-shard queue/idle state is
+  // polled under the shards' own locks (never both at once — no ordering
+  // edge between done_mu_ and any shard's ws.mu).
+  sync::Mutex done_mu_;
+  sync::CondVar done_cv_;
+  std::uint64_t markers_seen_ NETFAIL_GUARDED_BY(done_mu_) = 0;
+  std::uint64_t conns_open_ NETFAIL_GUARDED_BY(done_mu_) = 0;
+  std::uint64_t conns_accepted_ NETFAIL_GUARDED_BY(done_mu_) = 0;
 
-  std::thread io_;
-  std::thread consumer_;
   bool running_ = false;
   bool stopped_ = false;
 };

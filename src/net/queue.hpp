@@ -18,6 +18,7 @@
 //     flow control to the sender.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <optional>
@@ -78,6 +79,27 @@ class BoundedMpsc {
     }
     if (taken > 0) ws_.cv.notify_all();
     return taken;
+  }
+
+  /// Blocking push: waits while full, refuses only once closed. The LSP
+  /// broadcast path uses this — TCP frames are the reliable source and must
+  /// not be lost even when several IO loops overshoot the watermark check
+  /// at once. The wait is timed (not purely notification-driven) because
+  /// the consumer does not notify on pop; a full queue is already past the
+  /// high watermark, so the producer is about to pause anyway and the
+  /// bounded staleness is invisible.
+  bool push_wait(T item) {
+    {
+      sync::UniqueLock lock(ws_.mu);
+      while (!closed_ && items_.size() >= capacity_) {
+        (void)ws_.cv.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      note_depth_locked();
+    }
+    ws_.cv.notify_all();
+    return true;
   }
 
   /// No new items after close; the consumer still drains what is buffered.

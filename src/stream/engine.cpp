@@ -58,6 +58,11 @@ void StreamEngine::feed_syslog(const syslog::ReceivedLine& rec) {
   const std::optional<syslog::SyslogTransition> tr =
       syslog::extract_line(rec, *census_, syslog_stats_);
   if (!tr) return;
+  // Partitioned: a routed line should always resolve to an owned link (the
+  // dispatcher and the extractor share the census lookup); the filter is
+  // the correctness guard that keeps per-link state disjoint regardless of
+  // how the line reached us.
+  if (!owns_link(tr->link)) return;
   // The detector sees every extracted transition, media class included —
   // the template-frequency counters cover all tracked message shapes.
   if (detector_.enabled()) detector_.observe_syslog(*tr, rec.received_at);
@@ -83,6 +88,9 @@ void StreamEngine::feed_lsp(const isis::LspRecord& rec) {
     // transitions only (multi-link pairs excluded).
     if (tr.field != isis::ReachabilityField::kIsReach) continue;
     if (!tr.link.valid() || tr.multilink) continue;
+    // Partitioned: LSPs are broadcast (every shard runs the full extractor
+    // for pair state), but only the owning shard analyzes the transition.
+    if (!owns_link(tr.link)) continue;
     if (detector_.enabled()) detector_.observe_isis(tr.link, tr.time, tr.dir);
     isis_tracker_.ingest(analysis::RawTransition{tr.link, tr.time, tr.dir},
                          rec.received_at);
@@ -109,6 +117,11 @@ Checkpoint StreamEngine::checkpoint() const {
 StreamEngine StreamEngine::resume(const Checkpoint& cp) {
   NETFAIL_ASSERT(cp.state_ != nullptr, "resume from an empty Checkpoint");
   return *cp.state_;
+}
+
+const StreamEngine& Checkpoint::state() const {
+  NETFAIL_ASSERT(state_ != nullptr, "state() of an empty Checkpoint");
+  return *state_;
 }
 
 }  // namespace netfail::stream

@@ -24,6 +24,7 @@
 #include "src/isis/extract.hpp"
 #include "src/stream/event_mux.hpp"
 #include "src/stream/link_tracker.hpp"
+#include "src/stream/sharded.hpp"
 #include "src/syslog/extract.hpp"
 
 namespace netfail::stream {
@@ -35,6 +36,16 @@ struct EngineOptions {
   /// Online anomaly detection stage (off by default; a disabled detector
   /// costs one branch per extracted transition).
   detect::DetectorOptions detect;
+  /// Sharded operation (see sharded.hpp): when `partition` is set, this
+  /// engine is shard `shard` of partition->shard_count() and analyzes only
+  /// the links it owns. Syslog lines are *routed* (each line reaches
+  /// exactly one shard, so extraction stats sum to the serial run), while
+  /// LSP streams are *broadcast* (the streaming extractor's pair state
+  /// needs both endpoints of every adjacency); the per-transition ownership
+  /// filter below keeps tracker and detector state disjoint across shards.
+  /// The map must outlive the engine and every checkpoint taken from it.
+  const ShardMap* partition = nullptr;
+  std::uint32_t shard = 0;
 };
 
 class StreamEngine;
@@ -54,6 +65,10 @@ class Checkpoint {
   /// Alerts the detector stage had emitted by snapshot time (0 with
   /// detection disabled).
   std::uint64_t alerts_emitted() const { return alerts_; }
+  /// The snapshotted engine itself (trackers, stats, detector) — read-only
+  /// access for the sharded merge, which folds per-shard checkpoints into
+  /// one serial-identical result.
+  const StreamEngine& state() const;
 
  private:
   friend class StreamEngine;
@@ -105,6 +120,13 @@ class StreamEngine {
   std::uint64_t syslog_events() const { return syslog_events_; }
   std::uint64_t lsp_events() const { return lsp_events_; }
   TimePoint high_water() const { return high_water_; }
+
+  /// True when this engine analyzes `link`. Always true unpartitioned;
+  /// invalid links carry no per-link state, so every shard "owns" them.
+  bool owns_link(LinkId link) const {
+    return options_.partition == nullptr || !link.valid() ||
+           options_.partition->owns(options_.shard, link);
+  }
 
  private:
   const LinkCensus* census_;

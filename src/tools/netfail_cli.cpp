@@ -21,6 +21,8 @@
 //       feed draining into the online engine. The bundle supplies the link
 //       census and analysis period. Runs until SIGINT (drains, prints the
 //       final reconstruction) or until a replay signals completion.
+//       --shards N partitions ingest and analysis across N event loops and
+//       N engines keyed by a stable link hash (DESIGN.md sect. 14).
 //
 //   netfail replay --dir DIR --target HOST --syslog-port N --lsp-port N
 //                  [--rate MSGS_PER_SEC] [--loss P] [--duplicate P]
@@ -82,8 +84,8 @@ int usage() {
       "[--drift-window MIN]\n"
       "  netfail serve --dir DIR --syslog-port N --lsp-port N [--policy P]\n"
       "                [--horizon SECS] [--max-links N] [--host ADDR]\n"
-      "                [--detect] [--ewma-alpha A] [--cusum-threshold T]\n"
-      "                [--drift-window MIN]\n"
+      "                [--shards N] [--detect] [--ewma-alpha A]\n"
+      "                [--cusum-threshold T] [--drift-window MIN]\n"
       "  netfail replay --dir DIR --target HOST --syslog-port N "
       "--lsp-port N\n"
       "                 [--rate MSGS_PER_SEC] [--loss P] [--duplicate P]\n"
@@ -645,6 +647,7 @@ int cmd_serve(int argc, char** argv) {
                        {"--syslog-port", true},
                        {"--lsp-port", true},
                        {"--host", true},
+                       {"--shards", true},
                        {"--policy", true},
                        {"--horizon", true},
                        {"--max-links", true},
@@ -676,6 +679,14 @@ int cmd_serve(int argc, char** argv) {
   options.syslog_port = *sport;
   options.lsp_port = *lport;
   if (const auto host = args.value("--host")) options.bind_host = *host;
+  if (const auto s = args.value("--shards")) {
+    const auto n = flags::parse_shard_count("--shards", *s);
+    if (!n) {
+      std::fprintf(stderr, "netfail: %s\n", n.error().to_string().c_str());
+      return usage();
+    }
+    options.shards = *n;
+  }
   if (const auto p = args.value("--policy")) {
     if (!parse_policy(*p, options.engine.tracker.reconstruct.policy)) {
       return usage();
@@ -707,10 +718,11 @@ int cmd_serve(int argc, char** argv) {
   g_serve_gateway = &gateway;
   std::signal(SIGINT, handle_sigint);
   std::fprintf(stderr,
-               "listening: syslog udp://%s:%u, lsp tcp://%s:%u "
+               "listening: syslog udp://%s:%u, lsp tcp://%s:%u, %u shard%s "
                "(SIGINT drains and prints the reconstruction)\n",
                options.bind_host.c_str(), gateway.syslog_port(),
-               options.bind_host.c_str(), gateway.lsp_port());
+               options.bind_host.c_str(), gateway.lsp_port(),
+               gateway.shard_count(), gateway.shard_count() == 1 ? "" : "s");
 
   for (;;) {
     if (gateway.wait_replay_complete(std::chrono::milliseconds(250))) break;
@@ -723,35 +735,52 @@ int cmd_serve(int argc, char** argv) {
   const net::GatewayCounters c = gateway.counters();
   std::printf(
       "\ningested %llu syslog datagrams (%llu enqueued, %llu dropped at the "
-      "queue) and %llu LSP frames\n"
+      "queue) and %llu LSP frames across %llu udp socket%s\n"
       "connections: %llu accepted, %llu closed; backpressure pauses: %llu; "
       "torn frame tails: %llu\n",
       static_cast<unsigned long long>(c.syslog_datagrams),
       static_cast<unsigned long long>(c.syslog_enqueued),
       static_cast<unsigned long long>(c.syslog_queue_drops),
       static_cast<unsigned long long>(c.lsp_frames),
+      static_cast<unsigned long long>(c.udp_sockets),
+      c.udp_sockets == 1 ? "" : "s",
       static_cast<unsigned long long>(c.connections_accepted),
       static_cast<unsigned long long>(c.connections_closed),
       static_cast<unsigned long long>(c.backpressure_pauses),
       static_cast<unsigned long long>(c.lsp_torn_tails));
-  const stream::StreamEngine& engine = gateway.engine();
+  // Aggregate the per-shard partitions the way merge_shard_runs does:
+  // failures and downtime sum (each link's state lives on exactly one
+  // shard), syslog events sum (routed), LSP events come from shard 0 (the
+  // stream is broadcast, every shard saw all of it), high-water is the max.
+  // With --shards 1 this is just shard 0.
+  std::uint64_t events = gateway.engine(0).lsp_events();
+  std::uint64_t isis_failures = 0, syslog_failures = 0;
+  Duration isis_downtime, syslog_downtime;
+  TimePoint high_water;
+  for (std::uint32_t s = 0; s < gateway.shard_count(); ++s) {
+    const stream::Checkpoint& cp = gateway.final_checkpoint(s);
+    high_water = std::max(high_water, cp.high_water());
+    const stream::StreamEngine& e = gateway.engine(s);
+    events += e.syslog_events();
+    isis_failures += e.isis_tracker().counters().failures_released;
+    syslog_failures += e.syslog_tracker().counters().failures_released;
+    isis_downtime = isis_downtime + e.isis_tracker().total_downtime();
+    syslog_downtime = syslog_downtime + e.syslog_tracker().total_downtime();
+  }
   std::printf(
       "final checkpoint at %s after %llu events\n"
       "IS-IS reconstruction: %llu failures, %.1f h downtime | syslog "
       "reconstruction: %llu failures, %.1f h downtime\n",
-      gateway.final_checkpoint().high_water().to_string().c_str(),
-      static_cast<unsigned long long>(
-          gateway.final_checkpoint().events_ingested()),
-      static_cast<unsigned long long>(
-          engine.isis_tracker().counters().failures_released),
-      engine.isis_tracker().total_downtime().hours_f(),
-      static_cast<unsigned long long>(
-          engine.syslog_tracker().counters().failures_released),
-      engine.syslog_tracker().total_downtime().hours_f());
+      high_water.to_string().c_str(), static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(isis_failures), isis_downtime.hours_f(),
+      static_cast<unsigned long long>(syslog_failures),
+      syslog_downtime.hours_f());
   if (options.engine.detect.enabled) {
     std::printf("alerts at final checkpoint: %llu\n",
                 static_cast<unsigned long long>(gateway.final_alerts()));
-    print_alert_summary(engine.detector(), bundle.census);
+    for (std::uint32_t s = 0; s < gateway.shard_count(); ++s) {
+      print_alert_summary(gateway.engine(s).detector(), bundle.census);
+    }
   }
   return 0;
 }

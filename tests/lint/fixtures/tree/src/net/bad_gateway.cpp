@@ -1,0 +1,19 @@
+// Fixture: src/net joined BOTH rosters with the sharded gateway — a
+// gateway that timestamps events off the wall clock or routes datagrams by
+// std::hash breaks the byte-identical merge; string-keyed maps and
+// iostreams don't belong on the datagram path either.
+#include <ctime>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> conns_by_peer;
+long stamp() { return time(nullptr); }
+std::size_t route(const std::string& line) {
+  return std::hash<std::string>{}(line) % 4;
+}
+std::string render(int shard) {
+  std::ostringstream os;
+  os << shard;
+  return os.str();
+}

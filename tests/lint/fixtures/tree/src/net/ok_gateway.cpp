@@ -1,0 +1,15 @@
+// Fixture: the legal spellings on the ingest path — monotonic clocks for
+// timeouts (steady_clock is not wall time) and a process-stable FNV hash
+// for shard routing.
+#include <chrono>
+#include <cstdint>
+std::int64_t deadline_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+std::uint64_t stable_hash64(const char* s, std::uint64_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h = (h ^ static_cast<unsigned char>(s[i])) * 1099511628211ull;
+  }
+  return h;
+}

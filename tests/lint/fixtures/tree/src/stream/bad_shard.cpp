@@ -1,0 +1,9 @@
+// Fixture: partition routing through std::hash — unspecified value,
+// varies across standard libraries and processes, so two runs of the same
+// capture could shard the same link differently. The determinism rule
+// must catch it in src/stream.
+#include <functional>
+#include <string>
+std::size_t shard_of(const std::string& link_name, std::size_t shards) {
+  return std::hash<std::string>{}(link_name) % shards;
+}

@@ -69,6 +69,24 @@ TEST(FlagValidation, ParsePositiveRealExcludesZero) {
   EXPECT_FALSE(flags::parse_positive_real("--t", "").ok());
 }
 
+TEST(FlagValidation, ParseShardCountAcceptsSaneRange) {
+  EXPECT_EQ(*flags::parse_shard_count("--shards", "1"), 1u);
+  EXPECT_EQ(*flags::parse_shard_count("--shards", "2"), 2u);
+  EXPECT_EQ(*flags::parse_shard_count("--shards", "16"), 16u);
+  EXPECT_EQ(*flags::parse_shard_count("--shards", "256"), 256u);
+}
+
+TEST(FlagValidation, ParseShardCountRejectsEverythingElse) {
+  EXPECT_FALSE(flags::parse_shard_count("--shards", "0").ok());
+  EXPECT_FALSE(flags::parse_shard_count("--shards", "-1").ok());
+  EXPECT_FALSE(flags::parse_shard_count("--shards", "257").ok());  // cap
+  EXPECT_FALSE(flags::parse_shard_count("--shards", "").ok());
+  EXPECT_FALSE(flags::parse_shard_count("--shards", "2x").ok());
+  EXPECT_FALSE(flags::parse_shard_count("--shards", " 2").ok());
+  EXPECT_FALSE(flags::parse_shard_count("--shards", "0x2").ok());
+  EXPECT_FALSE(flags::parse_shard_count("--shards", "lots").ok());
+}
+
 #ifdef NETFAIL_CLI_BIN
 /// Exit status of `netfail <args>` with output discarded.
 int cli_exit(const std::string& args) {
@@ -90,6 +108,15 @@ TEST(CliValidation, ServeRejectsBadPortsBeforeTouchingTheBundle) {
   EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=bogus "
                      "--lsp-port=5141"),
             2);
+}
+
+TEST(CliValidation, ServeRejectsBadShardCounts) {
+  const std::string base =
+      "serve --dir=/nonexistent --syslog-port=5140 --lsp-port=5141 ";
+  EXPECT_EQ(cli_exit(base + "--shards=0"), 2);
+  EXPECT_EQ(cli_exit(base + "--shards=-2"), 2);
+  EXPECT_EQ(cli_exit(base + "--shards=lots"), 2);
+  EXPECT_EQ(cli_exit(base + "--shards=999"), 2);
 }
 
 TEST(CliValidation, ServeRequiresItsFlags) {

@@ -67,7 +67,7 @@ GatewayOptions gateway_options(const analysis::PipelineCapture& s,
   o.capture_start = s.period.begin;
   o.engine.tracker.reconstruct.period = s.period;
   if (out != nullptr) {
-    o.engine_setup = [out](stream::StreamEngine& e) {
+    o.engine_setup = [out](std::uint32_t, stream::StreamEngine& e) {
       e.isis_tracker().on_failure = [out](const analysis::Failure& f) {
         out->isis.push_back(f);
       };

@@ -1,0 +1,184 @@
+// The sharded gateway over real sockets: replaying the same capture bundle
+// at 1-, 2- and 4-shard gateways must produce byte-identical merged
+// analysis (stream::render_digest) — the socket-level restatement of the
+// in-process sharded differential. Also covered: the SO_REUSEPORT
+// single-socket fallback, and counter aggregation across IO loops and
+// consumer lanes. Detection stays off here: drift windows roll on arrival
+// time, which the wire reconstructs at second resolution, so byte-identity
+// across *gateway runs* is only guaranteed for the tracker pipeline (the
+// in-process sharded differential covers detection exactly).
+//
+// Every test skips gracefully when the sandbox forbids sockets.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/scenario_cache.hpp"
+#include "src/net/gateway.hpp"
+#include "src/net/replay.hpp"
+#include "src/net/socket.hpp"
+#include "src/sim/network_sim.hpp"
+#include "src/stream/merge.hpp"
+
+namespace netfail::net {
+namespace {
+
+using Scenario = std::shared_ptr<const analysis::PipelineCapture>;
+
+Scenario scenario(std::uint64_t seed) {
+  return analysis::ScenarioCache::global().capture(sim::test_scenario(seed));
+}
+
+// Matches the pacing rationale in gateway_test.cpp: slow enough that the
+// single-core kernel never drops a datagram, fast enough for CI.
+constexpr double kPacedRate = 20000.0;
+
+/// True when this kernel grants SO_REUSEPORT (the sharded gateway probes
+/// the same way at start()).
+bool reuseport_available() {
+  auto fd = udp_bind_reuseport("127.0.0.1", 0);
+  return fd.ok();
+}
+
+struct GatewayRun {
+  std::string digest;
+  GatewayCounters counters;
+  std::uint64_t syslog_events_total = 0;
+  std::vector<std::uint64_t> lsp_events_per_shard;
+};
+
+/// Replay the capture at a `shards`-shard gateway and merge the per-shard
+/// results into the canonical digest.
+GatewayRun replay_sharded(const analysis::PipelineCapture& s,
+                          std::uint32_t shards, bool force_single_socket) {
+  GatewayOptions o;
+  o.capture_start = s.period.begin;
+  o.engine.tracker.reconstruct.period = s.period;
+  o.shards = shards;
+  o.force_single_udp_socket = force_single_socket;
+
+  // Per-shard release logs, filled on that shard's consumer thread only.
+  std::vector<stream::ShardRun> runs(shards);
+  o.engine_setup = [&runs](std::uint32_t shard, stream::StreamEngine& e) {
+    stream::ShardRun& run = runs[shard];
+    e.isis_tracker().on_failure = [&run](const analysis::Failure& f) {
+      run.isis_failures.push_back(f);
+    };
+    e.syslog_tracker().on_failure = [&run](const analysis::Failure& f) {
+      run.syslog_failures.push_back(f);
+    };
+    e.isis_tracker().on_ambiguous =
+        [&run](const analysis::AmbiguousSegment& a) {
+          run.isis_ambiguous.push_back(a);
+        };
+    e.syslog_tracker().on_ambiguous =
+        [&run](const analysis::AmbiguousSegment& a) {
+          run.syslog_ambiguous.push_back(a);
+        };
+    e.isis_tracker().on_flap_episode =
+        [&run](const analysis::FlapEpisode& ep) {
+          run.isis_episodes.push_back(ep);
+        };
+    e.syslog_tracker().on_flap_episode =
+        [&run](const analysis::FlapEpisode& ep) {
+          run.syslog_episodes.push_back(ep);
+        };
+  };
+
+  IngestGateway gw(s.census, o);
+  EXPECT_TRUE(gw.start().ok());
+  EXPECT_EQ(gw.shard_count(), shards);
+  ReplayOptions r;
+  r.syslog_port = gw.syslog_port();
+  r.lsp_port = gw.lsp_port();
+  r.rate = kPacedRate;
+  const auto stats = replay_capture(s.sim.collector.lines(),
+                                    s.sim.listener.records(), r);
+  EXPECT_TRUE(stats.ok()) << (stats.ok() ? "" : stats.error().to_string());
+  EXPECT_TRUE(gw.wait_replay_complete(std::chrono::seconds(60), 1));
+  gw.stop();
+
+  GatewayRun out;
+  out.counters = gw.counters();
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    runs[i].engine = &gw.engine(i);
+    out.syslog_events_total += gw.engine(i).syslog_events();
+    out.lsp_events_per_shard.push_back(gw.engine(i).lsp_events());
+  }
+  const stream::MergedRun merged = stream::merge_shard_runs(runs);
+  out.digest = stream::render_digest(merged, s.census);
+  return out;
+}
+
+TEST(ShardedGateway, ShardSweepProducesByteIdenticalMergedDigests) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(1);
+  ASSERT_GT(s->sim.collector.size(), 0u);
+
+  const GatewayRun serial = replay_sharded(*s, 1, /*force_single_socket=*/false);
+  ASSERT_FALSE(serial.digest.empty());
+  // The exactness preconditions, or the digest comparison is vacuous.
+  ASSERT_EQ(serial.counters.syslog_queue_drops, 0u);
+  ASSERT_EQ(serial.counters.lsp_out_of_order, 0u);
+  EXPECT_EQ(serial.counters.udp_sockets, 1u);
+
+  for (const std::uint32_t shards : {2u, 4u}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    const GatewayRun sharded =
+        replay_sharded(*s, shards, /*force_single_socket=*/false);
+    ASSERT_EQ(sharded.counters.syslog_queue_drops, 0u);
+    ASSERT_EQ(sharded.counters.lsp_out_of_order, 0u);
+    EXPECT_EQ(sharded.digest, serial.digest);
+    // Broadcast invariant at the socket layer: every shard consumed the
+    // full LSP stream; routed syslog sums to the capture size.
+    EXPECT_EQ(sharded.syslog_events_total, s->sim.collector.size());
+    for (const std::uint64_t lsp : sharded.lsp_events_per_shard) {
+      EXPECT_EQ(lsp, s->sim.listener.records().size());
+    }
+    EXPECT_EQ(sharded.counters.udp_sockets,
+              reuseport_available() ? shards : 1u);
+  }
+}
+
+TEST(ShardedGateway, ForcedSingleSocketFallbackIsEquivalent) {
+  // The hash-dispatch fallback (old kernel, seccomp filter) must be
+  // invisible in the analysis: same digest, one socket doing all the
+  // receiving, datagrams still routed to their owning shards.
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(1);
+
+  const GatewayRun reference =
+      replay_sharded(*s, 1, /*force_single_socket=*/false);
+  const GatewayRun fallback =
+      replay_sharded(*s, 2, /*force_single_socket=*/true);
+  ASSERT_EQ(fallback.counters.syslog_queue_drops, 0u);
+  EXPECT_EQ(fallback.counters.udp_sockets, 1u);
+  EXPECT_EQ(fallback.digest, reference.digest);
+  EXPECT_EQ(fallback.syslog_events_total, s->sim.collector.size());
+}
+
+TEST(ShardedGateway, CountersAggregateAcrossLoopsAndShards) {
+  if (!sockets_available()) GTEST_SKIP() << "sandbox forbids sockets";
+  const Scenario s = scenario(2);
+
+  const GatewayRun run = replay_sharded(*s, 2, /*force_single_socket=*/false);
+  const GatewayCounters& c = run.counters;
+  // Every datagram and frame the kernel handed us lands in exactly one
+  // bucket, regardless of which loop received it or which shard consumed
+  // it.
+  EXPECT_EQ(c.syslog_datagrams, s->sim.collector.size());
+  EXPECT_EQ(c.syslog_enqueued, c.syslog_datagrams);
+  EXPECT_EQ(c.syslog_queue_drops, 0u);
+  EXPECT_GT(c.end_markers, 0u);
+  EXPECT_EQ(c.lsp_frames, s->sim.listener.records().size());
+  EXPECT_EQ(c.lsp_decode_errors, 0u);
+  EXPECT_EQ(c.lsp_torn_tails, 0u);
+  EXPECT_EQ(c.connections_accepted, 1u);
+  EXPECT_EQ(c.connections_closed, 1u);
+}
+
+}  // namespace
+}  // namespace netfail::net
