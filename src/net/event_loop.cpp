@@ -49,6 +49,8 @@ void EventLoop::post(std::function<void()> task) {
   wake();
 }
 
+void EventLoop::drain_posted() { run_posted(); }
+
 void EventLoop::run_posted() {
   std::vector<std::function<void()>> tasks;
   {

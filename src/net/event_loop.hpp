@@ -54,9 +54,16 @@ class EventLoop {
   /// Cross-thread (mutex, NOT signal-safe): run `task` on the loop thread
   /// before the next dispatch pass. Tasks run in post order and may call
   /// add/remove/set_want_read. Tasks posted to a stopped loop run during
-  /// the final run_once pass or not at all (the poster must not rely on
-  /// them for shutdown correctness).
+  /// the final run_once pass or not at all — an owner that must not lose
+  /// them calls drain_posted() after joining the loop thread.
   void post(std::function<void()> task);
+
+  /// Run any tasks still queued by post() on the *caller's* thread. Only
+  /// legal once run() has returned and the loop thread is joined (there is
+  /// no loop thread left to race); the gateway uses it so a connection
+  /// registration that raced a stop is executed and accounted instead of
+  /// silently discarded.
+  void drain_posted();
 
   bool stopped() const;
 

@@ -13,6 +13,7 @@
 #include "src/common/metrics.hpp"
 #include "src/common/sync.hpp"
 #include "src/syslog/collector.hpp"
+#include "src/syslog/message.hpp"
 
 namespace netfail::net {
 namespace {
@@ -114,7 +115,7 @@ IngestGateway::IngestGateway(const LinkCensus& census, GatewayOptions options)
   for (std::uint32_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(
         std::make_unique<Shard>(census, options_, shard_map_, i));
-    loops_.push_back(std::make_unique<IoLoop>());
+    loops_.push_back(std::make_unique<IoLoop>(options_.capture_start));
     if (options_.engine_setup) options_.engine_setup(i, *shards_[i]->engine);
   }
 }
@@ -196,7 +197,7 @@ void IngestGateway::on_udp_readable(std::size_t loop_idx) {
   static thread_local std::vector<std::uint8_t> bufs(kRecvBatch * kMaxDatagram);
   // Per-shard routing buckets, reused sweep to sweep: one try_push_batch
   // (one lock + one notify) per shard per recvmmsg sweep.
-  static thread_local std::vector<std::vector<std::string>> buckets;
+  static thread_local std::vector<std::vector<syslog::ReceivedLine>> buckets;
   const std::uint32_t nshards = options_.shards;
   if (buckets.size() < nshards) buckets.resize(nshards);
   for (;;) {
@@ -212,11 +213,16 @@ void IngestGateway::on_udp_readable(std::size_t loop_idx) {
       if (errno == EINTR) continue;
       return;  // EAGAIN: drained
     }
-    // Peel markers out (rare, end-of-replay only), route the rest to the
-    // owning shard's bucket by the stable link hash, then hand each bucket
-    // to its queue as one batch. shard_of_line is the IO-thread half of
-    // the partition invariant: every event for a link lands on the shard
-    // whose engine owns that link's state.
+    // Peel markers out (rare, end-of-replay only), stamp each line's
+    // arrival with this socket's cursor, route it to the owning shard's
+    // bucket by the stable link hash, then hand each bucket to its queue
+    // as one batch. Stamping precedes routing on purpose: the cursor's
+    // monotonic clamp runs over the socket's arrival order (the ingress
+    // ordering domain), never over a shard's routed subset — a line
+    // clamped here is clamped identically for every shard count.
+    // shard_of_line is the IO-thread half of the partition invariant:
+    // every event for a link lands on the shard whose engine owns that
+    // link's state.
     for (std::uint32_t s = 0; s < nshards; ++s) buckets[s].clear();
     for (int i = 0; i < n; ++i) {
       const std::string_view payload(
@@ -230,10 +236,16 @@ void IngestGateway::on_udp_readable(std::size_t loop_idx) {
         done_cv_.notify_all();
         continue;
       }
-      buckets[shard_map_.shard_of_line(payload)].emplace_back(payload);
+      // One parse per datagram, shared by the cursor and the router.
+      const Result<syslog::Message> msg = syslog::parse_message(payload);
+      syslog::ReceivedLine rec;
+      rec.received_at = lp.cursor.arrival_of_parsed(msg);
+      rec.line.assign(payload);
+      buckets[shard_map_.shard_of_parsed(msg, payload)].push_back(
+          std::move(rec));
     }
     for (std::uint32_t s = 0; s < nshards; ++s) {
-      std::vector<std::string>& bucket = buckets[s];
+      std::vector<syslog::ReceivedLine>& bucket = buckets[s];
       if (bucket.empty()) continue;
       lp.io.syslog_datagrams += bucket.size();
       const std::size_t taken =
@@ -344,19 +356,43 @@ void IngestGateway::extract_frames(IoLoop& lp, Connection& conn) {
     }
     // Broadcast: every shard's IS-IS extractor consumes the full LSP
     // stream (pair state spans both endpoints of a link); the ownership
-    // filter is applied per transition inside the engine. Copy to all
+    // filter is applied per transition inside the engine. The monotonic
+    // out-of-order drop (mirroring EventMux's policy — never fires on an
+    // in-order replay, protects the trackers when reconnect races
+    // interleave old frames behind new ones) is decided HERE, once, under
+    // the gateway-wide order lock, and the kept record is pushed to every
+    // shard before the lock drops: with concurrent connections on
+    // different IO threads, each shard queue still carries the identical
+    // frame sequence, so per-shard engines cannot diverge. Copy to all
     // shards but the last, move into the last. push_wait, not try_push:
     // TCP frames are the reliable source — the watermark check above
     // bounds occupancy, and the blocking path only triggers when several
     // IO loops overshoot it at once. A refusal means a closed queue
     // (shutdown) — the rest of the stream is moot then anyway.
-    for (std::uint32_t s = 0; s + 1 < nshards; ++s) {
-      isis::LspRecord copy = *record;
-      if (!shards_[s]->lsp_queue.push_wait(std::move(copy))) return;
+    bool dropped = false;
+    bool queue_closed = false;
+    {
+      sync::MutexLock order(lsp_order_mu_);
+      if (have_lsp_ && record->received_at < last_lsp_arrival_) {
+        dropped = true;
+      } else {
+        last_lsp_arrival_ = record->received_at;
+        have_lsp_ = true;
+        for (std::uint32_t s = 0; s + 1 < nshards; ++s) {
+          isis::LspRecord copy = *record;
+          if (!shards_[s]->lsp_queue.push_wait(std::move(copy))) {
+            queue_closed = true;
+            break;
+          }
+        }
+        if (!queue_closed &&
+            !shards_[nshards - 1]->lsp_queue.push_wait(std::move(*record))) {
+          queue_closed = true;
+        }
+      }
     }
-    if (!shards_[nshards - 1]->lsp_queue.push_wait(std::move(*record))) {
-      return;
-    }
+    if (queue_closed) return;
+    if (dropped) ++lp.io.lsp_out_of_order;
   }
 }
 
@@ -427,11 +463,7 @@ void IngestGateway::maybe_resume_connections(std::size_t loop_idx) {
 }
 
 void IngestGateway::consumer_thread(Shard& shard) {
-  syslog::ArrivalCursor cursor(options_.capture_start);
-  TimePoint last_lsp_arrival;
-  bool have_lsp = false;
-  std::uint64_t out_of_order = 0;
-  std::vector<std::string> lines;
+  std::vector<syslog::ReceivedLine> lines;
   std::vector<isis::LspRecord> records;
   lines.reserve(kDrainBatch);
   records.reserve(kDrainBatch);
@@ -464,26 +496,18 @@ void IngestGateway::consumer_thread(Shard& shard) {
     }
     lock.unlock();
 
-    for (std::string& line : lines) {
-      syslog::ReceivedLine rec;
-      rec.received_at = cursor.arrival_of(line);
-      rec.line = std::move(line);
+    // Lines arrive pre-stamped (IO-thread cursor) and LSP records
+    // pre-filtered (broadcast-time order guard): the consumer is a pure
+    // feed loop, so nothing here can make one shard's view diverge from
+    // another's.
+    for (const syslog::ReceivedLine& rec : lines) {
       shard.engine->feed_syslog(rec);
       fed_syslog.inc();
       if (options_.consumer_slowdown.count() > 0) {
         std::this_thread::sleep_for(options_.consumer_slowdown);
       }
     }
-    for (isis::LspRecord& record : records) {
-      // Per-source monotonic guard, mirroring EventMux's out-of-order drop
-      // policy. Never fires on an in-order replay; protects the trackers
-      // when reconnect races interleave old frames behind new ones.
-      if (have_lsp && record.received_at < last_lsp_arrival) {
-        ++out_of_order;
-        continue;
-      }
-      last_lsp_arrival = record.received_at;
-      have_lsp = true;
+    for (const isis::LspRecord& record : records) {
       shard.engine->feed_lsp(record);
       fed_lsp.inc();
       if (options_.consumer_slowdown.count() > 0) {
@@ -502,7 +526,6 @@ void IngestGateway::consumer_thread(Shard& shard) {
   }
   lock.unlock();
 
-  shard.lsp_out_of_order = out_of_order;  // consumer-owned field
   shard.final_checkpoint = shard.engine->checkpoint();
   shard.engine->finish();
 }
@@ -557,6 +580,11 @@ void IngestGateway::stop() {
   for (auto& lp : loops_) {
     if (lp->thread.joinable()) lp->thread.join();
   }
+  // A registration posted to a loop that stopped before running it would
+  // otherwise leave the Connection unregistered forever (conns_open_ never
+  // settles, its fd never enters the shutdown sweep). The loops are joined,
+  // so running the leftovers here is single-threaded and safe.
+  for (auto& lp : loops_) lp->loop.drain_posted();
   // Connections still open at shutdown: account their partial tails the
   // same way a mid-frame cut is accounted.
   for (auto& lp : loops_) {
@@ -585,9 +613,6 @@ void IngestGateway::stop() {
 
   counters_ = GatewayCounters{};
   for (const auto& lp : loops_) add_counters(counters_, lp->io);
-  for (const auto& shard : shards_) {
-    counters_.lsp_out_of_order += shard->lsp_out_of_order;
-  }
 
   metrics::Registry& m = metrics::global();
   m.counter("net.syslog.datagrams").inc(counters_.syslog_datagrams);

@@ -25,8 +25,16 @@
 // connections are accepted on loop 0 and distributed round-robin across
 // loops via EventLoop::post; decoded LSP records are *broadcast* to every
 // shard (the IS-IS extractor needs both endpoints' LSPs for its pair
-// state). Backpressure pauses a connection when ANY shard's LSP queue is
-// above its high watermark and resumes when ALL are below the low one.
+// state). The broadcast runs under a single gateway-wide order lock: the
+// out-of-order drop decision is made once, on the IO thread, and the kept
+// record is pushed to every shard before the lock is released, so all
+// shard queues carry the identical LSP sequence no matter how many
+// connections or IO threads are live. Syslog arrival times are likewise
+// assigned at dispatch time, one ArrivalCursor per UDP socket (each
+// socket is one ingress ordering domain), so the monotonic clamp never
+// depends on how lines were routed across shards. Backpressure pauses a
+// connection when ANY shard's LSP queue is above its high watermark and
+// resumes when ALL are below the low one.
 // stream::merge_shard_runs folds the per-shard results into output
 // byte-identical to the serial single-shard run.
 //
@@ -56,6 +64,7 @@
 #include "src/net/socket.hpp"
 #include "src/stream/engine.hpp"
 #include "src/stream/sharded.hpp"
+#include "src/syslog/collector.hpp"
 
 namespace netfail::net {
 
@@ -115,7 +124,9 @@ struct GatewayCounters {
   std::uint64_t lsp_decode_errors = 0;   // frame payload not a valid record
   std::uint64_t lsp_torn_tails = 0;      // connections cut mid-frame
   std::uint64_t lsp_corrupt_streams = 0; // framing violation, conn dropped
-  std::uint64_t lsp_out_of_order = 0;    // arrival time-travel, event dropped
+  /// Arrival time-travel: the frame was dropped at broadcast time, before
+  /// reaching any shard, so one drop counts once regardless of shard count.
+  std::uint64_t lsp_out_of_order = 0;
 
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
@@ -194,9 +205,18 @@ class IngestGateway {
   /// bound) and the TCP connections it owns. All fields except `loop`'s
   /// cross-thread entry points are loop-thread-only once started.
   struct IoLoop {
+    explicit IoLoop(TimePoint capture_start) : cursor(capture_start) {}
+
     EventLoop loop;
     std::thread thread;
     Fd udp;
+    /// Arrival-time reconstruction for this socket's datagrams. One cursor
+    /// per UDP socket — each socket is one ingress ordering domain, so the
+    /// monotonic clamp runs over the socket's own arrival order exactly as
+    /// the batch reader's cursor runs over file order. Stamping happens on
+    /// the IO thread *before* shard routing: received_at never depends on
+    /// how lines were split across consumer lanes.
+    syslog::ArrivalCursor cursor;
     std::vector<std::shared_ptr<Connection>> connections;
     GatewayCounters io;  // this loop's share; summed after join
   };
@@ -208,12 +228,11 @@ class IngestGateway {
 
     std::uint32_t index = 0;
     WaitSet ws;
-    BoundedMpsc<std::string> syslog_queue;
+    BoundedMpsc<syslog::ReceivedLine> syslog_queue;
     BoundedMpsc<isis::LspRecord> lsp_queue;
     std::unique_ptr<stream::StreamEngine> engine;
     stream::Checkpoint final_checkpoint;
     std::thread consumer;
-    std::uint64_t lsp_out_of_order = 0;  // consumer-owned
     bool consumer_idle NETFAIL_GUARDED_BY(ws.mu) = false;
   };
 
@@ -253,6 +272,16 @@ class IngestGateway {
   std::atomic<int> paused_conns_{0};
   /// Round-robin cursor for TCP accept distribution (loop 0 only).
   std::size_t next_conn_loop_ = 0;
+
+  // LSP broadcast order lock. The monotonic out-of-order drop decision and
+  // the push to every shard queue happen atomically under this mutex, so
+  // the drop set AND the delivery order are identical across shards no
+  // matter how concurrent IO threads interleave — the invariant
+  // merge_shard_runs asserts. Held only on IO threads; consumers never
+  // take it, so a push_wait blocking under it cannot deadlock.
+  sync::Mutex lsp_order_mu_;
+  TimePoint last_lsp_arrival_ NETFAIL_GUARDED_BY(lsp_order_mu_);
+  bool have_lsp_ NETFAIL_GUARDED_BY(lsp_order_mu_) = false;
 
   // Replay-completion state. Its own wait set: producers on any IO loop
   // update it, the watcher sleeps on it, and per-shard queue/idle state is

@@ -1,6 +1,7 @@
 #include "src/stream/merge.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 #include "src/common/assert.hpp"
 #include "src/syslog/message.hpp"
@@ -49,7 +50,16 @@ void put_u64(std::string& out, std::uint64_t v) {
 void put_i64(std::string& out, std::int64_t v) {
   out.append(std::to_string(v));
 }
-void put_f(std::string& out, double v) { out.append(std::to_string(v)); }
+void put_f(std::string& out, double v) {
+  // Shortest round-trippable form via to_chars: locale-independent (the
+  // digest is compared across processes and pinned in golden files, and
+  // std::to_string's decimal separator follows the C locale) and lossless
+  // (fixed 6 decimals would collapse nearby alert scores).
+  char buf[32];
+  const std::to_chars_result r = std::to_chars(buf, buf + sizeof(buf), v);
+  NETFAIL_ASSERT(r.ec == std::errc(), "double render overflow");
+  out.append(buf, r.ptr);
+}
 void put_time(std::string& out, TimePoint t) {
   put_i64(out, t.unix_millis());
 }

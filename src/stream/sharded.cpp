@@ -16,19 +16,24 @@ ShardMap::ShardMap(const LinkCensus& census, std::uint32_t shard_count)
 
 std::uint32_t ShardMap::shard_of_line(std::string_view line) const {
   if (shard_count_ == 1) return 0;
-  const Result<syslog::Message> msg = syslog::parse_message(line);
-  if (!msg) {
+  return shard_of_parsed(syslog::parse_message(line), line);
+}
+
+std::uint32_t ShardMap::shard_of_parsed(const Result<syslog::Message>& parsed,
+                                        std::string_view line) const {
+  if (shard_count_ == 1) return 0;
+  if (!parsed) {
     // Unparsable / untracked shape: no per-link state downstream, any
     // deterministic spread keeps the summed stats exact.
     return static_cast<std::uint32_t>(stable_hash64(line) % shard_count_);
   }
   if (const std::optional<LinkId> link =
-          census_->find_by_interface(msg->reporter, msg->interface)) {
+          census_->find_by_interface(parsed->reporter, parsed->interface)) {
     return shard_of(*link);
   }
   // Parsed but unresolved against the census (the extractor will count it
   // as unresolved_links on whichever shard gets it).
-  return shard_of_name(msg->reporter.view());
+  return shard_of_name(parsed->reporter.view());
 }
 
 }  // namespace netfail::stream

@@ -23,7 +23,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/result.hpp"
 #include "src/config/census.hpp"
+#include "src/syslog/message.hpp"
 
 namespace netfail::stream {
 
@@ -69,6 +71,13 @@ class ShardMap {
   /// return the owning shard; deterministic fallbacks for lines that do
   /// not resolve (see file comment). Total: every line gets a shard.
   std::uint32_t shard_of_line(std::string_view line) const;
+
+  /// Same routing over an already-parsed line (`line` is still needed for
+  /// the unparsable-fallback hash). The gateway's IO threads parse each
+  /// datagram exactly once and reuse the result here and for arrival
+  /// stamping. Must agree with shard_of_line for every input.
+  std::uint32_t shard_of_parsed(const Result<syslog::Message>& parsed,
+                                std::string_view line) const;
 
   /// True when `shard` owns `link` — the engine-side partition filter.
   bool owns(std::uint32_t shard, LinkId link) const {

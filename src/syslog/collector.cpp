@@ -52,10 +52,15 @@ TimePoint resolve_year(TimePoint parsed, TimePoint received) {
 }
 
 TimePoint ArrivalCursor::arrival_of(std::string_view line, bool* parsable) {
+  return arrival_of_parsed(parse_message(line), parsable);
+}
+
+TimePoint ArrivalCursor::arrival_of_parsed(const Result<Message>& parsed,
+                                           bool* parsable) {
   TimePoint arrival = cursor_;
   bool ok = false;
-  if (const Result<Message> m = parse_message(line)) {
-    arrival = resolve_year(m->timestamp, cursor_);
+  if (parsed) {
+    arrival = resolve_year(parsed->timestamp, cursor_);
     ok = true;
   }
   if (parsable != nullptr) *parsable = ok;

@@ -10,7 +10,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/result.hpp"
 #include "src/common/time.hpp"
+#include "src/syslog/message.hpp"
 
 namespace netfail::syslog {
 
@@ -49,6 +51,12 @@ class ArrivalCursor {
   /// Arrival time for the next line, advancing the cursor. `parsable` (when
   /// non-null) reports whether the line yielded a usable timestamp.
   TimePoint arrival_of(std::string_view line, bool* parsable = nullptr);
+
+  /// Same, over an already-parsed line — for callers (the gateway's IO
+  /// threads) that parse once and reuse the result for both arrival
+  /// stamping and shard routing.
+  TimePoint arrival_of_parsed(const Result<Message>& parsed,
+                              bool* parsable = nullptr);
 
   TimePoint cursor() const { return cursor_; }
 

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <thread>
+#include <vector>
 
 namespace netfail::net {
 namespace {
@@ -77,6 +78,26 @@ TEST(EventLoop, StopFromAnotherThreadInterruptsRun) {
   loop.run();  // blocks in poll(-1) until the stopper wakes it
   stopper.join();
   EXPECT_TRUE(loop.stopped());
+}
+
+TEST(EventLoop, DrainPostedRunsTasksAStoppedLoopNeverRan) {
+  // A task posted to a loop that stops before its final dispatch pass is
+  // neither run nor destroyed until the loop dies — the gateway's
+  // connection handoff would leak its accept accounting. drain_posted()
+  // is the owner's recovery: after the loop thread is joined, leftovers
+  // run on the calling thread, in post order.
+  EventLoop loop;
+  loop.stop();
+  EXPECT_FALSE(loop.run_once(0));  // stopped: no dispatch pass happens
+  std::vector<int> ran;
+  loop.post([&] { ran.push_back(1); });
+  loop.post([&] { ran.push_back(2); });
+  EXPECT_FALSE(loop.run_once(0));
+  EXPECT_TRUE(ran.empty());
+  loop.drain_posted();
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  loop.drain_posted();  // idempotent: nothing left
+  EXPECT_EQ(ran.size(), 2u);
 }
 
 TEST(EventLoop, WakeRunsOnWakeHook) {
