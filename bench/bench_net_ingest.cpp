@@ -19,6 +19,11 @@
 //                    the mixed workload at a 2-shard gateway (per-shard
 //                    breakdown rows ride along; speedup_vs_serial is
 //                    measured against the 1-shard mixed pass).
+//   net_mixed_ingest_4shard
+//                    the same at 4 shards — only where the box has >= 4
+//                    hardware threads (or NETFAIL_BENCH_FORCE_4SHARD=1);
+//                    scripts/record_shard_scaling.sh captures the scaling
+//                    curve on a multi-core machine.
 //
 // Throughput counts events *through the engine* (delivered / wall), not
 // wire writes — a datagram that was sent but shed is not throughput. Each
@@ -34,7 +39,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -212,7 +219,7 @@ int main(int argc, char** argv) {
     std::size_t per_replay;
     std::uint32_t shards;
   };
-  const Spec specs[] = {
+  std::vector<Spec> specs = {
       {"net_udp_ingest", true, false, c.lines().size(), 1},
       {"net_tcp_ingest", false, true, c.records().size(), 1},
       {"net_mixed_ingest", true, true, c.lines().size() + c.records().size(),
@@ -220,6 +227,18 @@ int main(int argc, char** argv) {
       {"net_mixed_ingest_2shard", true, true,
        c.lines().size() + c.records().size(), 2},
   };
+  // The 4-shard point only means anything with cores to back it (ROADMAP
+  // item 1 wants the multi-core scaling curve; scripts/record_shard_scaling.sh
+  // runs this on such a box). On smaller machines it is skipped so the
+  // committed baseline never gains an entry a 1-core CI runner can't defend.
+  if (std::thread::hardware_concurrency() >= 4 ||
+      std::getenv("NETFAIL_BENCH_FORCE_4SHARD") != nullptr) {
+    specs.push_back({"net_mixed_ingest_4shard", true, true,
+                     c.lines().size() + c.records().size(), 4});
+  } else {
+    table += "fewer than 4 hardware threads — 4-shard pass skipped "
+             "(see scripts/record_shard_scaling.sh)\n";
+  }
   table += netfail::strformat(
       "%-26s %10s %10s %10s %12s %9s %8s\n", "pass", "sent", "delivered",
       "dropped", "msgs/sec", "drop", "allocs");

@@ -71,9 +71,11 @@ run_tsan() {
   # under the pool, the streaming engine, the socket ingest path (IO +
   # consumer threads; the net suites skip themselves where the sandbox
   # forbids sockets), and the sharded gateway (N IO loops x N consumer
-  # shards racing on the merge/backpressure paths).
+  # shards racing on the merge/backpressure paths), plus the service layer:
+  # the HTTP server's loop-thread handler racing live snapshot_engines()
+  # reads against ingest, and snapshot save/restore across the same threads.
   ctest --test-dir build-tsan -j "$JOBS" --output-on-failure \
-    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest|BoundedMpsc|EventLoop|NetGateway|AlertSink|DetectDifferential|ShardedDifferential|ShardMap|ShardedGateway'
+    --tests-regex 'ThreadPool|ParallelFor|ParallelMap|PoolGuard|DefaultThreads|ParallelDifferential|ScenarioCacheTest|SimDeterminism|Registry|StreamDifferential|SymConcurrencyTest|BoundedMpsc|EventLoop|NetGateway|AlertSink|DetectDifferential|ShardedDifferential|ShardMap|ShardedGateway|SvcSnapshot|RestartDifferential|SvcHttp|Anonymize'
 }
 
 run_bench() {
@@ -111,6 +113,13 @@ run_bench() {
   ./build/bench/bench_detect --json=build/BENCH_detect.json \
     --repeat="$repeat" --benchmark_filter='^$' >/dev/null
   python3 scripts/bench_compare.py BENCH_pipeline.json build/BENCH_detect.json \
+    --tolerance "${NETFAIL_BENCH_TOLERANCE:-0.10}"
+  # HTTP query throughput: the handle()-only render pass always emits its
+  # entry (gates even where sockets are forbidden); the socket round-trip
+  # passes self-skip there, and bench_compare ignores one-sided entries.
+  ./build/bench/bench_http_query --json=build/BENCH_http.json \
+    --repeat="$repeat" --benchmark_filter='^$' >/dev/null
+  python3 scripts/bench_compare.py BENCH_pipeline.json build/BENCH_http.json \
     --tolerance "${NETFAIL_BENCH_TOLERANCE:-0.10}"
 }
 

@@ -61,6 +61,8 @@ DETERMINISM_DIRS = (
     "src/syslog",  # both parser backends must stay bit-identical
     "src/net",     # sharded ingest feeds the byte-identical merge; only
                    # steady_clock (monotonic, not banned) belongs here
+    "src/svc",     # snapshot bytes and anonymized pseudonyms must be
+                   # reproducible across processes and stdlibs
 )
 HOT_PATH_DIRS = (
     "src/analysis",
@@ -70,6 +72,7 @@ HOT_PATH_DIRS = (
     "src/net",
     "src/sim",
     "src/stream",
+    "src/svc",
     "src/syslog",
 )
 # The counting operator new/delete harness the `naked-new` rule exists to

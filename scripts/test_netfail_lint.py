@@ -139,6 +139,34 @@ class ShardedRosters(unittest.TestCase):
         self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
 
 
+class SvcRosters(unittest.TestCase):
+    """src/svc joined both dir rosters with the service layer (durable
+    snapshots + HTTP query API); prove the rules fire there — snapshot
+    bytes and seeded pseudonyms must reproduce across processes, and the
+    per-request render path is hot under query load."""
+
+    def test_svc_is_a_determinism_dir(self):
+        self.assertIn("src/svc", netfail_lint.DETERMINISM_DIRS)
+        rules = [v.rule for v in run_rules("src/svc/bad_snapshot.cpp")]
+        # time(nullptr) and std::hash both flag.
+        self.assertEqual(rules.count("determinism"), 2)
+
+    def test_svc_is_a_hot_path_dir(self):
+        rules = [v.rule for v in run_rules("src/svc/bad_snapshot.cpp")]
+        self.assertIn("hot-path-string-map", rules)
+        # <sstream> include and the ostringstream use both flag.
+        self.assertEqual(rules.count("hot-path-iostream"), 2)
+
+    def test_fnv_and_snprintf_pass(self):
+        self.assertEqual(run_rules("src/svc/ok_codec.cpp"), [])
+
+    def test_same_text_passes_in_a_cold_dir(self):
+        ft = netfail_lint.load_file(FIXTURE_ROOT, "src/svc/bad_snapshot.cpp")
+        ft.rel_path = "src/io/bad_snapshot.cpp"
+        self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
+        self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
+
+
 class NakedNewRule(unittest.TestCase):
     def test_flags_new_and_delete_expressions(self):
         got = {(v.rule, v.line) for v in run_rules("src/common/bad_new.cpp")}

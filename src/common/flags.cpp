@@ -152,4 +152,48 @@ Result<double> parse_positive_real(const std::string& flag,
   return v;
 }
 
+Result<std::string> parse_path(const std::string& flag,
+                               const std::string& value) {
+  // A value starting with '-' is almost always the *next* flag swallowed
+  // by a missing argument ("--state-dir --http-port 80"); NUL and newline
+  // only arise from quoting accidents. Everything else is a legal path.
+  const bool looks_like_flag = !value.empty() && value.front() == '-';
+  const bool has_control =
+      value.find('\n') != std::string::npos ||
+      value.find('\r') != std::string::npos ||
+      value.find('\0') != std::string::npos;
+  if (value.empty() || looks_like_flag || has_control) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "flag " + flag + " expects a path, got '" + value + "'");
+  }
+  return value;
+}
+
+Result<Duration> parse_duration(const std::string& flag,
+                                const std::string& value) {
+  const auto fail = [&]() -> Result<Duration> {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "flag " + flag +
+                          " expects a duration like 500ms/30s/5m/2h/1d, got '" +
+                          value + "'");
+  };
+  if (value.empty() ||
+      !std::isdigit(static_cast<unsigned char>(value.front()))) {
+    return fail();
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  const std::string unit(end);
+  // The count must be positive and leave room for the ms multiplier; the
+  // unit suffix is mandatory (a bare number is ambiguous).
+  if (n < 1 || n > (1ull << 40)) return fail();
+  const auto count = static_cast<std::int64_t>(n);
+  if (unit == "ms") return Duration::millis(count);
+  if (unit == "s") return Duration::seconds(count);
+  if (unit == "m") return Duration::minutes(count);
+  if (unit == "h") return Duration::hours(count);
+  if (unit == "d") return Duration::days(count);
+  return fail();
+}
+
 }  // namespace netfail::flags

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/result.hpp"
+#include "src/common/time.hpp"
 
 namespace netfail::flags {
 
@@ -77,5 +78,19 @@ Result<double> parse_nonneg_real(const std::string& flag,
 /// knobs where zero would divide by zero or disable the math silently).
 Result<double> parse_positive_real(const std::string& flag,
                                    const std::string& value);
+
+/// A filesystem path argument (--state-dir). Strictness here is about
+/// catching shell mishaps, not legalising POSIX: empty values and values
+/// that look like another flag ("--state-dir --http-port" swallowed the
+/// next flag as the value) are rejected, as are embedded newlines/NULs
+/// that only ever come from quoting accidents.
+Result<std::string> parse_path(const std::string& flag,
+                               const std::string& value);
+
+/// A duration literal: a positive decimal count with a unit suffix, one of
+/// ms / s / m / h / d ("500ms", "30s", "5m", "2h", "1d"). The unit is
+/// mandatory — a bare number is ambiguous and refused.
+Result<Duration> parse_duration(const std::string& flag,
+                                const std::string& value);
 
 }  // namespace netfail::flags

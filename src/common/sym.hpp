@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 namespace netfail::sym {
 
@@ -131,6 +132,47 @@ inline std::uint64_t pair_key(Symbol a, Symbol b) {
 /// lookups with externally supplied names where growing the table is
 /// undesirable.
 inline Symbol find(std::string_view s) { return Symbol::from_id(find_id(s)); }
+
+/// A sparse Symbol -> Symbol rewrite table, identity where unmapped.
+///
+/// This is the primitive behind every symbol-table transform: the
+/// anonymizer maps real host/interface symbols to seeded pseudonyms, and a
+/// snapshot restore maps file-local symbol ids to this process's ids.
+/// Backed by a dense vector indexed by source id (symbol ids are dense by
+/// construction), so map() is a bounds check and a load — cheap enough to
+/// call per rendered field.
+class RemapTable {
+ public:
+  /// Rewrite `from` to `to`. `from` must be valid; `to` must be valid
+  /// (mapping *to* the invalid symbol would be indistinguishable from "no
+  /// mapping").
+  void set(Symbol from, Symbol to) {
+    if (!from.valid() || !to.valid()) return;
+    if (from.value() >= to_.size()) {
+      to_.resize(from.value() + 1, Symbol::invalid());
+    }
+    if (!to_[from.value()].valid()) ++mapped_;
+    to_[from.value()] = to;
+  }
+
+  /// The rewrite of `s`, or `s` itself when unmapped (or invalid).
+  Symbol map(Symbol s) const {
+    if (!s.valid() || s.value() >= to_.size()) return s;
+    const Symbol t = to_[s.value()];
+    return t.valid() ? t : s;
+  }
+
+  bool has(Symbol s) const {
+    return s.valid() && s.value() < to_.size() && to_[s.value()].valid();
+  }
+
+  /// Number of explicit mappings installed.
+  std::size_t size() const { return mapped_; }
+
+ private:
+  std::vector<Symbol> to_;
+  std::size_t mapped_ = 0;
+};
 
 }  // namespace netfail::sym
 

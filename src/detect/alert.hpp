@@ -21,6 +21,10 @@
 #include "src/common/thread_annotations.hpp"
 #include "src/common/time.hpp"
 
+namespace netfail::svc {
+class EngineCodec;  // durable snapshot serializer (src/svc)
+}  // namespace netfail::svc
+
 namespace netfail::detect {
 
 enum class AlertKind {
@@ -74,6 +78,8 @@ class AlertSink {
   std::vector<LinkAlert> snapshot() const;
 
  private:
+  friend class netfail::svc::EngineCodec;
+
   mutable sync::Mutex mu_;
   std::vector<LinkAlert> alerts_ NETFAIL_GUARDED_BY(mu_);
 };

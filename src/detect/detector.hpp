@@ -43,6 +43,10 @@
 #include "src/detect/alert.hpp"
 #include "src/syslog/extract.hpp"
 
+namespace netfail::svc {
+class EngineCodec;  // durable snapshot serializer (src/svc)
+}  // namespace netfail::svc
+
 namespace netfail::detect {
 
 struct DetectorOptions {
@@ -113,6 +117,8 @@ class LinkDetector {
   const DetectorCounters& counters() const { return counters_; }
 
  private:
+  friend class netfail::svc::EngineCodec;
+
   struct LinkState {
     bool has_last_down = false;
     TimePoint last_down;

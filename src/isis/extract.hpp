@@ -26,6 +26,10 @@
 #include "src/topology/ipv4.hpp"
 #include "src/topology/osi.hpp"
 
+namespace netfail::svc {
+class EngineCodec;  // durable snapshot serializer (src/svc)
+}  // namespace netfail::svc
+
 namespace netfail::isis {
 
 /// Which LSP field a transition was inferred from (paper Table 2 compares
@@ -110,6 +114,8 @@ class StreamingExtractor {
   std::size_t tracked_sources() const { return sources_.size(); }
 
  private:
+  friend class netfail::svc::EngineCodec;
+
   /// Everything remembered about one LSP source between packets.
   struct SourceState {
     std::uint32_t sequence = 0;

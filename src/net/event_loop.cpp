@@ -20,7 +20,7 @@ EventLoop::EventLoop() {
 }
 
 void EventLoop::add(int fd, Callback cb) {
-  entries_.push_back(Entry{fd, true, std::move(cb)});
+  entries_.push_back(Entry{fd, true, false, std::move(cb)});
 }
 
 void EventLoop::remove(int fd) {
@@ -32,6 +32,12 @@ void EventLoop::remove(int fd) {
 void EventLoop::set_want_read(int fd, bool enable) {
   for (Entry& e : entries_) {
     if (e.fd == fd) e.want_read = enable;
+  }
+}
+
+void EventLoop::set_want_write(int fd, bool enable) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd) e.want_write = enable;
   }
 }
 
@@ -67,7 +73,10 @@ bool EventLoop::run_once(int timeout_ms) {
   fds.reserve(entries_.size() + 1);
   fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
   for (const Entry& e : entries_) {
-    if (e.want_read) fds.push_back(pollfd{e.fd, POLLIN, 0});
+    short events = 0;
+    if (e.want_read) events |= POLLIN;
+    if (e.want_write) events |= POLLOUT;
+    if (events != 0) fds.push_back(pollfd{e.fd, events, 0});
   }
 
   const int n = ::poll(fds.data(), fds.size(), timeout_ms);

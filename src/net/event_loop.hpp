@@ -37,6 +37,10 @@ class EventLoop {
   /// Pause/resume read interest without dropping the registration — the
   /// TCP backpressure switch.
   void set_want_read(int fd, bool enable);
+  /// Arm/disarm POLLOUT interest — off by default (a socket is writable
+  /// almost always, so level-triggered write interest would spin). The
+  /// HTTP responder arms it only while a response is partially written.
+  void set_want_write(int fd, bool enable);
 
   /// Run until stop(). `on_wake` (optional) runs on the loop thread after
   /// every wakeup — the consumer uses it to request watermark resumes.
@@ -71,6 +75,7 @@ class EventLoop {
   struct Entry {
     int fd;
     bool want_read;
+    bool want_write;
     Callback cb;
   };
 

@@ -475,6 +475,14 @@ void IngestGateway::consumer_thread(Shard& shard) {
 
   sync::UniqueLock lock(shard.ws.mu);
   for (;;) {
+    // Live-snapshot handshake: answered here, between drain batches, so the
+    // deep copy always lands on an event boundary (one branch per batch —
+    // off the per-event hot path).
+    if (shard.snapshot_requested) {
+      shard.snapshot_out = shard.engine->checkpoint();
+      shard.snapshot_requested = false;
+      shard.ws.cv.notify_all();
+    }
     lines.clear();
     records.clear();
     while (lines.size() < kDrainBatch && !shard.syslog_queue.empty_locked()) {
@@ -524,10 +532,45 @@ void IngestGateway::consumer_thread(Shard& shard) {
     }
     lock.lock();
   }
-  lock.unlock();
-
+  // Queues closed and drained: the engine is final. Take the final
+  // checkpoint while still holding the lock and flip consumer_done, so a
+  // snapshot request racing the shutdown is answered with the final state
+  // instead of hanging on a thread that is gone.
   shard.final_checkpoint = shard.engine->checkpoint();
+  shard.snapshot_requested = false;
+  shard.consumer_done = true;
+  shard.ws.cv.notify_all();
+  lock.unlock();
   shard.engine->finish();
+}
+
+std::vector<stream::Checkpoint> IngestGateway::snapshot_engines() {
+  std::vector<stream::Checkpoint> out;
+  out.reserve(shards_.size());
+  for (auto& sp : shards_) {
+    Shard& shard = *sp;
+    sync::UniqueLock lock(shard.ws.mu);
+    if (shard.consumer_done) {
+      // The consumer exited: its final (pre-finish) checkpoint IS the
+      // resumable state — re-checkpointing the finished engine would bake
+      // the drain into the snapshot.
+      out.push_back(shard.final_checkpoint);
+      continue;
+    }
+    if (!running_) {
+      // Pre-start: no consumer thread exists, the engine is ours to read.
+      out.push_back(shard.engine->checkpoint());
+      continue;
+    }
+    shard.snapshot_requested = true;
+    shard.ws.cv.notify_all();
+    while (shard.snapshot_requested && !shard.consumer_done) {
+      shard.ws.cv.wait(lock);
+    }
+    out.push_back(shard.consumer_done ? shard.final_checkpoint
+                                      : shard.snapshot_out);
+  }
+  return out;
 }
 
 bool IngestGateway::replay_complete(std::uint64_t min_connections) {

@@ -169,6 +169,17 @@ class IngestGateway {
   /// flags the IO loops; the owner must still call stop() to join+drain.
   void request_stop();
 
+  /// One read-consistent deep-copy Checkpoint per shard, each taken by that
+  /// shard's consumer thread at a batch boundary (between drain batches,
+  /// under the shard's wait-set lock — never mid-event, so every per-link
+  /// row in the copy is exactly what an uninterrupted engine would report
+  /// at that shard's high-water mark). Blocks until every shard has
+  /// answered; callable from any thread while the gateway runs, and still
+  /// valid before start() (direct snapshot) or after the consumers exit
+  /// (returns the final checkpoints). This is the HTTP query API's
+  /// `snapshot_fn` and the durable-checkpoint writer's source of truth.
+  std::vector<stream::Checkpoint> snapshot_engines();
+
   /// Full shutdown: stop IO, close queues, drain every consumer through
   /// its engine, snapshot the final Checkpoints, finish the trackers.
   /// Idempotent.
@@ -234,6 +245,13 @@ class IngestGateway {
     stream::Checkpoint final_checkpoint;
     std::thread consumer;
     bool consumer_idle NETFAIL_GUARDED_BY(ws.mu) = false;
+    /// Live-snapshot handshake (snapshot_engines): a requester sets the
+    /// flag and waits; the consumer answers at its next batch boundary.
+    bool snapshot_requested NETFAIL_GUARDED_BY(ws.mu) = false;
+    stream::Checkpoint snapshot_out NETFAIL_GUARDED_BY(ws.mu);
+    /// Set (with final_checkpoint, under ws.mu) when the consumer exits, so
+    /// a snapshot request can never hang on a thread that is gone.
+    bool consumer_done NETFAIL_GUARDED_BY(ws.mu) = false;
   };
 
   Status bind_udp_sockets();

@@ -27,6 +27,12 @@
 #include "src/stream/sharded.hpp"
 #include "src/syslog/extract.hpp"
 
+namespace netfail::svc {
+// Serializes engine state to the durable snapshot format (src/svc); the
+// only non-member granted access to engine internals.
+class EngineCodec;
+}  // namespace netfail::svc
+
 namespace netfail::stream {
 
 struct EngineOptions {
@@ -129,6 +135,8 @@ class StreamEngine {
   }
 
  private:
+  friend class netfail::svc::EngineCodec;
+
   const LinkCensus* census_;
   EngineOptions options_;
   isis::StreamingExtractor isis_extractor_;

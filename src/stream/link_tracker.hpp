@@ -31,6 +31,10 @@
 #include "src/analysis/link_walker.hpp"
 #include "src/analysis/reconstruct.hpp"
 
+namespace netfail::svc {
+class EngineCodec;  // durable snapshot serializer (src/svc)
+}  // namespace netfail::svc
+
 namespace netfail::stream {
 
 struct TrackerOptions {
@@ -120,6 +124,8 @@ class LinkTracker {
   TimePoint high_water() const { return high_water_; }
 
  private:
+  friend class netfail::svc::EngineCodec;
+
   struct PendingTransition {
     TimePoint time;
     std::uint64_t seq = 0;  // arrival order, for stable ties

@@ -1,0 +1,74 @@
+#include "src/svc/anonymize.hpp"
+
+#include <set>
+
+#include "src/stream/sharded.hpp"
+
+namespace netfail::svc {
+namespace {
+
+/// Keyed FNV-1a over the original bytes, rendered as prefix + 12 hex
+/// digits. `bump` drives deterministic re-hashing on collision.
+std::string pseudonym(char prefix, std::string_view original,
+                      std::uint64_t seed, std::uint64_t bump) {
+  std::uint64_t h = stream::kFnv64OffsetBasis ^ seed;
+  for (const char c : original) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= stream::kFnv64Prime;
+  }
+  h ^= bump;
+  h *= stream::kFnv64Prime;
+  std::string out;
+  out.push_back(prefix);
+  for (int i = 11; i >= 0; --i) {
+    out.push_back("0123456789abcdef"[(h >> (4 * i)) & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Anonymizer::Anonymizer(const LinkCensus& census, std::uint64_t seed)
+    : seed_(seed) {
+  // Names already assigned (collision avoidance) and names that must never
+  // be emitted (the originals — a pseudonym that happened to equal some
+  // other router's real name would count as a leak).
+  std::set<std::string, std::less<>> taken;
+  std::set<std::string, std::less<>> originals;
+  for (const CensusLink& link : census.links()) {
+    for (const CensusEndpoint* ep : {&link.a, &link.b}) {
+      originals.insert(ep->host.str());
+      originals.insert(ep->iface.str());
+    }
+  }
+  const auto assign = [&](char prefix, Symbol original) {
+    if (!original.valid() || table_.has(original)) return;
+    for (std::uint64_t bump = 0;; ++bump) {
+      std::string candidate = pseudonym(prefix, original.view(), seed_, bump);
+      if (taken.contains(candidate) || originals.contains(candidate)) continue;
+      taken.insert(candidate);
+      table_.set(original, Symbol(candidate));
+      return;
+    }
+  };
+  for (const CensusLink& link : census.links()) {
+    for (const CensusEndpoint* ep : {&link.a, &link.b}) {
+      assign('h', ep->host);
+      assign('i', ep->iface);
+    }
+  }
+  link_names_.reserve(census.size());
+  for (const CensusLink& link : census.links()) {
+    std::string name;
+    name.append(map_view(link.a.host));
+    name.push_back(':');
+    name.append(map_view(link.a.iface));
+    name.push_back('|');
+    name.append(map_view(link.b.host));
+    name.push_back(':');
+    name.append(map_view(link.b.iface));
+    link_names_.push_back(std::move(name));
+  }
+}
+
+}  // namespace netfail::svc

@@ -1,0 +1,65 @@
+// svc::Anonymizer — seeded pseudonymization of the interned name universe.
+//
+// Sharing a capture (or a live API answer) must not leak router hostnames
+// or interface names, but the *structure* — which links exist, how often
+// each failed, every interval — must survive, or the shared data is
+// useless for analysis. The sym interner reduces this to a symbol-table
+// transform: every host and interface symbol in the census is remapped to
+// a pseudonym derived from FNV-1a over (seed, original bytes), and link
+// names are recomposed from the mapped endpoint symbols so the
+// "hostA:ifA|hostB:ifB" shape is preserved.
+//
+// Guarantees:
+//   - deterministic: same census + same seed => same pseudonyms, so two
+//     exports of one capture correlate;
+//   - injective within one anonymizer: hash collisions are resolved by
+//     deterministic re-hashing, so distinct names never merge;
+//   - non-reversible in practice: the pseudonym is a 48-bit keyed hash
+//     rendering, and free-text fields (syslog `reason`) are not mapped at
+//     all — consumers replace them with kRedactedText.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.hpp"
+#include "src/common/sym.hpp"
+#include "src/config/census.hpp"
+
+namespace netfail::svc {
+
+/// Replacement for free-text fields that cannot be structurally mapped.
+inline constexpr const char* kRedactedText = "[redacted]";
+
+/// Default pseudonym seed ("netfail" as bytes); callers wanting unlinkable
+/// exports pass their own secret seed.
+inline constexpr std::uint64_t kDefaultAnonymizeSeed = 0x6c6961667465756eull;
+
+class Anonymizer {
+ public:
+  /// Builds the full host/interface pseudonym table for `census` (iterated
+  /// in link-id order, so the table is independent of intern order).
+  Anonymizer(const LinkCensus& census, std::uint64_t seed);
+
+  /// The pseudonym symbol for a mapped host/interface symbol; identity for
+  /// symbols outside the census name universe.
+  Symbol map_symbol(Symbol s) const { return table_.map(s); }
+  std::string_view map_view(Symbol s) const { return table_.map(s).view(); }
+
+  /// The anonymized canonical name of `link` ("hA:ifA|hB:ifB" shape).
+  const std::string& link_name(LinkId link) const {
+    return link_names_[link.index()];
+  }
+
+  const sym::RemapTable& table() const { return table_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  sym::RemapTable table_;
+  std::vector<std::string> link_names_;  // indexed by LinkId::index()
+};
+
+}  // namespace netfail::svc

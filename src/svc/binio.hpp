@@ -1,0 +1,130 @@
+// svc::ByteWriter / svc::ByteReader — the little-endian byte codec under
+// the durable snapshot format.
+//
+// Deliberately tiny: fixed-width integers (explicit little-endian, so a
+// snapshot written on any host reads back on any other), IEEE doubles via
+// bit_cast, and u32-length-prefixed byte strings. The reader is
+// fail-soft: every accessor returns a zero value once the buffer runs
+// short and latches !ok(), so decode loops terminate and the caller turns
+// the latch into one kTruncated error instead of checking every field.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace netfail::svc {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void raw(const void* data, std::size_t n) {
+    buf_.append(static_cast<const char*>(data), n);
+  }
+
+  /// u32 length + bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : d_(data) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+
+  std::uint32_t u32() {
+    std::uint8_t b[4] = {};
+    take(b, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint8_t b[8] = {};
+    take(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool raw(void* out, std::size_t n) { return take(out, n); }
+
+  /// u32 length + bytes; a view into the underlying buffer.
+  std::string_view str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || d_.size() - pos_ < n) {
+      ok_ = false;
+      return {};
+    }
+    const std::string_view s = d_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool skip(std::size_t n) {
+    if (!ok_ || d_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return d_.size() - pos_; }
+  /// True when the whole buffer was consumed cleanly.
+  bool exhausted() const { return ok_ && pos_ == d_.size(); }
+
+ private:
+  bool take(void* out, std::size_t n) {
+    if (!ok_ || d_.size() - pos_ < n) {
+      ok_ = false;
+      std::memset(out, 0, n);
+      return false;
+    }
+    std::memcpy(out, d_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view d_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace netfail::svc

@@ -1,0 +1,142 @@
+// svc snapshot — durable, versioned persistence of StreamEngine state.
+//
+// A snapshot file captures every analysis-bearing byte of one or more
+// engine shards (per-link walker FSMs, reorder buffers, flap runs, the
+// streaming extractor's LSP baselines, detector CUSUM/drift cells and the
+// alert log) so that `netfail serve --state-dir` can stop at any point and
+// a restarted process finishes the stream with a byte-identical digest.
+//
+// File layout (all integers little-endian, see binio.hpp):
+//
+//   magic[8]  "NFSNAPSH"
+//   u32       format version (kSnapshotVersion)
+//   u64       body length
+//   body      (below)
+//   u64       FNV-1a 64 checksum of the body bytes
+//
+// Body:
+//
+//   u64       census fingerprint (link count + names, id order)
+//   u32       shard count
+//   u32       symbol count, then per symbol: u32 len + bytes
+//   per shard: u64 section length + engine section
+//
+// Symbols: interned ids are process-local (dense in first-intern order),
+// so the file carries its own dense symbol table — ids are assigned in
+// first-use order while encoding, and restore interns each string and
+// remaps every symbol field through the resulting table. Unordered
+// containers are serialized in sorted order, which makes the encoding a
+// pure function of engine state: the restart differential test compares
+// snapshot bytes as well as digests.
+//
+// Failure modes are total: a truncated file, a flipped bit, or a
+// future-version header each fail load()/restore with a specific error
+// (kTruncated / kChecksumMismatch / kUnsupported) and the target engine is
+// never left partially restored — decode runs against a scratch copy that
+// is committed only on success.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.hpp"
+#include "src/common/sym.hpp"
+#include "src/config/census.hpp"
+#include "src/stream/engine.hpp"
+#include "src/svc/binio.hpp"
+
+namespace netfail::svc {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr char kSnapshotMagic[8] = {'N', 'F', 'S', 'N',
+                                           'A', 'P', 'S', 'H'};
+/// Conventional snapshot file name inside a --state-dir.
+inline constexpr const char* kSnapshotFileName = "state.nfsnap";
+
+/// Stable fingerprint of a census (FNV over link count and canonical link
+/// names in id order). A snapshot only restores against the census it was
+/// taken under — link ids are census-relative.
+std::uint64_t census_fingerprint(const LinkCensus& census);
+
+/// Writer-side symbol table: process symbol -> dense file-local id,
+/// assigned in first-use order.
+class SymbolSink {
+ public:
+  static constexpr std::uint32_t kInvalidLocal = 0xffffffffu;
+
+  /// File-local id for `s` (assigning one on first use); kInvalidLocal for
+  /// the invalid symbol.
+  std::uint32_t local_id(Symbol s);
+
+  /// Global symbol ids in file-local id order.
+  const std::vector<std::uint32_t>& order() const { return order_; }
+
+ private:
+  std::vector<std::uint32_t> local_by_global_;  // kInvalidLocal = unassigned
+  std::vector<std::uint32_t> order_;
+};
+
+/// Serializes one StreamEngine into / out of a snapshot section. The only
+/// code granted friend access to engine internals; everything it touches
+/// is cold path (snapshots are requested, never per-event).
+class EngineCodec {
+ public:
+  static void encode(const stream::StreamEngine& engine, SymbolSink& syms,
+                     ByteWriter& w);
+  /// Decode a section into `engine`, remapping file-local symbol ids
+  /// through `syms`. On error the engine is left untouched by the caller's
+  /// commit protocol (decode targets a scratch copy; see restore_shard).
+  static Status decode(ByteReader& r, const std::vector<Symbol>& syms,
+                       stream::StreamEngine& engine);
+
+ private:
+  static void encode_tracker(const stream::LinkTracker& t, ByteWriter& w);
+  static Status decode_tracker(ByteReader& r, stream::LinkTracker& t);
+  static void encode_extractor(const isis::StreamingExtractor& x,
+                               SymbolSink& syms, ByteWriter& w);
+  static Status decode_extractor(ByteReader& r,
+                                 const std::vector<Symbol>& syms,
+                                 isis::StreamingExtractor& x);
+  static void encode_detector(const detect::LinkDetector& d, SymbolSink& syms,
+                              ByteWriter& w);
+  static Status decode_detector(ByteReader& r, const std::vector<Symbol>& syms,
+                                detect::LinkDetector& d);
+};
+
+/// Serialize `shards` (one engine per shard, shard-index order) and write
+/// the file atomically: the bytes land in `path` + ".tmp" and are renamed
+/// over `path` only after a successful flush, so a crash mid-write leaves
+/// the previous snapshot intact.
+Status save_snapshot(const std::string& path,
+                     std::span<const stream::StreamEngine* const> shards,
+                     const LinkCensus& census);
+
+/// A parsed, checksum-verified snapshot file. Loading validates the frame
+/// (magic, version, length, checksum) and the census fingerprint up front;
+/// restore_shard then decodes one shard section into a live engine.
+class LoadedSnapshot {
+ public:
+  static Result<LoadedSnapshot> load(const std::string& path,
+                                     const LinkCensus& census);
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(sections_.size());
+  }
+
+  /// Replace `engine`'s analysis state with shard `shard`'s section. The
+  /// engine must have been constructed against the same census and shard
+  /// assignment (callbacks, options and census wiring are preserved). On
+  /// any decode error the engine is unchanged.
+  Status restore_shard(std::uint32_t shard,
+                       stream::StreamEngine& engine) const;
+
+ private:
+  std::string body_;
+  std::vector<Symbol> symbols_;  // file-local id -> process symbol
+  std::vector<std::pair<std::size_t, std::size_t>> sections_;  // offset, len
+};
+
+}  // namespace netfail::svc

@@ -23,6 +23,16 @@
 //       final reconstruction) or until a replay signals completion.
 //       --shards N partitions ingest and analysis across N event loops and
 //       N engines keyed by a stable link hash (DESIGN.md sect. 14).
+//       --state-dir DIR persists a durable engine checkpoint (restored on
+//       the next start); --snapshot-every DUR writes it periodically and
+//       SIGINT always writes a final one. --http-port N serves the live
+//       query API (/healthz /metrics /links /links/{name} /checkpoint).
+//
+//   netfail export --dir DIR [--out FILE] [--anonymize] [--seed N]
+//       Render a bundle's per-link analysis (failures, flap episodes,
+//       transitions) as a deterministic shareable text report;
+//       --anonymize remaps every hostname/interface through seeded
+//       pseudonyms and redacts free-text reasons.
 //
 //   netfail replay --dir DIR --target HOST --syslog-port N --lsp-port N
 //                  [--rate MSGS_PER_SEC] [--loss P] [--duplicate P]
@@ -42,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -60,10 +71,14 @@
 #include "src/io/lsp_capture.hpp"
 #include "src/io/syslog_file.hpp"
 #include "src/io/ticket_file.hpp"
+#include "src/analysis/flaps.hpp"
 #include "src/net/gateway.hpp"
 #include "src/net/replay.hpp"
 #include "src/stream/engine.hpp"
 #include "src/stream/event_mux.hpp"
+#include "src/svc/export.hpp"
+#include "src/svc/http.hpp"
+#include "src/svc/snapshot.hpp"
 
 namespace {
 
@@ -86,6 +101,10 @@ int usage() {
       "                [--horizon SECS] [--max-links N] [--host ADDR]\n"
       "                [--shards N] [--detect] [--ewma-alpha A]\n"
       "                [--cusum-threshold T] [--drift-window MIN]\n"
+      "                [--state-dir DIR] [--snapshot-every DUR]\n"
+      "                [--http-port N]\n"
+      "  netfail export --dir DIR [--out FILE] [--anonymize] [--seed N]\n"
+      "                 [--policy P]\n"
       "  netfail replay --dir DIR --target HOST --syslog-port N "
       "--lsp-port N\n"
       "                 [--rate MSGS_PER_SEC] [--loss P] [--duplicate P]\n"
@@ -654,7 +673,10 @@ int cmd_serve(int argc, char** argv) {
                        {"--detect", false},
                        {"--ewma-alpha", true},
                        {"--cusum-threshold", true},
-                       {"--drift-window", true}},
+                       {"--drift-window", true},
+                       {"--state-dir", true},
+                       {"--snapshot-every", true},
+                       {"--http-port", true}},
                       args)) {
     return usage();
   }
@@ -665,6 +687,40 @@ int cmd_serve(int argc, char** argv) {
     std::fprintf(stderr,
                  "netfail: serve requires --dir, --syslog-port, --lsp-port\n");
     return usage();
+  }
+
+  std::string state_dir;
+  if (const auto sd = args.value("--state-dir")) {
+    const auto v = flags::parse_path("--state-dir", *sd);
+    if (!v) {
+      std::fprintf(stderr, "netfail: %s\n", v.error().to_string().c_str());
+      return usage();
+    }
+    state_dir = *v;
+  }
+  Duration snapshot_every;  // zero = no periodic snapshots
+  if (const auto se = args.value("--snapshot-every")) {
+    const auto v = flags::parse_duration("--snapshot-every", *se);
+    if (!v) {
+      std::fprintf(stderr, "netfail: %s\n", v.error().to_string().c_str());
+      return usage();
+    }
+    if (state_dir.empty()) {
+      std::fprintf(stderr, "netfail: --snapshot-every requires --state-dir\n");
+      return usage();
+    }
+    snapshot_every = *v;
+  }
+  std::uint16_t http_port = 0;
+  bool http_enabled = false;
+  if (const auto hp = args.value("--http-port")) {
+    const auto v = flags::parse_port("--http-port", *hp);
+    if (!v) {
+      std::fprintf(stderr, "netfail: %s\n", v.error().to_string().c_str());
+      return usage();
+    }
+    http_port = *v;
+    http_enabled = true;
   }
 
   net::GatewayOptions options;
@@ -709,6 +765,50 @@ int cmd_serve(int argc, char** argv) {
   options.capture_start = bundle.period.begin;
   options.engine.tracker.reconstruct.period = bundle.period;
 
+  // Durable state: restore an existing snapshot before the gateway spawns
+  // any thread (engine_setup runs in the gateway constructor), so a
+  // restarted serve resumes mid-replay instead of starting cold.
+  std::string snap_path;
+  std::optional<svc::LoadedSnapshot> restored;
+  if (!state_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(state_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "netfail: cannot create --state-dir %s: %s\n",
+                   state_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    snap_path = (fs::path(state_dir) / svc::kSnapshotFileName).string();
+    if (fs::exists(snap_path)) {
+      auto loaded = svc::LoadedSnapshot::load(snap_path, bundle.census);
+      if (!loaded) {
+        std::fprintf(stderr, "netfail: cannot restore %s: %s\n",
+                     snap_path.c_str(), loaded.error().to_string().c_str());
+        return 1;
+      }
+      if (loaded->shard_count() != options.shards) {
+        std::fprintf(stderr,
+                     "netfail: snapshot %s has %u shards but --shards is %u; "
+                     "restart with --shards %u or remove the state dir\n",
+                     snap_path.c_str(), loaded->shard_count(), options.shards,
+                     loaded->shard_count());
+        return 1;
+      }
+      restored.emplace(std::move(*loaded));
+      std::fprintf(stderr, "restoring checkpoint from %s\n", snap_path.c_str());
+    }
+  }
+  if (restored.has_value()) {
+    options.engine_setup = [&restored](std::uint32_t shard,
+                                       stream::StreamEngine& engine) {
+      if (Status st = restored->restore_shard(shard, engine); !st.ok()) {
+        std::fprintf(stderr, "netfail: restoring shard %u failed: %s\n", shard,
+                     st.error().to_string().c_str());
+        std::exit(1);
+      }
+    };
+  }
+
   net::IngestGateway gateway(bundle.census, options);
   if (Status st = gateway.start(); !st.ok()) {
     std::fprintf(stderr, "netfail: cannot start gateway: %s\n",
@@ -724,13 +824,73 @@ int cmd_serve(int argc, char** argv) {
                options.bind_host.c_str(), gateway.lsp_port(),
                gateway.shard_count(), gateway.shard_count() == 1 ? "" : "s");
 
+  // Durable snapshot writer: read-consistent per-shard checkpoints from the
+  // consumer threads, serialized and renamed into place atomically.
+  const auto write_snapshot = [&gateway, &bundle, &snap_path]() -> Status {
+    const std::vector<stream::Checkpoint> cps = gateway.snapshot_engines();
+    std::vector<const stream::StreamEngine*> engines;
+    engines.reserve(cps.size());
+    for (const stream::Checkpoint& cp : cps) engines.push_back(&cp.state());
+    return svc::save_snapshot(snap_path, engines, bundle.census);
+  };
+
+  std::optional<svc::HttpServer> http;
+  if (http_enabled) {
+    svc::HttpOptions hopts;
+    hopts.host = options.bind_host;
+    hopts.port = http_port;
+    hopts.period_begin = bundle.period.begin;
+    svc::HttpServer::CheckpointFn checkpoint_fn;
+    if (!state_dir.empty()) checkpoint_fn = write_snapshot;
+    http.emplace(
+        bundle.census, [&gateway] { return gateway.snapshot_engines(); },
+        std::move(checkpoint_fn), std::move(hopts));
+    if (Status st = http->start(); !st.ok()) {
+      std::fprintf(stderr, "netfail: cannot start http server: %s\n",
+                   st.error().to_string().c_str());
+      gateway.stop();
+      g_serve_gateway = nullptr;
+      return 1;
+    }
+    std::fprintf(stderr, "http: http://%s:%u (/healthz /metrics /links "
+                         "/checkpoint)\n",
+                 options.bind_host.c_str(), http->port());
+  }
+
+  // The wait loop doubles as the periodic-snapshot timer: each pass is one
+  // ~250ms slice, so the period is honored without a second clock source.
+  const std::int64_t snapshot_period_ms = snapshot_every.total_millis();
+  std::int64_t since_snapshot_ms = 0;
   for (;;) {
     if (gateway.wait_replay_complete(std::chrono::milliseconds(250))) break;
     if (g_interrupted.load(std::memory_order_acquire)) break;
+    if (snapshot_period_ms > 0) {
+      since_snapshot_ms += 250;
+      if (since_snapshot_ms >= snapshot_period_ms) {
+        since_snapshot_ms = 0;
+        if (Status st = write_snapshot(); !st.ok()) {
+          std::fprintf(stderr, "netfail: snapshot failed: %s\n",
+                       st.error().to_string().c_str());
+        }
+      }
+    }
   }
   std::signal(SIGINT, SIG_DFL);
+  // Stop order matters: the HTTP server queries the gateway, so it goes
+  // down first; the gateway then drains and takes its final checkpoints,
+  // which the shutdown snapshot below persists.
+  if (http.has_value()) http->stop();
   gateway.stop();
   g_serve_gateway = nullptr;
+
+  if (!state_dir.empty()) {
+    if (Status st = write_snapshot(); !st.ok()) {
+      std::fprintf(stderr, "netfail: final snapshot failed: %s\n",
+                   st.error().to_string().c_str());
+    } else {
+      std::fprintf(stderr, "checkpoint written to %s\n", snap_path.c_str());
+    }
+  }
 
   const net::GatewayCounters c = gateway.counters();
   std::printf(
@@ -781,6 +941,93 @@ int cmd_serve(int argc, char** argv) {
     for (std::uint32_t s = 0; s < gateway.shard_count(); ++s) {
       print_alert_summary(gateway.engine(s).detector(), bundle.census);
     }
+  }
+  return 0;
+}
+
+// ---- export ------------------------------------------------------------------
+
+int cmd_export(int argc, char** argv) {
+  flags::Parsed args;
+  if (!parse_or_usage(argc, argv,
+                      {{"--dir", true},
+                       {"--out", true},
+                       {"--anonymize", false},
+                       {"--seed", true},
+                       {"--policy", true}},
+                      args)) {
+    return usage();
+  }
+  const auto dir_arg = args.value("--dir");
+  if (!dir_arg) return usage();
+
+  svc::ExportOptions options;
+  options.anonymize = args.has("--anonymize");
+  if (const auto seed = args.value("--seed")) {
+    if (!parse_number("--seed", *seed, options.seed)) return usage();
+  }
+  analysis::AmbiguityPolicy policy = analysis::AmbiguityPolicy::kAssumeUp;
+  if (const auto p = args.value("--policy")) {
+    if (!parse_policy(*p, policy)) return usage();
+  }
+  std::string out_path;
+  if (const auto out = args.value("--out")) {
+    const auto v = flags::parse_path("--out", *out);
+    if (!v) {
+      std::fprintf(stderr, "netfail: %s\n", v.error().to_string().c_str());
+      return usage();
+    }
+    out_path = *v;
+  }
+
+  Bundle bundle;
+  if (!load_bundle(fs::path(*dir_arg), bundle)) return 1;
+
+  // The batch pipeline's extract + reconstruct + flap stages feed the
+  // renderer; both sources' failures ride in one list (the renderer splits
+  // per link and per source).
+  const isis::IsisExtraction isis_ex =
+      isis::extract_transitions(bundle.records, bundle.census);
+  const syslog::SyslogExtraction syslog_ex =
+      syslog::extract_transitions(bundle.collector, bundle.census);
+  analysis::ReconstructOptions recon;
+  recon.period = bundle.period;
+  recon.policy = policy;
+  analysis::Reconstruction isis_recon =
+      analysis::reconstruct_from_isis(isis_ex.is_reach, recon);
+  analysis::Reconstruction syslog_recon =
+      analysis::reconstruct_from_syslog(syslog_ex.transitions, recon);
+  const analysis::FlapAnalysis isis_flaps =
+      analysis::detect_flaps(isis_recon.failures);
+  const analysis::FlapAnalysis syslog_flaps =
+      analysis::detect_flaps(syslog_recon.failures);
+
+  svc::ExportInputs inputs;
+  inputs.census = &bundle.census;
+  inputs.failures = std::move(syslog_recon.failures);
+  inputs.failures.insert(inputs.failures.end(), isis_recon.failures.begin(),
+                         isis_recon.failures.end());
+  inputs.syslog_episodes = syslog_flaps.episodes;
+  inputs.isis_episodes = isis_flaps.episodes;
+  inputs.transitions = syslog_ex.transitions;
+
+  const std::string report = svc::render_export(inputs, options);
+  if (out_path.empty()) {
+    std::fwrite(report.data(), 1, report.size(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "netfail: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::size_t written = std::fwrite(report.data(), 1, report.size(), f);
+    if (std::fclose(f) != 0 || written != report.size()) {
+      std::fprintf(stderr, "netfail: short write to %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s export (%zu links, %zu bytes) to %s\n",
+                 options.anonymize ? "anonymized" : "plain",
+                 bundle.census.size(), report.size(), out_path.c_str());
   }
   return 0;
 }
@@ -900,6 +1147,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(argc, argv);
   if (std::strcmp(argv[1], "stream") == 0) return cmd_stream(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(argc, argv);
+  if (std::strcmp(argv[1], "export") == 0) return cmd_export(argc, argv);
   if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
   return usage();
 }

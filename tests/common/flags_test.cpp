@@ -75,5 +75,58 @@ TEST(ParseFlags, EmptyInputIsOk) {
   EXPECT_TRUE(p.present.empty());
 }
 
+TEST(ParsePath, AcceptsOrdinaryPaths) {
+  for (const char* v : {"/var/lib/netfail", "state", "./x", "a b/c", "x-y"}) {
+    const auto r = parse_path("--state-dir", v);
+    ASSERT_TRUE(r.ok()) << v << ": " << r.error().to_string();
+    EXPECT_EQ(*r, v);
+  }
+}
+
+TEST(ParsePath, RejectsShellMishaps) {
+  // Empty, swallowed-next-flag, and quoting-accident bytes.
+  for (const std::string& v :
+       {std::string(""), std::string("--http-port"), std::string("-x"),
+        std::string("a\nb"), std::string("a\rb"),
+        std::string("a") + '\0' + "b"}) {
+    const auto r = parse_path("--state-dir", v);
+    EXPECT_FALSE(r.ok()) << "accepted: " << v;
+  }
+  const auto r = parse_path("--state-dir", "--http-port");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("--state-dir"), std::string::npos);
+}
+
+TEST(ParseDuration, AcceptsEveryUnit) {
+  const struct {
+    const char* text;
+    std::int64_t ms;
+  } cases[] = {
+      {"500ms", 500},         {"1ms", 1},
+      {"30s", 30'000},        {"5m", 300'000},
+      {"2h", 7'200'000},      {"1d", 86'400'000},
+      {"090s", 90'000},  // leading zeros are just decimal
+  };
+  for (const auto& c : cases) {
+    const auto r = parse_duration("--snapshot-every", c.text);
+    ASSERT_TRUE(r.ok()) << c.text << ": " << r.error().to_string();
+    EXPECT_EQ(r->total_millis(), c.ms) << c.text;
+  }
+}
+
+TEST(ParseDuration, RejectsMissingUnitZeroAndGarbage) {
+  for (const char* v :
+       {"", "30", "0s", "0ms", "-5s", "5x", "s", "ms", "1.5s", "5 s",
+        "5ss", "5mss", "five-s", "99999999999999999999d", "0x10s"}) {
+    const auto r = parse_duration("--snapshot-every", v);
+    EXPECT_FALSE(r.ok()) << "accepted: " << v;
+  }
+  // The error teaches the grammar.
+  const auto r = parse_duration("--snapshot-every", "30");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("500ms"), std::string::npos);
+  EXPECT_NE(r.error().message.find("--snapshot-every"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace netfail::flags

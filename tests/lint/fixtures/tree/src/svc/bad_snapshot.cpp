@@ -1,0 +1,20 @@
+// Fixture: src/svc joined BOTH rosters with the service layer — snapshot
+// bytes and anonymized pseudonyms must reproduce across processes, so a
+// codec that stamps wall time or derives pseudonyms from std::hash breaks
+// restart differentials; string-keyed maps and iostreams don't belong on
+// the per-request render path either.
+#include <ctime>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> rows_by_link;
+long snapshot_stamp() { return time(nullptr); }
+std::size_t pseudonym(const std::string& name) {
+  return std::hash<std::string>{}(name);
+}
+std::string render_row(int failures) {
+  std::ostringstream os;
+  os << failures;
+  return os.str();
+}

@@ -1,0 +1,18 @@
+// Fixture: the legal spellings in the service layer — explicit
+// little-endian byte I/O, FNV checksums, and snprintf into a reused
+// buffer for JSON rendering.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+std::uint64_t body_checksum(const std::string& body) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : body) {
+    h = (h ^ c) * 1099511628211ull;
+  }
+  return h;
+}
+void append_row(std::string& out, int failures) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", failures);
+  out += buf;
+}

@@ -10,6 +10,8 @@
 // zero-capacity ingest queue is a programming error, not a config error.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -162,6 +164,85 @@ TEST(CliValidation, UnknownFlagIsRejected) {
   EXPECT_EQ(cli_exit("serve --dir=/nonexistent --syslog-port=5140 "
                      "--lsp-port=5141 --frobnicate=yes"),
             2);
+}
+
+TEST(CliValidation, ServeRejectsBadPersistenceFlags) {
+  const std::string base =
+      "serve --dir=/nonexistent --syslog-port=5140 --lsp-port=5141 ";
+  // parse_path: empty and swallowed-next-flag values.
+  EXPECT_EQ(cli_exit(base + "--state-dir="), 2);
+  EXPECT_EQ(cli_exit(base + "--state-dir=--http-port"), 2);
+  // parse_duration: the unit is mandatory, zero is meaningless.
+  EXPECT_EQ(cli_exit(base + "--state-dir=/tmp/x --snapshot-every=30"), 2);
+  EXPECT_EQ(cli_exit(base + "--state-dir=/tmp/x --snapshot-every=0s"), 2);
+  EXPECT_EQ(cli_exit(base + "--state-dir=/tmp/x --snapshot-every=fast"), 2);
+  // --snapshot-every without --state-dir has nowhere to write.
+  EXPECT_EQ(cli_exit(base + "--snapshot-every=30s"), 2);
+  // --http-port shares parse_port's contract.
+  EXPECT_EQ(cli_exit(base + "--http-port=99999"), 2);
+  EXPECT_EQ(cli_exit(base + "--http-port=http"), 2);
+}
+
+TEST(CliValidation, ExportValidatesBeforeTouchingTheBundle) {
+  EXPECT_EQ(cli_exit("export"), 2);  // --dir is required
+  EXPECT_EQ(cli_exit("export --dir=/nonexistent --seed=banana"), 2);
+  EXPECT_EQ(cli_exit("export --dir=/nonexistent --out="), 2);
+  EXPECT_EQ(cli_exit("export --dir=/nonexistent --policy=maybe"), 2);
+  // Valid flags get past validation and fail on the missing bundle.
+  EXPECT_EQ(cli_exit("export --dir=/nonexistent --anonymize --seed=7"), 1);
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  if (f != nullptr) {
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+TEST(CliExport, SimulatedBundleRoundTripsThroughExportAndAnonymize) {
+  // The full shareable-data path end to end: simulate writes a bundle to
+  // disk, export renders it, --anonymize must preserve the structure while
+  // scrubbing every link name the plain export shows.
+  const std::string dir = ::testing::TempDir() + "/cli_export_bundle";
+  const std::string plain_path = ::testing::TempDir() + "/export_plain.txt";
+  const std::string anon_path = ::testing::TempDir() + "/export_anon.txt";
+  ASSERT_EQ(cli_exit("simulate --out=" + dir + " --small --seed=11"), 0);
+  ASSERT_EQ(cli_exit("export --dir=" + dir + " --out=" + plain_path), 0);
+  ASSERT_EQ(cli_exit("export --dir=" + dir + " --out=" + anon_path +
+                     " --anonymize"),
+            0);
+
+  const std::string plain = slurp(plain_path);
+  const std::string anon = slurp(anon_path);
+  ASSERT_EQ(plain.substr(0, 18), "netfail-export v1\n");
+  ASSERT_EQ(anon.substr(0, 18), "netfail-export v1\n");
+
+  // Same structure: identical line counts and identical "links N" header.
+  const auto count_lines = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n');
+  };
+  EXPECT_EQ(count_lines(plain), count_lines(anon));
+  EXPECT_EQ(plain.substr(18, plain.find('\n', 18) - 18),
+            anon.substr(18, anon.find('\n', 18) - 18));
+
+  // Zero original name bytes: every link name in the plain export must be
+  // absent from the anonymized one.
+  std::size_t names_checked = 0;
+  for (std::size_t at = plain.find("link ", 18); at != std::string::npos;
+       at = plain.find("link ", at + 1)) {
+    if (at != 0 && plain[at - 1] != '\n') continue;  // "link " mid-line
+    const std::string name =
+        plain.substr(at + 5, plain.find('\n', at) - at - 5);
+    EXPECT_EQ(anon.find(name), std::string::npos) << name;
+    ++names_checked;
+  }
+  EXPECT_GT(names_checked, 0u);
 }
 #endif  // NETFAIL_CLI_BIN
 
