@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full verification sweep: static analysis first (fail fast), then tier-1
-# tests, then ASan+UBSan, then TSan.
+# Full verification sweep: static analysis first (fail fast), then the
+# architecture audit, then tier-1 tests, then ASan+UBSan, then TSan.
 #
-#   scripts/check.sh            # lint, tier1, asan, tsan
+#   scripts/check.sh            # lint, audit, tier1, asan, tsan
 #   scripts/check.sh lint       # repo linter (+ clang-tidy where installed)
+#   scripts/check.sh audit      # layering/lock-order/alloc/header audit
 #   scripts/check.sh tier1      # just the plain build + ctest
 #   scripts/check.sh asan       # just the ASan+UBSan build + ctest
 #   scripts/check.sh tsan       # just the TSan build + threaded suites
@@ -48,6 +49,21 @@ run_lint() {
     clang-tidy -p build --quiet "${tidy_sources[@]}"
   else
     echo "clang-tidy not installed — skipping (netfail_lint still gates)"
+  fi
+}
+
+run_audit() {
+  echo "== audit: self-tests + layering/lock-order/alloc/header audit =="
+  python3 scripts/test_netfail_audit.py
+  # The alloc and header analyzers read the tier-1 tree's objects and
+  # compile_commands.json; build it first.
+  configure_and_build build
+  if command -v nm >/dev/null 2>&1 && command -v objdump >/dev/null 2>&1; then
+    python3 scripts/netfail_audit.py --build-dir build
+  else
+    echo "nm/objdump not installed — skipping the binary allocation audit"
+    python3 scripts/netfail_audit.py --build-dir build \
+      layering lock-order headers
   fi
 }
 
@@ -125,12 +141,14 @@ run_bench() {
 
 case "$STAGE" in
   lint) run_lint ;;
+  audit) run_audit ;;
   tier1) run_tier1 ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
   bench) shift; run_bench "$@" ;;
   all)
     run_lint
+    run_audit
     run_tier1
     run_asan
     run_tsan
@@ -138,7 +156,7 @@ case "$STAGE" in
     echo "== throughput-regression gate; it wants a quiet machine)   =="
     ;;
   *)
-    echo "usage: $0 [lint|tier1|asan|tsan|bench|all]" >&2
+    echo "usage: $0 [lint|audit|tier1|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -22,7 +22,7 @@ cannot express:
   hot-path-iostream   No <iostream>/<sstream>/std::*stringstream in
                       hot-path dirs: iostreams allocate and lock; the
                       hot paths format with strfmt/snprintf into reused
-                      buffers. (src/io and src/tools are cold and exempt.)
+                      buffers. (src/tools is cold and exempt.)
   naked-new           No naked new/delete expressions outside the bench
                       counting-allocator harness: ownership lives in
                       containers and smart pointers. Intentionally leaked
@@ -37,9 +37,12 @@ Suppressions:
         // netfail-lint: allow(rule) reason...
   - file/line scoped, checked in at scripts/lint_suppressions.txt:
         rule path[:line] reason...
-    A suppression without a reason is itself an error.
+    A suppression without a reason is itself an error. The file is shared
+    with netfail_audit.py (one escape-discipline for both tools); each tool
+    only matches — and only stale-reports — its own rules.
 
-Exit status: 0 clean, 1 violations found, 2 usage/config error.
+Exit status (the combined contract, see scripts/netfail_checks.py):
+0 clean, 1 violations or stale suppressions, 2 usage/config error.
 Usage: netfail_lint.py [--root DIR] [--suppressions FILE] [paths...]
 Paths default to `src tests bench`, relative to --root (repo root).
 """
@@ -50,7 +53,18 @@ import argparse
 import os
 import re
 import sys
-from dataclasses import dataclass, field
+
+import netfail_checks as checks
+
+# Re-exported so existing consumers (tests) keep one import surface.
+Violation = checks.Violation
+Suppression = checks.Suppression
+FileText = checks.FileText
+strip_comments_and_strings = checks.strip_comments_and_strings
+load_file = checks.load_file
+parse_suppressions = checks.parse_suppressions
+collect_files = checks.collect_files
+in_dirs = checks.in_dirs
 
 # Directory scoping, relative to the repo root (forward slashes).
 DETERMINISM_DIRS = (
@@ -63,6 +77,14 @@ DETERMINISM_DIRS = (
                    # steady_clock (monotonic, not banned) belongs here
     "src/svc",     # snapshot bytes and anonymized pseudonyms must be
                    # reproducible across processes and stdlibs
+    "src/topology",  # topology hashes feed shard routing and rendered
+                     # tables; an unspecified std::hash here would leak
+                     # into every downstream digest
+    "src/config",  # the census is the naming layer every digest renders
+    "src/tickets",  # ticket matching feeds the scored tables
+    "src/stats",   # summary/ECDF/KS outputs land in golden-file tables
+    "src/io",      # loaders stamp parsed records; ambient time here would
+                   # skew every replay
 )
 HOT_PATH_DIRS = (
     "src/analysis",
@@ -74,133 +96,16 @@ HOT_PATH_DIRS = (
     "src/stream",
     "src/svc",
     "src/syslog",
+    "src/topology",  # address/prefix types live in every hot lookup
+    "src/config",  # census lookups sit on the per-event resolve path
+    "src/tickets",
+    "src/stats",
+    "src/io",  # bulk loaders feed the batch path; per-line iostream
+               # formatting would dominate load time
 )
 # The counting operator new/delete harness the `naked-new` rule exists to
 # protect: the only place allowed to spell allocation primitives.
 ALLOC_HARNESS_FILES = ("bench/bench_common.cpp",)
-
-SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
-
-ALLOW_RE = re.compile(r"netfail-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-
-
-@dataclass
-class Violation:
-    path: str  # repo-relative, forward slashes
-    line: int  # 1-based
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
-
-
-@dataclass
-class Suppression:
-    rule: str
-    path: str
-    line: int | None  # None = whole file
-    reason: str
-    used: bool = False
-
-    def matches(self, v: Violation) -> bool:
-        return (
-            self.rule == v.rule
-            and self.path == v.path
-            and (self.line is None or self.line == v.line)
-        )
-
-
-@dataclass
-class FileText:
-    """One source file in the three views the rules need."""
-
-    rel_path: str
-    raw_lines: list[str] = field(default_factory=list)
-    code_lines: list[str] = field(default_factory=list)  # comments/strings blanked
-    allow: dict[int, set[str]] = field(default_factory=dict)  # line -> rules
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments, string literals, and char literals, preserving
-    line structure so reported line numbers match the raw file. Handles //,
-    /* */, "..." with escapes, '...', and R"delim(...)delim" raw strings."""
-    out: list[str] = []
-    i = 0
-    n = len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                i += 1
-            continue  # newline handled next iteration
-        if c == "/" and nxt == "*":
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
-                if text[i] == "\n":
-                    out.append("\n")
-                i += 1
-            i += 2  # skip */
-            continue
-        if c == "R" and nxt == '"':
-            # Raw string: R"delim( ... )delim"
-            m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
-            if m:
-                closer = ")" + m.group(1) + '"'
-                end = text.find(closer, i + m.end())
-                if end == -1:
-                    end = n
-                else:
-                    end += len(closer)
-                out.extend("\n" for ch in text[i:end] if ch == "\n")
-                i = end
-                continue
-        if c == '"':
-            i += 1
-            while i < n and text[i] != '"':
-                if text[i] == "\\":
-                    i += 1
-                i += 1
-            i += 1
-            out.append('""')
-            continue
-        if c == "'":
-            i += 1
-            while i < n and text[i] != "'":
-                if text[i] == "\\":
-                    i += 1
-                i += 1
-            i += 1
-            out.append("''")
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
-
-
-def load_file(root: str, rel_path: str) -> FileText:
-    with open(os.path.join(root, rel_path), encoding="utf-8", errors="replace") as f:
-        raw = f.read()
-    ft = FileText(rel_path=rel_path)
-    ft.raw_lines = raw.splitlines()
-    ft.code_lines = strip_comments_and_strings(raw).splitlines()
-    # Pad so both views always have the same length.
-    while len(ft.code_lines) < len(ft.raw_lines):
-        ft.code_lines.append("")
-    for lineno, line in enumerate(ft.raw_lines, start=1):
-        m = ALLOW_RE.search(line)
-        if m:
-            rules = {r.strip() for r in m.group(1).split(",")}
-            ft.allow.setdefault(lineno, set()).update(rules)
-            # An allow comment above a statement covers the next line too
-            # (attribute-style placement for multi-line statements).
-            ft.allow.setdefault(lineno + 1, set()).update(rules)
-    return ft
-
-
-def in_dirs(rel_path: str, dirs: tuple[str, ...]) -> bool:
-    return any(rel_path.startswith(d + "/") for d in dirs)
 
 
 # ---------------------------------------------------------------------------
@@ -322,73 +227,14 @@ RULES = (
     rule_todo_owner,
     rule_include_guard,
 )
-RULE_NAMES = (
-    "determinism",
-    "hot-path-string-map",
-    "hot-path-iostream",
-    "naked-new",
-    "todo-owner",
-    "include-guard",
-)
+RULE_NAMES = checks.LINT_RULE_NAMES
 
 # ---------------------------------------------------------------------------
 
 
-def parse_suppressions(path: str) -> tuple[list[Suppression], list[str]]:
-    """Returns (suppressions, config_errors)."""
-    sups: list[Suppression] = []
-    errors: list[str] = []
-    if not os.path.exists(path):
-        return sups, errors
-    with open(path, encoding="utf-8") as f:
-        for lineno, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split(None, 2)
-            if len(parts) < 3:
-                errors.append(
-                    f"{path}:{lineno}: suppression needs `rule path reason...`"
-                    " — a reason is mandatory")
-                continue
-            rule, target, reason = parts
-            if rule not in RULE_NAMES:
-                errors.append(f"{path}:{lineno}: unknown rule '{rule}'")
-                continue
-            target_line: int | None = None
-            if ":" in target:
-                target, line_str = target.rsplit(":", 1)
-                try:
-                    target_line = int(line_str)
-                except ValueError:
-                    errors.append(
-                        f"{path}:{lineno}: bad line number '{line_str}'")
-                    continue
-            sups.append(Suppression(rule, target, target_line, reason))
-    return sups, errors
-
-
-def collect_files(root: str, paths: list[str]) -> list[str]:
-    rels: list[str] = []
-    for p in paths:
-        full = os.path.join(root, p)
-        if os.path.isfile(full):
-            rels.append(os.path.relpath(full, root).replace(os.sep, "/"))
-            continue
-        for dirpath, dirnames, filenames in os.walk(full):
-            dirnames.sort()
-            # Never descend into build trees or fixtures-for-the-linter-tests.
-            dirnames[:] = [d for d in dirnames
-                           if not d.startswith("build") and d != "fixtures"]
-            for name in sorted(filenames):
-                if name.endswith(SOURCE_EXTENSIONS):
-                    rel = os.path.relpath(os.path.join(dirpath, name), root)
-                    rels.append(rel.replace(os.sep, "/"))
-    return rels
-
-
 def lint_tree(root: str, paths: list[str],
-              suppressions: list[Suppression]) -> tuple[list[Violation], int]:
+              suppressions: list[Suppression]
+              ) -> tuple[list[Violation], list[str]]:
     """Returns (unsuppressed violations, files scanned)."""
     violations: list[Violation] = []
     files = collect_files(root, paths)
@@ -403,7 +249,7 @@ def lint_tree(root: str, paths: list[str],
                     sup.used = True
                     continue
                 violations.append(v)
-    return violations, len(files)
+    return violations, files
 
 
 def main(argv: list[str]) -> int:
@@ -442,17 +288,21 @@ def main(argv: list[str]) -> int:
         print("\n".join(config_errors), file=sys.stderr)
         return 2
 
-    violations, scanned = lint_tree(root, paths, suppressions)
+    violations, scanned_files = lint_tree(root, paths, suppressions)
+    scanned = len(scanned_files)
     for v in violations:
         print(v.render())
-    for s in suppressions:
-        if not s.used:
-            print(f"note: unused suppression: {s.rule} {s.path}"
-                  f"{':' + str(s.line) if s.line else ''} ({s.reason})",
-                  file=sys.stderr)
-    if violations:
-        print(f"netfail_lint: {len(violations)} violation(s) in "
-              f"{scanned} file(s)", file=sys.stderr)
+    # Stale escapes for rules this tool owns are errors (combined contract);
+    # suppressions for audit rules are netfail_audit.py's to judge, and a
+    # subset run only judges suppressions for files it scanned.
+    stale = checks.stale_suppression_errors(suppressions, RULE_NAMES,
+                                            set(scanned_files))
+    for s in stale:
+        print(f"netfail_lint: {s}", file=sys.stderr)
+    if violations or stale:
+        print(f"netfail_lint: {len(violations)} violation(s), "
+              f"{len(stale)} stale suppression(s) in {scanned} file(s)",
+              file=sys.stderr)
         return 1
     print(f"netfail_lint: clean ({scanned} files)", file=sys.stderr)
     return 0

@@ -54,10 +54,10 @@ class DeterminismRule(unittest.TestCase):
         self.assertEqual(run_rules("src/sim/ok_rng.cpp"), [])
 
     def test_scoped_to_determinism_dirs(self):
-        # The same tokens in src/io would not flag (cold dir, different
-        # rules apply): simulate by relocating the fixture text.
+        # The same tokens in src/tools would not flag (the one remaining
+        # cold dir): simulate by relocating the fixture text.
         ft = netfail_lint.load_file(FIXTURE_ROOT, "src/sim/bad_rand.cpp")
-        ft.rel_path = "src/io/bad_rand.cpp"
+        ft.rel_path = "src/tools/bad_rand.cpp"
         self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
 
     def test_syslog_is_a_determinism_dir(self):
@@ -80,7 +80,7 @@ class HotPathRules(unittest.TestCase):
         self.assertEqual(rules.count("hot-path-iostream"), 2)
 
     def test_cold_dirs_exempt(self):
-        self.assertEqual(run_rules("src/io/ok_cold.cpp"), [])
+        self.assertEqual(run_rules("src/tools/ok_cold.cpp"), [])
 
 
 class DetectRoster(unittest.TestCase):
@@ -100,7 +100,7 @@ class DetectRoster(unittest.TestCase):
 
     def test_same_text_passes_in_a_cold_dir(self):
         ft = netfail_lint.load_file(FIXTURE_ROOT, "src/detect/bad_detect.cpp")
-        ft.rel_path = "src/io/bad_detect.cpp"
+        ft.rel_path = "src/tools/bad_detect.cpp"
         self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
         self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
 
@@ -134,7 +134,7 @@ class ShardedRosters(unittest.TestCase):
 
     def test_same_text_passes_in_a_cold_dir(self):
         ft = netfail_lint.load_file(FIXTURE_ROOT, "src/net/bad_gateway.cpp")
-        ft.rel_path = "src/io/bad_gateway.cpp"
+        ft.rel_path = "src/tools/bad_gateway.cpp"
         self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
         self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
 
@@ -162,9 +162,57 @@ class SvcRosters(unittest.TestCase):
 
     def test_same_text_passes_in_a_cold_dir(self):
         ft = netfail_lint.load_file(FIXTURE_ROOT, "src/svc/bad_snapshot.cpp")
-        ft.rel_path = "src/io/bad_snapshot.cpp"
+        ft.rel_path = "src/tools/bad_snapshot.cpp"
         self.assertEqual(list(netfail_lint.rule_determinism(ft)), [])
         self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [])
+
+
+class SupportRosters(unittest.TestCase):
+    """src/io, src/tickets, src/config, src/topology, and src/stats joined
+    both dir rosters with the audit PR — everything the replay and
+    analysis loops consume is now covered, leaving src/tools as the only
+    cold-exempt directory. Prove the rules fire in each new dir (a roster
+    typo would silently un-lint a whole subsystem)."""
+
+    NEW_DIRS = ("src/io", "src/tickets", "src/config", "src/topology",
+                "src/stats")
+    BAD_FIXTURES = {
+        "src/io": "src/io/bad_loader.cpp",
+        "src/tickets": "src/tickets/bad_match.cpp",
+        "src/config": "src/config/bad_census.cpp",
+        "src/topology": "src/topology/bad_addr.cpp",
+        "src/stats": "src/stats/bad_summary.cpp",
+    }
+
+    def test_all_new_dirs_are_on_both_rosters(self):
+        for d in self.NEW_DIRS:
+            self.assertIn(d, netfail_lint.DETERMINISM_DIRS, d)
+            self.assertIn(d, netfail_lint.HOT_PATH_DIRS, d)
+
+    def test_determinism_fires_in_every_new_dir(self):
+        for d in self.NEW_DIRS:
+            rules = [v.rule for v in run_rules(self.BAD_FIXTURES[d])]
+            self.assertIn("determinism", rules, d)
+
+    def test_hot_path_fires_in_every_new_dir(self):
+        for d in self.NEW_DIRS:
+            rules = [v.rule for v in run_rules(self.BAD_FIXTURES[d])]
+            self.assertIn("hot-path-iostream", rules, d)
+
+    def test_string_maps_flag_where_fixtures_carry_them(self):
+        for d in ("src/io", "src/tickets", "src/config", "src/stats"):
+            rules = [v.rule for v in run_rules(self.BAD_FIXTURES[d])]
+            self.assertIn("hot-path-string-map", rules, d)
+
+    def test_legal_spellings_pass_in_io(self):
+        self.assertEqual(run_rules("src/io/ok_loader.cpp"), [])
+
+    def test_same_text_passes_in_the_cold_dir(self):
+        for d in self.NEW_DIRS:
+            ft = netfail_lint.load_file(FIXTURE_ROOT, self.BAD_FIXTURES[d])
+            ft.rel_path = "src/tools/" + ft.rel_path.split("/")[-1]
+            self.assertEqual(list(netfail_lint.rule_determinism(ft)), [], d)
+            self.assertEqual(list(netfail_lint.rule_hot_path(ft)), [], d)
 
 
 class NakedNewRule(unittest.TestCase):

@@ -79,6 +79,11 @@ class ThreadPool {
   std::uint64_t generation_ NETFAIL_GUARDED_BY(mu_) = 0;
   bool stopping_ NETFAIL_GUARDED_BY(mu_) = false;
 
+  // Held across the whole fork/join region: every per-shard and per-job
+  // lock nests under it. The cross-TU members (Shard::mu, Job::done_mu,
+  // Job::error_mu in par.cpp) are out of the attribute's reach, so their
+  // ordering is declared in comment form for netfail_audit.
+  // netfail-audit: acquired-before(mu, done_mu, error_mu)
   sync::Mutex submit_mu_ NETFAIL_ACQUIRED_BEFORE(mu_);  // one fork/join
                                                         // region at a time
 };

@@ -55,7 +55,7 @@ const CensusLink& LinkCensus::link(LinkId id) const {
 }
 
 std::optional<LinkId> LinkCensus::find_by_name(std::string_view name) const {
-  auto it = by_name_.find(std::string(name));
+  auto it = by_name_.find(name);
   if (it == by_name_.end()) return std::nullopt;
   return it->second;
 }

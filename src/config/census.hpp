@@ -6,6 +6,7 @@
 // "(host1:port1, host2:port2)" convention of the paper (sect. 3.4).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -76,7 +77,10 @@ class LinkCensus {
   }
 
   std::vector<CensusLink> links_;
-  std::unordered_map<std::string, LinkId> by_name_;
+  // Ordered + transparent: name lookups are cold (queries, test setup), and
+  // std::less<> takes string_views without materializing a key — the
+  // hot-path-string-map lint rule bans the hashed alternative here.
+  std::map<std::string, LinkId, std::less<>> by_name_;
   std::unordered_map<Ipv4Prefix, LinkId> by_subnet_;
   std::unordered_map<std::uint64_t, LinkId> by_interface_;  // iface_key
   // sym::pair_key(hostA, hostB) -> links, lexicographically normalized.

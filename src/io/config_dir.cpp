@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <iterator>
 
 #include "src/common/strfmt.hpp"
 
@@ -65,13 +65,13 @@ Result<ConfigArchive> read_config_dir(const std::string& root,
         ++st.skipped;
         continue;
       }
-      std::ifstream in(entry.path());
-      std::ostringstream text;
-      text << in.rdbuf();
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
       files.push_back(ConfigFile{
           hostname,
           TimePoint::from_unix_seconds(static_cast<std::int64_t>(ts)),
-          text.str()});
+          std::move(text)});
       ++st.files;
     }
   }

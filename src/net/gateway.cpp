@@ -380,6 +380,9 @@ void IngestGateway::extract_frames(IoLoop& lp, Connection& conn) {
         have_lsp_ = true;
         for (std::uint32_t s = 0; s + 1 < nshards; ++s) {
           isis::LspRecord copy = *record;
+          // push_wait takes the shard queue's WaitSet lock while we hold
+          // lsp_order_mu_ — the one call-mediated edge in the gateway.
+          // netfail-audit: locks(mu)
           if (!shards_[s]->lsp_queue.push_wait(std::move(copy))) {
             queue_closed = true;
             break;

@@ -296,7 +296,10 @@ class IngestGateway {
   // the drop set AND the delivery order are identical across shards no
   // matter how concurrent IO threads interleave — the invariant
   // merge_shard_runs asserts. Held only on IO threads; consumers never
-  // take it, so a push_wait blocking under it cannot deadlock.
+  // take it, so a push_wait blocking under it cannot deadlock. The shard
+  // queue lock (WaitSet::mu, taken inside push_wait) therefore nests
+  // under this one, never the other way around.
+  // netfail-audit: acquired-before(mu)
   sync::Mutex lsp_order_mu_;
   TimePoint last_lsp_arrival_ NETFAIL_GUARDED_BY(lsp_order_mu_);
   bool have_lsp_ NETFAIL_GUARDED_BY(lsp_order_mu_) = false;

@@ -64,8 +64,17 @@ namespace std {
 template <>
 struct hash<netfail::Ipv4Prefix> {
   size_t operator()(const netfail::Ipv4Prefix& p) const noexcept {
-    return std::hash<std::uint64_t>{}(
-        (std::uint64_t{p.network().value()} << 6) | static_cast<unsigned>(p.length()));
+    std::uint64_t v =
+        (std::uint64_t{p.network().value()} << 6) | static_cast<unsigned>(p.length());
+    // splitmix64 finalizer: a fixed, library-independent mix — the
+    // determinism rule bans std::hash (unspecified value) even here, so
+    // container behavior cannot drift across standard libraries.
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return static_cast<size_t>(v);
   }
 };
 }  // namespace std

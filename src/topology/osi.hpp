@@ -48,7 +48,15 @@ struct hash<netfail::OsiSystemId> {
   size_t operator()(const netfail::OsiSystemId& id) const noexcept {
     std::uint64_t v = 0;
     for (std::uint8_t b : id.bytes()) v = (v << 8) | b;
-    return std::hash<std::uint64_t>{}(v);
+    // splitmix64 finalizer: a fixed, library-independent mix — the
+    // determinism rule bans std::hash (unspecified value) even here, so
+    // container behavior cannot drift across standard libraries.
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return static_cast<size_t>(v);
   }
 };
 }  // namespace std

@@ -1,0 +1,5 @@
+// Fixture for the binary allocation audit: compiled at test time with the
+// project defaults (-O2 -g), then scanned via nm/objdump. fx_hot is NOT on
+// the test roster's allowlist (must flag); fx_cold is (must pass).
+int* fx_hot(int n) { return new int[n]; }
+int* fx_cold(int n) { return new int[n]; }

@@ -1,0 +1,14 @@
+// Fixture: bottom-layer header with a well-ordered lock pair.
+#pragma once
+
+struct Clean {
+  sync::Mutex outer_mu NETFAIL_ACQUIRED_BEFORE(inner_mu);
+  sync::Mutex inner_mu;
+};
+
+inline void nest(Clean& c) {
+  sync::MutexLock lo(c.outer_mu);
+  {
+    sync::MutexLock li(c.inner_mu);
+  }
+}

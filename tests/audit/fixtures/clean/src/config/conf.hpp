@@ -1,0 +1,3 @@
+// Fixture: a legal downward include (config -> common is declared).
+#pragma once
+#include "src/common/util.hpp"

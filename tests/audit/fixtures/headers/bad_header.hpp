@@ -1,0 +1,4 @@
+// Fixture: relies on the includer having pulled in <string> first — must
+// fail to compile as a standalone TU.
+#pragma once
+inline std::string fixture_name() { return "bad"; }

@@ -1,0 +1,4 @@
+// Fixture: self-sufficient header — includes everything it uses.
+#pragma once
+#include <string>
+inline std::string fixture_name() { return "good"; }

@@ -1,0 +1,2 @@
+// Fixture: leaf of the legal chain net -> stream -> analysis.
+#pragma once

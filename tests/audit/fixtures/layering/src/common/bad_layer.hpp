@@ -1,0 +1,4 @@
+// Fixture: src/common is the bottom layer — reaching up into src/net
+// inverts the DAG and must flag.
+#pragma once
+#include "src/net/socket.hpp"

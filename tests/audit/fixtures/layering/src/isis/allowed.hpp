@@ -1,0 +1,4 @@
+// Fixture: an undeclared edge (isis -> sim) escaped with the inline allow
+// comment — must NOT flag.
+#pragma once
+#include "src/sim/world.hpp"  // netfail-audit: allow(layer) fixture escape

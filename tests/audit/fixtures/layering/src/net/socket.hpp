@@ -1,0 +1,3 @@
+// Fixture: src/net legitimately depends on src/stream (a declared edge).
+#pragma once
+#include "src/stream/feed.hpp"

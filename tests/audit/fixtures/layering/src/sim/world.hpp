@@ -1,0 +1,2 @@
+// Fixture: target of the allowed isis -> sim include.
+#pragma once

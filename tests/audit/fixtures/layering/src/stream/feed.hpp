@@ -1,0 +1,3 @@
+// Fixture: src/stream legitimately depends on src/analysis (declared).
+#pragma once
+#include "src/analysis/report.hpp"

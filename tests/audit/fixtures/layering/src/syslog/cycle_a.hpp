@@ -1,0 +1,4 @@
+// Fixture: half of an intra-subsystem include cycle (layer-legal, but
+// the include graph must still be acyclic).
+#pragma once
+#include "src/syslog/cycle_b.hpp"

@@ -1,0 +1,3 @@
+// Fixture: other half of the include cycle.
+#pragma once
+#include "src/syslog/cycle_a.hpp"

@@ -1,0 +1,3 @@
+// Fixture: a subsystem directory missing from SUBSYSTEM_DEPS — must flag
+// at src/widgets:1.
+#pragma once

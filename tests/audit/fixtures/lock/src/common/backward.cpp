@@ -1,0 +1,14 @@
+// Fixture: the b -> a half of the cycle, plus a lock site naming a mutex
+// nobody declares (a lock-annotation error).
+#include "src/common/locks.hpp"
+
+void backward(Fixture& q) {
+  sync::MutexLock lb(q.b_mu);
+  {
+    sync::MutexLock la(q.a_mu);
+  }
+}
+
+void phantom() {
+  sync::MutexLock lg(ghost_mu);
+}

@@ -1,0 +1,17 @@
+// Fixture: the a -> b half of the cycle, plus the witnesses that keep the
+// e -> f annotation from going stale (a REQUIRES seed and a call-mediated
+// locks(...) marker).
+#include "src/common/locks.hpp"
+
+void forward(Fixture& p) {
+  sync::MutexLock la(p.a_mu);
+  {
+    sync::MutexLock lb(p.b_mu);
+  }
+}
+
+void publish(Fixture& p) NETFAIL_REQUIRES(e_mu) {
+  // The helper takes f_mu internally; invisible to lexical scanning.
+  // netfail-audit: locks(f_mu)
+  publish_helper(p);
+}

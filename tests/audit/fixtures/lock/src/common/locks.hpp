@@ -1,0 +1,15 @@
+// Fixture: mutex declarations for the lock-order analyzer. a/b form a
+// cycle (witnessed in forward.cpp / backward.cpp); c's annotation is
+// stale (no lock site ever nests d under c); e -> f is annotated AND
+// witnessed through a REQUIRES function plus a locks(...) marker.
+#pragma once
+
+struct Fixture {
+  sync::Mutex a_mu;
+  sync::Mutex b_mu;
+  sync::Mutex c_mu NETFAIL_ACQUIRED_BEFORE(d_mu);
+  sync::Mutex d_mu;
+  // netfail-audit: acquired-before(f_mu)
+  sync::Mutex e_mu;
+  sync::Mutex f_mu;
+};

@@ -1,0 +1,13 @@
+// Fixture: src/config joined BOTH rosters — the census is rebuilt inside
+// the simulator's per-scenario loop, so std::hash link keys make census
+// iteration order library-dependent and iostream slurping dominates the
+// rebuild.
+#include <functional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> links_by_name;
+std::size_t link_key(const std::string& name) {
+  return std::hash<std::string>{}(name);
+}
+std::string slurp(std::stringstream& ss) { return ss.str(); }

@@ -1,0 +1,20 @@
+// Fixture: src/io joined BOTH rosters — loaders feed the differential
+// replay harness, so a reader that stamps wall time or routes records by
+// std::hash produces archives that cannot be byte-compared across runs,
+// and string-keyed maps / iostream formatting don't belong on the bulk
+// decode path.
+#include <ctime>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> files_by_name;
+long archive_stamp() { return time(nullptr); }
+std::size_t route_record(const std::string& host) {
+  return std::hash<std::string>{}(host);
+}
+std::string render_entry(int seq) {
+  std::ostringstream os;
+  os << seq;
+  return os.str();
+}

@@ -1,0 +1,13 @@
+// Fixture: the legal spellings for loaders — timestamps come from the
+// records themselves, lookup keys are interned symbols (plain integers),
+// and rendering goes through snprintf into a reused buffer.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::uint32_t, int> files_by_symbol;
+void append_entry(std::string& out, long long record_ts) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", record_ts);
+  out += buf;
+}

@@ -1,0 +1,14 @@
+// Fixture: src/stats joined BOTH rosters — estimators run inside the
+// per-window close path, so clock() sampling breaks replay determinism
+// and string-keyed accumulator maps cost a hash+compare per update.
+#include <ctime>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, double> sums_by_series;
+long summary_clock() { return clock(); }
+std::string render_mean(double m) {
+  std::ostringstream os;
+  os << m;
+  return os.str();
+}

@@ -1,0 +1,15 @@
+// Fixture: src/tickets joined BOTH rosters — ticket/failure matching runs
+// once per candidate episode inside the analysis loop, so entropy (rand
+// jitter) breaks replay determinism and string-keyed maps on the match
+// path cost a hash+compare per probe.
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+std::unordered_map<std::string, int> tickets_by_id;
+int jittered_window() { return 3600 + rand() % 60; }
+std::string render_ticket(int id) {
+  std::stringstream ss;
+  ss << id;
+  return ss.str();
+}

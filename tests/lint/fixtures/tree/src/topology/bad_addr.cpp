@@ -1,0 +1,17 @@
+// Fixture: src/topology joined BOTH rosters — address/prefix hashing
+// feeds every unordered container keyed by link identity, so a
+// std::hash-derived value makes bucket order (and any code that leaks
+// it) library-dependent; formatting addresses via ostringstream is a
+// per-event cost wherever identities are rendered.
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+std::size_t prefix_key(std::uint64_t packed) {
+  return std::hash<std::uint64_t>{}(packed);
+}
+std::string render_addr(std::uint32_t v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
